@@ -1,0 +1,172 @@
+// Package eiffel is a from-scratch Go implementation of "Eiffel: Efficient
+// and Flexible Software Packet Scheduling" (Saeed et al., NSDI 2019): O(1)
+// bucketed integer priority queues built on Find-First-Set (the circular
+// hierarchical FFS queue, cFFS) and on algebraic curvature estimates (the
+// exact and approximate gradient queues), plus an extended PIFO programming
+// model with per-flow ranking, on-dequeue re-ranking, and decoupled
+// arbitrary shaping through a single time-indexed shaper.
+//
+// # Quick start
+//
+//	pool := eiffel.NewPool(1024)
+//	tree := eiffel.NewTree(eiffel.TreeOptions{
+//		RootRanker: eiffel.WFQ{},
+//		RootQueue:  eiffel.QueueConfig{NumBuckets: 1 << 14, Granularity: 1},
+//	})
+//	leaf := tree.NewPacketLeaf(nil, eiffel.EDF{}, eiffel.ClassOptions{Name: "edf"})
+//
+//	p := pool.Get()
+//	p.Deadline = 1000
+//	tree.Enqueue(leaf, p, now)
+//	out := tree.Dequeue(now)
+//
+// # Picking a queue
+//
+// Choose implements the paper's Figure 20 decision tree:
+//
+//	kind := eiffel.Choose(eiffel.Characteristics{
+//		MovingRange:    true,
+//		PriorityLevels: 20000,
+//	}) // -> KindCFFS
+//	q := eiffel.NewQueue(kind, eiffel.QueueConfig{NumBuckets: 1 << 14})
+//
+// Lower-level building blocks (the standalone queues, the hClock scheduler,
+// the kernel-style qdiscs, the mini-BESS pipeline, and the datacenter
+// simulator used to reproduce the paper's figures) live under internal/;
+// this package re-exports the stable, user-facing surface.
+package eiffel
+
+import (
+	"eiffel/internal/bucket"
+	"eiffel/internal/ffsq"
+	"eiffel/internal/pifo"
+	"eiffel/internal/pkt"
+	"eiffel/internal/policy"
+	"eiffel/internal/queue"
+)
+
+// Core re-exported types. Node is the intrusive queue handle; embed or own
+// one per schedulable item and point Data back at the item.
+type (
+	// Node is the intrusive handle stored in every queue backend.
+	Node = bucket.Node
+	// PQ is the common min-priority-queue contract.
+	PQ = queue.PQ
+	// QueueKind names a queue backend.
+	QueueKind = queue.Kind
+	// QueueConfig sizes a queue backend.
+	QueueConfig = queue.Config
+	// Characteristics feeds the Figure 20 decision tree.
+	Characteristics = queue.Characteristics
+
+	// Packet is the schedulable unit.
+	Packet = pkt.Packet
+	// Pool recycles packets for allocation-free hot paths.
+	Pool = pkt.Pool
+
+	// Tree is the extended-PIFO hierarchical scheduler.
+	Tree = pifo.Tree
+	// Class is one node of a scheduler tree.
+	Class = pifo.Class
+	// Flow is the per-flow ranking unit inside flow leaves.
+	Flow = pifo.Flow
+	// TreeOptions configures a scheduler tree.
+	TreeOptions = pifo.TreeOptions
+	// ClassOptions configures a class.
+	ClassOptions = pifo.ClassOptions
+	// ChildRanker ranks child classes (scheduling transactions).
+	ChildRanker = pifo.ChildRanker
+	// PacketRanker ranks packets at leaves.
+	PacketRanker = pifo.PacketRanker
+	// FlowPolicy is the per-flow ranking + on-dequeue ranking primitive.
+	FlowPolicy = pifo.FlowPolicy
+)
+
+// Queue backend kinds (see QueueKind.String for table names).
+const (
+	// KindCFFS is the circular hierarchical FFS queue — the default.
+	KindCFFS = queue.KindCFFS
+	// KindFFS is a fixed-range hierarchical FFS queue.
+	KindFFS = queue.KindFFS
+	// KindFFSFlat is the flat sequential-scan FFS queue.
+	KindFFSFlat = queue.KindFFSFlat
+	// KindApprox is the approximate gradient queue.
+	KindApprox = queue.KindApprox
+	// KindCApprox is the circular approximate gradient queue.
+	KindCApprox = queue.KindCApprox
+	// KindBH is the bucketed queue with a binary-heap index.
+	KindBH = queue.KindBH
+	// KindBinaryHeap is a comparison-based binary heap.
+	KindBinaryHeap = queue.KindBinaryHeap
+	// KindPairingHeap is a comparison-based pairing heap.
+	KindPairingHeap = queue.KindPairingHeap
+	// KindRBTree is a comparison-based red-black tree.
+	KindRBTree = queue.KindRBTree
+)
+
+// Scheduling transactions and policies.
+type (
+	// WFQ is weighted fair queueing over child classes.
+	WFQ = policy.WFQ
+	// StrictChild ranks child classes by static priority.
+	StrictChild = policy.StrictChild
+	// RRChild round-robins child classes.
+	RRChild = policy.RRChild
+	// EDF ranks packets by deadline.
+	EDF = policy.EDF
+	// StrictPacket ranks packets by class annotation.
+	StrictPacket = policy.StrictPacket
+	// FIFO ranks packets by arrival.
+	FIFO = policy.FIFO
+	// LSTF ranks packets by slack (least slack time first).
+	LSTF = policy.LSTF
+	// RankAnnotation ranks packets by their Rank field.
+	RankAnnotation = policy.RankAnnotation
+	// LQF is Longest Queue First (Figure 6).
+	LQF = policy.LQF
+	// SQF is Shortest Queue First.
+	SQF = policy.SQF
+	// PFabric is shortest-remaining-first per-flow ranking (Figure 14).
+	PFabric = policy.PFabric
+	// FlowFIFO serves flows in arrival order.
+	FlowFIFO = policy.FlowFIFO
+)
+
+// NewQueue constructs a priority-queue backend.
+func NewQueue(k QueueKind, cfg QueueConfig) PQ { return queue.New(k, cfg) }
+
+// NewTree constructs a hierarchical scheduler.
+func NewTree(opt TreeOptions) *Tree { return pifo.NewTree(opt) }
+
+// NewPool constructs a packet pool.
+func NewPool(capacity int) *Pool { return pkt.NewPool(capacity) }
+
+// Choose implements the Figure 20 decision tree for selecting a queue
+// backend from scheduling-policy characteristics.
+func Choose(c Characteristics) QueueKind { return queue.Choose(c) }
+
+// ChooseThreshold is the priority-level count below which the backend
+// choice is immaterial (§5.2).
+const ChooseThreshold = queue.ChooseThreshold
+
+// Compile builds a scheduler tree from a textual policy description — the
+// role the PIFO reference implementation fills with DOT translation (§4).
+// See pifo.Compile for the grammar. Transactions resolve to the policies
+// in this package (wfq/strict/rr, edf/fifo/strict/lstf/rank,
+// pfabric/lqf/sqf/fifo).
+func Compile(spec string) (*Tree, map[string]*Class, error) {
+	return pifo.Compile(spec, policy.Registry{})
+}
+
+// Log-scale queue: the non-uniform bucket granularity prototype (§5.2
+// future work) — fine buckets near the window start, geometrically coarser
+// far out.
+type (
+	// LogQueue is a bucketed min-queue with log-scale granularity.
+	LogQueue = ffsq.LogQueue
+	// LogOptions sizes a LogQueue.
+	LogOptions = ffsq.LogOptions
+)
+
+// NewLogQueue constructs a log-scale bucketed min-queue.
+func NewLogQueue(opt LogOptions) *LogQueue { return ffsq.NewLogQueue(opt) }

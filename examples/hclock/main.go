@@ -1,0 +1,41 @@
+// HClock reproduces Use Case 2 (§5.1.2) at laptop scale: hierarchical QoS
+// scheduling (reservations, limits, proportional shares) in a one-core
+// busy-polling BESS-style pipeline, with the scheduler's priority queues
+// swapped between binary heaps (the original hClock) and Eiffel's cFFS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"eiffel/internal/bess"
+	"eiffel/internal/hclock"
+	"eiffel/internal/pkt"
+)
+
+func run(flows int, backend hclock.Backend, dur time.Duration) float64 {
+	s := hclock.New(hclock.Config{Backend: backend})
+	perFlow := uint64(20_000_000_000) / uint64(flows) // 2x oversubscribed
+	for i := 1; i <= flows; i++ {
+		s.AddFlow(uint64(i), 0, perFlow, 1)
+	}
+	mod := &bess.HClockModule{S: s}
+	pool := pkt.NewPool(flows*4 + 4096)
+	src := bess.NewSource(pool, mod, flows, 1500)
+	pl := bess.Pipeline{Source: src, Sched: mod, Sink: bess.NewSink(pool)}
+	return pl.RunFor(dur).Mbps()
+}
+
+func main() {
+	dur := flag.Duration("dur", 200*time.Millisecond, "measurement window per point")
+	flag.Parse()
+
+	fmt.Println("max aggregate rate on one core (Mbps), Figure 12 shape:")
+	fmt.Printf("%-8s %-14s %-14s %-8s\n", "flows", "Eiffel", "hClock(heap)", "ratio")
+	for _, flows := range []int{10, 100, 1000, 5000} {
+		e := run(flows, hclock.BackendEiffel, *dur)
+		h := run(flows, hclock.BackendHeap, *dur)
+		fmt.Printf("%-8d %-14.0f %-14.0f %-8.1fx\n", flows, e, h, e/h)
+	}
+}

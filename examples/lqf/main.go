@@ -1,0 +1,49 @@
+// LQF demonstrates the paper's Figure 6: Longest Queue First needs both of
+// Eiffel's new PIFO primitives — per-flow ranking (an arrival re-ranks the
+// whole flow) and on-dequeue ranking (a departure re-ranks it again). The
+// example shows service always going to the currently longest flow.
+package main
+
+import (
+	"fmt"
+
+	"eiffel"
+)
+
+func main() {
+	tree := eiffel.NewTree(eiffel.TreeOptions{
+		RootRanker: eiffel.WFQ{},
+		RootQueue:  eiffel.QueueConfig{NumBuckets: 1 << 10, Granularity: 1},
+	})
+	leaf := tree.NewFlowLeaf(nil, eiffel.LQF{}, eiffel.ClassOptions{
+		Name:  "lqf",
+		Queue: eiffel.QueueConfig{NumBuckets: 1 << 21, Granularity: 1},
+	})
+
+	pool := eiffel.NewPool(64)
+	enqueue := func(flow uint64, n int) {
+		for i := 0; i < n; i++ {
+			p := pool.Get()
+			p.Flow = flow
+			p.Size = 100
+			tree.Enqueue(leaf, p, 0)
+		}
+	}
+
+	enqueue(1, 2) // flow 1: 2 packets
+	enqueue(2, 5) // flow 2: 5 packets  <- longest, served first
+	enqueue(3, 3) // flow 3: 3 packets
+
+	fmt.Println("LQF service order (flow: remaining-after-serve):")
+	remaining := map[uint64]int{1: 2, 2: 5, 3: 3}
+	for {
+		p := tree.Dequeue(0)
+		if p == nil {
+			break
+		}
+		remaining[p.Flow]--
+		fmt.Printf("  served flow %d (now %d/%d/%d)\n",
+			p.Flow, remaining[1], remaining[2], remaining[3])
+		pool.Put(p)
+	}
+}

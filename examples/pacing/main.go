@@ -1,0 +1,43 @@
+// Pacing reproduces Use Case 1 (§5.1.1) at laptop scale: many rate-limited
+// flows shaped by three qdiscs — FQ/pacing (RB-tree), Carousel (timing
+// wheel + periodic timer), and Eiffel (cFFS + exact timer) — and reports
+// the CPU cores each burns per second of traffic, the Figure 9 metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"eiffel/internal/qdisc"
+	"eiffel/internal/stats"
+)
+
+func main() {
+	flows := flag.Int("flows", 500, "concurrent paced flows")
+	gbps := flag.Float64("gbps", 0.6, "aggregate rate")
+	secs := flag.Int("seconds", 3, "simulated seconds")
+	flag.Parse()
+
+	cfg := qdisc.HostConfig{
+		Flows:        *flows,
+		AggregateBps: uint64(*gbps * 1e9),
+		SimSeconds:   *secs,
+	}
+	fmt.Printf("shaping %d flows at %.1f Gbps for %ds (virtual) per qdisc\n\n",
+		cfg.Flows, *gbps, cfg.SimSeconds)
+
+	fmt.Printf("%-10s %-14s %-14s %-12s %-10s\n", "qdisc", "median cores", "p95 cores", "timer fires", "on-time")
+	for _, q := range []qdisc.Qdisc{
+		qdisc.NewFQ(),
+		qdisc.NewCarousel(20000, 2e9, 0),
+		qdisc.NewEiffel(20000, 2e9, 0),
+	} {
+		r := qdisc.RunHost(q, cfg)
+		fmt.Printf("%-10s %-14.4f %-14.4f %-12d %-10.3f\n",
+			r.Qdisc,
+			stats.Percentile(r.CoresSamples, 50),
+			stats.Percentile(r.CoresSamples, 95),
+			r.TimerFires,
+			r.OnTimeFrac)
+	}
+}

@@ -1,0 +1,49 @@
+// PFabric reproduces the network-wide experiment (Figure 19) at laptop
+// scale: a leaf-spine fabric running the web-search workload, comparing
+// DCTCP against pFabric with exact and approximate switch priority queues.
+// The question the paper asks: does approximate prioritization at every
+// switch hurt network-wide flow completion times? (Answer: no.)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"eiffel/internal/netsim"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 32, "fabric size (multiple of 16)")
+	flows := flag.Int("flows", 400, "flows per load point")
+	flag.Parse()
+
+	systems := []struct {
+		name string
+		tr   netsim.Transport
+		q    netsim.QueueKind
+	}{
+		{"DCTCP", netsim.TransportDCTCP, netsim.QueueFIFOECN},
+		{"pFabric", netsim.TransportPFabric, netsim.QueuePFabric},
+		{"pFabric-Approx", netsim.TransportPFabric, netsim.QueuePFabricApprox},
+	}
+
+	fmt.Printf("normalized FCT, (0,100KB] flows, %d hosts, %d flows/point\n\n", *hosts, *flows)
+	fmt.Printf("%-6s %-16s %-16s %-16s\n", "load", "DCTCP", "pFabric", "pFabric-Approx")
+	for _, load := range []float64{0.2, 0.5, 0.8} {
+		fmt.Printf("%-6.1f", load)
+		for _, sys := range systems {
+			r := netsim.RunExperiment(netsim.ExperimentConfig{
+				Hosts:        *hosts,
+				HostsPerLeaf: 16,
+				Spines:       2,
+				Load:         load,
+				Transport:    sys.tr,
+				Queue:        sys.q,
+				Flows:        *flows,
+				Seed:         42,
+			})
+			fmt.Printf(" %-16.2f", r.AvgSmall)
+		}
+		fmt.Println()
+	}
+}

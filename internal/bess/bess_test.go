@@ -1,0 +1,125 @@
+package bess
+
+import (
+	"testing"
+
+	"eiffel/internal/hclock"
+	"eiffel/internal/pifo"
+	"eiffel/internal/pkt"
+	"eiffel/internal/policy"
+	"eiffel/internal/queue"
+)
+
+func hclockSched(flows int, perFlowBps uint64, backend hclock.Backend) *HClockModule {
+	s := hclock.New(hclock.Config{Backend: backend})
+	for i := 1; i <= flows; i++ {
+		s.AddFlow(uint64(i), 0, perFlowBps, 1)
+	}
+	return &HClockModule{S: s}
+}
+
+func TestPipelineDeliversEverything(t *testing.T) {
+	pool := pkt.NewPool(4096)
+	sched := hclockSched(16, 0, hclock.BackendEiffel)
+	src := NewSource(pool, sched, 16, 1500)
+	pl := Pipeline{Source: src, Sched: sched, Sink: NewSink(pool)}
+	res := pl.RunVirtual(1000, 1000)
+	if res.Packets == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.Bytes != res.Packets*1500 {
+		t.Fatalf("byte accounting: %d bytes for %d packets", res.Bytes, res.Packets)
+	}
+	if sched.Backlog() > 16*32 {
+		t.Fatalf("backlog exceeds per-flow caps: %d", sched.Backlog())
+	}
+}
+
+func TestPerFlowCapRespected(t *testing.T) {
+	pool := pkt.NewPool(4096)
+	// Tiny per-flow limit parks flows, so the source must stop at the cap.
+	sched := hclockSched(4, 1000, hclock.BackendEiffel)
+	src := NewSource(pool, sched, 4, 1500)
+	pl := Pipeline{Source: src, Sched: sched, Sink: NewSink(pool)}
+	pl.RunVirtual(500, 1000)
+	for id := uint64(1); id <= 4; id++ {
+		if got := sched.FlowBacklog(id); got > 32 {
+			t.Fatalf("flow %d backlog %d exceeds cap 32", id, got)
+		}
+	}
+}
+
+func TestBatchingMode(t *testing.T) {
+	pool := pkt.NewPool(4096)
+	sched := hclockSched(8, 0, hclock.BackendEiffel)
+	src := NewSource(pool, sched, 8, 1500)
+	src.BatchPerFlow = true
+	pl := Pipeline{Source: src, Sched: sched, Sink: NewSink(pool)}
+	res := pl.RunVirtual(200, 1000)
+	if res.Packets == 0 {
+		t.Fatal("batched mode delivered nothing")
+	}
+}
+
+func TestTCModuleRoundRobinAndLimits(t *testing.T) {
+	pool := pkt.NewPool(1024)
+	tc := NewTCModule(4, 0)
+	for id := uint64(1); id <= 4; id++ {
+		tc.SetLimit(id, 8_000_000) // 1500B every 1.5ms
+	}
+	src := NewSource(pool, tc, 4, 1500)
+	pl := Pipeline{Source: src, Sched: tc, Sink: NewSink(pool)}
+	res := pl.RunVirtual(2000, 100_000) // 200 ms of virtual time
+	// 4 flows x 8 Mbps x 0.2s = 800 KB total.
+	wantBytes := float64(4 * 8_000_000 / 8 * 0.2)
+	if f := float64(res.Bytes); f < wantBytes*0.8 || f > wantBytes*1.2 {
+		t.Fatalf("tc delivered %v bytes, want ~%v", f, wantBytes)
+	}
+}
+
+func TestTreeModulePFabric(t *testing.T) {
+	pool := pkt.NewPool(4096)
+	tr := pifo.NewTree(pifo.TreeOptions{
+		RootRanker: policy.WFQ{},
+		RootQueue:  queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+	})
+	leaf := tr.NewFlowLeaf(nil, policy.PFabric{}, pifo.ClassOptions{
+		Name:  "pfabric",
+		Queue: queue.Config{NumBuckets: 1 << 14, Granularity: 1 << 6},
+	})
+	mod := NewTreeModule(tr, leaf)
+	src := NewSource(pool, mod, 32, 1500)
+	pl := Pipeline{Source: src, Sched: mod, Sink: NewSink(pool)}
+	res := pl.RunVirtual(500, 1000)
+	if res.Packets == 0 {
+		t.Fatal("pFabric tree module delivered nothing")
+	}
+	if mod.Backlog() != tr.Len() {
+		t.Fatalf("backlog mismatch: %d vs %d", mod.Backlog(), tr.Len())
+	}
+}
+
+func TestWallClockRunProducesThroughput(t *testing.T) {
+	pool := pkt.NewPool(8192)
+	sched := hclockSched(64, 0, hclock.BackendEiffel)
+	src := NewSource(pool, sched, 64, 1500)
+	pl := Pipeline{Source: src, Sched: sched, Sink: NewSink(pool)}
+	res := pl.RunFor(20_000_000) // 20ms
+	if res.Mpps() <= 0 {
+		t.Fatal("no wall-clock throughput")
+	}
+	t.Logf("one-core hClock(Eiffel) 64 flows: %.1f Mbps / %.2f Mpps", res.Mbps(), res.Mpps())
+}
+
+func TestPoolSteadyStateNoAllocs(t *testing.T) {
+	pool := pkt.NewPool(8192)
+	sched := hclockSched(16, 0, hclock.BackendEiffel)
+	src := NewSource(pool, sched, 16, 1500)
+	pl := Pipeline{Source: src, Sched: sched, Sink: NewSink(pool)}
+	pl.RunVirtual(100, 1000)
+	before := pool.Allocs()
+	pl.RunVirtual(2000, 1000)
+	if after := pool.Allocs(); after != before {
+		t.Fatalf("steady state allocated %d new packets", after-before)
+	}
+}

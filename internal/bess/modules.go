@@ -1,0 +1,152 @@
+package bess
+
+import (
+	"eiffel/internal/hclock"
+	"eiffel/internal/pifo"
+	"eiffel/internal/pkt"
+)
+
+// HClockModule adapts an hclock.Scheduler to the pipeline.
+type HClockModule struct {
+	S *hclock.Scheduler
+}
+
+// Enqueue implements Sched.
+func (m *HClockModule) Enqueue(p *pkt.Packet, now int64) { m.S.Enqueue(p, now) }
+
+// Dequeue implements Sched.
+func (m *HClockModule) Dequeue(now int64) *pkt.Packet { return m.S.Dequeue(now) }
+
+// FlowBacklog implements Sched.
+func (m *HClockModule) FlowBacklog(id uint64) int {
+	if f := m.S.Flow(id); f != nil {
+		return f.Len()
+	}
+	return 0
+}
+
+// Backlog implements Sched.
+func (m *HClockModule) Backlog() int { return m.S.Len() }
+
+// TreeModule adapts a pifo.Tree with a single leaf to the pipeline (used
+// by the pFabric use case, Figure 15).
+type TreeModule struct {
+	T    *pifo.Tree
+	Leaf *pifo.Class
+
+	flowLen map[uint64]int
+}
+
+// NewTreeModule wraps tree with leaf as the sole entry point.
+func NewTreeModule(t *pifo.Tree, leaf *pifo.Class) *TreeModule {
+	return &TreeModule{T: t, Leaf: leaf, flowLen: make(map[uint64]int)}
+}
+
+// Enqueue implements Sched.
+func (m *TreeModule) Enqueue(p *pkt.Packet, now int64) {
+	m.flowLen[p.Flow]++
+	m.T.Enqueue(m.Leaf, p, now)
+}
+
+// Dequeue implements Sched.
+func (m *TreeModule) Dequeue(now int64) *pkt.Packet {
+	p := m.T.Dequeue(now)
+	if p != nil {
+		m.flowLen[p.Flow]--
+		if m.flowLen[p.Flow] == 0 {
+			delete(m.flowLen, p.Flow)
+		}
+	}
+	return p
+}
+
+// FlowBacklog implements Sched.
+func (m *TreeModule) FlowBacklog(id uint64) int { return m.flowLen[id] }
+
+// Backlog implements Sched.
+func (m *TreeModule) Backlog() int { return m.T.Len() }
+
+// TCModule emulates replicating hClock behaviour with BESS's native
+// traffic-control mechanism, which "requires instantiating a module
+// corresponding to every flow" (§5.1.2): one pseudo-module per flow with
+// its own FIFO and rate state, scanned round-robin by the task scheduler.
+// The per-emission cost grows with the number of flow modules scanned,
+// which is what makes this baseline collapse at high flow counts.
+type TCModule struct {
+	flows   []tcFlow
+	cursor  int
+	backlog int
+}
+
+type tcFlow struct {
+	ring     []*pkt.Packet
+	head, n  int
+	limitBps uint64
+	nextFree int64
+}
+
+// NewTCModule builds per-flow modules 1..flows, each rate-limited to
+// perFlowBps (0 = unlimited).
+func NewTCModule(flows int, perFlowBps uint64) *TCModule {
+	return &TCModule{flows: make([]tcFlow, flows), cursor: 0}
+}
+
+// SetLimit assigns a per-flow rate limit.
+func (m *TCModule) SetLimit(id uint64, bps uint64) { m.flows[id-1].limitBps = bps }
+
+// Enqueue implements Sched.
+func (m *TCModule) Enqueue(p *pkt.Packet, now int64) {
+	f := &m.flows[p.Flow-1]
+	if f.n == len(f.ring) {
+		size := len(f.ring) * 2
+		if size == 0 {
+			size = 8
+		}
+		ring := make([]*pkt.Packet, size)
+		for i := 0; i < f.n; i++ {
+			ring[i] = f.ring[(f.head+i)%len(f.ring)]
+		}
+		f.ring, f.head = ring, 0
+	}
+	f.ring[(f.head+f.n)%len(f.ring)] = p
+	f.n++
+	m.backlog++
+}
+
+// Dequeue implements Sched: scan flow modules round-robin for an eligible
+// one — O(#flows) when most are rate-parked or empty.
+func (m *TCModule) Dequeue(now int64) *pkt.Packet {
+	if m.backlog == 0 {
+		return nil
+	}
+	for scan := 0; scan < len(m.flows); scan++ {
+		f := &m.flows[m.cursor]
+		m.cursor = (m.cursor + 1) % len(m.flows)
+		if f.n == 0 {
+			continue
+		}
+		if f.limitBps > 0 && f.nextFree > now {
+			continue
+		}
+		p := f.ring[f.head]
+		f.ring[f.head] = nil
+		f.head = (f.head + 1) % len(f.ring)
+		f.n--
+		m.backlog--
+		if f.limitBps > 0 {
+			start := f.nextFree
+			if start < now {
+				start = now
+			}
+			f.nextFree = start + int64(uint64(p.Size)*8*1e9/f.limitBps)
+		}
+		return p
+	}
+	return nil
+}
+
+// FlowBacklog implements Sched.
+func (m *TCModule) FlowBacklog(id uint64) int { return m.flows[id-1].n }
+
+// Backlog implements Sched.
+func (m *TCModule) Backlog() int { return m.backlog }

@@ -1,0 +1,144 @@
+// Package bheapq implements the paper's microbenchmark baseline "BH": a
+// bucketed integer priority queue whose non-empty bucket indices are tracked
+// in a binary min-heap instead of a bitmap hierarchy (§5.2, "we develop a
+// baseline for bucketed priority queues by keeping track of non-empty
+// buckets in a binary heap"). Enqueue and dequeue therefore cost
+// O(log buckets) heap maintenance, which is what the FFS and gradient queues
+// beat.
+package bheapq
+
+import "eiffel/internal/bucket"
+
+// Queue is a bucketed priority queue with a binary-heap occupancy index.
+type Queue struct {
+	arr    *bucket.Array
+	heap   []int32
+	inHeap []bool
+	base   uint64
+	gran   uint64
+	nb     uint64
+}
+
+// New returns a BH queue over the fixed rank range [base, base+n*gran).
+// Out-of-range ranks clamp to the first/last bucket like ffsq.Fixed.
+func New(numBuckets int, gran, base uint64) *Queue {
+	if numBuckets <= 0 {
+		panic("bheapq: New needs a positive bucket count")
+	}
+	if gran == 0 {
+		panic("bheapq: New needs a positive granularity")
+	}
+	return &Queue{
+		arr:    bucket.NewArray(numBuckets),
+		heap:   make([]int32, 0, 64),
+		inHeap: make([]bool, numBuckets),
+		base:   base,
+		gran:   gran,
+		nb:     uint64(numBuckets),
+	}
+}
+
+// Len returns the number of queued elements.
+func (q *Queue) Len() int { return q.arr.Len() }
+
+// NumBuckets returns the configured bucket count.
+func (q *Queue) NumBuckets() int { return int(q.nb) }
+
+func (q *Queue) bucketFor(rank uint64) int {
+	if rank < q.base {
+		return 0
+	}
+	b := (rank - q.base) / q.gran
+	if b >= q.nb {
+		return int(q.nb - 1)
+	}
+	return int(b)
+}
+
+// Enqueue inserts n with the given rank.
+func (q *Queue) Enqueue(n *bucket.Node, rank uint64) {
+	i := q.bucketFor(rank)
+	q.arr.Push(i, n, rank)
+	if !q.inHeap[i] {
+		q.inHeap[i] = true
+		q.push(int32(i))
+	}
+}
+
+// DequeueMin removes and returns the FIFO head of the lowest non-empty
+// bucket, or nil. Buckets emptied by Remove are discarded lazily here.
+func (q *Queue) DequeueMin() *bucket.Node {
+	i := q.minBucket()
+	if i < 0 {
+		return nil
+	}
+	n, empty := q.arr.PopFront(i)
+	if empty {
+		q.pop()
+		q.inHeap[i] = false
+	}
+	return n
+}
+
+// PeekMin returns the start rank of the lowest non-empty bucket.
+func (q *Queue) PeekMin() (rank uint64, ok bool) {
+	i := q.minBucket()
+	if i < 0 {
+		return 0, false
+	}
+	return q.base + uint64(i)*q.gran, true
+}
+
+// Remove detaches n in O(1); its bucket's heap entry is removed lazily.
+func (q *Queue) Remove(n *bucket.Node) {
+	q.arr.Remove(n)
+}
+
+// minBucket returns the lowest non-empty bucket, discarding stale heap
+// entries, or -1.
+func (q *Queue) minBucket() int {
+	for len(q.heap) > 0 {
+		i := int(q.heap[0])
+		if !q.arr.BucketEmpty(i) {
+			return i
+		}
+		q.pop()
+		q.inHeap[i] = false
+	}
+	return -1
+}
+
+func (q *Queue) push(v int32) {
+	q.heap = append(q.heap, v)
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if q.heap[p] <= q.heap[i] {
+			break
+		}
+		q.heap[p], q.heap[i] = q.heap[i], q.heap[p]
+		i = p
+	}
+}
+
+func (q *Queue) pop() {
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < last && q.heap[l] < q.heap[s] {
+			s = l
+		}
+		if r < last && q.heap[r] < q.heap[s] {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		q.heap[i], q.heap[s] = q.heap[s], q.heap[i]
+		i = s
+	}
+}

@@ -1,0 +1,118 @@
+package bheapq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"eiffel/internal/bucket"
+)
+
+func node() *bucket.Node { return &bucket.Node{} }
+
+func TestOrdering(t *testing.T) {
+	q := New(100, 1, 0)
+	ranks := []uint64{42, 7, 99, 7, 0, 55}
+	for _, r := range ranks {
+		q.Enqueue(node(), r)
+	}
+	sorted := append([]uint64{}, ranks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		n := q.DequeueMin()
+		if n == nil || n.Rank() != want {
+			t.Fatalf("dequeue %d: got %v, want %d", i, n, want)
+		}
+	}
+	if q.DequeueMin() != nil {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestLazyRemoval(t *testing.T) {
+	q := New(10, 1, 0)
+	n1, n2 := node(), node()
+	q.Enqueue(n1, 3)
+	q.Enqueue(n2, 5)
+	q.Remove(n1) // bucket 3 now empty but still in heap
+	if r, ok := q.PeekMin(); !ok || r != 5 {
+		t.Fatalf("PeekMin = (%d,%v), want (5,true)", r, ok)
+	}
+	if got := q.DequeueMin(); got != n2 {
+		t.Fatal("stale heap entry must be skipped")
+	}
+}
+
+func TestNoDuplicateHeapEntries(t *testing.T) {
+	q := New(4, 1, 0)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(node(), 2)
+	}
+	if len(q.heap) != 1 {
+		t.Fatalf("heap has %d entries for one bucket, want 1", len(q.heap))
+	}
+	for i := 0; i < 100; i++ {
+		if q.DequeueMin() == nil {
+			t.Fatal("lost element")
+		}
+	}
+}
+
+func TestClamping(t *testing.T) {
+	q := New(10, 10, 100)
+	q.Enqueue(node(), 5)    // below: bucket 0
+	q.Enqueue(node(), 5000) // above: bucket 9
+	if n := q.DequeueMin(); n.Rank() != 5 {
+		t.Fatalf("want clamped-low first, got %d", n.Rank())
+	}
+	if n := q.DequeueMin(); n.Rank() != 5000 {
+		t.Fatalf("want clamped-high second, got %d", n.Rank())
+	}
+}
+
+func TestQuickAgainstSortModel(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := New(2048, 1, 0)
+		var model []uint64
+		for _, v := range raw {
+			r := uint64(v % 2048)
+			q.Enqueue(node(), r)
+			model = append(model, r)
+		}
+		// Interleave removals via dequeues.
+		for len(model) > 0 {
+			if rng.Intn(4) == 0 {
+				r := uint64(rng.Intn(2048))
+				q.Enqueue(node(), r)
+				model = append(model, r)
+			}
+			sort.Slice(model, func(i, j int) bool { return model[i] < model[j] })
+			n := q.DequeueMin()
+			if n == nil || n.Rank() != model[0] {
+				return false
+			}
+			model = model[1:]
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBHEnqueueDequeue(b *testing.B) {
+	q := New(16384, 1, 0)
+	nodes := make([]*bucket.Node, 1024)
+	rng := rand.New(rand.NewSource(1))
+	for i := range nodes {
+		nodes[i] = &bucket.Node{}
+		q.Enqueue(nodes[i], uint64(rng.Intn(16384)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := q.DequeueMin()
+		q.Enqueue(n, uint64(rng.Intn(16384)))
+	}
+}

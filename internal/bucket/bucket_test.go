@@ -1,0 +1,204 @@
+package bucket
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	a := NewArray(4)
+	n1, n2, n3 := &Node{Data: 1}, &Node{Data: 2}, &Node{Data: 3}
+	if !a.Push(2, n1, 20) {
+		t.Fatal("first push should report became-nonempty")
+	}
+	if a.Push(2, n2, 21) {
+		t.Fatal("second push should not report became-nonempty")
+	}
+	a.Push(2, n3, 22)
+	if got := a.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := a.BucketLen(2); got != 3 {
+		t.Fatalf("BucketLen(2) = %d, want 3", got)
+	}
+	for i, want := range []int{1, 2, 3} {
+		n, empty := a.PopFront(2)
+		if n == nil || n.Data.(int) != want {
+			t.Fatalf("pop %d: got %v, want %d", i, n, want)
+		}
+		if empty != (i == 2) {
+			t.Fatalf("pop %d: becameEmpty = %v", i, empty)
+		}
+	}
+	if n, _ := a.PopFront(2); n != nil {
+		t.Fatal("pop from empty bucket should return nil")
+	}
+}
+
+func TestRankRecorded(t *testing.T) {
+	a := NewArray(2)
+	n := &Node{}
+	a.Push(1, n, 77)
+	if n.Rank() != 77 {
+		t.Fatalf("Rank = %d, want 77", n.Rank())
+	}
+	if n.BucketIndex() != 1 {
+		t.Fatalf("BucketIndex = %d, want 1", n.BucketIndex())
+	}
+	if !n.Queued() || !n.InArray(a) {
+		t.Fatal("node should report queued in a")
+	}
+	a.Remove(n)
+	if n.Queued() || n.BucketIndex() != -1 {
+		t.Fatal("detached node should report not queued")
+	}
+}
+
+func TestRemoveMiddle(t *testing.T) {
+	a := NewArray(1)
+	nodes := make([]*Node, 5)
+	for i := range nodes {
+		nodes[i] = &Node{Data: i}
+		a.Push(0, nodes[i], uint64(i))
+	}
+	if empty := a.Remove(nodes[2]); empty {
+		t.Fatal("removing middle should not empty bucket")
+	}
+	a.Remove(nodes[0]) // head
+	a.Remove(nodes[4]) // tail
+	var got []int
+	for {
+		n, _ := a.PopFront(0)
+		if n == nil {
+			break
+		}
+		got = append(got, n.Data.(int))
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("remaining = %v, want [1 3]", got)
+	}
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", a.Len())
+	}
+}
+
+func TestFront(t *testing.T) {
+	a := NewArray(2)
+	if a.Front(0) != nil {
+		t.Fatal("Front of empty bucket should be nil")
+	}
+	n := &Node{Data: "x"}
+	a.Push(0, n, 1)
+	if a.Front(0) != n {
+		t.Fatal("Front should return pushed node without removing")
+	}
+	if a.Len() != 1 {
+		t.Fatal("Front must not remove")
+	}
+}
+
+func TestDoublePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double push")
+		}
+	}()
+	a := NewArray(1)
+	n := &Node{}
+	a.Push(0, n, 0)
+	a.Push(0, n, 0)
+}
+
+func TestRemoveForeignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on removing foreign node")
+		}
+	}()
+	a, b := NewArray(1), NewArray(1)
+	n := &Node{}
+	a.Push(0, n, 0)
+	b.Remove(n)
+}
+
+func TestNewArrayRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	NewArray(0)
+}
+
+// TestQuickFIFOPerBucket drives random push/pop/remove sequences against a
+// model (per-bucket Go slices) and checks exact agreement.
+func TestQuickFIFOPerBucket(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nb = 8
+		a := NewArray(nb)
+		model := make([][]*Node, nb)
+		live := []*Node{}
+		for op := 0; op < 500; op++ {
+			switch r := rng.Intn(10); {
+			case r < 5: // push
+				b := rng.Intn(nb)
+				n := &Node{Data: op}
+				a.Push(b, n, uint64(op))
+				model[b] = append(model[b], n)
+				live = append(live, n)
+			case r < 8: // pop front of random bucket
+				b := rng.Intn(nb)
+				n, _ := a.PopFront(b)
+				if len(model[b]) == 0 {
+					if n != nil {
+						return false
+					}
+					continue
+				}
+				want := model[b][0]
+				model[b] = model[b][1:]
+				if n != want {
+					return false
+				}
+				live = removeNode(live, n)
+			default: // remove arbitrary live node
+				if len(live) == 0 {
+					continue
+				}
+				n := live[rng.Intn(len(live))]
+				b := n.BucketIndex()
+				a.Remove(n)
+				model[b] = removeNode(model[b], n)
+				live = removeNode(live, n)
+			}
+			total := 0
+			for b := range model {
+				total += len(model[b])
+				if a.BucketLen(b) != len(model[b]) {
+					return false
+				}
+				if a.BucketEmpty(b) != (len(model[b]) == 0) {
+					return false
+				}
+			}
+			if a.Len() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func removeNode(s []*Node, n *Node) []*Node {
+	for i, x := range s {
+		if x == n {
+			return append(append([]*Node{}, s[:i]...), s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package cmpq
+
+import "eiffel/internal/bucket"
+
+// PairingHeap is a two-pass pairing heap, included as an additional
+// comparison-based ablation point: better amortized constants than a binary
+// heap for meld-heavy use, still Omega(log n) amortized for delete-min.
+type PairingHeap struct {
+	root    *pairNode
+	size    int
+	free    *pairNode // recycled wrappers
+	handles map[*bucket.Node]*pairNode
+}
+
+type pairNode struct {
+	n                    *bucket.Node
+	child, sibling, prev *pairNode
+}
+
+// NewPairingHeap returns an empty pairing heap.
+func NewPairingHeap() *PairingHeap {
+	return &PairingHeap{handles: make(map[*bucket.Node]*pairNode)}
+}
+
+// Len returns the number of queued elements.
+func (h *PairingHeap) Len() int { return h.size }
+
+// Enqueue inserts n with the given rank.
+func (h *PairingHeap) Enqueue(n *bucket.Node, rank uint64) {
+	n.SetRank(rank)
+	pn := h.alloc(n)
+	h.handles[n] = pn
+	h.root = h.meld(h.root, pn)
+	h.size++
+}
+
+// PeekMin returns the minimum rank without removing.
+func (h *PairingHeap) PeekMin() (uint64, bool) {
+	if h.root == nil {
+		return 0, false
+	}
+	return h.root.n.Rank(), true
+}
+
+// DequeueMin removes and returns the minimum-rank element, or nil.
+func (h *PairingHeap) DequeueMin() *bucket.Node {
+	if h.root == nil {
+		return nil
+	}
+	top := h.root
+	h.root = h.mergePairs(top.child)
+	if h.root != nil {
+		h.root.prev = nil
+		h.root.sibling = nil
+	}
+	h.size--
+	n := top.n
+	delete(h.handles, n)
+	h.recycle(top)
+	return n
+}
+
+// Remove detaches n, which must be queued here: the node is cut from its
+// parent and its children are merged back into the root.
+func (h *PairingHeap) Remove(n *bucket.Node) {
+	pn, ok := h.handles[n]
+	if !ok {
+		panic("cmpq: Remove of a node not in this pairing heap")
+	}
+	delete(h.handles, n)
+	if pn == h.root {
+		h.root = h.mergePairs(pn.child)
+		if h.root != nil {
+			h.root.prev, h.root.sibling = nil, nil
+		}
+	} else {
+		// Detach pn from its parent's child list.
+		if pn.prev.child == pn {
+			pn.prev.child = pn.sibling
+		} else {
+			pn.prev.sibling = pn.sibling
+		}
+		if pn.sibling != nil {
+			pn.sibling.prev = pn.prev
+		}
+		if sub := h.mergePairs(pn.child); sub != nil {
+			sub.prev, sub.sibling = nil, nil
+			h.root = h.meld(h.root, sub)
+		}
+	}
+	h.size--
+	h.recycle(pn)
+}
+
+func (h *PairingHeap) alloc(n *bucket.Node) *pairNode {
+	pn := h.free
+	if pn == nil {
+		pn = &pairNode{}
+	} else {
+		h.free = pn.sibling
+		pn.sibling = nil
+	}
+	pn.n = n
+	return pn
+}
+
+func (h *PairingHeap) recycle(pn *pairNode) {
+	pn.n, pn.child, pn.prev = nil, nil, nil
+	pn.sibling = h.free
+	h.free = pn
+}
+
+func (h *PairingHeap) meld(a, b *pairNode) *pairNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.n.Rank() < a.n.Rank() {
+		a, b = b, a
+	}
+	// b becomes a's first child.
+	b.prev = a
+	b.sibling = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	return a
+}
+
+func (h *PairingHeap) mergePairs(first *pairNode) *pairNode {
+	if first == nil {
+		return nil
+	}
+	// Pass 1: meld siblings pairwise left to right; pass 2: meld results
+	// right to left. Iterative to avoid deep recursion.
+	var stack []*pairNode
+	for first != nil {
+		a := first
+		b := a.sibling
+		var next *pairNode
+		if b != nil {
+			next = b.sibling
+			a.sibling, a.prev = nil, nil
+			b.sibling, b.prev = nil, nil
+			stack = append(stack, h.meld(a, b))
+		} else {
+			a.sibling, a.prev = nil, nil
+			stack = append(stack, a)
+		}
+		first = next
+	}
+	res := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		res = h.meld(stack[i], res)
+	}
+	return res
+}

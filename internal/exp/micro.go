@@ -1,0 +1,249 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/ffsq"
+	"eiffel/internal/gradq"
+	"eiffel/internal/queue"
+	"eiffel/internal/stats"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// microKinds are the three §5.2 contenders.
+var microKinds = []queue.Kind{queue.KindApprox, queue.KindCFFS, queue.KindBH}
+
+// Figure16 regenerates "effect of number of packets per bucket on queue
+// performance" for 5k and 10k buckets: Mpps for Approx, cFFS, BH at 1..8
+// packets per bucket.
+func Figure16(o Options) *Result {
+	res := &Result{ID: "fig16"}
+	budget := o.budget()
+	for _, buckets := range []int{5000, 10000} {
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Figure 16 — rate (Mpps) vs packets/bucket, %dk buckets", buckets/1000),
+			Headers: []string{"pkts/bucket", "Approx", "cFFS", "BH"},
+		}
+		for _, ppb := range []int{1, 2, 4, 8} {
+			row := []string{fmt.Sprintf("%d", ppb)}
+			for _, k := range microKinds {
+				mpps := drainRate(mkKind(k, buckets), ppb*buckets, uniformFill(buckets), budget)
+				row = append(row, fmt.Sprintf("%.2f", mpps))
+			}
+			t.AddRow(row...)
+		}
+		res.Tables = append(res.Tables, t)
+	}
+	return res
+}
+
+// Figure17 regenerates "effect of queue occupancy on performance": Mpps at
+// occupancy fractions 0.7..0.99 for 5k and 10k buckets.
+func Figure17(o Options) *Result {
+	res := &Result{ID: "fig17"}
+	budget := o.budget()
+	for _, buckets := range []int{5000, 10000} {
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Figure 17 — rate (Mpps) vs occupancy, %dk buckets", buckets/1000),
+			Headers: []string{"occupancy", "BH", "Approx", "cFFS"},
+		}
+		for _, frac := range []float64{0.7, 0.8, 0.9, 0.99} {
+			occupied := int(frac * float64(buckets))
+			fill := fractionFill(buckets, frac, o.Seed+int64(buckets))
+			row := []string{fmt.Sprintf("%.2f", frac)}
+			for _, k := range []queue.Kind{queue.KindBH, queue.KindApprox, queue.KindCFFS} {
+				mpps := drainRate(mkKind(k, buckets), occupied, fill, budget)
+				row = append(row, fmt.Sprintf("%.2f", mpps))
+			}
+			t.AddRow(row...)
+		}
+		res.Tables = append(res.Tables, t)
+	}
+	return res
+}
+
+// Figure18 regenerates "effect of empty buckets on the error of fetching
+// the minimum element": average selection error of the instrumented
+// approximate queue vs occupancy.
+func Figure18(o Options) *Result {
+	res := &Result{ID: "fig18"}
+	t := &stats.Table{
+		Title:   "Figure 18 — approximate queue selection error vs occupancy",
+		Headers: []string{"occupancy", "avgErr(5k)", "maxErr(5k)", "avgErr(10k)", "maxErr(10k)"},
+	}
+	rounds := 20
+	if o.Quick {
+		rounds = 5
+	}
+	for _, frac := range []float64{0.7, 0.8, 0.9, 0.99} {
+		row := []string{fmt.Sprintf("%.2f", frac)}
+		for _, buckets := range []int{5000, 10000} {
+			q := gradq.NewApprox(gradq.ApproxOptions{
+				NumBuckets:  buckets,
+				Granularity: 1,
+				Instrument:  true,
+			})
+			occupied := int(frac * float64(buckets))
+			fill := fractionFill(buckets, frac, o.Seed+int64(buckets))
+			nodes := make([]*bucket.Node, occupied)
+			for i := range nodes {
+				nodes[i] = &bucket.Node{}
+			}
+			for r := 0; r < rounds; r++ {
+				for i, n := range nodes {
+					q.Enqueue(n, fill(i))
+				}
+				for q.DequeueMin() != nil {
+				}
+			}
+			s := q.Stats()
+			row = append(row, fmt.Sprintf("%.2f", s.AvgSelectionError),
+				fmt.Sprintf("%d", s.MaxSelectionError))
+		}
+		t.AddRow(row...)
+	}
+	res.Tables = append(res.Tables, t)
+	return res
+}
+
+// AblationHierVsFlat compares the hierarchical FFS index against the flat
+// sequential-word scan across bucket counts — the §3.1.1 motivation for
+// the hierarchy.
+func AblationHierVsFlat(o Options) *Result {
+	res := &Result{ID: "ablation-hier-vs-flat"}
+	t := &stats.Table{
+		Title:   "Ablation — hierarchical vs flat FFS index (Mpps, sparse occupancy)",
+		Headers: []string{"buckets", "FFS-hier", "FFS-flat"},
+	}
+	budget := o.budget()
+	for _, buckets := range []int{1 << 10, 1 << 14, 1 << 17} {
+		// Sparse occupancy maximizes the flat scan's word-walking cost.
+		occupied := buckets / 64
+		if occupied < 1 {
+			occupied = 1
+		}
+		fill := fractionFill(buckets, float64(occupied)/float64(buckets), o.Seed)
+		h := drainRate(mkKind(queue.KindFFS, buckets), occupied, fill, budget)
+		f := drainRate(mkKind(queue.KindFFSFlat, buckets), occupied, fill, budget)
+		t.AddRow(fmt.Sprintf("%d", buckets), fmt.Sprintf("%.2f", h), fmt.Sprintf("%.2f", f))
+	}
+	res.Tables = append(res.Tables, t)
+	return res
+}
+
+// AblationRedistribution measures the cFFS overflow-redistribution choice:
+// ordering fidelity and throughput with and without it under ranks that
+// frequently exceed the window.
+func AblationRedistribution(o Options) *Result {
+	res := &Result{ID: "ablation-redistribute"}
+	t := &stats.Table{
+		Title:   "Ablation — cFFS overflow redistribution (far-jumping ranks)",
+		Headers: []string{"variant", "Mpps", "out-of-order frac"},
+	}
+	budget := o.budget()
+	for _, redis := range []bool{true, false} {
+		mk := func() microQueue {
+			return ffsq.NewCFFS(ffsq.CFFSOptions{
+				NumBuckets:     256,
+				Granularity:    1,
+				NoRedistribute: !redis,
+			})
+		}
+		// Ranks spanning 8x the window force constant overflow.
+		rng := newRng(o.Seed)
+		ranks := func(i int) uint64 { return uint64(rng.Intn(8 * 512)) }
+		mpps := drainRate(mk, 4096, ranks, budget)
+
+		// Ordering fidelity on a fixed batch.
+		q := mk()
+		nodes := make([]*bucket.Node, 4096)
+		rng2 := newRng(o.Seed)
+		for i := range nodes {
+			nodes[i] = &bucket.Node{}
+			q.Enqueue(nodes[i], uint64(rng2.Intn(8*512)))
+		}
+		inversions, total := 0, 0
+		last := uint64(0)
+		for {
+			n := q.DequeueMin()
+			if n == nil {
+				break
+			}
+			if n.Rank() < last {
+				inversions++
+			}
+			last = n.Rank()
+			total++
+		}
+		name := "with redistribution"
+		if !redis {
+			name = "without (paper base)"
+		}
+		t.AddRow(name, fmt.Sprintf("%.2f", mpps), fmt.Sprintf("%.4f", float64(inversions)/float64(total)))
+	}
+	res.Tables = append(res.Tables, t)
+	return res
+}
+
+// AblationAlpha sweeps the approximate queue's alpha: estimate cost vs
+// selection error (the accuracy/efficiency dial of §3.1.2).
+func AblationAlpha(o Options) *Result {
+	res := &Result{ID: "ablation-alpha"}
+	t := &stats.Table{
+		Title:   "Ablation — approximate queue alpha sweep (10k buckets, 0.9 occupancy)",
+		Headers: []string{"alpha", "Mpps", "avg sel err", "search steps/lookup"},
+	}
+	const buckets = 10000
+	budget := o.budget()
+	fill := fractionFill(buckets, 0.9, o.Seed)
+	occupied := int(0.9 * buckets)
+	for _, alpha := range []float64{12, 16, 24, 48} {
+		mk := func() microQueue {
+			return gradq.NewApprox(gradq.ApproxOptions{NumBuckets: buckets, Granularity: 1, Alpha: alpha})
+		}
+		mpps := drainRate(mk, occupied, fill, budget)
+
+		q := gradq.NewApprox(gradq.ApproxOptions{NumBuckets: buckets, Granularity: 1, Alpha: alpha, Instrument: true})
+		nodes := make([]*bucket.Node, occupied)
+		for i := range nodes {
+			nodes[i] = &bucket.Node{}
+			q.Enqueue(nodes[i], fill(i))
+		}
+		for q.DequeueMin() != nil {
+		}
+		s := q.Stats()
+		t.AddRow(fmt.Sprintf("%.0f", alpha), fmt.Sprintf("%.2f", mpps),
+			fmt.Sprintf("%.2f", s.AvgSelectionError),
+			fmt.Sprintf("%.2f", float64(s.SearchSteps)/float64(s.Lookups)))
+	}
+	res.Tables = append(res.Tables, t)
+	return res
+}
+
+// AblationComparisonQueues contrasts every backend on one uniform
+// workload, grounding the "bucketed queues are ~6x faster" §5.2 aside.
+func AblationComparisonQueues(o Options) *Result {
+	res := &Result{ID: "ablation-backends"}
+	t := &stats.Table{
+		Title:   "Ablation — all queue backends, 10k buckets, 2 pkts/bucket (Mpps)",
+		Headers: []string{"backend", "Mpps"},
+	}
+	budget := o.budget()
+	const buckets = 10000
+	kinds := []queue.Kind{
+		queue.KindCFFS, queue.KindFFS, queue.KindApprox, queue.KindCApprox,
+		queue.KindBH, queue.KindBinaryHeap, queue.KindPairingHeap, queue.KindRBTree,
+	}
+	for _, k := range kinds {
+		mpps := drainRate(mkKind(k, buckets), 2*buckets, uniformFill(buckets), budget)
+		t.AddRow(k.String(), fmt.Sprintf("%.2f", mpps))
+	}
+	res.Tables = append(res.Tables, t)
+	return res
+}
+
+var _ = time.Second

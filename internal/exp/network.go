@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+
+	"eiffel/internal/netsim"
+	"eiffel/internal/stats"
+)
+
+// Figure19 regenerates the network-wide pFabric simulation: normalized FCT
+// vs load for DCTCP, pFabric (exact queues), and pFabric-Approx, in the
+// paper's three panels (avg small, p99 small, avg large). The paper ran a
+// 144-host leaf-spine in ns2; quick mode scales the fabric and flow count
+// down while keeping topology shape and workload distribution.
+func Figure19(o Options) *Result {
+	res := &Result{ID: "fig19"}
+	hosts, hpl, spines, flows := 144, 16, 9, 5000
+	loads := []float64{0.1, 0.2, 0.4, 0.6, 0.8}
+	if o.Quick {
+		hosts, hpl, spines, flows = 32, 16, 2, 400
+		loads = []float64{0.2, 0.5, 0.8}
+		res.Notes = append(res.Notes, "quick mode: 32-host fabric, 400 flows per point (paper: 144 hosts)")
+	}
+	systems := []struct {
+		tr netsim.Transport
+		q  netsim.QueueKind
+	}{
+		{netsim.TransportDCTCP, netsim.QueueFIFOECN},
+		{netsim.TransportPFabric, netsim.QueuePFabricApprox},
+		{netsim.TransportPFabric, netsim.QueuePFabric},
+	}
+	panels := []struct {
+		title string
+		pick  func(r netsim.ExperimentResult) float64
+	}{
+		{"avg normalized FCT, (0,100KB]", func(r netsim.ExperimentResult) float64 { return r.AvgSmall }},
+		{"p99 normalized FCT, (0,100KB]", func(r netsim.ExperimentResult) float64 { return r.P99Small }},
+		{"avg normalized FCT, (10MB,inf)", func(r netsim.ExperimentResult) float64 { return r.AvgLarge }},
+	}
+
+	// Run each (system, load) once; fill all three panels from it.
+	results := make([][]netsim.ExperimentResult, len(systems))
+	for i, sys := range systems {
+		for _, load := range loads {
+			r := netsim.RunExperiment(netsim.ExperimentConfig{
+				Hosts:        hosts,
+				HostsPerLeaf: hpl,
+				Spines:       spines,
+				Load:         load,
+				Transport:    sys.tr,
+				Queue:        sys.q,
+				Flows:        flows,
+				Seed:         o.Seed + int64(load*100),
+			})
+			results[i] = append(results[i], r)
+		}
+	}
+	for _, panel := range panels {
+		t := &stats.Table{
+			Title:   "Figure 19 — " + panel.title,
+			Headers: []string{"load", "DCTCP", "pFabric-Approx", "pFabric"},
+		}
+		for li, load := range loads {
+			row := []string{fmt.Sprintf("%.1f", load)}
+			for si := range systems {
+				row = append(row, fmt.Sprintf("%.2f", panel.pick(results[si][li])))
+			}
+			t.AddRow(row...)
+		}
+		res.Tables = append(res.Tables, t)
+	}
+	comp := &stats.Table{
+		Title:   "Figure 19 — run diagnostics",
+		Headers: []string{"system", "load", "completed", "drops", "retransmits"},
+	}
+	for si, sys := range systems {
+		for li, load := range loads {
+			r := results[si][li]
+			comp.AddRow(fmt.Sprintf("%v/%v", sys.tr, sys.q), fmt.Sprintf("%.1f", load),
+				fmt.Sprintf("%d", r.Completed), fmt.Sprintf("%d", r.Drops), fmt.Sprintf("%d", r.Retransmits))
+		}
+	}
+	res.Tables = append(res.Tables, comp)
+	return res
+}

@@ -1,0 +1,282 @@
+package ffsq
+
+import "eiffel/internal/bucket"
+
+// CFFS is the circular hierarchical FFS-based queue of §3.1.1 — the core
+// Eiffel data structure. It serves rank ranges that move forward over time
+// (transmission timestamps, virtual finish times) with O(1) amortized
+// enqueue and dequeue.
+//
+// Two fixed halves of numBuckets buckets each cover the window
+//
+//	[hIndex, hIndex+2*numBuckets) (in bucket units, bucket = rank/gran)
+//
+// The primary half serves [hIndex, hIndex+nb); the secondary buffers the
+// following nb buckets. Elements beyond the whole window land, unsorted, in
+// the secondary's last bucket (the overflow bucket). When the primary
+// drains, the halves swap by pointer — the "circulation" — hIndex advances
+// by nb, and the overflow bucket is re-distributed by true rank so ordering
+// degrades only transiently, never permanently.
+//
+// Ranks below hIndex (stragglers, e.g. a timestamp already in the past) are
+// clamped to the front of the primary so they are served immediately.
+type CFFS struct {
+	prim, sec *half
+	hIndex    uint64 // lowest bucket number served by the primary half
+	nb        uint64
+	gran      uint64
+	count     int
+
+	redistribute bool
+	scratch      []*bucket.Node
+
+	rotations    uint64
+	overflows    uint64
+	fastForwards uint64
+	clampedLow   uint64
+}
+
+type half struct {
+	idx *Hier
+	arr *bucket.Array
+}
+
+func newHalf(nb int) *half {
+	return &half{idx: NewHier(nb), arr: bucket.NewArray(nb)}
+}
+
+// CFFSOptions configures a circular FFS queue.
+type CFFSOptions struct {
+	// NumBuckets is the number of buckets per half. The queue covers a
+	// moving window of 2*NumBuckets buckets. Required.
+	NumBuckets int
+	// Granularity is the rank width of one bucket (e.g. nanoseconds per
+	// bucket for a time-indexed shaper). Required.
+	Granularity uint64
+	// Start positions the initial window so that Start falls in the first
+	// primary bucket.
+	Start uint64
+	// NoRedistribute disables re-sorting of the overflow bucket on
+	// rotation. The paper's base design leaves overflowed elements
+	// unsorted; redistribution (the default here) restores exact bucket
+	// ordering at amortized O(1) per element and is ablated in the
+	// benchmarks.
+	NoRedistribute bool
+}
+
+// NewCFFS returns a circular hierarchical FFS queue.
+func NewCFFS(opt CFFSOptions) *CFFS {
+	if opt.NumBuckets <= 0 {
+		panic("ffsq: NewCFFS needs a positive bucket count")
+	}
+	if opt.Granularity == 0 {
+		panic("ffsq: NewCFFS needs a positive granularity")
+	}
+	return &CFFS{
+		prim:         newHalf(opt.NumBuckets),
+		sec:          newHalf(opt.NumBuckets),
+		hIndex:       opt.Start / opt.Granularity,
+		nb:           uint64(opt.NumBuckets),
+		gran:         opt.Granularity,
+		redistribute: !opt.NoRedistribute,
+	}
+}
+
+// Len returns the number of queued elements.
+func (c *CFFS) Len() int { return c.count }
+
+// NumBuckets returns the per-half bucket count.
+func (c *CFFS) NumBuckets() int { return int(c.nb) }
+
+// Granularity returns the rank width of one bucket.
+func (c *CFFS) Granularity() uint64 { return c.gran }
+
+// Horizon returns the rank span covered without overflow: 2*nb*gran.
+func (c *CFFS) Horizon() uint64 { return 2 * c.nb * c.gran }
+
+// Stats returns operational counters: half rotations, enqueues that landed
+// in the overflow bucket, far-jump fast-forwards, and enqueues clamped
+// below the window.
+func (c *CFFS) Stats() (rotations, overflows, fastForwards, clampedLow uint64) {
+	return c.rotations, c.overflows, c.fastForwards, c.clampedLow
+}
+
+// Enqueue inserts n with the given rank. O(1) plus the constant-depth index
+// update.
+func (c *CFFS) Enqueue(n *bucket.Node, rank uint64) {
+	b := rank / c.gran
+	if c.count == 0 && b < c.hIndex {
+		// Empty queue and a rank behind the window: slide the window
+		// back instead of clamping. (Ranks beyond the window need no
+		// special case — they land in the overflow bucket and the
+		// dequeue-side fast-forward re-anchors at the true minimum.)
+		c.hIndex = b
+	}
+	c.place(n, rank, b)
+	c.count++
+}
+
+func (c *CFFS) place(n *bucket.Node, rank, b uint64) {
+	var h *half
+	var i uint64
+	// Offsets (never differences of unrelated magnitudes) keep the window
+	// arithmetic overflow-safe for ranks near MaxUint64.
+	switch {
+	case b < c.hIndex:
+		c.clampedLow++
+		h, i = c.prim, 0
+	default:
+		switch off := b - c.hIndex; {
+		case off < c.nb:
+			h, i = c.prim, off
+		case off < 2*c.nb:
+			h, i = c.sec, off-c.nb
+		default:
+			c.overflows++
+			h, i = c.sec, c.nb-1
+		}
+	}
+	if h.arr.Push(int(i), n, rank) {
+		h.idx.Set(int(i))
+	}
+}
+
+// DequeueMin removes and returns the FIFO head of the lowest non-empty
+// bucket, rotating the window as needed, or nil if empty.
+func (c *CFFS) DequeueMin() *bucket.Node {
+	if c.count == 0 {
+		return nil
+	}
+	c.advance()
+	i := c.prim.idx.Min()
+	n, empty := c.prim.arr.PopFront(i)
+	if empty {
+		c.prim.idx.Clear(i)
+	}
+	c.count--
+	return n
+}
+
+// PeekMin returns the start rank of the lowest non-empty bucket (quantized
+// to the queue granularity). For a time-indexed shaper this is the
+// SoonestDeadline() the Eiffel qdisc uses to arm its timer exactly (§4).
+func (c *CFFS) PeekMin() (rank uint64, ok bool) {
+	if c.count == 0 {
+		return 0, false
+	}
+	c.advance()
+	i := c.prim.idx.Min()
+	return (c.hIndex + uint64(i)) * c.gran, true
+}
+
+// FrontMin returns the FIFO head of the lowest non-empty bucket without
+// removing it, or nil.
+func (c *CFFS) FrontMin() *bucket.Node {
+	if c.count == 0 {
+		return nil
+	}
+	c.advance()
+	return c.prim.arr.Front(c.prim.idx.Min())
+}
+
+// Remove detaches n, which must be queued here, in O(1).
+func (c *CFFS) Remove(n *bucket.Node) {
+	var h *half
+	switch {
+	case n.InArray(c.prim.arr):
+		h = c.prim
+	case n.InArray(c.sec.arr):
+		h = c.sec
+	default:
+		panic("ffsq: Remove of a node not queued in this CFFS")
+	}
+	i := n.BucketIndex()
+	if h.arr.Remove(n) {
+		h.idx.Clear(i)
+	}
+	c.count--
+}
+
+// Contains reports whether n is currently queued here.
+func (c *CFFS) Contains(n *bucket.Node) bool {
+	return n.InArray(c.prim.arr) || n.InArray(c.sec.arr)
+}
+
+// advance rotates until the primary half is non-empty. Callers guarantee
+// count > 0. Runs at most two iterations: a rotation either exposes
+// in-window elements in the new primary, or the fast-forward path re-anchors
+// the window at the smallest overflowed rank.
+func (c *CFFS) advance() {
+	for c.prim.idx.Empty() {
+		if c.sec.idx.Empty() {
+			panic("ffsq: cFFS invariant violated: elements queued but both halves empty")
+		}
+		if c.redistribute && c.sec.idx.Min() == int(c.nb-1) {
+			// Only the overflow bucket holds elements: everything is
+			// far beyond the window. Jump the window directly to the
+			// smallest true rank rather than rotating once per nb.
+			// (Skipped without redistribution: a plain rotation then
+			// surfaces the overflow bucket in FIFO order, which is the
+			// paper's base behaviour.)
+			c.fastForward()
+			continue
+		}
+		c.rotate()
+	}
+}
+
+func (c *CFFS) rotate() {
+	c.prim, c.sec = c.sec, c.prim
+	c.hIndex += c.nb
+	c.rotations++
+	if c.redistribute {
+		// The old secondary's overflow bucket is now the primary's last
+		// bucket; its elements may belong anywhere at or beyond it.
+		c.replaceBucket(c.prim, int(c.nb-1))
+	}
+}
+
+func (c *CFFS) fastForward() {
+	last := int(c.nb - 1)
+	c.drainInto(c.sec, last)
+	minB := ^uint64(0)
+	for _, n := range c.scratch {
+		if b := n.Rank() / c.gran; b < minB {
+			minB = b
+		}
+	}
+	c.hIndex = minB
+	c.fastForwards++
+	c.flushScratch()
+}
+
+// replaceBucket drains bucket i of h and re-enqueues every element by its
+// true rank against the current window.
+func (c *CFFS) replaceBucket(h *half, i int) {
+	if h.arr.BucketEmpty(i) {
+		return
+	}
+	c.drainInto(h, i)
+	c.flushScratch()
+}
+
+func (c *CFFS) drainInto(h *half, i int) {
+	for {
+		n, empty := h.arr.PopFront(i)
+		if n == nil {
+			break
+		}
+		c.scratch = append(c.scratch, n)
+		if empty {
+			h.idx.Clear(i)
+			break
+		}
+	}
+}
+
+func (c *CFFS) flushScratch() {
+	for _, n := range c.scratch {
+		c.place(n, n.Rank(), n.Rank()/c.gran)
+	}
+	c.scratch = c.scratch[:0]
+}

@@ -1,0 +1,354 @@
+package ffsq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"eiffel/internal/bucket"
+)
+
+func node(v uint64) *bucket.Node { return &bucket.Node{Data: v} }
+
+func TestFixedOrdering(t *testing.T) {
+	q := NewFixed(128, 1, 0)
+	ranks := []uint64{5, 3, 99, 0, 3, 127, 64}
+	for _, r := range ranks {
+		q.Enqueue(node(r), r)
+	}
+	sorted := append([]uint64{}, ranks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		n := q.DequeueMin()
+		if n == nil || n.Rank() != want {
+			t.Fatalf("dequeue %d: got %v, want rank %d", i, n, want)
+		}
+	}
+	if q.DequeueMin() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestFixedMaxAndClamp(t *testing.T) {
+	q := NewFixed(10, 10, 100) // covers [100, 200)
+	q.Enqueue(node(5), 5)      // clamps low -> bucket 0
+	q.Enqueue(node(150), 150)
+	q.Enqueue(node(999), 999) // clamps high -> bucket 9
+	lo, hi := q.Clamped()
+	if lo != 1 || hi != 1 {
+		t.Fatalf("Clamped = (%d,%d), want (1,1)", lo, hi)
+	}
+	if n := q.DequeueMax(); n.Rank() != 999 {
+		t.Fatalf("DequeueMax rank = %d, want 999", n.Rank())
+	}
+	if n := q.DequeueMin(); n.Rank() != 5 {
+		t.Fatalf("DequeueMin rank = %d, want 5", n.Rank())
+	}
+	if r, ok := q.PeekMin(); !ok || r != 150 {
+		t.Fatalf("PeekMin = (%d,%v), want (150,true)", r, ok)
+	}
+}
+
+func TestFixedFIFOWithinBucket(t *testing.T) {
+	q := NewFixed(4, 100, 0)
+	a, b, c := node(1), node(2), node(3)
+	q.Enqueue(a, 150) // bucket 1
+	q.Enqueue(b, 199) // bucket 1
+	q.Enqueue(c, 101) // bucket 1
+	for i, want := range []*bucket.Node{a, b, c} {
+		if got := q.DequeueMin(); got != want {
+			t.Fatalf("dequeue %d: FIFO within bucket violated", i)
+		}
+	}
+}
+
+func TestFixedRemove(t *testing.T) {
+	q := NewFixed(16, 1, 0)
+	n1, n2 := node(3), node(3)
+	q.Enqueue(n1, 3)
+	q.Enqueue(n2, 3)
+	q.Remove(n1)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if got := q.DequeueMin(); got != n2 {
+		t.Fatal("expected n2 after removing n1")
+	}
+	if q.Contains(n2) {
+		t.Fatal("dequeued node should not be contained")
+	}
+}
+
+func TestCFFSBasicOrdering(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 8, Granularity: 1})
+	ranks := []uint64{4, 1, 7, 2, 2, 0}
+	for _, r := range ranks {
+		q.Enqueue(node(r), r)
+	}
+	var got []uint64
+	for {
+		n := q.DequeueMin()
+		if n == nil {
+			break
+		}
+		got = append(got, n.Rank())
+	}
+	want := []uint64{0, 1, 2, 2, 4, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCFFSRotation(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 4, Granularity: 1})
+	// Fill primary [0,4) and secondary [4,8).
+	for r := uint64(0); r < 8; r++ {
+		q.Enqueue(node(r), r)
+	}
+	for r := uint64(0); r < 8; r++ {
+		n := q.DequeueMin()
+		if n.Rank() != r {
+			t.Fatalf("rank %d, want %d", n.Rank(), r)
+		}
+	}
+	rot, _, _, _ := q.Stats()
+	if rot == 0 {
+		t.Fatal("expected at least one rotation")
+	}
+}
+
+func TestCFFSOverflowRedistribution(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 4, Granularity: 1})
+	// Window is [0,8). 9 and 10 overflow; after draining and rotating they
+	// must come out in true rank order thanks to redistribution.
+	for _, r := range []uint64{0, 10, 9, 5} {
+		q.Enqueue(node(r), r)
+	}
+	_, ovf, _, _ := q.Stats()
+	if ovf != 2 {
+		t.Fatalf("overflows = %d, want 2", ovf)
+	}
+	want := []uint64{0, 5, 9, 10}
+	for i, w := range want {
+		n := q.DequeueMin()
+		if n == nil || n.Rank() != w {
+			t.Fatalf("dequeue %d: got %v, want %d", i, n, w)
+		}
+	}
+}
+
+func TestCFFSNoRedistributeKeepsFIFOOverflow(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 4, Granularity: 1, NoRedistribute: true})
+	// 10 then 9 overflow in that arrival order; without redistribution the
+	// overflow bucket stays FIFO, so 10 is served before 9 once reached.
+	for _, r := range []uint64{0, 10, 9} {
+		q.Enqueue(node(r), r)
+	}
+	got := []uint64{}
+	for n := q.DequeueMin(); n != nil; n = q.DequeueMin() {
+		got = append(got, n.Rank())
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 10 || got[2] != 9 {
+		t.Fatalf("order = %v, want [0 10 9]", got)
+	}
+}
+
+func TestCFFSFastForward(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 8, Granularity: 1})
+	q.Enqueue(node(0), 0)
+	// Very far ahead: would need ~1e6/8 rotations without fast-forward.
+	q.Enqueue(node(1000000), 1000000)
+	q.Enqueue(node(1000005), 1000005)
+	if n := q.DequeueMin(); n.Rank() != 0 {
+		t.Fatalf("first = %d", n.Rank())
+	}
+	if n := q.DequeueMin(); n.Rank() != 1000000 {
+		t.Fatalf("second = %d", n.Rank())
+	}
+	_, _, ff, _ := q.Stats()
+	if ff == 0 {
+		t.Fatal("expected a fast-forward")
+	}
+	if n := q.DequeueMin(); n.Rank() != 1000005 {
+		t.Fatalf("third = %d", n.Rank())
+	}
+}
+
+func TestCFFSEmptyReanchor(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 4, Granularity: 10})
+	q.Enqueue(node(35), 35)
+	if n := q.DequeueMin(); n.Rank() != 35 {
+		t.Fatal("wrong element")
+	}
+	// Queue empty: enqueueing far ahead must re-anchor without rotations.
+	rotBefore, _, _, _ := q.Stats()
+	q.Enqueue(node(900000), 900000)
+	if r, ok := q.PeekMin(); !ok || r != 900000 {
+		t.Fatalf("PeekMin = (%d,%v)", r, ok)
+	}
+	rotAfter, _, _, _ := q.Stats()
+	if rotAfter != rotBefore {
+		t.Fatal("empty-queue enqueue should not rotate")
+	}
+}
+
+func TestCFFSStragglerClamped(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 4, Granularity: 1, Start: 100})
+	q.Enqueue(node(100), 100)
+	q.Enqueue(node(103), 103)
+	q.Enqueue(node(50), 50) // in the past: clamped to the front bucket
+	// The straggler shares bucket 0 with rank 100 (FIFO) but must beat 103.
+	if n := q.DequeueMin(); n.Rank() != 100 {
+		t.Fatalf("first = %d, want 100 (FIFO head of front bucket)", n.Rank())
+	}
+	if n := q.DequeueMin(); n.Rank() != 50 {
+		t.Fatalf("second = %d, want the clamped straggler", n.Rank())
+	}
+	if n := q.DequeueMin(); n.Rank() != 103 {
+		t.Fatalf("third = %d, want 103", n.Rank())
+	}
+	_, _, _, clamped := q.Stats()
+	if clamped != 1 {
+		t.Fatalf("clampedLow = %d, want 1", clamped)
+	}
+}
+
+func TestCFFSPeekMinQuantized(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 8, Granularity: 100})
+	q.Enqueue(node(557), 557)
+	r, ok := q.PeekMin()
+	if !ok || r != 500 {
+		t.Fatalf("PeekMin = (%d,%v), want bucket start 500", r, ok)
+	}
+	if f := q.FrontMin(); f == nil || f.Rank() != 557 {
+		t.Fatal("FrontMin should expose the head node")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek must not remove")
+	}
+}
+
+func TestCFFSRemove(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 4, Granularity: 1})
+	n1, n2, n3 := node(2), node(6), node(9)
+	q.Enqueue(n1, 2) // primary
+	q.Enqueue(n2, 6) // secondary
+	q.Enqueue(n3, 9) // overflow
+	q.Remove(n2)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if got := q.DequeueMin(); got != n1 {
+		t.Fatal("want n1 first")
+	}
+	if got := q.DequeueMin(); got != n3 {
+		t.Fatal("want n3 second")
+	}
+}
+
+// TestQuickCFFSMonotonicWithProgression models the intended workload: a rank
+// range that moves forward (timestamps). With redistribution enabled,
+// dequeues must come out in nondecreasing bucket order even with overflow.
+func TestQuickCFFSMonotonicWithProgression(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nb = 16
+		const gran = 8
+		q := NewCFFS(CFFSOptions{NumBuckets: nb, Granularity: gran})
+		base := uint64(0)
+		lastBucket := uint64(0)
+		queued := 0
+		for op := 0; op < 800; op++ {
+			if rng.Intn(2) == 0 || queued == 0 {
+				// Ranks drift forward, occasionally jumping past the window.
+				r := base + uint64(rng.Intn(3*nb*gran))
+				if r/gran < lastBucket {
+					// Keep the model simple: never enqueue into the past
+					// relative to what was already dequeued.
+					r = lastBucket * gran
+				}
+				q.Enqueue(node(r), r)
+				queued++
+				if rng.Intn(8) == 0 {
+					base += uint64(rng.Intn(nb * gran))
+				}
+			} else {
+				n := q.DequeueMin()
+				if n == nil {
+					return false
+				}
+				queued--
+				b := n.Rank() / gran
+				if b < lastBucket {
+					return false // went backwards
+				}
+				lastBucket = b
+			}
+		}
+		return q.Len() == queued
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCFFSDrainSorted enqueues a random batch then drains fully; the
+// output bucket sequence must be sorted and contain every element.
+func TestQuickCFFSDrainSorted(t *testing.T) {
+	f := func(raw []uint32) bool {
+		// Anchor the window at the smallest rank: cFFS serves a forward-
+		// moving range, so ranks below the anchor would (by design) be
+		// clamped rather than sorted.
+		lo := uint64(1 << 62)
+		for _, v := range raw {
+			if r := uint64(v % 4096); r < lo {
+				lo = r
+			}
+		}
+		q := NewCFFS(CFFSOptions{NumBuckets: 32, Granularity: 4, Start: lo})
+		for _, v := range raw {
+			r := uint64(v % 4096)
+			q.Enqueue(node(r), r)
+		}
+		last := uint64(0)
+		count := 0
+		for {
+			n := q.DequeueMin()
+			if n == nil {
+				break
+			}
+			b := n.Rank() / 4
+			if b < last {
+				return false
+			}
+			last = b
+			count++
+		}
+		return count == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCFFSEnqueueDequeue(b *testing.B) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 16384, Granularity: 1})
+	nodes := make([]*bucket.Node, 1024)
+	for i := range nodes {
+		nodes[i] = &bucket.Node{}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i, n := range nodes {
+		q.Enqueue(n, uint64(i)+uint64(rng.Intn(8192)))
+	}
+	b.ResetTimer()
+	base := uint64(8192)
+	for i := 0; i < b.N; i++ {
+		n := q.DequeueMin()
+		base++
+		q.Enqueue(n, base+uint64(rng.Intn(8192)))
+	}
+}

@@ -1,0 +1,160 @@
+package ffsq
+
+import (
+	"math/bits"
+
+	"eiffel/internal/bucket"
+)
+
+// LogQueue prototypes the non-uniform bucket granularity the paper leaves
+// as future work (§5.2: granularity "dynamically set to achieve the result
+// of at least one packet per bucket"). Bucket widths grow geometrically
+// with distance from the base rank — floating-point style buckets with an
+// m-bit mantissa — so one queue covers a huge rank span with relative
+// precision 2^-(m-1) while near-base ranks keep fine granularity. That is
+// exactly the precision profile a pacer wants: exact for imminent
+// deadlines, coarse for far-future ones.
+//
+// Layout over r = (rank - base) / gran0:
+//
+//	r < 2^m:  one bucket per unit              (linear region)
+//	else:     e = Len64(r) - m >= 1,
+//	          bucket = 2^m + (e-1)*2^(m-1) + ((r>>e) - 2^(m-1))
+//
+// The mapping is monotone in rank, so FIFO buckets plus the hierarchical
+// FFS index give the usual O(1) dequeue-min.
+type LogQueue struct {
+	idx   *Hier
+	arr   *bucket.Array
+	base  uint64
+	gran0 uint64
+	m     uint
+	total int
+}
+
+// LogOptions sizes a LogQueue.
+type LogOptions struct {
+	// Granularity is the width of the finest (near-base) buckets.
+	// Required.
+	Granularity uint64
+	// MantissaBits sets relative precision 2^-(MantissaBits-1) outside
+	// the linear region (default 6: ~3% of the rank's distance).
+	MantissaBits uint
+	// Octaves bounds the covered span: the queue spans
+	// [base, base + 2^(MantissaBits+Octaves)*Granularity). Default 32.
+	Octaves uint
+	// Base is the rank of the first bucket.
+	Base uint64
+}
+
+// NewLogQueue returns a log-scale bucketed min-queue.
+func NewLogQueue(opt LogOptions) *LogQueue {
+	if opt.Granularity == 0 {
+		panic("ffsq: NewLogQueue needs a positive granularity")
+	}
+	if opt.MantissaBits == 0 {
+		opt.MantissaBits = 6
+	}
+	if opt.MantissaBits < 2 || opt.MantissaBits > 20 {
+		panic("ffsq: MantissaBits must be in [2, 20]")
+	}
+	if opt.Octaves == 0 {
+		opt.Octaves = 32
+	}
+	total := (1 << opt.MantissaBits) + int(opt.Octaves)*(1<<(opt.MantissaBits-1))
+	return &LogQueue{
+		idx:   NewHier(total),
+		arr:   bucket.NewArray(total),
+		base:  opt.Base,
+		gran0: opt.Granularity,
+		m:     opt.MantissaBits,
+		total: total,
+	}
+}
+
+// Len returns the number of queued elements.
+func (q *LogQueue) Len() int { return q.arr.Len() }
+
+// NumBuckets returns the total bucket count.
+func (q *LogQueue) NumBuckets() int { return q.total }
+
+// bucketFor maps a rank to its bucket index, clamping at both ends.
+func (q *LogQueue) bucketFor(rank uint64) int {
+	if rank < q.base {
+		return 0
+	}
+	r := (rank - q.base) / q.gran0
+	if r < 1<<q.m {
+		return int(r)
+	}
+	e := uint(bits.Len64(r)) - q.m
+	i := 1<<q.m + (int(e)-1)<<(q.m-1) + int((r>>e)-1<<(q.m-1))
+	if i >= q.total {
+		return q.total - 1
+	}
+	return i
+}
+
+// bucketStart returns the lowest rank mapped to bucket i.
+func (q *LogQueue) bucketStart(i int) uint64 {
+	if i < 1<<q.m {
+		return q.base + uint64(i)*q.gran0
+	}
+	off := i - 1<<q.m
+	e := uint(off>>(q.m-1)) + 1
+	mant := uint64(off & (1<<(q.m-1) - 1))
+	return q.base + ((1<<(q.m-1))+mant)<<e*q.gran0
+}
+
+// BucketWidth returns the rank width of the bucket holding rank — the
+// quantization error bound at that distance from base.
+func (q *LogQueue) BucketWidth(rank uint64) uint64 {
+	if rank < q.base {
+		return q.gran0
+	}
+	r := (rank - q.base) / q.gran0
+	if r < 1<<q.m {
+		return q.gran0
+	}
+	e := uint(bits.Len64(r)) - q.m
+	return q.gran0 << e
+}
+
+// Enqueue inserts n with the given rank.
+func (q *LogQueue) Enqueue(n *bucket.Node, rank uint64) {
+	i := q.bucketFor(rank)
+	if q.arr.Push(i, n, rank) {
+		q.idx.Set(i)
+	}
+}
+
+// DequeueMin removes and returns the FIFO head of the lowest non-empty
+// bucket, or nil.
+func (q *LogQueue) DequeueMin() *bucket.Node {
+	i := q.idx.Min()
+	if i < 0 {
+		return nil
+	}
+	n, empty := q.arr.PopFront(i)
+	if empty {
+		q.idx.Clear(i)
+	}
+	return n
+}
+
+// PeekMin returns the start rank of the lowest non-empty bucket.
+func (q *LogQueue) PeekMin() (uint64, bool) {
+	i := q.idx.Min()
+	if i < 0 {
+		return 0, false
+	}
+	return q.bucketStart(i), true
+}
+
+// Remove detaches n in O(1).
+func (q *LogQueue) Remove(n *bucket.Node) {
+	i := n.BucketIndex()
+	if q.arr.Remove(n) {
+		q.idx.Clear(i)
+	}
+}

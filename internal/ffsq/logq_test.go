@@ -1,0 +1,124 @@
+package ffsq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eiffel/internal/bucket"
+)
+
+func TestLogQueueBucketMappingMonotone(t *testing.T) {
+	q := NewLogQueue(LogOptions{Granularity: 1, MantissaBits: 4, Octaves: 20})
+	last := -1
+	// Exhaustive over the linear region and the first octaves.
+	for r := uint64(0); r < 1<<16; r++ {
+		i := q.bucketFor(r)
+		if i < last {
+			t.Fatalf("bucket mapping not monotone at rank %d: %d < %d", r, i, last)
+		}
+		if i >= q.NumBuckets() {
+			t.Fatalf("bucket %d out of range at rank %d", i, r)
+		}
+		last = i
+	}
+}
+
+func TestLogQueueBucketStartInverts(t *testing.T) {
+	q := NewLogQueue(LogOptions{Granularity: 10, MantissaBits: 5, Octaves: 24})
+	for _, r := range []uint64{0, 9, 10, 315, 320, 1 << 10, 1 << 16, 1 << 20, 123456789} {
+		i := q.bucketFor(r)
+		start := q.bucketStart(i)
+		if start > r {
+			t.Fatalf("bucketStart(%d)=%d exceeds rank %d", i, start, r)
+		}
+		if r-start > q.BucketWidth(r) {
+			t.Fatalf("rank %d maps %d past its bucket width %d", r, r-start, q.BucketWidth(r))
+		}
+	}
+}
+
+func TestLogQueueRelativePrecision(t *testing.T) {
+	const m = 6
+	q := NewLogQueue(LogOptions{Granularity: 1, MantissaBits: m, Octaves: 40})
+	// Outside the linear region the bucket width must stay within
+	// 2^-(m-1) of the rank (relative precision).
+	for _, r := range []uint64{1 << 10, 1 << 20, 1 << 30, 1 << 40} {
+		w := q.BucketWidth(r)
+		if float64(w)/float64(r) > 1.0/float64(int(1)<<(m-1))+1e-9 {
+			t.Fatalf("rank %d: width %d exceeds relative precision", r, w)
+		}
+	}
+	// Inside the linear region the width is exactly the base granularity.
+	if q.BucketWidth(5) != 1 {
+		t.Fatal("linear region width")
+	}
+}
+
+func TestLogQueueDequeueOrderWithinQuantization(t *testing.T) {
+	f := func(raw []uint32, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewLogQueue(LogOptions{Granularity: 1, MantissaBits: 6, Octaves: 26})
+		for _, v := range raw {
+			r := uint64(v)
+			q.Enqueue(&bucket.Node{}, r)
+		}
+		_ = rng
+		// Dequeue order must be nondecreasing in bucket index, i.e. a
+		// later element's rank may precede an earlier one's only within
+		// one bucket width.
+		lastStart := uint64(0)
+		count := 0
+		for {
+			n := q.DequeueMin()
+			if n == nil {
+				break
+			}
+			start := q.bucketStart(q.bucketFor(n.Rank()))
+			if start < lastStart {
+				return false
+			}
+			lastStart = start
+			count++
+		}
+		return count == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogQueueVsUniformMemory(t *testing.T) {
+	// The selling point: covering [0, 2^38) at 2^-5 relative precision
+	// takes ~600 buckets instead of 2^38 uniform ones.
+	q := NewLogQueue(LogOptions{Granularity: 1, MantissaBits: 6, Octaves: 32})
+	if q.NumBuckets() > 1200 {
+		t.Fatalf("log queue uses %d buckets", q.NumBuckets())
+	}
+	far := uint64(1) << 37
+	q.Enqueue(&bucket.Node{}, far)
+	q.Enqueue(&bucket.Node{}, 3)
+	if n := q.DequeueMin(); n.Rank() != 3 {
+		t.Fatalf("near rank must win, got %d", n.Rank())
+	}
+	if n := q.DequeueMin(); n.Rank() != far {
+		t.Fatalf("far rank lost, got %d", n.Rank())
+	}
+}
+
+func TestLogQueueRemoveAndPeek(t *testing.T) {
+	q := NewLogQueue(LogOptions{Granularity: 1, MantissaBits: 4})
+	n1, n2 := &bucket.Node{}, &bucket.Node{}
+	q.Enqueue(n1, 100)
+	q.Enqueue(n2, 20000)
+	if r, ok := q.PeekMin(); !ok || r > 100 {
+		t.Fatalf("PeekMin = (%d,%v)", r, ok)
+	}
+	q.Remove(n1)
+	if r, ok := q.PeekMin(); !ok || r > 20000 {
+		t.Fatalf("PeekMin after remove = (%d,%v)", r, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Len")
+	}
+}

@@ -1,0 +1,296 @@
+package gradq
+
+import (
+	"math"
+
+	"eiffel/internal/bucket"
+)
+
+// CApprox is the circular variant of the approximate gradient queue (§3.1.2
+// closes with "for cases of a moving range, a circular approximate queue
+// can be implemented as with cFFS"). Structure and window movement mirror
+// ffsq.CFFS — two halves, h_index, pointer-swap rotation, overflow bucket
+// with redistribution, far-jump fast-forward — while bucket selection
+// inside a half uses the curvature estimate.
+//
+// Control-flow decisions (is the primary empty? is only the overflow bucket
+// occupied?) use exact element counts, so only *which* bucket is served
+// next is approximate; no element is ever lost or served before its half.
+type CApprox struct {
+	prim, sec *approxHalf
+	hIndex    uint64
+	nb        uint64
+	gran      uint64
+	count     int
+
+	pow []float64
+	u   float64
+	i0  int
+
+	scratch []*bucket.Node
+
+	rotations    uint64
+	overflows    uint64
+	fastForwards uint64
+	clampedLow   uint64
+	searchSteps  uint64
+	lookups      uint64
+}
+
+type approxHalf struct {
+	arr   *bucket.Array
+	a, b  ksum
+	peakA float64
+}
+
+// CApproxOptions configures a circular approximate gradient queue.
+type CApproxOptions struct {
+	// NumBuckets is the bucket count per half. Required.
+	NumBuckets int
+	// Granularity is the rank width of one bucket. Required.
+	Granularity uint64
+	// Start positions the initial window.
+	Start uint64
+	// Alpha is the weight-decay parameter (see ApproxOptions.Alpha).
+	Alpha float64
+}
+
+// NewCApprox returns a circular approximate gradient min-queue.
+func NewCApprox(opt CApproxOptions) *CApprox {
+	if opt.NumBuckets <= 0 {
+		panic("gradq: NewCApprox needs a positive bucket count")
+	}
+	if opt.Granularity == 0 {
+		panic("gradq: NewCApprox needs a positive granularity")
+	}
+	o := ApproxOptions{NumBuckets: opt.NumBuckets, Alpha: opt.Alpha}
+	o.defaults()
+	i0 := indexOrigin(o.Alpha)
+	return &CApprox{
+		prim:   &approxHalf{arr: bucket.NewArray(opt.NumBuckets)},
+		sec:    &approxHalf{arr: bucket.NewArray(opt.NumBuckets)},
+		hIndex: opt.Start / opt.Granularity,
+		nb:     uint64(opt.NumBuckets),
+		gran:   opt.Granularity,
+		pow:    weightTable(opt.NumBuckets, o.Alpha, i0),
+		u:      1 / (1 - math.Pow(2, 1/o.Alpha)),
+		i0:     i0,
+	}
+}
+
+// Len returns the number of queued elements.
+func (c *CApprox) Len() int { return c.count }
+
+// Granularity returns the rank width of one bucket.
+func (c *CApprox) Granularity() uint64 { return c.gran }
+
+// Stats returns operational counters.
+func (c *CApprox) Stats() (rotations, overflows, fastForwards, searchSteps uint64) {
+	return c.rotations, c.overflows, c.fastForwards, c.searchSteps
+}
+
+func (c *CApprox) addWeight(h *approxHalf, p int) {
+	h.a.add(c.pow[p])
+	h.b.add(float64(p+c.i0) * c.pow[p])
+	if v := h.a.value(); v > h.peakA {
+		h.peakA = v
+	}
+}
+
+func (c *CApprox) subWeight(h *approxHalf, p int) {
+	h.a.sub(c.pow[p])
+	h.b.sub(float64(p+c.i0) * c.pow[p])
+	if h.arr.Len() == 0 {
+		h.a.reset()
+		h.b.reset()
+		h.peakA = 0
+	} else if v := h.a.value(); v <= 0 || v*renormRatio < h.peakA {
+		c.renormalize(h)
+	}
+}
+
+// renormalize recomputes a half's curvature coefficients from occupancy;
+// see Approx.renormalize for the rationale and amortization argument.
+func (c *CApprox) renormalize(h *approxHalf) {
+	h.a.reset()
+	h.b.reset()
+	for p := 0; p < int(c.nb); p++ {
+		if !h.arr.BucketEmpty(p) {
+			h.a.add(c.pow[p])
+			h.b.add(float64(p+c.i0) * c.pow[p])
+		}
+	}
+	h.peakA = h.a.value()
+}
+
+// Enqueue inserts n with the given rank.
+func (c *CApprox) Enqueue(n *bucket.Node, rank uint64) {
+	b := rank / c.gran
+	if c.count == 0 && b < c.hIndex {
+		c.hIndex = b
+	}
+	c.place(n, rank, b)
+	c.count++
+}
+
+func (c *CApprox) place(n *bucket.Node, rank, b uint64) {
+	var h *approxHalf
+	var p int
+	// Offset arithmetic stays overflow-safe for ranks near MaxUint64.
+	switch {
+	case b < c.hIndex:
+		c.clampedLow++
+		h, p = c.prim, int(c.nb-1) // logical front = physical last
+	default:
+		switch off := b - c.hIndex; {
+		case off < c.nb:
+			h, p = c.prim, int(c.nb-1-off)
+		case off < 2*c.nb:
+			h, p = c.sec, int(c.nb-1-(off-c.nb))
+		default:
+			c.overflows++
+			h, p = c.sec, 0 // logical last = physical 0: the overflow bucket
+		}
+	}
+	if h.arr.Push(p, n, rank) {
+		c.addWeight(h, p)
+	}
+}
+
+// findMaxPhys locates a (near-)maximal non-empty physical bucket of h,
+// which must be non-empty.
+func (c *CApprox) findMaxPhys(h *approxHalf) int {
+	c.lookups++
+	est := int(math.Floor(h.b.value()/h.a.value()-c.u+0.5)) - c.i0
+	if est < 0 {
+		est = 0
+	} else if est >= int(c.nb) {
+		est = int(c.nb) - 1
+	}
+	if !h.arr.BucketEmpty(est) {
+		return est
+	}
+	for i := est - 1; i >= 0; i-- {
+		c.searchSteps++
+		if !h.arr.BucketEmpty(i) {
+			return i
+		}
+	}
+	for i := est + 1; i < int(c.nb); i++ {
+		c.searchSteps++
+		if !h.arr.BucketEmpty(i) {
+			return i
+		}
+	}
+	panic("gradq: findMaxPhys on an empty half")
+}
+
+// DequeueMin removes and returns the FIFO head of an approximately minimal
+// bucket, rotating the window as needed, or nil if empty.
+func (c *CApprox) DequeueMin() *bucket.Node {
+	if c.count == 0 {
+		return nil
+	}
+	c.advance()
+	p := c.findMaxPhys(c.prim)
+	n, empty := c.prim.arr.PopFront(p)
+	if empty {
+		c.subWeight(c.prim, p)
+	}
+	c.count--
+	return n
+}
+
+// PeekMin returns the start rank of an approximately minimal non-empty
+// bucket.
+func (c *CApprox) PeekMin() (rank uint64, ok bool) {
+	if c.count == 0 {
+		return 0, false
+	}
+	c.advance()
+	p := c.findMaxPhys(c.prim)
+	logical := c.nb - 1 - uint64(p)
+	return (c.hIndex + logical) * c.gran, true
+}
+
+// Remove detaches n, which must be queued here, in O(1).
+func (c *CApprox) Remove(n *bucket.Node) {
+	var h *approxHalf
+	switch {
+	case n.InArray(c.prim.arr):
+		h = c.prim
+	case n.InArray(c.sec.arr):
+		h = c.sec
+	default:
+		panic("gradq: Remove of a node not queued in this CApprox")
+	}
+	p := n.BucketIndex()
+	if h.arr.Remove(n) {
+		c.subWeight(h, p)
+	}
+	c.count--
+}
+
+func (c *CApprox) advance() {
+	for c.prim.arr.Len() == 0 {
+		if c.sec.arr.Len() == 0 {
+			panic("gradq: CApprox invariant violated: elements queued but both halves empty")
+		}
+		if c.sec.arr.Len() == c.sec.arr.BucketLen(0) {
+			// Only the overflow bucket (physical 0) holds elements.
+			c.fastForward()
+			continue
+		}
+		c.rotate()
+	}
+}
+
+func (c *CApprox) rotate() {
+	c.prim, c.sec = c.sec, c.prim
+	c.hIndex += c.nb
+	c.rotations++
+	// The old overflow bucket is physical 0 of the new primary.
+	c.replaceBucket(c.prim, 0)
+}
+
+func (c *CApprox) fastForward() {
+	c.drainInto(c.sec, 0)
+	minB := ^uint64(0)
+	for _, n := range c.scratch {
+		if b := n.Rank() / c.gran; b < minB {
+			minB = b
+		}
+	}
+	c.hIndex = minB
+	c.fastForwards++
+	c.flushScratch()
+}
+
+func (c *CApprox) replaceBucket(h *approxHalf, p int) {
+	if h.arr.BucketEmpty(p) {
+		return
+	}
+	c.drainInto(h, p)
+	c.flushScratch()
+}
+
+func (c *CApprox) drainInto(h *approxHalf, p int) {
+	for {
+		n, empty := h.arr.PopFront(p)
+		if n == nil {
+			break
+		}
+		c.scratch = append(c.scratch, n)
+		if empty {
+			c.subWeight(h, p)
+			break
+		}
+	}
+}
+
+func (c *CApprox) flushScratch() {
+	for _, n := range c.scratch {
+		c.place(n, n.Rank(), n.Rank()/c.gran)
+	}
+	c.scratch = c.scratch[:0]
+}

@@ -1,0 +1,25 @@
+package gradq
+
+// ksum is a Kahan-compensated floating-point accumulator. The curvature
+// coefficients a and b sum weights spanning an enormous dynamic range
+// (2^(i0/alpha) .. 2^((i0+n)/alpha)); naive += / -= maintenance accumulates
+// rounding error proportional to the number of operations at peak
+// magnitude, which is enough to perturb floor(b/a) by whole buckets.
+// Compensated summation keeps the error within a few ulps of the current
+// value.
+type ksum struct {
+	s, c float64
+}
+
+func (k *ksum) add(x float64) {
+	y := x - k.c
+	t := k.s + y
+	k.c = (t - k.s) - y
+	k.s = t
+}
+
+func (k *ksum) sub(x float64) { k.add(-x) }
+
+func (k *ksum) reset() { k.s, k.c = 0, 0 }
+
+func (k *ksum) value() float64 { return k.s }

@@ -1,0 +1,348 @@
+// Package hclock reimplements the hClock hierarchical QoS packet scheduler
+// (Billaud & Gulati, EuroSys'13 — the NetIOC scheduler in VMware vSphere)
+// that §5.1.2 uses as Use Case 2. Every flow carries three tags, exactly as
+// Figure 11 expresses it in the extended PIFO model:
+//
+//	r_rank += size/reservation   (minimum guaranteed rate)
+//	l_rank += size/limit         (maximum rate)
+//	s_rank += size/share         (proportional weight)
+//
+// Dequeue serves, in order of preference: the smallest r_rank among flows
+// whose reservation clock is due, else the smallest s_rank among flows that
+// have not exceeded their limit. Flows over their limit park until l_rank.
+//
+// The scheduler is generic over its three priority-queue indexes: the
+// baseline uses binary min-heaps (O(log n) per tag update, the original
+// hClock design), the Eiffel version uses circular FFS queues (O(1)) —
+// which is the entire difference Figure 12 measures.
+package hclock
+
+import (
+	"fmt"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/pkt"
+	"eiffel/internal/queue"
+)
+
+// Backend selects the priority-queue implementation for the three indexes.
+type Backend int
+
+// Backends.
+const (
+	// BackendEiffel uses circular hierarchical FFS queues.
+	BackendEiffel Backend = iota
+	// BackendHeap uses binary min-heaps (the original hClock).
+	BackendHeap
+	// BackendApprox uses circular approximate gradient queues, the
+	// "hierarchical-based schedules" case of the Figure 20 guide.
+	BackendApprox
+)
+
+// String names the backend for tables.
+func (b Backend) String() string {
+	switch b {
+	case BackendEiffel:
+		return "Eiffel"
+	case BackendHeap:
+		return "hClock(heap)"
+	case BackendApprox:
+		return "Eiffel(approx)"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// sChargeScale converts bytes/weight into share-tag units; large enough to
+// resolve weight ratios of 1:4096 at byte granularity.
+const sChargeScale = 1 << 16
+
+// Flow is one hClock traffic class.
+type Flow struct {
+	// ID is the flow identifier.
+	ID uint64
+	// ResBps is the reserved minimum rate (0 = no reservation).
+	ResBps uint64
+	// LimitBps is the rate cap (0 = unlimited).
+	LimitBps uint64
+	// Weight is the proportional share weight (>= 1).
+	Weight uint64
+
+	rTag, lTag, sTag uint64
+	rNode            bucket.Node
+	sNode            bucket.Node
+	lNode            bucket.Node
+
+	ring []*pkt.Packet
+	head int
+	n    int
+
+	active  bool
+	limited bool
+}
+
+// Len returns the number of queued packets.
+func (f *Flow) Len() int { return f.n }
+
+func (f *Flow) push(p *pkt.Packet) {
+	if f.n == len(f.ring) {
+		size := len(f.ring) * 2
+		if size == 0 {
+			size = 8
+		}
+		ring := make([]*pkt.Packet, size)
+		for i := 0; i < f.n; i++ {
+			ring[i] = f.ring[(f.head+i)%len(f.ring)]
+		}
+		f.ring, f.head = ring, 0
+	}
+	f.ring[(f.head+f.n)%len(f.ring)] = p
+	f.n++
+}
+
+func (f *Flow) pop() *pkt.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.ring[f.head]
+	f.ring[f.head] = nil
+	f.head = (f.head + 1) % len(f.ring)
+	f.n--
+	return p
+}
+
+// Config sizes a scheduler.
+type Config struct {
+	// Backend picks the index implementation.
+	Backend Backend
+	// AggregateLimitBps caps the scheduler's total output (0 = none);
+	// Figure 12 (bottom) runs with a 5 Gbps aggregate limit.
+	AggregateLimitBps uint64
+	// TagGranularityNs is the bucket width of the time-tag queues
+	// (default 2048 ns).
+	TagGranularityNs uint64
+	// Buckets is the bucket count per queue half (default 1<<14).
+	Buckets int
+}
+
+// Scheduler is an hClock instance.
+type Scheduler struct {
+	cfg   Config
+	flows map[uint64]*Flow
+
+	readyR  queue.PQ // reservation tags of ready flows with reservations
+	readyS  queue.PQ // share tags of all ready flows
+	parked  queue.PQ // limit tags of flows over their cap
+	vnow    uint64   // share-tag virtual time
+	backlog int
+
+	aggNextFree uint64
+}
+
+// New returns an empty scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.TagGranularityNs == 0 {
+		cfg.TagGranularityNs = 2048
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 1 << 14
+	}
+	mk := func(gran uint64) queue.PQ {
+		qc := queue.Config{NumBuckets: cfg.Buckets, Granularity: gran}
+		switch cfg.Backend {
+		case BackendHeap:
+			return queue.New(queue.KindBinaryHeap, qc)
+		case BackendApprox:
+			return queue.New(queue.KindCApprox, qc)
+		default:
+			return queue.New(queue.KindCFFS, qc)
+		}
+	}
+	return &Scheduler{
+		cfg:    cfg,
+		flows:  make(map[uint64]*Flow),
+		readyR: mk(cfg.TagGranularityNs),
+		readyS: mk(cfg.TagGranularityNs * 64), // share tags grow faster
+		parked: mk(cfg.TagGranularityNs),
+	}
+}
+
+// AddFlow registers a traffic class. Reservation must not exceed limit
+// when both are set.
+func (s *Scheduler) AddFlow(id, resBps, limitBps, weight uint64) *Flow {
+	if weight == 0 {
+		weight = 1
+	}
+	if limitBps > 0 && resBps > limitBps {
+		panic("hclock: reservation exceeds limit")
+	}
+	f := &Flow{ID: id, ResBps: resBps, LimitBps: limitBps, Weight: weight}
+	f.rNode.Data = f
+	f.sNode.Data = f
+	f.lNode.Data = f
+	s.flows[id] = f
+	return f
+}
+
+// Flow returns a registered flow, or nil.
+func (s *Scheduler) Flow(id uint64) *Flow { return s.flows[id] }
+
+// Len returns the number of queued packets.
+func (s *Scheduler) Len() int { return s.backlog }
+
+// Enqueue adds p to its flow's FIFO; the flow must have been registered.
+func (s *Scheduler) Enqueue(p *pkt.Packet, now int64) {
+	f := s.flows[p.Flow]
+	if f == nil {
+		panic(fmt.Sprintf("hclock: packet for unregistered flow %d", p.Flow))
+	}
+	f.push(p)
+	s.backlog++
+	if !f.active {
+		s.activate(f, now)
+	}
+}
+
+func (s *Scheduler) activate(f *Flow, now int64) {
+	t := uint64(now)
+	// Idle flows join at the current clocks: no banked reservation or
+	// share credit across idle periods.
+	if f.rTag < t {
+		f.rTag = t
+	}
+	if f.lTag < t {
+		f.lTag = t
+	}
+	if f.sTag < s.vnow {
+		f.sTag = s.vnow
+	}
+	f.active = true
+	s.insert(f, now)
+}
+
+// insert places an active flow into the ready or parked indexes according
+// to its limit tag.
+func (s *Scheduler) insert(f *Flow, now int64) {
+	if f.LimitBps > 0 && f.lTag > uint64(now) {
+		f.limited = true
+		s.parked.Enqueue(&f.lNode, f.lTag)
+		return
+	}
+	f.limited = false
+	s.readyS.Enqueue(&f.sNode, f.sTag)
+	if f.ResBps > 0 {
+		s.readyR.Enqueue(&f.rNode, f.rTag)
+	}
+}
+
+// remove detaches an active flow from whichever indexes hold it.
+func (s *Scheduler) remove(f *Flow) {
+	if f.limited {
+		s.parked.Remove(&f.lNode)
+		return
+	}
+	if f.sNode.Queued() {
+		s.readyS.Remove(&f.sNode)
+	}
+	if f.rNode.Queued() {
+		s.readyR.Remove(&f.rNode)
+	}
+}
+
+// migrate moves flows whose limit clock has arrived from parked to ready.
+func (s *Scheduler) migrate(now int64) {
+	for {
+		r, ok := s.parked.PeekMin()
+		if !ok || r > uint64(now) {
+			return
+		}
+		n := s.parked.DequeueMin()
+		f := n.Data.(*Flow)
+		f.limited = false
+		s.readyS.Enqueue(&f.sNode, f.sTag)
+		if f.ResBps > 0 {
+			s.readyR.Enqueue(&f.rNode, f.rTag)
+		}
+	}
+}
+
+// Dequeue returns the next packet under hClock's two-phase rule, or nil if
+// nothing may be sent at the given time.
+func (s *Scheduler) Dequeue(now int64) *pkt.Packet {
+	if s.backlog == 0 {
+		return nil
+	}
+	if s.cfg.AggregateLimitBps > 0 && s.aggNextFree > uint64(now) {
+		return nil
+	}
+	s.migrate(now)
+
+	var f *Flow
+	if r, ok := s.readyR.PeekMin(); ok && r <= uint64(now) {
+		// Reservation phase: a reservation clock is due.
+		f = s.readyR.DequeueMin().Data.(*Flow)
+		s.readyS.Remove(&f.sNode)
+	} else if s.readyS.Len() > 0 {
+		// Share phase: proportional fairness among ready flows.
+		f = s.readyS.DequeueMin().Data.(*Flow)
+		if f.rNode.Queued() {
+			s.readyR.Remove(&f.rNode)
+		}
+	} else {
+		return nil // every backlogged flow is over its limit
+	}
+
+	p := f.pop()
+	s.backlog--
+	if f.sTag > s.vnow {
+		s.vnow = f.sTag
+	}
+	s.charge(f, p)
+	if f.Len() > 0 {
+		s.insert(f, now)
+	} else {
+		f.active = false
+	}
+	if s.cfg.AggregateLimitBps > 0 {
+		// Bounded catch-up (64 KiB) so busy-poll jitter does not erode
+		// the aggregate rate; the timestamp chain still caps the
+		// long-run rate at the limit.
+		start := s.aggNextFree
+		burst := uint64(64<<10) * 8 * 1e9 / s.cfg.AggregateLimitBps
+		if floor := uint64(now) - burst; uint64(now) > burst && start < floor {
+			start = floor
+		}
+		s.aggNextFree = start + uint64(p.Size)*8*1e9/s.cfg.AggregateLimitBps
+	}
+	return p
+}
+
+func (s *Scheduler) charge(f *Flow, p *pkt.Packet) {
+	bits := uint64(p.Size) * 8
+	if f.ResBps > 0 {
+		f.rTag += bits * 1e9 / f.ResBps
+	}
+	if f.LimitBps > 0 {
+		f.lTag += bits * 1e9 / f.LimitBps
+	}
+	f.sTag += uint64(p.Size) * sChargeScale / f.Weight
+}
+
+// NextEvent returns the earliest time a currently ineligible flow becomes
+// eligible (the parked set's head or the aggregate gate), for timer-driven
+// callers. ok is false when the scheduler is empty or work is ready now.
+func (s *Scheduler) NextEvent(now int64) (int64, bool) {
+	if s.backlog == 0 {
+		return 0, false
+	}
+	if s.readyS.Len() > 0 {
+		if s.cfg.AggregateLimitBps > 0 && s.aggNextFree > uint64(now) {
+			return int64(s.aggNextFree), true
+		}
+		return now, true
+	}
+	if r, ok := s.parked.PeekMin(); ok {
+		return int64(r), true
+	}
+	return 0, false
+}

@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"fmt"
+
+	"eiffel/internal/ffsq"
+	"eiffel/internal/gradq"
+	"eiffel/internal/pkt"
+)
+
+// QueueKind selects the switch port discipline.
+type QueueKind int
+
+// Port queue kinds.
+const (
+	// QueueFIFOECN is drop-tail FIFO with DCTCP threshold marking.
+	QueueFIFOECN QueueKind = iota
+	// QueuePFabric is the exact pFabric priority queue: dequeue smallest
+	// remaining size, drop largest when full.
+	QueuePFabric
+	// QueuePFabricApprox replaces the exact priority index with the
+	// approximate gradient queue — the Figure 19 treatment.
+	QueuePFabricApprox
+)
+
+// String names the kind.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueFIFOECN:
+		return "DCTCP"
+	case QueuePFabric:
+		return "pFabric"
+	case QueuePFabricApprox:
+		return "pFabric-Approx"
+	default:
+		return fmt.Sprintf("QueueKind(%d)", int(k))
+	}
+}
+
+// portQueue is a switch output queue.
+type portQueue interface {
+	// Push admits p; the return is a dropped packet (possibly p itself)
+	// or nil.
+	Push(p *pkt.Packet) *pkt.Packet
+	// Pop removes the next packet to transmit, or nil.
+	Pop() *pkt.Packet
+	// Len returns queued packets.
+	Len() int
+}
+
+// fifoECN: drop-tail + ECN threshold marking (DCTCP's switch config).
+type fifoECN struct {
+	ring    []*pkt.Packet
+	head, n int
+	capPkts int
+	markAt  int
+}
+
+func newFIFOECN(capPkts, markAt int) *fifoECN {
+	return &fifoECN{ring: make([]*pkt.Packet, capPkts), capPkts: capPkts, markAt: markAt}
+}
+
+func (q *fifoECN) Push(p *pkt.Packet) *pkt.Packet {
+	if q.n >= q.capPkts {
+		return p
+	}
+	if q.n >= q.markAt {
+		p.Flags |= pkt.FlagECN
+	}
+	q.ring[(q.head+q.n)%len(q.ring)] = p
+	q.n++
+	return nil
+}
+
+func (q *fifoECN) Pop() *pkt.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) % len(q.ring)
+	q.n--
+	return p
+}
+
+func (q *fifoECN) Len() int { return q.n }
+
+// pfabricQ: exact priority queue keyed by remaining flow size.
+type pfabricQ struct {
+	q       *ffsq.Fixed
+	capPkts int
+}
+
+func newPFabricQ(capPkts int) *pfabricQ {
+	// Remaining sizes up to ~48 MB at 1460 B granularity.
+	return &pfabricQ{q: ffsq.NewFixed(1<<15, 1460, 0), capPkts: capPkts}
+}
+
+func (q *pfabricQ) Push(p *pkt.Packet) *pkt.Packet {
+	if q.q.Len() >= q.capPkts {
+		// Full: drop the packet of the flow with the most remaining work
+		// — unless the arrival itself is the largest.
+		if maxRank, ok := q.q.PeekMax(); ok && p.Rank >= maxRank {
+			return p
+		}
+		victim := q.q.DequeueMax()
+		q.q.Enqueue(&p.SchedNode, p.Rank)
+		return pkt.FromSchedNode(victim)
+	}
+	q.q.Enqueue(&p.SchedNode, p.Rank)
+	return nil
+}
+
+func (q *pfabricQ) Pop() *pkt.Packet {
+	n := q.q.DequeueMin()
+	if n == nil {
+		return nil
+	}
+	return pkt.FromSchedNode(n)
+}
+
+func (q *pfabricQ) Len() int { return q.q.Len() }
+
+// pfabricApproxQ swaps the exact index for the approximate gradient queue.
+type pfabricApproxQ struct {
+	q       *gradq.Approx
+	capPkts int
+}
+
+func newPFabricApproxQ(capPkts int) *pfabricApproxQ {
+	return &pfabricApproxQ{
+		q:       gradq.NewApprox(gradq.ApproxOptions{NumBuckets: 1 << 15, Granularity: 1460}),
+		capPkts: capPkts,
+	}
+}
+
+func (q *pfabricApproxQ) Push(p *pkt.Packet) *pkt.Packet {
+	if q.q.Len() >= q.capPkts {
+		if maxRank, ok := q.q.PeekMaxLinear(); ok && p.Rank >= maxRank {
+			return p
+		}
+		victim := q.q.DequeueMaxLinear()
+		q.q.Enqueue(&p.SchedNode, p.Rank)
+		return pkt.FromSchedNode(victim)
+	}
+	q.q.Enqueue(&p.SchedNode, p.Rank)
+	return nil
+}
+
+func (q *pfabricApproxQ) Pop() *pkt.Packet {
+	n := q.q.DequeueMin()
+	if n == nil {
+		return nil
+	}
+	return pkt.FromSchedNode(n)
+}
+
+func (q *pfabricApproxQ) Len() int { return q.q.Len() }
+
+// Port is one output port: a queue plus a transmitter that serializes
+// packets at the link rate and hands them to deliver after the propagation
+// delay.
+type Port struct {
+	sim     *Sim
+	name    string
+	bps     uint64
+	propNs  int64
+	queue   portQueue
+	busy    bool
+	deliver func(*pkt.Packet)
+
+	// Sent, Dropped, SentBytes are counters for diagnostics.
+	Sent      uint64
+	Dropped   uint64
+	SentBytes uint64
+
+	onDrop func(*pkt.Packet)
+}
+
+func newPort(sim *Sim, name string, bps uint64, propNs int64, q portQueue) *Port {
+	return &Port{sim: sim, name: name, bps: bps, propNs: propNs, queue: q}
+}
+
+// Send enqueues p for transmission.
+func (pt *Port) Send(p *pkt.Packet) {
+	if dropped := pt.queue.Push(p); dropped != nil {
+		pt.Dropped++
+		if pt.onDrop != nil {
+			pt.onDrop(dropped)
+		}
+		if dropped == p {
+			return
+		}
+	}
+	if !pt.busy {
+		pt.start()
+	}
+}
+
+func (pt *Port) start() {
+	p := pt.queue.Pop()
+	if p == nil {
+		return
+	}
+	pt.busy = true
+	txNs := int64(uint64(p.Size) * 8 * 1e9 / pt.bps)
+	if txNs < 1 {
+		txNs = 1
+	}
+	pt.sim.After(txNs, func() {
+		pt.Sent++
+		pt.SentBytes += uint64(p.Size)
+		pt.sim.After(pt.propNs, func() { pt.deliver(p) })
+		pt.busy = false
+		if pt.queue.Len() > 0 {
+			pt.start()
+		}
+	})
+}
+
+// QueueLen returns the current queue depth in packets.
+func (pt *Port) QueueLen() int { return pt.queue.Len() }

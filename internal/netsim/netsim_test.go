@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"testing"
+
+	"eiffel/internal/pkt"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.At(10, func() { got = append(got, 11) }) // same time: FIFO
+	s.RunUntilIdle()
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Fatalf("Now = %d", s.Now())
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(10, tick)
+		}
+	}
+	s.After(10, tick)
+	s.RunUntil(100)
+	if count != 5 || s.Now() != 100 {
+		t.Fatalf("count=%d now=%d", count, s.Now())
+	}
+}
+
+func singleFlowFCT(t *testing.T, tr Transport, q QueueKind, bytes uint64) float64 {
+	t.Helper()
+	sim := NewSim()
+	pool := pkt.NewPool(4096)
+	net := NewNetwork(sim, pool, NetConfig{Hosts: 32, HostsPerLeaf: 16, Spines: 2, Queue: q})
+	hosts := NewEndhosts(sim, net, pool, tr)
+	hosts.StartFlow(1, 0, 17, bytes) // cross-leaf
+	for sim.Pending() > 0 && hosts.Active() > 0 {
+		sim.Step()
+	}
+	if len(hosts.Completed) != 1 {
+		t.Fatalf("flow did not complete (%d records, %d drops)", len(hosts.Completed), net.Drops())
+	}
+	return hosts.Completed[0].Slowdown()
+}
+
+func TestUncontendedFlowNearIdeal(t *testing.T) {
+	// Only the paper's pairings: DCTCP runs over ECN-marking FIFOs,
+	// pFabric over priority queues (exact or approximate).
+	cases := []struct {
+		tr    Transport
+		q     QueueKind
+		limit float64
+	}{
+		{TransportPFabric, QueuePFabric, 1.6},
+		{TransportPFabric, QueuePFabricApprox, 1.6},
+		{TransportDCTCP, QueueFIFOECN, 3.5}, // slow start costs a few RTTs
+	}
+	for _, c := range cases {
+		s := singleFlowFCT(t, c.tr, c.q, 1_000_000)
+		if s > c.limit {
+			t.Errorf("transport=%v queue=%v slowdown=%.2f", c.tr, c.q, s)
+		}
+	}
+}
+
+func TestShortFlowUncontended(t *testing.T) {
+	s := singleFlowFCT(t, TransportPFabric, QueuePFabric, 5000)
+	if s > 1.5 {
+		t.Fatalf("short flow slowdown %.2f", s)
+	}
+}
+
+func TestLinkCapacityRespected(t *testing.T) {
+	// Two senders blast one receiver: goodput can't exceed the edge link.
+	sim := NewSim()
+	pool := pkt.NewPool(8192)
+	net := NewNetwork(sim, pool, NetConfig{Hosts: 32, HostsPerLeaf: 16, Spines: 2, Queue: QueuePFabric})
+	hosts := NewEndhosts(sim, net, pool, TransportPFabric)
+	const size = 3_000_000
+	hosts.StartFlow(1, 0, 20, size)
+	hosts.StartFlow(2, 1, 20, size)
+	for sim.Pending() > 0 && hosts.Active() > 0 && sim.Now() < 60e9 {
+		sim.Step()
+	}
+	if len(hosts.Completed) != 2 {
+		t.Fatalf("completed %d of 2", len(hosts.Completed))
+	}
+	elapsed := float64(sim.Now())
+	gbps := float64(2*size*8) / elapsed
+	if gbps > 10.5 {
+		t.Fatalf("goodput %.2f Gbps exceeds the 10G edge", gbps)
+	}
+}
+
+func TestPFabricShortFlowPreemptsLong(t *testing.T) {
+	// A long flow saturates the path; a short flow arrives mid-way. With
+	// pFabric priority queues the short flow must finish near-ideal.
+	for _, q := range []QueueKind{QueuePFabric, QueuePFabricApprox} {
+		sim := NewSim()
+		pool := pkt.NewPool(8192)
+		net := NewNetwork(sim, pool, NetConfig{Hosts: 32, HostsPerLeaf: 16, Spines: 2, Queue: q})
+		hosts := NewEndhosts(sim, net, pool, TransportPFabric)
+		hosts.StartFlow(1, 0, 20, 20_000_000)
+		sim.RunUntil(2_000_000) // long flow underway
+		hosts.StartFlow(2, 1, 20, 20_000)
+		for sim.Pending() > 0 && hosts.Active() > 0 && sim.Now() < 120e9 {
+			sim.Step()
+		}
+		var short *FlowRecord
+		for i := range hosts.Completed {
+			if hosts.Completed[i].Bytes < 1_000_000 {
+				short = &hosts.Completed[i]
+			}
+		}
+		if short == nil {
+			t.Fatalf("%v: short flow missing", q)
+		}
+		if s := short.Slowdown(); s > 4 {
+			t.Fatalf("%v: short flow slowdown %.2f under a long flow", q, s)
+		}
+	}
+}
+
+func TestDCTCPKeepsQueuesShort(t *testing.T) {
+	// DCTCP's whole point: persistent flows should stabilize around the
+	// marking threshold rather than fill the buffer.
+	sim := NewSim()
+	pool := pkt.NewPool(16384)
+	net := NewNetwork(sim, pool, NetConfig{Hosts: 32, HostsPerLeaf: 16, Spines: 2, Queue: QueueFIFOECN})
+	hosts := NewEndhosts(sim, net, pool, TransportDCTCP)
+	hosts.StartFlow(1, 0, 20, 50_000_000)
+	hosts.StartFlow(2, 1, 20, 50_000_000)
+	maxQ := 0
+	for sim.Pending() > 0 && hosts.Active() > 0 && sim.Now() < 120e9 {
+		sim.Step()
+		if q := net.leafDown[1][4].QueueLen(); q > maxQ {
+			maxQ = q
+		}
+	}
+	if maxQ == 0 {
+		t.Fatal("no queue ever built at the bottleneck")
+	}
+	if maxQ >= 256 {
+		t.Fatalf("DCTCP filled the buffer (max queue %d)", maxQ)
+	}
+}
+
+func TestRunExperimentSmall(t *testing.T) {
+	for _, c := range []struct {
+		tr Transport
+		q  QueueKind
+	}{
+		{TransportDCTCP, QueueFIFOECN},
+		{TransportPFabric, QueuePFabric},
+		{TransportPFabric, QueuePFabricApprox},
+	} {
+		res := RunExperiment(ExperimentConfig{
+			Hosts:        32,
+			HostsPerLeaf: 16,
+			Spines:       2,
+			Load:         0.4,
+			Transport:    c.tr,
+			Queue:        c.q,
+			Flows:        300,
+			Seed:         7,
+		})
+		if res.Completed < 290 {
+			t.Fatalf("%s: completed %d of 300 (drops=%d)", res.Label, res.Completed, res.Drops)
+		}
+		if res.AvgSmall < 0.99 {
+			t.Fatalf("%s: impossible slowdown %v", res.Label, res.AvgSmall)
+		}
+	}
+}
+
+func TestApproxTracksExactNetworkWide(t *testing.T) {
+	// The Figure 19 claim in miniature: swapping the exact priority queue
+	// for the approximate one must not change FCTs materially.
+	base := ExperimentConfig{
+		Hosts: 32, HostsPerLeaf: 16, Spines: 2,
+		Load: 0.5, Transport: TransportPFabric, Flows: 400, Seed: 11,
+	}
+	exact := base
+	exact.Queue = QueuePFabric
+	approx := base
+	approx.Queue = QueuePFabricApprox
+	re := RunExperiment(exact)
+	ra := RunExperiment(approx)
+	if re.Completed == 0 || ra.Completed == 0 {
+		t.Fatal("experiments did not complete")
+	}
+	ratio := ra.AvgSmall / re.AvgSmall
+	if ratio > 1.5 || ratio < 0.6 {
+		t.Fatalf("approximate queue diverged: exact=%.2f approx=%.2f", re.AvgSmall, ra.AvgSmall)
+	}
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"eiffel/internal/pkt"
+	"eiffel/internal/stats"
+	"eiffel/internal/workload"
+)
+
+// ExperimentConfig parameterizes one Figure 19 run: a transport + queue
+// pair at one load point.
+type ExperimentConfig struct {
+	// Hosts is the fabric size (paper: 144; tests scale down).
+	Hosts int
+	// HostsPerLeaf and Spines shape the topology (defaults 16 and 4).
+	HostsPerLeaf int
+	Spines       int
+	// Load is the offered fraction of edge capacity (0.1 .. 0.8).
+	Load float64
+	// Transport picks DCTCP or pFabric.
+	Transport Transport
+	// Queue picks the switch discipline.
+	Queue QueueKind
+	// Flows is how many flows to inject (paper runs tens of thousands;
+	// quick mode uses fewer).
+	Flows int
+	// Seed drives the workload.
+	Seed int64
+	// MaxSimSeconds caps simulated time as a straggler guard.
+	MaxSimSeconds int
+}
+
+// ExperimentResult aggregates normalized FCTs in the paper's three panels.
+type ExperimentResult struct {
+	// Label names the (transport, queue) pair.
+	Label string
+	// Load echoes the configured load.
+	Load float64
+	// AvgSmall is the mean normalized FCT for (0, 100 KB] flows.
+	AvgSmall float64
+	// P99Small is the 99th percentile for (0, 100 KB] flows.
+	P99Small float64
+	// AvgLarge is the mean normalized FCT for (10 MB, inf) flows.
+	AvgLarge float64
+	// AvgAll is the mean over all flows.
+	AvgAll float64
+	// Completed counts finished flows; Drops and Retransmits are
+	// fabric-wide totals.
+	Completed   int
+	Drops       uint64
+	Retransmits uint64
+}
+
+// RunExperiment injects Poisson flow arrivals (web-search sizes) at the
+// configured load and runs until every flow completes (or the time cap).
+func RunExperiment(cfg ExperimentConfig) ExperimentResult {
+	if cfg.Hosts == 0 {
+		cfg.Hosts = 144
+	}
+	if cfg.HostsPerLeaf == 0 {
+		cfg.HostsPerLeaf = 16
+	}
+	if cfg.Flows == 0 {
+		cfg.Flows = 2000
+	}
+	if cfg.MaxSimSeconds == 0 {
+		cfg.MaxSimSeconds = 60
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	sim := NewSim()
+	pool := pkt.NewPool(1 << 14)
+	net := NewNetwork(sim, pool, NetConfig{
+		Hosts:        cfg.Hosts,
+		HostsPerLeaf: cfg.HostsPerLeaf,
+		Spines:       cfg.Spines,
+		Queue:        cfg.Queue,
+	})
+	hosts := NewEndhosts(sim, net, pool, cfg.Transport)
+
+	dist := workload.NewSizeDist(workload.WebSearchCDF)
+	// Offered load is per-edge-link: each host's egress runs at
+	// Load * EdgeBps on average, so the fabric-wide flow arrival rate is
+	// Load * EdgeBps * Hosts / (8 * meanBytes).
+	arr := workload.NewPoissonArrivals(rng, cfg.Load, net.cfg.EdgeBps*uint64(cfg.Hosts), dist.Mean())
+
+	var nextFlow uint64
+	var schedule func()
+	schedule = func() {
+		if int(nextFlow) >= cfg.Flows {
+			return
+		}
+		nextFlow++
+		id := nextFlow
+		src, dst := randHostPair(rng, cfg.Hosts)
+		size := dist.Sample(rng)
+		hosts.StartFlow(id, src, dst, size)
+		sim.After(arr.NextGap(), schedule)
+	}
+	sim.After(arr.NextGap(), schedule)
+
+	cap := int64(cfg.MaxSimSeconds) * 1e9
+	for sim.Pending() > 0 && sim.Now() < cap {
+		if int(nextFlow) >= cfg.Flows && hosts.Active() == 0 {
+			break
+		}
+		sim.Step()
+	}
+
+	res := ExperimentResult{
+		Label:       cfg.Transport.String() + "/" + cfg.Queue.String(),
+		Load:        cfg.Load,
+		Completed:   len(hosts.Completed),
+		Drops:       net.Drops(),
+		Retransmits: hosts.Retransmits,
+	}
+	var small, large, all []float64
+	for _, r := range hosts.Completed {
+		s := r.Slowdown()
+		all = append(all, s)
+		if r.Bytes <= 100_000 {
+			small = append(small, s)
+		}
+		if r.Bytes > 10_000_000 {
+			large = append(large, s)
+		}
+	}
+	res.AvgSmall = stats.Mean(small)
+	res.P99Small = stats.Percentile(small, 99)
+	res.AvgLarge = stats.Mean(large)
+	res.AvgAll = stats.Mean(all)
+	return res
+}
+
+// String names the transport.
+func (t Transport) String() string {
+	if t == TransportDCTCP {
+		return "DCTCP"
+	}
+	return "pFabric"
+}

@@ -1,0 +1,115 @@
+// Package netsim is the ns2-stand-in used for the network-wide evaluation
+// of Figure 19: a packet-level discrete-event simulator with a leaf-spine
+// datacenter topology, per-port output queues with pluggable disciplines
+// (drop-tail FIFO with DCTCP ECN marking; pFabric priority queues in exact
+// and approximate variants), and two transports (DCTCP and pFabric's
+// minimal transport). The switch priority queue is the component under
+// test: Figure 19 asks whether replacing the exact priority queue with the
+// approximate gradient queue changes network-wide flow completion times.
+package netsim
+
+// Sim is a discrete-event engine. Events at equal times run in schedule
+// order (FIFO), which keeps runs deterministic.
+type Sim struct {
+	now  int64
+	heap []simEvent
+	seq  uint64
+}
+
+type simEvent struct {
+	t   int64
+	seq uint64
+	fn  func()
+}
+
+// NewSim returns an empty simulator at time 0.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in ns.
+func (s *Sim) Now() int64 { return s.now }
+
+// At schedules fn at absolute time t (>= now).
+func (s *Sim) At(t int64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.heap = append(s.heap, simEvent{t: t, seq: s.seq, fn: fn})
+	s.up(len(s.heap) - 1)
+}
+
+// After schedules fn d ns from now.
+func (s *Sim) After(d int64, fn func()) { s.At(s.now+d, fn) }
+
+// Pending returns the number of scheduled events.
+func (s *Sim) Pending() int { return len(s.heap) }
+
+// Step runs the earliest event; false if none remain.
+func (s *Sim) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	ev := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	s.now = ev.t
+	ev.fn()
+	return true
+}
+
+// RunUntil processes events up to and including time t.
+func (s *Sim) RunUntil(t int64) {
+	for len(s.heap) > 0 && s.heap[0].t <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunUntilIdle drains every event.
+func (s *Sim) RunUntilIdle() {
+	for s.Step() {
+	}
+}
+
+func (s *Sim) less(i, j int) bool {
+	if s.heap[i].t != s.heap[j].t {
+		return s.heap[i].t < s.heap[j].t
+	}
+	return s.heap[i].seq < s.heap[j].seq
+}
+
+func (s *Sim) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *Sim) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.less(l, m) {
+			m = l
+		}
+		if r < n && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}

@@ -1,0 +1,288 @@
+package netsim
+
+import (
+	"eiffel/internal/pkt"
+)
+
+// Transport selects the end-host protocol.
+type Transport int
+
+// Transports.
+const (
+	// TransportPFabric is pFabric's minimal transport: start at line
+	// rate, priority = remaining flow size, per-packet selective acks,
+	// small fixed RTO; the fabric's priority queues do the scheduling.
+	TransportPFabric Transport = iota
+	// TransportDCTCP is DCTCP: window-based with ECN-fraction-
+	// proportional backoff.
+	TransportDCTCP
+)
+
+// flowState is one sender/receiver pair.
+type flowState struct {
+	id       uint64
+	src, dst int
+	sizePkts uint32
+	started  int64
+
+	// Sender.
+	next     uint32 // next new sequence to send
+	inflight int
+	cwnd     float64
+	acked    []bool
+	ackedCnt uint32
+	rtoGen   uint64 // invalidates stale timeout events
+	lastProg int64
+
+	// DCTCP state.
+	alpha      float64
+	ackedInWin uint32
+	markedIn   uint32
+	ssthresh   float64
+
+	// Receiver.
+	rcvd    []bool
+	rcvdCnt uint32
+	done    bool
+}
+
+// Endhosts couples the transports to a Network and records FCTs.
+type Endhosts struct {
+	sim   *Sim
+	net   *Network
+	pool  *pkt.Pool
+	kind  Transport
+	flows map[uint64]*flowState
+	mtu   uint32
+	rtoNs int64
+	bdp   float64 // packets
+
+	// Completed holds (sizeBytes, fctNs) per finished flow.
+	Completed []FlowRecord
+	// Retransmits counts timeout resends.
+	Retransmits uint64
+}
+
+// FlowRecord is one finished flow.
+type FlowRecord struct {
+	// Bytes is the flow size.
+	Bytes uint64
+	// FCTNs is the measured completion time.
+	FCTNs int64
+	// IdealNs is the uncontended lower bound.
+	IdealNs int64
+}
+
+// Slowdown returns FCT normalized to ideal (>= ~1).
+func (r FlowRecord) Slowdown() float64 { return float64(r.FCTNs) / float64(r.IdealNs) }
+
+// NewEndhosts wires transports into net.
+func NewEndhosts(sim *Sim, net *Network, pool *pkt.Pool, kind Transport) *Endhosts {
+	e := &Endhosts{
+		sim:   sim,
+		net:   net,
+		pool:  pool,
+		kind:  kind,
+		flows: make(map[uint64]*flowState),
+		mtu:   net.cfg.MTU,
+	}
+	baseRTT := net.BaseRTTNs()
+	e.rtoNs = 3 * baseRTT
+	if e.rtoNs < 40_000 {
+		e.rtoNs = 40_000 // pFabric's small fixed RTO regime (~45 us)
+	}
+	e.bdp = float64(net.cfg.EdgeBps) / 8 * float64(baseRTT) / 1e9 / float64(e.mtu)
+	if e.bdp < 2 {
+		e.bdp = 2
+	}
+	net.recv = e.receive
+	return e
+}
+
+// StartFlow begins a transfer of sizeBytes from src to dst.
+func (e *Endhosts) StartFlow(id uint64, src, dst int, sizeBytes uint64) {
+	pkts := uint32((sizeBytes + uint64(e.mtu) - 1) / uint64(e.mtu))
+	if pkts == 0 {
+		pkts = 1
+	}
+	f := &flowState{
+		id:       id,
+		src:      src,
+		dst:      dst,
+		sizePkts: pkts,
+		started:  e.sim.Now(),
+		acked:    make([]bool, pkts),
+		rcvd:     make([]bool, pkts),
+		lastProg: e.sim.Now(),
+	}
+	switch e.kind {
+	case TransportDCTCP:
+		f.cwnd = 10
+		f.ssthresh = 1e18
+	default:
+		f.cwnd = e.bdp // line-rate start
+	}
+	e.flows[id] = f
+	e.trySend(f)
+	e.armRTO(f)
+}
+
+// remaining returns the flow's outstanding bytes — the pFabric rank.
+func (e *Endhosts) remaining(f *flowState) uint64 {
+	return uint64(f.sizePkts-f.ackedCnt) * uint64(e.mtu)
+}
+
+func (e *Endhosts) trySend(f *flowState) {
+	for f.inflight < int(f.cwnd) && f.next < f.sizePkts {
+		e.sendSeq(f, f.next)
+		f.next++
+	}
+}
+
+func (e *Endhosts) sendSeq(f *flowState, seq uint32) {
+	p := e.pool.Get()
+	p.Flow = f.id
+	p.Size = e.mtu
+	p.Seq = seq
+	p.Rank = e.remaining(f)
+	f.inflight++
+	e.net.SendData(f.src, f.dst, p)
+}
+
+func (e *Endhosts) armRTO(f *flowState) {
+	gen := f.rtoGen
+	e.sim.After(e.rtoNs, func() { e.onRTO(f, gen) })
+}
+
+func (e *Endhosts) onRTO(f *flowState, gen uint64) {
+	if f.done || gen != f.rtoGen {
+		return
+	}
+	if e.sim.Now()-f.lastProg >= e.rtoNs {
+		// No progress for an RTO: everything outstanding is presumed
+		// lost (drops never decrement inflight, so it must be reset or
+		// the window jams permanently). Resend the lowest hole; higher
+		// holes re-emerge as it advances.
+		lo := uint32(0)
+		for lo < f.sizePkts && f.acked[lo] {
+			lo++
+		}
+		if lo < f.sizePkts {
+			e.Retransmits++
+			f.inflight = 0
+			if e.kind == TransportDCTCP {
+				f.ssthresh = f.cwnd / 2
+				if f.ssthresh < 2 {
+					f.ssthresh = 2
+				}
+				f.cwnd = 2
+			}
+			// Go-back over every hole already sent once, up to a window.
+			for s := lo; s < f.next && f.inflight < int(f.cwnd); s++ {
+				if !f.acked[s] {
+					e.sendSeq(f, s)
+				}
+			}
+			e.trySend(f)
+		}
+	}
+	f.rtoGen++
+	e.armRTO(f)
+}
+
+// receive handles both data (at the receiver) and acks (at the sender).
+func (e *Endhosts) receive(host int, p *pkt.Packet) {
+	f := e.flows[p.Flow]
+	if f == nil || f.done {
+		e.pool.Put(p)
+		return
+	}
+	if p.Flags&pkt.FlagACK != 0 {
+		e.onAck(f, p)
+		return
+	}
+	// Receiver side: record, ack.
+	seq := p.Seq
+	echo := p.Flags&pkt.FlagECN != 0
+	if !f.rcvd[seq] {
+		f.rcvd[seq] = true
+		f.rcvdCnt++
+	}
+	e.pool.Put(p)
+	ack := e.pool.Get()
+	ack.Flow = f.id
+	ack.Size = 40
+	ack.Seq = seq
+	ack.Flags = pkt.FlagACK
+	if echo {
+		ack.Flags |= pkt.FlagECNEcho
+	}
+	e.net.SendAck(f.dst, f.src, ack)
+}
+
+func (e *Endhosts) onAck(f *flowState, p *pkt.Packet) {
+	seq := p.Seq
+	marked := p.Flags&pkt.FlagECNEcho != 0
+	e.pool.Put(p)
+	if f.acked[seq] {
+		return // duplicate (retransmission completed twice)
+	}
+	f.acked[seq] = true
+	f.ackedCnt++
+	f.lastProg = e.sim.Now()
+	if f.inflight > 0 {
+		f.inflight--
+	}
+	if e.kind == TransportDCTCP {
+		e.dctcpOnAck(f, marked)
+	}
+	if f.ackedCnt >= f.sizePkts {
+		f.done = true
+		size := uint64(f.sizePkts) * uint64(e.mtu)
+		e.Completed = append(e.Completed, FlowRecord{
+			Bytes:   size,
+			FCTNs:   e.sim.Now() - f.started,
+			IdealNs: e.net.IdealFCTNs(size),
+		})
+		delete(e.flows, f.id)
+		return
+	}
+	e.trySend(f)
+}
+
+// dctcpOnAck implements DCTCP window evolution: standard slow start /
+// congestion avoidance plus once-per-window alpha update and
+// alpha-proportional backoff.
+func (e *Endhosts) dctcpOnAck(f *flowState, marked bool) {
+	f.ackedInWin++
+	if marked {
+		f.markedIn++
+		if f.cwnd < f.ssthresh {
+			// First congestion signal ends slow start (standard ECN
+			// semantics); without this the window outruns every buffer.
+			f.ssthresh = f.cwnd
+		}
+	}
+	if f.cwnd < f.ssthresh {
+		f.cwnd++
+	} else {
+		f.cwnd += 1 / f.cwnd
+	}
+	if f.ackedInWin >= uint32(f.cwnd) {
+		// Window boundary: fold the mark fraction into alpha.
+		const g = 1.0 / 16
+		frac := float64(f.markedIn) / float64(f.ackedInWin)
+		f.alpha = (1-g)*f.alpha + g*frac
+		if f.markedIn > 0 {
+			f.cwnd = f.cwnd * (1 - f.alpha/2)
+			if f.cwnd < 2 {
+				f.cwnd = 2
+			}
+			f.ssthresh = f.cwnd
+		}
+		f.ackedInWin, f.markedIn = 0, 0
+	}
+}
+
+// Active returns the number of unfinished flows.
+func (e *Endhosts) Active() int { return len(e.flows) }

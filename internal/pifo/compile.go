@@ -1,0 +1,230 @@
+package pifo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"eiffel/internal/queue"
+)
+
+// Compile builds a scheduler tree from a textual policy description — the
+// role the PIFO reference implementation fills with DOT-to-C++ translation
+// (§4 "Policy Creation"). The grammar is line-oriented; '#' starts a
+// comment:
+//
+//	root   ranker=<wfq|strict|rr> [rate=<R>] [shaperbuckets=N] [shapergran=NS]
+//	class  <name> parent=<name> ranker=<wfq|strict|rr> [weight=N] [priority=N] [rate=<R>]
+//	leaf   <name> parent=<name> kind=packet ranker=<edf|strict|fifo|rank> [opts]
+//	leaf   <name> parent=<name> kind=flow policy=<pfabric|lqf|sqf|fifo> [opts]
+//	leaf   <name> parent=<name> kind=timegated [opts]
+//
+// Common opts: weight=N priority=N rate=<R> buckets=N gran=N queue=<cffs|approx|heap|bh>.
+// Rates accept k/M/G suffixes (bits per second).
+//
+// Rankers and flow policies are resolved through the registry the caller
+// passes (the policy package registers the paper's transactions); Compile
+// itself stays free of upward dependencies.
+func Compile(spec string, reg CompileRegistry) (*Tree, map[string]*Class, error) {
+	var tree *Tree
+	classes := map[string]*Class{}
+
+	lines := strings.Split(spec, "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		kw := fields[0]
+		args, name, err := parseArgs(kw, fields[1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+
+		switch kw {
+		case "root":
+			if tree != nil {
+				return nil, nil, fmt.Errorf("line %d: duplicate root", ln+1)
+			}
+			ranker, err := reg.ChildRanker(args["ranker"])
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			rate, err := parseRate(args["rate"])
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			sb, err := parseUintArg(args, "shaperbuckets", 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			sg, err := parseUintArg(args, "shapergran", 0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			tree = NewTree(TreeOptions{
+				RootRanker:        ranker,
+				RootRateBps:       rate,
+				RootQueue:         queueConfigFrom(args),
+				ShaperBuckets:     int(sb),
+				ShaperGranularity: sg,
+			})
+			classes["root"] = tree.Root()
+
+		case "class", "leaf":
+			if tree == nil {
+				return nil, nil, fmt.Errorf("line %d: %s before root", ln+1, kw)
+			}
+			if name == "" {
+				return nil, nil, fmt.Errorf("line %d: %s needs a name", ln+1, kw)
+			}
+			if _, dup := classes[name]; dup {
+				return nil, nil, fmt.Errorf("line %d: duplicate class %q", ln+1, name)
+			}
+			parent, ok := classes[args["parent"]]
+			if !ok {
+				return nil, nil, fmt.Errorf("line %d: unknown parent %q", ln+1, args["parent"])
+			}
+			opt, err := classOptionsFrom(name, args)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			var c *Class
+			if kw == "class" {
+				ranker, err := reg.ChildRanker(args["ranker"])
+				if err != nil {
+					return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				c = tree.NewInternal(parent, ranker, opt)
+			} else {
+				switch args["kind"] {
+				case "packet", "":
+					ranker, err := reg.PacketRanker(args["ranker"])
+					if err != nil {
+						return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+					}
+					c = tree.NewPacketLeaf(parent, ranker, opt)
+				case "flow":
+					pol, err := reg.FlowPolicy(args["policy"])
+					if err != nil {
+						return nil, nil, fmt.Errorf("line %d: %v", ln+1, err)
+					}
+					c = tree.NewFlowLeaf(parent, pol, opt)
+				case "timegated":
+					c = tree.NewTimeGatedLeaf(parent, opt)
+				default:
+					return nil, nil, fmt.Errorf("line %d: unknown leaf kind %q", ln+1, args["kind"])
+				}
+			}
+			classes[name] = c
+
+		default:
+			return nil, nil, fmt.Errorf("line %d: unknown keyword %q", ln+1, kw)
+		}
+	}
+	if tree == nil {
+		return nil, nil, fmt.Errorf("policy has no root")
+	}
+	return tree, classes, nil
+}
+
+// CompileRegistry resolves transaction names to implementations.
+type CompileRegistry interface {
+	// ChildRanker returns the ranker for name ("" selects the default).
+	ChildRanker(name string) (ChildRanker, error)
+	// PacketRanker returns the packet ranker for name.
+	PacketRanker(name string) (PacketRanker, error)
+	// FlowPolicy returns the flow policy for name.
+	FlowPolicy(name string) (FlowPolicy, error)
+}
+
+func parseArgs(kw string, fields []string) (map[string]string, string, error) {
+	args := map[string]string{}
+	name := ""
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq < 0 {
+			if name != "" {
+				return nil, "", fmt.Errorf("unexpected token %q", f)
+			}
+			name = f
+			continue
+		}
+		args[f[:eq]] = f[eq+1:]
+	}
+	return args, name, nil
+}
+
+func parseRate(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := uint64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1e3, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1e6, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1e9, s[:len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	return v * mult, nil
+}
+
+func parseUintArg(args map[string]string, key string, def uint64) (uint64, error) {
+	s, ok := args[key]
+	if !ok {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", key, s)
+	}
+	return v, nil
+}
+
+func queueConfigFrom(args map[string]string) (qc queue.Config) {
+	// Omitted sizes fall back to the registry defaults.
+	if b, err := parseUintArg(args, "buckets", 0); err == nil {
+		qc.NumBuckets = int(b)
+	}
+	if g, err := parseUintArg(args, "gran", 0); err == nil {
+		qc.Granularity = g
+	}
+	return qc
+}
+
+func classOptionsFrom(name string, args map[string]string) (ClassOptions, error) {
+	opt := ClassOptions{Name: name, Queue: queueConfigFrom(args)}
+	var err error
+	if opt.Weight, err = parseUintArg(args, "weight", 0); err != nil {
+		return opt, err
+	}
+	if opt.Priority, err = parseUintArg(args, "priority", 0); err != nil {
+		return opt, err
+	}
+	if opt.RateBps, err = parseRate(args["rate"]); err != nil {
+		return opt, err
+	}
+	switch args["queue"] {
+	case "", "cffs":
+		opt.QueueKind = queue.KindCFFS
+	case "approx":
+		opt.QueueKind = queue.KindCApprox
+	case "heap":
+		opt.QueueKind = queue.KindBinaryHeap
+	case "bh":
+		opt.QueueKind = queue.KindBH
+	default:
+		return opt, fmt.Errorf("unknown queue backend %q", args["queue"])
+	}
+	return opt, nil
+}

@@ -1,0 +1,126 @@
+package pifo_test
+
+import (
+	"strings"
+	"testing"
+
+	"eiffel/internal/pifo"
+	"eiffel/internal/pkt"
+	"eiffel/internal/policy"
+)
+
+func compile(t *testing.T, spec string) (*pifo.Tree, map[string]*pifo.Class) {
+	t.Helper()
+	tree, classes, err := pifo.Compile(spec, policy.Registry{})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return tree, classes
+}
+
+func TestCompileFigure7Policy(t *testing.T) {
+	// The paper's Figure 7 hierarchy, as a policy description.
+	tree, classes := compile(t, `
+		# aggregate paced at 100M
+		root ranker=wfq rate=100M buckets=4096
+		class mid parent=root ranker=wfq weight=7 rate=10M buckets=4096
+		leaf limited parent=mid ranker=fifo weight=9 rate=7M buckets=4096
+		leaf open    parent=mid ranker=fifo weight=1 buckets=4096
+	`)
+	for _, name := range []string{"root", "mid", "limited", "open"} {
+		if classes[name] == nil {
+			t.Fatalf("class %q missing", name)
+		}
+	}
+	pool := pkt.NewPool(64)
+	p := pool.Get()
+	p.Size = 100
+	tree.Enqueue(classes["limited"], p, 0)
+	if tree.Len() != 1 {
+		t.Fatal("enqueue through compiled tree failed")
+	}
+}
+
+func TestCompileFlowLeafPolicy(t *testing.T) {
+	tree, classes := compile(t, `
+		root ranker=wfq buckets=1024
+		leaf pf parent=root kind=flow policy=pfabric buckets=16384 gran=64
+	`)
+	pool := pkt.NewPool(8)
+	for _, r := range []uint64{5000, 100} {
+		p := pool.Get()
+		p.Flow = r // distinct flows
+		p.Rank = r
+		p.Size = 100
+		tree.Enqueue(classes["pf"], p, 0)
+	}
+	got := tree.Dequeue(0)
+	if got == nil || got.Rank != 100 {
+		t.Fatalf("pFabric compiled leaf: got %v", got)
+	}
+}
+
+func TestCompileTimeGatedLeaf(t *testing.T) {
+	tree, classes := compile(t, `
+		root ranker=wfq buckets=1024 shaperbuckets=4096 shapergran=1000
+		leaf paced parent=root kind=timegated buckets=4096 gran=1000
+	`)
+	pool := pkt.NewPool(8)
+	p := pool.Get()
+	p.Size = 100
+	p.SendAt = 50_000
+	tree.Enqueue(classes["paced"], p, 0)
+	if tree.Dequeue(0) != nil {
+		t.Fatal("time gate ignored")
+	}
+	if tree.Dequeue(60_000) == nil {
+		t.Fatal("packet not released after gate")
+	}
+}
+
+func TestCompileQueueBackendSelection(t *testing.T) {
+	_, classes := compile(t, `
+		root ranker=wfq buckets=1024
+		leaf h parent=root ranker=edf queue=heap
+		leaf a parent=root ranker=edf queue=approx buckets=2048
+	`)
+	if classes["h"] == nil || classes["a"] == nil {
+		t.Fatal("classes missing")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"", "no root"},
+		{"leaf x parent=root", "before root"},
+		{"root ranker=wfq\nroot ranker=wfq", "duplicate root"},
+		{"root ranker=bogus", "unknown child ranker"},
+		{"root ranker=wfq\nleaf x parent=nope", "unknown parent"},
+		{"root ranker=wfq\nleaf x parent=root kind=flow policy=bogus", "unknown flow policy"},
+		{"root ranker=wfq\nleaf x parent=root kind=bogus", "unknown leaf kind"},
+		{"root ranker=wfq\nclass x parent=root ranker=wfq\nclass x parent=root ranker=wfq", "duplicate class"},
+		{"root ranker=wfq rate=12q", "bad rate"},
+		{"frobnicate", "unknown keyword"},
+		{"root ranker=wfq\nleaf parent=root", "needs a name"},
+	}
+	for _, c := range cases {
+		_, _, err := pifo.Compile(c.spec, policy.Registry{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("spec %q: err = %v, want substring %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestCompileRateSuffixes(t *testing.T) {
+	tree, _ := compile(t, "root ranker=wfq rate=2G buckets=1024")
+	if tree == nil {
+		t.Fatal("nil tree")
+	}
+	_, _, err := pifo.Compile("root ranker=wfq rate=500k", policy.Registry{})
+	if err != nil {
+		t.Fatalf("k suffix: %v", err)
+	}
+}

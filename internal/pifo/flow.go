@@ -1,0 +1,101 @@
+package pifo
+
+import (
+	"eiffel/internal/bucket"
+	"eiffel/internal/pkt"
+)
+
+// Flow is the per-flow scheduling unit of the paper's per-flow ranking
+// primitive: a FIFO of packets ranked as one entity. A single PIFO block
+// orders flows rather than packets (§3.2.1); the scheduler guarantees that
+// packets of one flow are never reordered relative to each other.
+type Flow struct {
+	// Node is the flow's handle in the leaf's priority queue.
+	Node bucket.Node
+	// ID is the flow identifier packets carry in pkt.Packet.Flow.
+	ID uint64
+	// Bytes is the total queued payload.
+	Bytes int64
+	// Rank is policy-maintained state (e.g. pFabric's running minimum).
+	Rank uint64
+	// U0 and U1 are extra policy scratch registers.
+	U0, U1 uint64
+
+	ring []*pkt.Packet
+	head int
+	n    int
+}
+
+// Len returns the number of queued packets.
+func (f *Flow) Len() int { return f.n }
+
+// Front returns the head packet without removing it, or nil.
+func (f *Flow) Front() *pkt.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	return f.ring[f.head]
+}
+
+func (f *Flow) push(p *pkt.Packet) {
+	if f.n == len(f.ring) {
+		f.grow()
+	}
+	f.ring[(f.head+f.n)%len(f.ring)] = p
+	f.n++
+	f.Bytes += int64(p.Size)
+}
+
+func (f *Flow) pop() *pkt.Packet {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.ring[f.head]
+	f.ring[f.head] = nil
+	f.head = (f.head + 1) % len(f.ring)
+	f.n--
+	f.Bytes -= int64(p.Size)
+	return p
+}
+
+func (f *Flow) grow() {
+	size := len(f.ring) * 2
+	if size == 0 {
+		size = 8
+	}
+	ring := make([]*pkt.Packet, size)
+	for i := 0; i < f.n; i++ {
+		ring[i] = f.ring[(f.head+i)%len(f.ring)]
+	}
+	f.ring = ring
+	f.head = 0
+}
+
+// flow returns the Flow for id, creating (or recycling) one as needed.
+// Flow state does not persist across idle periods: once a flow drains it is
+// recycled and a later packet with the same ID starts fresh.
+func (c *Class) flow(id uint64) *Flow {
+	if f, ok := c.flows[id]; ok {
+		return f
+	}
+	var f *Flow
+	if n := len(c.flowFree); n > 0 {
+		f = c.flowFree[n-1]
+		c.flowFree = c.flowFree[:n-1]
+	} else {
+		f = &Flow{}
+		f.Node.Data = f
+	}
+	f.ID = id
+	c.flows[id] = f
+	return f
+}
+
+func (c *Class) releaseFlow(f *Flow) {
+	delete(c.flows, f.ID)
+	f.ID, f.Bytes, f.Rank, f.U0, f.U1 = 0, 0, 0, 0, 0
+	c.flowFree = append(c.flowFree, f)
+}
+
+// NumFlows returns the number of live flows in a flow leaf.
+func (c *Class) NumFlows() int { return len(c.flows) }

@@ -1,0 +1,509 @@
+// Package pifo implements Eiffel's extended PIFO scheduler programming
+// model (§3.2): scheduling transactions arranged in a class tree, plus the
+// paper's two new primitives — per-flow ranking with packet FIFOs inside
+// flows, and on-dequeue re-ranking — and its decoupled arbitrary shaping: a
+// single time-indexed shaper queue serves every rate limit and pacing
+// requirement in the hierarchy (§3.2.2, Figures 7 and 8).
+//
+// A Tree is driven with explicit timestamps (now, in ns) so it runs
+// identically under a virtual clock (deterministic tests, simulators) and a
+// wall clock (the BESS-style pipeline):
+//
+//	tree.Enqueue(leaf, p, now)
+//	p := tree.Dequeue(now)      // nil if nothing eligible yet
+//	t, ok := tree.NextEvent()   // arm a timer for the next shaper release
+package pifo
+
+import (
+	"fmt"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/ffsq"
+	"eiffel/internal/pkt"
+	"eiffel/internal/queue"
+)
+
+// ChildRanker is a scheduling transaction for an internal class: it ranks a
+// child class at (re)insertion into the class's priority queue. p is the
+// packet just dequeued through the child, or nil when the child is being
+// activated by a fresh arrival.
+type ChildRanker interface {
+	Rank(c *Class, p *pkt.Packet, now int64) uint64
+}
+
+// PacketRanker is a scheduling transaction for a packet leaf: it ranks an
+// arriving packet.
+type PacketRanker interface {
+	Rank(p *pkt.Packet, now int64) uint64
+}
+
+// FlowPolicy is the paper's per-flow ranking primitive with on-dequeue
+// re-ranking (§3.2.1, Figures 6 and 14). OnEnqueue runs for every arriving
+// packet and returns the flow's new rank — changing it reorders the whole
+// flow, not just the packet. OnDequeue runs after a packet leaves the flow
+// FIFO and returns the rank under which the (still backlogged) flow is
+// re-inserted.
+type FlowPolicy interface {
+	OnEnqueue(f *Flow, p *pkt.Packet, now int64) uint64
+	OnDequeue(f *Flow, p *pkt.Packet, now int64) uint64
+}
+
+type classKind uint8
+
+const (
+	internalClass classKind = iota
+	packetLeaf
+	flowLeaf
+)
+
+// Class is one node of the scheduling hierarchy.
+type Class struct {
+	// Name identifies the class in diagnostics.
+	Name string
+	// Weight is read by fair-sharing rankers of the parent.
+	Weight uint64
+	// Priority is read by strict-priority rankers of the parent.
+	Priority uint64
+
+	parent *Class
+	tree   *Tree
+	kind   classKind
+
+	node       bucket.Node // handle in parent's queue
+	shaperNode bucket.Node // handle in the tree's shaper
+
+	pq       queue.PQ
+	ranker   ChildRanker  // internal classes
+	pktRank  PacketRanker // packet leaves
+	flowPol  FlowPolicy   // flow leaves
+	timeGate bool         // packet leaf ranked by release timestamps
+
+	flows    map[uint64]*Flow
+	flowFree []*Flow
+
+	// vtime is the virtual time of this class's queue, advanced to the
+	// rank of each child served; fair-share rankers read and extend it.
+	vtime uint64
+	// finish is the fair-queueing finish tag rankers maintain for this
+	// class within its parent's virtual time domain.
+	finish uint64
+
+	// rateBps is the class's shaping rate in bits/s (0 = unlimited).
+	rateBps  uint64
+	burstNs  int64 // how far nextFree may lag behind now (catch-up credit)
+	nextFree int64 // ns when the next transmission is permitted
+	waiting  bool  // parked in the shaper, out of the parent's queue
+	resuming bool  // re-activation after a shaper park, not fresh demand
+
+	backlog int // packets in this subtree
+}
+
+// Backlog returns the number of packets queued under this class.
+func (c *Class) Backlog() int { return c.backlog }
+
+// Parent returns the parent class (nil for the root).
+func (c *Class) Parent() *Class { return c.parent }
+
+// VTime returns the class's virtual time: the rank at which its most
+// recent child was served. Fair-share rankers use it as the activation
+// baseline.
+func (c *Class) VTime() uint64 { return c.vtime }
+
+// Finish returns the fair-queueing finish tag maintained by rankers.
+func (c *Class) Finish() uint64 { return c.finish }
+
+// SetFinish stores the fair-queueing finish tag.
+func (c *Class) SetFinish(v uint64) { c.finish = v }
+
+// Resuming reports whether the class is being re-activated after a shaper
+// park rather than becoming backlogged afresh. Fair-share rankers use this
+// to preserve the class's virtual-time position across rate-limit gaps —
+// without it, a limited class would re-join at the current virtual time
+// after every release and lose its weighted share (the problem hClock's
+// separate tags solve; here one bit suffices).
+func (c *Class) Resuming() bool { return c.resuming }
+
+// Tree is a complete Eiffel scheduler instance.
+type Tree struct {
+	root    *Class
+	shaper  *ffsq.CFFS
+	classes []*Class
+	path    []*Class // scratch: classes visited by the last pull
+}
+
+// TreeOptions configures a scheduler tree.
+type TreeOptions struct {
+	// RootRanker orders the root's children (default: WFQ-style virtual
+	// time is NOT assumed — callers must supply one for internal roots).
+	RootRanker ChildRanker
+	// RootRateBps paces the aggregate output (Figure 7's root pacing).
+	RootRateBps uint64
+	// RootQueue sizes the root's priority queue.
+	RootQueue queue.Config
+	// RootQueueKind picks the root's backend (default cFFS).
+	RootQueueKind queue.Kind
+	// ShaperBuckets and ShaperGranularity size the single shared shaper
+	// (defaults: 1<<16 buckets of 65536 ns — a ~4s horizon at ~65 us
+	// resolution on each side of the window).
+	ShaperBuckets     int
+	ShaperGranularity uint64
+}
+
+// NewTree returns a scheduler whose root is an internal class ordered by
+// opt.RootRanker.
+func NewTree(opt TreeOptions) *Tree {
+	if opt.RootRanker == nil {
+		panic("pifo: NewTree needs a RootRanker")
+	}
+	if opt.ShaperBuckets == 0 {
+		opt.ShaperBuckets = 1 << 16
+	}
+	if opt.ShaperGranularity == 0 {
+		opt.ShaperGranularity = 1 << 16
+	}
+	t := &Tree{
+		shaper: ffsq.NewCFFS(ffsq.CFFSOptions{
+			NumBuckets:  opt.ShaperBuckets,
+			Granularity: opt.ShaperGranularity,
+		}),
+	}
+	t.root = t.newClass("root", nil, internalClass, opt.RootQueueKind, opt.RootQueue)
+	t.root.ranker = opt.RootRanker
+	t.root.rateBps = opt.RootRateBps
+	if t.root.rateBps > 0 {
+		t.root.burstNs = int64(uint64(64<<10) * 8 * 1e9 / t.root.rateBps)
+	}
+	return t
+}
+
+// Root returns the root class.
+func (t *Tree) Root() *Class { return t.root }
+
+// Len returns the total number of queued packets.
+func (t *Tree) Len() int { return t.root.backlog }
+
+func (t *Tree) newClass(name string, parent *Class, kind classKind, qk queue.Kind, qc queue.Config) *Class {
+	c := &Class{
+		Name:   name,
+		parent: parent,
+		tree:   t,
+		kind:   kind,
+		Weight: 1,
+	}
+	c.node.Data = c
+	c.shaperNode.Data = c
+	if kind != flowLeaf {
+		c.pq = queue.New(qk, qc)
+	} else {
+		c.pq = queue.New(qk, qc)
+		c.flows = make(map[uint64]*Flow)
+	}
+	t.classes = append(t.classes, c)
+	return c
+}
+
+// ClassOptions configures a child class.
+type ClassOptions struct {
+	// Name identifies the class in diagnostics.
+	Name string
+	// Weight is read by fair-sharing rankers of the parent (default 1).
+	Weight uint64
+	// Priority is read by strict-priority rankers of the parent.
+	Priority uint64
+	// RateBps attaches a shaping rate limit to this class (0 = none). Any
+	// class — leaf or internal — may be limited (§3.2.2).
+	RateBps uint64
+	// BurstBytes bounds the catch-up credit of a limited class (default
+	// 64 KiB): when parent gates delay a class beyond its own rate, the
+	// charging timestamp may lag behind now by up to this many bytes'
+	// worth of time, so the class still converges to its configured rate
+	// instead of losing the gaps. Long-run rate never exceeds RateBps —
+	// the timestamp chain advances by size/rate per packet regardless.
+	BurstBytes uint64
+	// Queue sizes the class's priority queue.
+	Queue queue.Config
+	// QueueKind picks the backend (default cFFS).
+	QueueKind queue.Kind
+}
+
+func (t *Tree) addChild(parent *Class, kind classKind, opt ClassOptions) *Class {
+	if parent == nil {
+		parent = t.root
+	}
+	if parent.kind != internalClass {
+		panic(fmt.Sprintf("pifo: class %q is a leaf and cannot have children", parent.Name))
+	}
+	c := t.newClass(opt.Name, parent, kind, opt.QueueKind, opt.Queue)
+	if opt.Weight > 0 {
+		c.Weight = opt.Weight
+	}
+	c.Priority = opt.Priority
+	c.rateBps = opt.RateBps
+	if c.rateBps > 0 {
+		burst := opt.BurstBytes
+		if burst == 0 {
+			burst = 64 << 10
+		}
+		c.burstNs = int64(burst * 8 * 1e9 / c.rateBps)
+	}
+	return c
+}
+
+// NewInternal adds an internal class whose children are ordered by ranker.
+func (t *Tree) NewInternal(parent *Class, ranker ChildRanker, opt ClassOptions) *Class {
+	if ranker == nil {
+		panic("pifo: NewInternal needs a ranker")
+	}
+	c := t.addChild(parent, internalClass, opt)
+	c.ranker = ranker
+	return c
+}
+
+// NewPacketLeaf adds a leaf that ranks individual packets with ranker.
+func (t *Tree) NewPacketLeaf(parent *Class, ranker PacketRanker, opt ClassOptions) *Class {
+	if ranker == nil {
+		panic("pifo: NewPacketLeaf needs a ranker")
+	}
+	c := t.addChild(parent, packetLeaf, opt)
+	c.pktRank = ranker
+	return c
+}
+
+// NewTimeGatedLeaf adds a packet leaf ordered and gated by absolute release
+// timestamps (p.SendAt): packets never leave before their timestamp. This
+// is the Carousel-style per-packet shaping primitive, driven by the tree's
+// single shaper.
+func (t *Tree) NewTimeGatedLeaf(parent *Class, opt ClassOptions) *Class {
+	c := t.addChild(parent, packetLeaf, opt)
+	c.pktRank = sendAtRanker{}
+	c.timeGate = true
+	return c
+}
+
+type sendAtRanker struct{}
+
+func (sendAtRanker) Rank(p *pkt.Packet, _ int64) uint64 { return uint64(p.SendAt) }
+
+// NewFlowLeaf adds a per-flow ranking leaf (the paper's first new
+// primitive): packets join per-flow FIFOs and the policy ranks flows.
+func (t *Tree) NewFlowLeaf(parent *Class, policy FlowPolicy, opt ClassOptions) *Class {
+	if policy == nil {
+		panic("pifo: NewFlowLeaf needs a policy")
+	}
+	c := t.addChild(parent, flowLeaf, opt)
+	c.flowPol = policy
+	return c
+}
+
+// Enqueue inserts p at the given leaf class using the supplied clock.
+func (t *Tree) Enqueue(leaf *Class, p *pkt.Packet, now int64) {
+	switch leaf.kind {
+	case packetLeaf:
+		leaf.pq.Enqueue(&p.SchedNode, leaf.pktRank.Rank(p, now))
+	case flowLeaf:
+		f := leaf.flow(p.Flow)
+		f.push(p)
+		r := leaf.flowPol.OnEnqueue(f, p, now)
+		if f.Node.Queued() {
+			if r != f.Node.Rank() {
+				// Per-flow ranking: a new arrival re-ranks every queued
+				// packet of the flow by moving the flow itself — O(1) in
+				// bucketed queues.
+				leaf.pq.Remove(&f.Node)
+				leaf.pq.Enqueue(&f.Node, r)
+			}
+		} else {
+			leaf.pq.Enqueue(&f.Node, r)
+		}
+	default:
+		panic(fmt.Sprintf("pifo: Enqueue into internal class %q", leaf.Name))
+	}
+	for c := leaf; c != nil; c = c.parent {
+		c.backlog++
+	}
+	if leaf.timeGate {
+		if head, ok := leaf.pq.PeekMin(); ok && int64(head) > now {
+			t.suspend(leaf, int64(head), now)
+			return
+		}
+	}
+	if !leaf.waiting {
+		t.activate(leaf, now)
+	}
+}
+
+// activate inserts c (and, transitively, newly non-empty ancestors) into
+// the parent queues, parking any class whose rate gate is still closed.
+func (t *Tree) activate(c *Class, now int64) {
+	for c.parent != nil {
+		if c.waiting || c.node.Queued() || !c.hasDemand() {
+			return
+		}
+		if c.rateBps > 0 && c.nextFree > now {
+			t.suspend(c, c.nextFree, now)
+			return
+		}
+		c.parent.pq.Enqueue(&c.node, c.parent.ranker.Rank(c, nil, now))
+		c = c.parent
+	}
+}
+
+// deactivate removes c from its parent's queue, cascading upward through
+// ancestors whose queues empty out.
+func (t *Tree) deactivate(c *Class) {
+	for c.parent != nil && c.node.Queued() {
+		parent := c.parent
+		parent.pq.Remove(&c.node)
+		if parent.pq.Len() > 0 {
+			return
+		}
+		c = parent
+	}
+}
+
+func (c *Class) hasDemand() bool { return c.pq.Len() > 0 }
+
+// suspend parks c in the shaper until the given time, removing it from the
+// scheduling hierarchy. One shaper serves the entire tree (§3.2.2). The
+// release is quantized up to the next shaper bucket strictly after now:
+// entries in already-elapsed buckets would re-fire in the same
+// processShaper pass and spin. Shaping precision is therefore exactly the
+// shaper granularity, the paper's stated contract for bucketed shaping.
+func (t *Tree) suspend(c *Class, until, now int64) {
+	g := int64(t.shaper.Granularity())
+	if until/g <= now/g {
+		until = (now/g + 1) * g
+	}
+	c.waiting = true
+	t.deactivate(c)
+	if c.shaperNode.Queued() {
+		if c.shaperNode.Rank() <= uint64(until) {
+			return // an earlier release is already pending; it re-checks
+		}
+		t.shaper.Remove(&c.shaperNode)
+	}
+	t.shaper.Enqueue(&c.shaperNode, uint64(until))
+}
+
+// processShaper releases every class whose shaper timestamp has arrived.
+func (t *Tree) processShaper(now int64) {
+	for {
+		r, ok := t.shaper.PeekMin()
+		if !ok || int64(r) > now {
+			return
+		}
+		n := t.shaper.DequeueMin()
+		c := n.Data.(*Class)
+		c.waiting = false
+		// Re-validate remaining gates before re-admitting the class.
+		if c.rateBps > 0 && c.nextFree > now {
+			t.suspend(c, c.nextFree, now)
+			continue
+		}
+		if c.timeGate {
+			if head, ok := c.pq.PeekMin(); ok && int64(head) > now {
+				t.suspend(c, int64(head), now)
+				continue
+			}
+		}
+		c.resuming = true
+		t.activate(c, now)
+		c.resuming = false
+	}
+}
+
+// Dequeue returns the next transmittable packet, or nil if none is
+// eligible at the given time (use NextEvent to arm a timer).
+func (t *Tree) Dequeue(now int64) *pkt.Packet {
+	t.processShaper(now)
+	if t.root.waiting || t.root.backlog == 0 {
+		return nil
+	}
+	t.path = t.path[:0]
+	p := t.pull(t.root, now)
+	if p == nil {
+		return nil
+	}
+	t.afterDequeue(p, now)
+	return p
+}
+
+// pull extracts the next packet from c's subtree, recording visited classes
+// and re-inserting children that remain backlogged.
+func (t *Tree) pull(c *Class, now int64) *pkt.Packet {
+	t.path = append(t.path, c)
+	switch c.kind {
+	case packetLeaf:
+		n := c.pq.DequeueMin()
+		if n == nil {
+			return nil
+		}
+		return pkt.FromSchedNode(n)
+	case flowLeaf:
+		n := c.pq.DequeueMin()
+		if n == nil {
+			return nil
+		}
+		f := n.Data.(*Flow)
+		p := f.pop()
+		// On-dequeue ranking: the paper's second new primitive.
+		r := c.flowPol.OnDequeue(f, p, now)
+		if f.Len() > 0 {
+			c.pq.Enqueue(&f.Node, r)
+		} else {
+			c.releaseFlow(f)
+		}
+		return p
+	default:
+		n := c.pq.DequeueMin()
+		if n == nil {
+			return nil
+		}
+		if r := n.Rank(); r > c.vtime {
+			c.vtime = r
+		}
+		child := n.Data.(*Class)
+		p := t.pull(child, now)
+		if p != nil && child.hasDemand() {
+			c.pq.Enqueue(&child.node, c.ranker.Rank(child, p, now))
+		}
+		return p
+	}
+}
+
+// afterDequeue walks the pull path: decrements backlogs, charges rate
+// limits (token-less timestamp shaping, as Carousel showed beats token
+// buckets), and re-parks time-gated leaves whose next head is in the
+// future.
+func (t *Tree) afterDequeue(p *pkt.Packet, now int64) {
+	for _, c := range t.path {
+		c.backlog--
+		if c.rateBps > 0 {
+			start := c.nextFree
+			if floor := now - c.burstNs; start < floor {
+				start = floor
+			}
+			c.nextFree = start + int64(uint64(p.Size)*8*1e9/c.rateBps)
+			if c.nextFree > now {
+				// Park even when idle: the root's pacing gate must hold
+				// against packets that arrive during the gap, and the
+				// release is a cheap no-op if the class stays empty.
+				t.suspend(c, c.nextFree, now)
+			}
+		}
+		if c.timeGate && c.backlog > 0 && !c.waiting {
+			if head, ok := c.pq.PeekMin(); ok && int64(head) > now {
+				t.suspend(c, int64(head), now)
+			}
+		}
+	}
+}
+
+// NextEvent returns the earliest pending shaper release, quantized to the
+// shaper granularity. ok is false when no release is pending. This is the
+// SoonestDeadline() operation the kernel deployment uses to arm its timer
+// exactly (§4).
+func (t *Tree) NextEvent() (int64, bool) {
+	r, ok := t.shaper.PeekMin()
+	return int64(r), ok
+}

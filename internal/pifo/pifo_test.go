@@ -1,0 +1,318 @@
+package pifo_test
+
+import (
+	"testing"
+
+	"eiffel/internal/pifo"
+	"eiffel/internal/pkt"
+	"eiffel/internal/policy"
+	"eiffel/internal/queue"
+)
+
+func mkPacket(pool *pkt.Pool, flow uint64, size uint32) *pkt.Packet {
+	p := pool.Get()
+	p.Flow = flow
+	p.Size = size
+	return p
+}
+
+func smallQueue() queue.Config { return queue.Config{NumBuckets: 1 << 12, Granularity: 1} }
+
+func newTestTree() *pifo.Tree {
+	return pifo.NewTree(pifo.TreeOptions{
+		RootRanker:        policy.WFQ{},
+		RootQueue:         smallQueue(),
+		ShaperBuckets:     1 << 12,
+		ShaperGranularity: 1 << 10,
+	})
+}
+
+func TestPacketLeafEDF(t *testing.T) {
+	tr := newTestTree()
+	leaf := tr.NewPacketLeaf(nil, policy.EDF{}, pifo.ClassOptions{Name: "edf", Queue: smallQueue()})
+	pool := pkt.NewPool(16)
+	deadlines := []int64{500, 100, 300}
+	for _, d := range deadlines {
+		p := mkPacket(pool, 1, 100)
+		p.Deadline = d
+		tr.Enqueue(leaf, p, 0)
+	}
+	want := []int64{100, 300, 500}
+	for i, w := range want {
+		p := tr.Dequeue(0)
+		if p == nil || p.Deadline != w {
+			t.Fatalf("dequeue %d: got %v, want deadline %d", i, p, w)
+		}
+	}
+	if tr.Dequeue(0) != nil {
+		t.Fatal("tree should be empty")
+	}
+}
+
+func TestFlowLeafPerFlowFIFOPreserved(t *testing.T) {
+	tr := newTestTree()
+	leaf := tr.NewFlowLeaf(nil, policy.PFabric{}, pifo.ClassOptions{Name: "pf", Queue: smallQueue()})
+	pool := pkt.NewPool(16)
+	// Flow 1 has remaining size 3000 (rank), flow 2 has 500: flow 2 wins,
+	// but each flow's packets must come out in arrival order.
+	for i, r := range []uint64{3000, 2500, 2000} {
+		p := mkPacket(pool, 1, 500)
+		p.Rank = r
+		p.Deadline = int64(i)
+		tr.Enqueue(leaf, p, 0)
+	}
+	for _, r := range []uint64{500, 250} {
+		p := mkPacket(pool, 2, 250)
+		p.Rank = r
+		tr.Enqueue(leaf, p, 0)
+	}
+	var flows []uint64
+	var ranks []uint64
+	for {
+		p := tr.Dequeue(0)
+		if p == nil {
+			break
+		}
+		flows = append(flows, p.Flow)
+		ranks = append(ranks, p.Rank)
+	}
+	wantFlows := []uint64{2, 2, 1, 1, 1}
+	wantRanks := []uint64{500, 250, 3000, 2500, 2000}
+	for i := range wantFlows {
+		if flows[i] != wantFlows[i] || ranks[i] != wantRanks[i] {
+			t.Fatalf("order flows=%v ranks=%v", flows, ranks)
+		}
+	}
+}
+
+func TestLQFOnEnqueueReordersWholeFlow(t *testing.T) {
+	tr := newTestTree()
+	leaf := tr.NewFlowLeaf(nil, policy.LQF{}, pifo.ClassOptions{Name: "lqf", Queue: smallQueue()})
+	pool := pkt.NewPool(16)
+	// Flow 1: 1 packet. Flow 2: 3 packets. LQF serves flow 2 first.
+	tr.Enqueue(leaf, mkPacket(pool, 1, 100), 0)
+	for i := 0; i < 3; i++ {
+		tr.Enqueue(leaf, mkPacket(pool, 2, 100), 0)
+	}
+	// First dequeue: flow 2 (len 3). After one dequeue flow 2 has len 2,
+	// still longer than flow 1.
+	got := []uint64{}
+	for {
+		p := tr.Dequeue(0)
+		if p == nil {
+			break
+		}
+		got = append(got, p.Flow)
+	}
+	// LQF with on-dequeue re-ranking alternates once the lengths equal:
+	// 2 (3->2), 2 (2->1), then flows tie at len 1: FIFO within bucket
+	// means flow 1 (inserted into the tie bucket earlier... flow ranks are
+	// re-ranked on dequeue so exact tie order depends on move order). The
+	// key property: the first two dequeues must be flow 2.
+	if got[0] != 2 || got[1] != 2 {
+		t.Fatalf("LQF should serve the longest flow first: %v", got)
+	}
+	if len(got) != 4 {
+		t.Fatalf("drained %d, want 4", len(got))
+	}
+}
+
+func TestWFQSharesRoughlyProportional(t *testing.T) {
+	tr := newTestTree()
+	a := tr.NewPacketLeaf(nil, &policy.FIFO{}, pifo.ClassOptions{Name: "a", Weight: 3, Queue: smallQueue()})
+	b := tr.NewPacketLeaf(nil, &policy.FIFO{}, pifo.ClassOptions{Name: "b", Weight: 1, Queue: smallQueue()})
+	pool := pkt.NewPool(512)
+	for i := 0; i < 200; i++ {
+		tr.Enqueue(a, mkPacket(pool, 1, 1000), 0)
+		tr.Enqueue(b, mkPacket(pool, 2, 1000), 0)
+	}
+	counts := map[uint64]int{}
+	for i := 0; i < 100; i++ {
+		p := tr.Dequeue(0)
+		if p == nil {
+			t.Fatal("unexpected empty dequeue")
+		}
+		counts[p.Flow]++
+	}
+	// Weight 3:1 should yield ~75:25 out of 100.
+	if counts[1] < 65 || counts[1] > 85 {
+		t.Fatalf("weighted share off: %v", counts)
+	}
+}
+
+func TestStrictPriorityBetweenClasses(t *testing.T) {
+	tr := pifo.NewTree(pifo.TreeOptions{
+		RootRanker: policy.StrictChild{},
+		RootQueue:  queue.Config{NumBuckets: 16, Granularity: 1},
+	})
+	hi := tr.NewPacketLeaf(nil, &policy.FIFO{}, pifo.ClassOptions{Name: "hi", Priority: 0, Queue: smallQueue()})
+	lo := tr.NewPacketLeaf(nil, &policy.FIFO{}, pifo.ClassOptions{Name: "lo", Priority: 1, Queue: smallQueue()})
+	pool := pkt.NewPool(16)
+	tr.Enqueue(lo, mkPacket(pool, 2, 100), 0)
+	tr.Enqueue(lo, mkPacket(pool, 2, 100), 0)
+	tr.Enqueue(hi, mkPacket(pool, 1, 100), 0)
+	if p := tr.Dequeue(0); p.Flow != 1 {
+		t.Fatal("high priority class must be served first")
+	}
+	// New high-priority arrival preempts remaining low-priority backlog.
+	tr.Enqueue(hi, mkPacket(pool, 1, 100), 0)
+	if p := tr.Dequeue(0); p.Flow != 1 {
+		t.Fatal("fresh high-priority arrival must preempt")
+	}
+	if p := tr.Dequeue(0); p.Flow != 2 {
+		t.Fatal("low priority should drain last")
+	}
+}
+
+// TestFigure7TwoLimits reproduces the paper's Figure 7/8 walk-through: a
+// leaf limited to 7 Mbps inside a node limited to 10 Mbps under a paced
+// root. The leaf's egress must respect the tightest (7 Mbps) limit; a
+// sibling leaf under the same 10 Mbps node must be able to use the
+// remainder but the node total must hold at 10 Mbps.
+func TestFigure7TwoLimits(t *testing.T) {
+	const (
+		mbps7   = 7_000_000
+		mbps10  = 10_000_000
+		mbps100 = 100_000_000 // root pacing, loose
+		pktSize = 1250        // 10_000 bits
+	)
+	tr := pifo.NewTree(pifo.TreeOptions{
+		RootRanker:        policy.WFQ{},
+		RootRateBps:       mbps100,
+		RootQueue:         smallQueue(),
+		ShaperBuckets:     1 << 14,
+		ShaperGranularity: 1 << 12, // ~4 us buckets
+	})
+	// The limited leaf's WFQ share (9/10 of 10 Mbps = 9 Mbps) exceeds its
+	// own 7 Mbps limit, so the leaf must cap at 7 while its sibling picks
+	// up the residual 3 — exercising both gates plus work conservation.
+	mid := tr.NewInternal(nil, policy.WFQ{}, pifo.ClassOptions{Name: "mid", RateBps: mbps10, Queue: smallQueue()})
+	limited := tr.NewPacketLeaf(mid, &policy.FIFO{}, pifo.ClassOptions{Name: "leaf7", RateBps: mbps7, Weight: 9, Queue: smallQueue()})
+	open := tr.NewPacketLeaf(mid, &policy.FIFO{}, pifo.ClassOptions{Name: "open", Weight: 1, Queue: smallQueue()})
+
+	pool := pkt.NewPool(4096)
+	for i := 0; i < 1000; i++ {
+		tr.Enqueue(limited, mkPacket(pool, 1, pktSize), 0)
+		tr.Enqueue(open, mkPacket(pool, 2, pktSize), 0)
+	}
+
+	bits := map[uint64]int64{}
+	now := int64(0)
+	const horizon = int64(1e9) // 1 simulated second
+	for now < horizon {
+		p := tr.Dequeue(now)
+		if p == nil {
+			next, ok := tr.NextEvent()
+			if !ok {
+				break
+			}
+			if next <= now {
+				next = now + 1000
+			}
+			now = next
+			continue
+		}
+		bits[p.Flow] += int64(p.Size) * 8
+	}
+
+	total := float64(bits[1]+bits[2]) / 1e9 * 1e9 // bits per second over 1s
+	rate1 := float64(bits[1])
+	rateTotal := float64(bits[1] + bits[2])
+	_ = total
+	// Leaf 1 must be near (and never above ~5% over) 7 Mbps.
+	if rate1 > mbps7*1.05 {
+		t.Fatalf("limited leaf exceeded 7 Mbps: %.2f Mbps", rate1/1e6)
+	}
+	if rate1 < mbps7*0.80 {
+		t.Fatalf("limited leaf starved: %.2f Mbps", rate1/1e6)
+	}
+	// Node total must be near (and never above ~5% over) 10 Mbps.
+	if rateTotal > mbps10*1.05 {
+		t.Fatalf("mid node exceeded 10 Mbps: %.2f Mbps", rateTotal/1e6)
+	}
+	if rateTotal < mbps10*0.80 {
+		t.Fatalf("mid node starved: %.2f Mbps", rateTotal/1e6)
+	}
+}
+
+func TestTimeGatedLeafPacing(t *testing.T) {
+	tr := pifo.NewTree(pifo.TreeOptions{
+		RootRanker:        policy.WFQ{},
+		RootQueue:         smallQueue(),
+		ShaperBuckets:     1 << 12,
+		ShaperGranularity: 1000, // 1 us buckets
+	})
+	leaf := tr.NewTimeGatedLeaf(nil, pifo.ClassOptions{Name: "paced", Queue: queue.Config{NumBuckets: 1 << 12, Granularity: 1000}})
+	pool := pkt.NewPool(16)
+	// Release times 10us apart.
+	for i := 1; i <= 5; i++ {
+		p := mkPacket(pool, 1, 1500)
+		p.SendAt = int64(i) * 10_000
+		tr.Enqueue(leaf, p, 0)
+	}
+	if p := tr.Dequeue(0); p != nil {
+		t.Fatal("nothing should release at t=0")
+	}
+	next, ok := tr.NextEvent()
+	if !ok || next > 10_000 {
+		t.Fatalf("NextEvent = (%d,%v), want <= 10000", next, ok)
+	}
+	released := 0
+	for now := int64(0); now <= 60_000; now += 1000 {
+		for {
+			p := tr.Dequeue(now)
+			if p == nil {
+				break
+			}
+			if p.SendAt > now {
+				t.Fatalf("packet released %d ns early", p.SendAt-now)
+			}
+			released++
+		}
+	}
+	if released != 5 {
+		t.Fatalf("released %d, want 5", released)
+	}
+}
+
+func TestDequeueEmptyAndIdleRobustness(t *testing.T) {
+	tr := newTestTree()
+	leaf := tr.NewPacketLeaf(nil, &policy.FIFO{}, pifo.ClassOptions{Name: "x", Queue: smallQueue()})
+	if tr.Dequeue(0) != nil {
+		t.Fatal("empty tree must dequeue nil")
+	}
+	pool := pkt.NewPool(4)
+	tr.Enqueue(leaf, mkPacket(pool, 1, 100), 100)
+	if p := tr.Dequeue(100); p == nil {
+		t.Fatal("packet lost")
+	}
+	if tr.Dequeue(100) != nil {
+		t.Fatal("double dequeue")
+	}
+	// Long idle gap then a new arrival: shaper window must follow.
+	tr.Enqueue(leaf, mkPacket(pool, 1, 100), 1e12)
+	if p := tr.Dequeue(1e12); p == nil {
+		t.Fatal("packet after idle gap lost")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestBacklogAccounting(t *testing.T) {
+	tr := newTestTree()
+	mid := tr.NewInternal(nil, policy.WFQ{}, pifo.ClassOptions{Name: "mid", Queue: smallQueue()})
+	leaf := tr.NewPacketLeaf(mid, &policy.FIFO{}, pifo.ClassOptions{Name: "leaf", Queue: smallQueue()})
+	pool := pkt.NewPool(16)
+	for i := 0; i < 5; i++ {
+		tr.Enqueue(leaf, mkPacket(pool, 1, 100), 0)
+	}
+	if leaf.Backlog() != 5 || mid.Backlog() != 5 || tr.Len() != 5 {
+		t.Fatal("backlog accounting wrong after enqueue")
+	}
+	tr.Dequeue(0)
+	tr.Dequeue(0)
+	if leaf.Backlog() != 3 || mid.Backlog() != 3 || tr.Len() != 3 {
+		t.Fatal("backlog accounting wrong after dequeue")
+	}
+}

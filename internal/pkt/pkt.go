@@ -1,0 +1,112 @@
+// Package pkt defines the packet representation shared by every scheduler,
+// substrate, and simulator in this repository, plus a free-list pool that
+// keeps the hot enqueue/dequeue paths allocation-free (Go's GC would
+// otherwise dominate exactly the latency microbenchmarks the paper cares
+// about).
+package pkt
+
+import "eiffel/internal/bucket"
+
+// Packet is one schedulable unit. Scheduling state lives in the embedded
+// intrusive handles; metadata fields are annotations set by packet
+// annotators (§3, Figure 1) and read by ranking transactions.
+type Packet struct {
+	// SchedNode is the packet's handle in scheduling priority queues.
+	SchedNode bucket.Node
+	// TimerNode is the packet's handle in time-indexed structures (the
+	// shaper, timing wheels); separate so a packet can be ordered and
+	// time-gated simultaneously (Figure 8).
+	TimerNode bucket.Node
+
+	// ID is a monotonically assigned identifier.
+	ID uint64
+	// Flow identifies the flow the packet belongs to.
+	Flow uint64
+	// Size is the packet length in bytes.
+	Size uint32
+	// Class is the traffic class assigned by the annotator.
+	Class int32
+	// Rank is a policy-specific rank annotation (e.g. remaining flow size
+	// for pFabric).
+	Rank uint64
+	// Deadline is an absolute deadline in ns (EDF/LSTF policies).
+	Deadline int64
+	// Arrival is the enqueue timestamp in ns.
+	Arrival int64
+	// SendAt is the shaping release timestamp in ns.
+	SendAt int64
+	// Seq is the transport sequence number (network simulator).
+	Seq uint32
+	// Flags carries simulator flag bits (see FlagECN, FlagACK).
+	Flags uint32
+}
+
+// Packet flag bits.
+const (
+	// FlagECN marks congestion experienced (DCTCP marking).
+	FlagECN uint32 = 1 << iota
+	// FlagACK identifies acknowledgment packets.
+	FlagACK
+	// FlagECNEcho carries the receiver's congestion echo on an ACK.
+	FlagECNEcho
+)
+
+// FromSchedNode recovers the packet owning a scheduling node.
+func FromSchedNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
+
+// FromTimerNode recovers the packet owning a timer node.
+func FromTimerNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
+
+// Pool is a non-concurrent free list of packets. Get returns a zeroed
+// packet whose intrusive handles point back at it.
+type Pool struct {
+	free   []*Packet
+	nextID uint64
+	allocs uint64
+}
+
+// NewPool returns a pool pre-populated with capacity packets.
+func NewPool(capacity int) *Pool {
+	p := &Pool{free: make([]*Packet, 0, capacity)}
+	for i := 0; i < capacity; i++ {
+		p.free = append(p.free, p.fresh())
+	}
+	return p
+}
+
+func (pl *Pool) fresh() *Packet {
+	pl.allocs++
+	p := &Packet{}
+	p.SchedNode.Data = p
+	p.TimerNode.Data = p
+	return p
+}
+
+// Get returns a packet with a fresh ID and zeroed metadata.
+func (pl *Pool) Get() *Packet {
+	var p *Packet
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free = pl.free[:n-1]
+	} else {
+		p = pl.fresh()
+	}
+	pl.nextID++
+	p.ID = pl.nextID
+	return p
+}
+
+// Put recycles a packet. The packet must be detached from all queues.
+func (pl *Pool) Put(p *Packet) {
+	if p.SchedNode.Queued() || p.TimerNode.Queued() {
+		panic("pkt: Put of a packet still queued")
+	}
+	p.Flow, p.Size, p.Class, p.Rank = 0, 0, 0, 0
+	p.Deadline, p.Arrival, p.SendAt = 0, 0, 0
+	p.Seq, p.Flags = 0, 0
+	pl.free = append(pl.free, p)
+}
+
+// Allocs reports how many packets were ever allocated (pool misses plus
+// pre-population); benchmarks assert this stays flat in steady state.
+func (pl *Pool) Allocs() uint64 { return pl.allocs }

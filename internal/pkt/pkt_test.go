@@ -1,0 +1,69 @@
+package pkt
+
+import (
+	"testing"
+
+	"eiffel/internal/bucket"
+)
+
+func TestPoolRecycle(t *testing.T) {
+	pool := NewPool(2)
+	a := pool.Get()
+	b := pool.Get()
+	if a.ID == b.ID {
+		t.Fatal("IDs must be unique")
+	}
+	a.Flow, a.Size, a.Rank, a.Seq, a.Flags = 7, 1500, 42, 9, FlagECN
+	pool.Put(a)
+	c := pool.Get()
+	if c != a {
+		t.Fatal("expected recycled packet")
+	}
+	if c.Flow != 0 || c.Size != 0 || c.Rank != 0 || c.Seq != 0 || c.Flags != 0 {
+		t.Fatal("recycled packet not zeroed")
+	}
+	if c.ID == 0 || c.ID == b.ID {
+		t.Fatal("recycled packet needs a fresh ID")
+	}
+}
+
+func TestPoolGrowsBeyondCapacity(t *testing.T) {
+	pool := NewPool(1)
+	a, b := pool.Get(), pool.Get()
+	if a == nil || b == nil {
+		t.Fatal("pool must grow on demand")
+	}
+	if pool.Allocs() != 2 {
+		t.Fatalf("Allocs = %d, want 2", pool.Allocs())
+	}
+}
+
+func TestNodeBackPointers(t *testing.T) {
+	pool := NewPool(1)
+	p := pool.Get()
+	if FromSchedNode(&p.SchedNode) != p {
+		t.Fatal("SchedNode.Data must point at its packet")
+	}
+	if FromTimerNode(&p.TimerNode) != p {
+		t.Fatal("TimerNode.Data must point at its packet")
+	}
+}
+
+func TestPutQueuedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when putting a queued packet")
+		}
+	}()
+	pool := NewPool(1)
+	p := pool.Get()
+	arr := bucket.NewArray(1)
+	arr.Push(0, &p.SchedNode, 0)
+	pool.Put(p)
+}
+
+func TestFlagBitsDistinct(t *testing.T) {
+	if FlagECN&FlagACK != 0 || FlagACK&FlagECNEcho != 0 || FlagECN&FlagECNEcho != 0 {
+		t.Fatal("flag bits overlap")
+	}
+}

@@ -1,0 +1,60 @@
+package policy
+
+import (
+	"fmt"
+
+	"eiffel/internal/pifo"
+)
+
+// Registry resolves the paper's transaction names for the policy compiler
+// (pifo.Compile). Fresh stateful rankers (FIFO, RR) are created per call
+// so compiled trees never share counters.
+type Registry struct{}
+
+// ChildRanker implements pifo.CompileRegistry.
+func (Registry) ChildRanker(name string) (pifo.ChildRanker, error) {
+	switch name {
+	case "", "wfq":
+		return WFQ{}, nil
+	case "strict":
+		return StrictChild{}, nil
+	case "rr":
+		return &RRChild{}, nil
+	default:
+		return nil, fmt.Errorf("unknown child ranker %q", name)
+	}
+}
+
+// PacketRanker implements pifo.CompileRegistry.
+func (Registry) PacketRanker(name string) (pifo.PacketRanker, error) {
+	switch name {
+	case "", "fifo":
+		return &FIFO{}, nil
+	case "edf":
+		return EDF{}, nil
+	case "strict":
+		return StrictPacket{}, nil
+	case "lstf":
+		return LSTF{}, nil
+	case "rank":
+		return RankAnnotation{}, nil
+	default:
+		return nil, fmt.Errorf("unknown packet ranker %q", name)
+	}
+}
+
+// FlowPolicy implements pifo.CompileRegistry.
+func (Registry) FlowPolicy(name string) (pifo.FlowPolicy, error) {
+	switch name {
+	case "", "fifo":
+		return &FlowFIFO{}, nil
+	case "pfabric":
+		return PFabric{}, nil
+	case "lqf":
+		return LQF{}, nil
+	case "sqf":
+		return SQF{}, nil
+	default:
+		return nil, fmt.Errorf("unknown flow policy %q", name)
+	}
+}

@@ -1,0 +1,51 @@
+package qdisc
+
+import (
+	"sync"
+
+	"eiffel/internal/pkt"
+)
+
+// Locked wraps a Qdisc behind one mutex — the global qdisc lock that
+// serializes all access in the kernel (§4: "Access to qdiscs is serialized
+// through a global qdisc lock"). Senders on many cores contend on this
+// lock, which is why per-packet work inside the qdisc matters so much: the
+// critical section is the whole enqueue/dequeue.
+type Locked struct {
+	mu sync.Mutex
+	q  Qdisc
+}
+
+// NewLocked wraps q.
+func NewLocked(q Qdisc) *Locked { return &Locked{q: q} }
+
+// Name implements Qdisc.
+func (l *Locked) Name() string { return l.q.Name() + "+lock" }
+
+// Len implements Qdisc.
+func (l *Locked) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.q.Len()
+}
+
+// Enqueue implements Qdisc.
+func (l *Locked) Enqueue(p *pkt.Packet, now int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.q.Enqueue(p, now)
+}
+
+// Dequeue implements Qdisc.
+func (l *Locked) Dequeue(now int64) *pkt.Packet {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.q.Dequeue(now)
+}
+
+// NextTimer implements Qdisc.
+func (l *Locked) NextTimer(now int64) (int64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.q.NextTimer(now)
+}

@@ -1,0 +1,83 @@
+package qdisc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eiffel/internal/pkt"
+)
+
+func TestLockedConcurrentProducers(t *testing.T) {
+	q := NewLocked(NewEiffel(4096, 2e9, 0))
+	const producers = 8
+	const perProducer = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := pkt.NewPool(perProducer) // pools are not shared: one per goroutine
+			for i := 0; i < perProducer; i++ {
+				p := pool.Get()
+				p.Flow = uint64(w + 1)
+				p.Size = 1500
+				p.SendAt = int64(i) * 1000
+				q.Enqueue(p, 0)
+			}
+		}(w)
+	}
+
+	var consumed atomic.Int64
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		now := int64(0)
+		idle := 0
+		for consumed.Load() < producers*perProducer && idle < 1_000_000 {
+			p := q.Dequeue(now)
+			if p == nil {
+				now += 1000
+				idle++
+				continue
+			}
+			idle = 0
+			consumed.Add(1)
+		}
+	}()
+	wg.Wait()
+	cwg.Wait()
+	if got := consumed.Load(); got != producers*perProducer {
+		t.Fatalf("consumed %d of %d", got, producers*perProducer)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+func TestLockedName(t *testing.T) {
+	q := NewLocked(NewFQ())
+	if q.Name() != "FQ+lock" {
+		t.Fatalf("Name = %q", q.Name())
+	}
+}
+
+func BenchmarkLockedContention(b *testing.B) {
+	q := NewLocked(NewEiffel(20000, 2e9, 0))
+	b.RunParallel(func(pb *testing.PB) {
+		pool := pkt.NewPool(64)
+		now := int64(0)
+		for pb.Next() {
+			p := pool.Get()
+			p.Size = 1500
+			p.SendAt = now
+			q.Enqueue(p, now)
+			if d := q.Dequeue(now + 1); d != nil {
+				pool.Put(d)
+			}
+			now += 1000
+		}
+	})
+}

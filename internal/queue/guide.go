@@ -1,0 +1,44 @@
+package queue
+
+// Characteristics describes a scheduling algorithm for the Figure 20
+// decision tree.
+type Characteristics struct {
+	// MovingRange: do rank values advance over time (transmission
+	// timestamps, deadlines, virtual finish times) rather than span a
+	// fixed set (strict priority levels, bounded remaining-size)?
+	MovingRange bool
+	// PriorityLevels is the number of distinct priority levels (buckets)
+	// the policy needs.
+	PriorityLevels int
+	// UniformOccupancy: are all priority levels expected to serve a
+	// similar number of packets (timestamp pacing, LSTF, EDF) as opposed
+	// to skewed occupancy (strict priority, wide-range rate limits)?
+	UniformOccupancy bool
+}
+
+// ChooseThreshold is the priority-level count below which the paper found
+// the choice of queue immaterial (§5.2: "we found in our experiments that
+// this threshold is 1k").
+const ChooseThreshold = 1000
+
+// Choose implements the Figure 20 decision tree: it returns the recommended
+// backend kind for a scheduling algorithm with the given characteristics.
+//
+//	moving range? ── no ── levels > threshold? ── no ──> any queue (binary heap)
+//	     │                        └──────────── yes ──> FFS (fixed range)
+//	    yes
+//	     │
+//	uniform occupancy? ── yes ──> approximate gradient (circular)
+//	     └─────────────── no ───> cFFS
+func Choose(c Characteristics) Kind {
+	if !c.MovingRange {
+		if c.PriorityLevels > ChooseThreshold {
+			return KindFFS
+		}
+		return KindBinaryHeap
+	}
+	if c.UniformOccupancy {
+		return KindCApprox
+	}
+	return KindCFFS
+}

@@ -1,0 +1,95 @@
+// Package wheel implements the timing wheel (Varghese & Lauck) that
+// Carousel builds on — the baseline Eiffel's shaping use case is measured
+// against (§2, §5.1.1). A timing wheel indexes buckets by time and serves
+// elements when their slot's time arrives; it supports only
+// non-work-conserving, time-based release: there is deliberately no
+// ExtractMin, which is exactly the limitation the paper contrasts with
+// Eiffel's queues (a Carousel-style user must poll the wheel on a fixed-
+// granularity timer rather than arming a timer for the soonest deadline).
+package wheel
+
+import "eiffel/internal/bucket"
+
+// Wheel is a timing wheel over absolute timestamps.
+type Wheel struct {
+	arr   *bucket.Array
+	gran  uint64
+	slots uint64
+	cur   uint64 // current absolute slot number (time/gran)
+
+	horizonClamps uint64
+	lateClamps    uint64
+}
+
+// New returns a timing wheel with the given slot count and granularity,
+// positioned at start. The horizon is slots*gran: timestamps beyond it
+// clamp to the furthest slot (Carousel's documented behaviour).
+func New(slots int, gran, start uint64) *Wheel {
+	if slots <= 0 {
+		panic("wheel: New needs a positive slot count")
+	}
+	if gran == 0 {
+		panic("wheel: New needs a positive granularity")
+	}
+	return &Wheel{
+		arr:   bucket.NewArray(slots),
+		gran:  gran,
+		slots: uint64(slots),
+		cur:   start / gran,
+	}
+}
+
+// Len returns the number of scheduled elements.
+func (w *Wheel) Len() int { return w.arr.Len() }
+
+// Granularity returns the slot width.
+func (w *Wheel) Granularity() uint64 { return w.gran }
+
+// Horizon returns the schedulable time span.
+func (w *Wheel) Horizon() uint64 { return w.slots * w.gran }
+
+// Clamps returns how many timestamps were clamped to the horizon and how
+// many were already in the past.
+func (w *Wheel) Clamps() (horizon, late uint64) { return w.horizonClamps, w.lateClamps }
+
+// Schedule inserts n to be released at timestamp ts. Timestamps in the past
+// go into the current slot; timestamps beyond the horizon clamp to the last
+// future slot.
+func (w *Wheel) Schedule(n *bucket.Node, ts uint64) {
+	slot := ts / w.gran
+	if slot < w.cur {
+		w.lateClamps++
+		slot = w.cur
+	} else if slot >= w.cur+w.slots {
+		w.horizonClamps++
+		slot = w.cur + w.slots - 1
+	}
+	w.arr.Push(int(slot%w.slots), n, ts)
+}
+
+// PopExpired returns one element whose slot time is <= now, advancing the
+// wheel over empty slots, or nil if nothing is due. Callers drain with a
+// loop; a Carousel-style shaper calls this from a periodic timer.
+func (w *Wheel) PopExpired(now uint64) *bucket.Node {
+	if w.arr.Len() == 0 {
+		// Jump directly to the current time so an idle wheel does not
+		// crawl slot by slot when traffic resumes.
+		if slot := now / w.gran; slot > w.cur {
+			w.cur = slot
+		}
+		return nil
+	}
+	nowSlot := now / w.gran
+	for w.cur <= nowSlot {
+		i := int(w.cur % w.slots)
+		if !w.arr.BucketEmpty(i) {
+			n, _ := w.arr.PopFront(i)
+			return n
+		}
+		w.cur++
+	}
+	return nil
+}
+
+// Remove detaches a scheduled element in O(1).
+func (w *Wheel) Remove(n *bucket.Node) { w.arr.Remove(n) }

@@ -1,0 +1,150 @@
+package wheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"eiffel/internal/bucket"
+)
+
+func node() *bucket.Node { return &bucket.Node{} }
+
+func TestReleaseOrder(t *testing.T) {
+	w := New(100, 10, 0)
+	ts := []uint64{250, 30, 990, 30, 500}
+	for _, x := range ts {
+		w.Schedule(node(), x)
+	}
+	sorted := append([]uint64{}, ts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var got []uint64
+	for now := uint64(0); now <= 1000; now += 10 {
+		for {
+			n := w.PopExpired(now)
+			if n == nil {
+				break
+			}
+			if n.Rank() > now+10 {
+				t.Fatalf("released rank %d at now=%d", n.Rank(), now)
+			}
+			got = append(got, n.Rank())
+		}
+	}
+	if len(got) != len(sorted) {
+		t.Fatalf("released %d, want %d", len(got), len(sorted))
+	}
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("order %v, want %v", got, sorted)
+		}
+	}
+}
+
+func TestNothingReleasedEarly(t *testing.T) {
+	w := New(10, 100, 0)
+	w.Schedule(node(), 550)
+	for now := uint64(0); now < 500; now += 100 {
+		if w.PopExpired(now) != nil {
+			t.Fatalf("released early at now=%d", now)
+		}
+	}
+	if w.PopExpired(599) == nil {
+		t.Fatal("due element not released")
+	}
+}
+
+func TestHorizonClamp(t *testing.T) {
+	w := New(4, 10, 0) // horizon 40
+	w.Schedule(node(), 1000)
+	h, _ := w.Clamps()
+	if h != 1 {
+		t.Fatalf("horizonClamps = %d, want 1", h)
+	}
+	// Released at the last slot (time 30..39) despite ts=1000: the wheel
+	// cannot wait longer than its horizon.
+	if w.PopExpired(39) == nil {
+		t.Fatal("clamped element should release at horizon edge")
+	}
+}
+
+func TestLateClamp(t *testing.T) {
+	w := New(8, 10, 0)
+	// Advance the wheel, then schedule into the past.
+	w.Schedule(node(), 50)
+	if w.PopExpired(59) == nil {
+		t.Fatal("setup")
+	}
+	w.PopExpired(59) // drains and advances cur
+	w.Schedule(node(), 10)
+	_, late := w.Clamps()
+	if late != 1 {
+		t.Fatalf("lateClamps = %d, want 1", late)
+	}
+	if w.PopExpired(60) == nil {
+		t.Fatal("late element should release immediately")
+	}
+}
+
+func TestIdleJump(t *testing.T) {
+	w := New(16, 1, 0)
+	w.PopExpired(1 << 40) // idle: must jump, not crawl
+	w.Schedule(node(), 1<<40+5)
+	if w.PopExpired(1<<40+5) == nil {
+		t.Fatal("element after idle jump not released")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	w := New(8, 1, 0)
+	n := node()
+	w.Schedule(n, 3)
+	w.Remove(n)
+	if w.Len() != 0 {
+		t.Fatal("Len after Remove")
+	}
+	if w.PopExpired(10) != nil {
+		t.Fatal("removed element released")
+	}
+}
+
+func TestQuickWheelNeverEarlyNeverLost(t *testing.T) {
+	f := func(raw []uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := New(64, 5, 0)
+		scheduled := 0
+		released := 0
+		now := uint64(0)
+		idx := 0
+		for step := 0; step < 400; step++ {
+			if idx < len(raw) && rng.Intn(2) == 0 {
+				// Within the horizon of "now" to avoid clamps.
+				ts := now + uint64(raw[idx])%(64*5-5)
+				w.Schedule(node(), ts)
+				scheduled++
+				idx++
+			}
+			now += uint64(rng.Intn(12))
+			for {
+				n := w.PopExpired(now)
+				if n == nil {
+					break
+				}
+				// Never released before its slot started.
+				if n.Rank()/5 > now/5 {
+					return false
+				}
+				released++
+			}
+		}
+		now += 64 * 5 * 2
+		for w.PopExpired(now) != nil {
+			released++
+		}
+		return released == scheduled && w.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

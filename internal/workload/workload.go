@@ -1,0 +1,214 @@
+// Package workload generates the traffic the paper's experiments run on:
+// the web-search flow-size distribution (from the DCTCP measurement study,
+// used by pFabric and by Figure 19), Poisson flow arrivals at a target
+// load, the neper-style many-flow rate-limited TCP load of the kernel
+// shaping experiment (Figure 9), and synthetic rank distributions for the
+// microbenchmarks (Figures 16-18).
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// WebSearchCDF approximates the DCTCP paper's web-search flow-size
+// distribution: heavy-tailed, with ~50% of flows under 100 KB while the
+// bulk of bytes comes from multi-megabyte flows. Sizes are in bytes. The
+// exact measurement points are not public; this piecewise log-linear
+// approximation preserves the published shape (median ~70 KB, mean ~1.6 MB,
+// ~95th percentile ~10 MB) — DESIGN.md records the substitution.
+var WebSearchCDF = []SizePoint{
+	{1_000, 0.00},
+	{5_000, 0.10},
+	{10_000, 0.18},
+	{30_000, 0.35},
+	{70_000, 0.50},
+	{150_000, 0.62},
+	{400_000, 0.73},
+	{1_000_000, 0.82},
+	{3_000_000, 0.90},
+	{10_000_000, 0.95},
+	{30_000_000, 1.00},
+}
+
+// DataMiningCDF approximates the data-mining flow-size distribution of the
+// same measurement studies (used alongside web-search by pFabric): even
+// heavier-tailed — most flows are a few KB while almost all bytes come
+// from 100 MB-scale flows.
+var DataMiningCDF = []SizePoint{
+	{300, 0.00},
+	{1_000, 0.50},
+	{2_000, 0.63},
+	{10_000, 0.78},
+	{100_000, 0.85},
+	{1_000_000, 0.91},
+	{10_000_000, 0.95},
+	{100_000_000, 0.98},
+	{1_000_000_000, 1.00},
+}
+
+// SizePoint is one point of a flow-size CDF.
+type SizePoint struct {
+	Bytes uint64
+	P     float64
+}
+
+// SizeDist samples flow sizes from a piecewise log-linear CDF.
+type SizeDist struct {
+	points []SizePoint
+	mean   float64
+}
+
+// NewSizeDist builds a sampler from CDF points (monotone in both fields,
+// ending at P=1).
+func NewSizeDist(points []SizePoint) *SizeDist {
+	if len(points) < 2 || points[len(points)-1].P != 1 {
+		panic("workload: size CDF must have >=2 points and end at P=1")
+	}
+	d := &SizeDist{points: points}
+	// Numerical mean via fine quantile integration.
+	const steps = 10000
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		q := (float64(i) + 0.5) / steps
+		sum += float64(d.Quantile(q))
+	}
+	d.mean = sum / steps
+	return d
+}
+
+// Mean returns the distribution mean in bytes.
+func (d *SizeDist) Mean() float64 { return d.mean }
+
+// Quantile inverts the CDF with log-linear interpolation.
+func (d *SizeDist) Quantile(q float64) uint64 {
+	pts := d.points
+	if q <= pts[0].P {
+		return pts[0].Bytes
+	}
+	for i := 1; i < len(pts); i++ {
+		if q <= pts[i].P {
+			lo, hi := pts[i-1], pts[i]
+			frac := (q - lo.P) / (hi.P - lo.P)
+			logSize := math.Log(float64(lo.Bytes)) + frac*(math.Log(float64(hi.Bytes))-math.Log(float64(lo.Bytes)))
+			return uint64(math.Exp(logSize))
+		}
+	}
+	return pts[len(pts)-1].Bytes
+}
+
+// Sample draws a flow size.
+func (d *SizeDist) Sample(rng *rand.Rand) uint64 { return d.Quantile(rng.Float64()) }
+
+// PoissonArrivals generates exponential inter-arrival gaps for a target
+// load: load fraction rho of linkBps, with flows of meanFlowBytes.
+type PoissonArrivals struct {
+	rng    *rand.Rand
+	meanNs float64
+}
+
+// NewPoissonArrivals returns an arrival process whose average offered load
+// is rho*linkBps given the flow-size mean.
+func NewPoissonArrivals(rng *rand.Rand, rho float64, linkBps uint64, meanFlowBytes float64) *PoissonArrivals {
+	if rho <= 0 || linkBps == 0 || meanFlowBytes <= 0 {
+		panic("workload: invalid Poisson arrival parameters")
+	}
+	flowsPerSec := rho * float64(linkBps) / 8 / meanFlowBytes
+	return &PoissonArrivals{rng: rng, meanNs: 1e9 / flowsPerSec}
+}
+
+// NextGap returns the ns until the next flow arrival.
+func (p *PoissonArrivals) NextGap() int64 {
+	g := p.rng.ExpFloat64() * p.meanNs
+	if g < 1 {
+		g = 1
+	}
+	return int64(g)
+}
+
+// RateLimitedFlows models the neper workload of the kernel shaping use
+// case (§5.1.1): many TCP flows each capped with SO_MAX_PACING_RATE so the
+// aggregate hits a target. Each flow keeps a TSQ-style cap on in-flight
+// packets, which is what bounds queue occupancy in the kernel experiment.
+type RateLimitedFlows struct {
+	// PerFlowBps is the pacing rate of each flow.
+	PerFlowBps uint64
+	// Flows is the number of concurrent flows.
+	Flows int
+	// PacketSize is the MTU-sized segment length.
+	PacketSize uint32
+	// TSQLimit caps in-flight packets per flow (TCP Small Queues).
+	TSQLimit int
+}
+
+// NewRateLimitedFlows splits aggregateBps across n flows.
+func NewRateLimitedFlows(n int, aggregateBps uint64, packetSize uint32) *RateLimitedFlows {
+	if n <= 0 {
+		panic("workload: need at least one flow")
+	}
+	return &RateLimitedFlows{
+		PerFlowBps: aggregateBps / uint64(n),
+		Flows:      n,
+		PacketSize: packetSize,
+		TSQLimit:   2, // kernel TSQ default: ~2 segments in the qdisc
+	}
+}
+
+// PacketGapNs returns the pacing gap between two packets of one flow.
+func (r *RateLimitedFlows) PacketGapNs() int64 {
+	return int64(uint64(r.PacketSize) * 8 * 1e9 / r.PerFlowBps)
+}
+
+// RankDist names a synthetic rank distribution for queue microbenchmarks.
+type RankDist int
+
+// Rank distributions.
+const (
+	// RankUniform spreads ranks uniformly over the bucket range — the
+	// paper's "all priority levels equally likely" case where the
+	// approximate queue shines.
+	RankUniform RankDist = iota
+	// RankSkewed concentrates most ranks in the lower quarter of the
+	// range (strict-priority-like occupancy).
+	RankSkewed
+	// RankBursty clusters ranks around a slowly advancing front
+	// (timestamp-like occupancy).
+	RankBursty
+)
+
+// RankGen draws ranks in [0, rangeSize) under the given distribution.
+type RankGen struct {
+	Dist  RankDist
+	Range uint64
+	rng   *rand.Rand
+	front uint64
+}
+
+// NewRankGen returns a rank generator.
+func NewRankGen(dist RankDist, rangeSize uint64, rng *rand.Rand) *RankGen {
+	if rangeSize == 0 {
+		panic("workload: rank range must be positive")
+	}
+	return &RankGen{Dist: dist, Range: rangeSize, rng: rng}
+}
+
+// Next draws one rank.
+func (g *RankGen) Next() uint64 {
+	switch g.Dist {
+	case RankSkewed:
+		// ~75% of ranks in the bottom quarter.
+		if g.rng.Float64() < 0.75 {
+			return uint64(g.rng.Int63n(int64(g.Range/4 + 1)))
+		}
+		return uint64(g.rng.Int63n(int64(g.Range)))
+	case RankBursty:
+		g.front = (g.front + 1 + uint64(g.rng.Int63n(3))) % g.Range
+		span := g.Range / 16
+		if span == 0 {
+			span = 1
+		}
+		return (g.front + uint64(g.rng.Int63n(int64(span)))) % g.Range
+	default:
+		return uint64(g.rng.Int63n(int64(g.Range)))
+	}
+}
