@@ -2,6 +2,7 @@ package eiffel_test
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 
 	"eiffel/internal/exp"
@@ -96,6 +97,19 @@ func BenchmarkFig19NetworkWide(b *testing.B) {
 
 // BenchmarkFig20Choose regenerates the Figure 20 decision table.
 func BenchmarkFig20Choose(b *testing.B) { runExp(b, "fig20") }
+
+// BenchmarkContention runs the locked-vs-sharded qdisc scaling experiment
+// (8 producers, one consumer; see internal/exp/contention.go). The
+// reported metric is the sharded direct-due runtime's throughput gain over
+// the kernel-style global-lock deployment.
+func BenchmarkContention(b *testing.B) {
+	res := runExp(b, "contention")
+	rows := res.Tables[0].Rows
+	last := rows[len(rows)-1] // the direct-due sharded configuration
+	if v, err := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64); err == nil {
+		b.ReportMetric(v, "sharded-vs-lock")
+	}
+}
 
 // Ablation benches for the design choices DESIGN.md calls out.
 

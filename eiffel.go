@@ -43,6 +43,7 @@ import (
 	"eiffel/internal/pkt"
 	"eiffel/internal/policy"
 	"eiffel/internal/queue"
+	"eiffel/internal/shardq"
 )
 
 // Core re-exported types. Node is the intrusive queue handle; embed or own
@@ -170,3 +171,20 @@ type (
 
 // NewLogQueue constructs a log-scale bucketed min-queue.
 func NewLogQueue(opt LogOptions) *LogQueue { return ffsq.NewLogQueue(opt) }
+
+// Sharded multi-producer runtime: N shards, each owning its own bucketed
+// queue behind a lock-free MPSC ring, replacing the kernel's global qdisc
+// lock (§4) with flow-hashed partitioning and batched drains. Enqueue is
+// safe from any number of goroutines; the consuming side is single-
+// consumer. See ARCHITECTURE.md for the design.
+type (
+	// ShardedQueue is the sharded multi-producer priority-queue runtime.
+	ShardedQueue = shardq.Q
+	// ShardedOptions sizes a ShardedQueue.
+	ShardedOptions = shardq.Options
+	// ShardedStats is a snapshot of a ShardedQueue's counters.
+	ShardedStats = shardq.Snapshot
+)
+
+// NewShardedQueue constructs a sharded multi-producer runtime.
+func NewShardedQueue(opt ShardedOptions) *ShardedQueue { return shardq.New(opt) }

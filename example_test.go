@@ -1,0 +1,72 @@
+package eiffel_test
+
+import (
+	"fmt"
+
+	"eiffel"
+)
+
+// ExampleCompile builds a two-leaf weighted-fair hierarchy from the
+// textual policy grammar (the role DOT translation plays for the PIFO
+// reference implementation, §4) and drains a small burst through it.
+func ExampleCompile() {
+	tree, classes, err := eiffel.Compile(`
+		root ranker=wfq buckets=1024
+		leaf edf  parent=root ranker=edf  weight=1 buckets=1024
+		leaf fifo parent=root ranker=fifo weight=1 buckets=1024
+	`)
+	if err != nil {
+		panic(err)
+	}
+
+	pool := eiffel.NewPool(8)
+	for _, deadline := range []int64{300, 100, 200} {
+		p := pool.Get()
+		p.Size = 100
+		p.Deadline = deadline
+		tree.Enqueue(classes["edf"], p, 0)
+	}
+
+	for tree.Len() > 0 {
+		p := tree.Dequeue(0)
+		fmt.Println(p.Deadline)
+	}
+	// Output:
+	// 100
+	// 200
+	// 300
+}
+
+// ExampleChoose walks the paper's Figure 20 decision tree for two of its
+// running examples: Carousel-style rate limiting (moving range, skewed
+// occupancy) and 802.1Q strict priorities (fixed range, few levels).
+func ExampleChoose() {
+	rateLimiting := eiffel.Choose(eiffel.Characteristics{
+		MovingRange:    true,
+		PriorityLevels: 20000,
+	})
+	strictPriority := eiffel.Choose(eiffel.Characteristics{
+		PriorityLevels: 8,
+	})
+	fmt.Println(rateLimiting)
+	fmt.Println(strictPriority)
+	// Output:
+	// cFFS
+	// BinHeap
+}
+
+// ExampleNewLogQueue shows the log-scale bucket granularity prototype
+// (§5.2 future work): near-base ranks get exact 1-unit buckets while a
+// rank far beyond the linear region shares a geometrically wider bucket,
+// so one queue spans a huge range with relative precision.
+func ExampleNewLogQueue() {
+	q := eiffel.NewLogQueue(eiffel.LogOptions{
+		Granularity:  1,
+		MantissaBits: 6,
+	})
+	fmt.Println(q.BucketWidth(10))      // linear region: exact
+	fmt.Println(q.BucketWidth(1 << 20)) // far out: ~3% relative precision
+	// Output:
+	// 1
+	// 32768
+}

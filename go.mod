@@ -1,0 +1,3 @@
+module eiffel
+
+go 1.24

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+
+	"eiffel/internal/qdisc"
+	"eiffel/internal/stats"
+)
+
+// Contention is the repo's locked-vs-sharded scaling experiment (not a
+// paper figure): it replays the §4 many-senders scenario — 8 producer
+// goroutines behind one qdisc — against the kernel-style global-lock
+// deployment and against the sharded multi-producer runtime, in both its
+// exact-merge and DirectDue configurations. The headline column is the
+// sharded/locked throughput ratio; the counters column shows how the
+// traffic actually moved (ring fast path vs fallback, average drain batch).
+func Contention(o Options) *Result {
+	res := &Result{ID: "contention"}
+	const producers = 8
+	perProducer := 20000
+	if o.Quick {
+		perProducer = 4000
+		res.Notes = append(res.Notes, "quick mode: 4000 packets per producer instead of 20000")
+	}
+
+	entries := []struct {
+		name string
+		mk   func() qdisc.Qdisc
+	}{
+		{"Eiffel+lock", func() qdisc.Qdisc { return qdisc.NewLocked(qdisc.NewEiffel(20000, 2e9, 0)) }},
+		{"Eiffel+shards (exact)", func() qdisc.Qdisc {
+			return qdisc.NewSharded(qdisc.ShardedOptions{
+				Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15,
+			})
+		}},
+		{"Eiffel+shards (direct-due)", func() qdisc.Qdisc {
+			return qdisc.NewSharded(qdisc.ShardedOptions{
+				Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15, DirectDue: true,
+			})
+		}},
+	}
+
+	t := &stats.Table{
+		Title:   "Contention — 8 producers vs one consumer through a shaping qdisc",
+		Headers: []string{"qdisc", "producers", "packets", "Mpps", "vs lock", "counters"},
+	}
+	var lockedMpps float64
+	for _, e := range entries {
+		q := e.mk()
+		r := qdisc.RunContention(q, producers, perProducer)
+		mpps := r.Mpps()
+		if lockedMpps == 0 {
+			lockedMpps = mpps
+		}
+		counters := "-"
+		if s, ok := q.(*qdisc.Sharded); ok {
+			counters = s.Stats().String()
+		}
+		t.AddRow(e.name,
+			fmt.Sprintf("%d", producers),
+			fmt.Sprintf("%d", r.Packets),
+			fmt.Sprintf("%.2f", mpps),
+			fmt.Sprintf("%.2fx", mpps/lockedMpps),
+			counters)
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"release times spread over the 2 s horizon; consumer drains at now = horizon")
+	return res
+}

@@ -157,6 +157,37 @@ func (c *CFFS) DequeueMin() *bucket.Node {
 	return n
 }
 
+// DequeueBatch removes up to len(out) elements whose bucket-quantized rank
+// is at most maxRank, in ascending bucket order (FIFO within a bucket),
+// writing them to out and returning how many it removed. Popping a whole
+// bucket costs one index descent plus one clear, so batch drains skip the
+// per-element find-min work DequeueMin pays — the sharded runtime's
+// consumer leans on this.
+func (c *CFFS) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	total := 0
+	for total < len(out) && c.count > 0 {
+		c.advance()
+		i := c.prim.idx.Min()
+		if (c.hIndex+uint64(i))*c.gran > maxRank {
+			break
+		}
+		for total < len(out) {
+			n, empty := c.prim.arr.PopFront(i)
+			if n == nil {
+				break
+			}
+			out[total] = n
+			total++
+			c.count--
+			if empty {
+				c.prim.idx.Clear(i)
+				break
+			}
+		}
+	}
+	return total
+}
+
 // PeekMin returns the start rank of the lowest non-empty bucket (quantized
 // to the queue granularity). For a time-indexed shaper this is the
 // SoonestDeadline() the Eiffel qdisc uses to arm its timer exactly (§4).

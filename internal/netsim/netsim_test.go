@@ -161,6 +161,9 @@ func TestDCTCPKeepsQueuesShort(t *testing.T) {
 }
 
 func TestRunExperimentSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
 	for _, c := range []struct {
 		tr Transport
 		q  QueueKind
@@ -189,6 +192,9 @@ func TestRunExperimentSmall(t *testing.T) {
 }
 
 func TestApproxTracksExactNetworkWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
 	// The Figure 19 claim in miniature: swapping the exact priority queue
 	// for the approximate one must not change FCTs materially.
 	base := ExperimentConfig{

@@ -1,9 +1,11 @@
 package qdisc
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"eiffel/internal/pkt"
 )
@@ -34,16 +36,30 @@ func TestLockedConcurrentProducers(t *testing.T) {
 	cwg.Add(1)
 	go func() {
 		defer cwg.Done()
+		// The consumer must not give up while producers may still be
+		// waiting to run: on a single-CPU machine a spin loop with a fixed
+		// iteration budget can exhaust itself inside one scheduler quantum,
+		// before the first producer has enqueued anything (the seed bug:
+		// "consumed 0 of 16000"). Yield when idle, advance the virtual
+		// clock off the qdisc's own timer, and bound the wait by wall time
+		// so a genuine packet-loss regression still fails instead of
+		// hanging.
+		deadline := time.Now().Add(30 * time.Second)
 		now := int64(0)
-		idle := 0
-		for consumed.Load() < producers*perProducer && idle < 1_000_000 {
+		for consumed.Load() < producers*perProducer {
 			p := q.Dequeue(now)
 			if p == nil {
-				now += 1000
-				idle++
+				if next, ok := q.NextTimer(now); ok && next > now {
+					now = next
+				} else {
+					now += 1000
+				}
+				if time.Now().After(deadline) {
+					return
+				}
+				runtime.Gosched()
 				continue
 			}
-			idle = 0
 			consumed.Add(1)
 		}
 	}()
@@ -64,20 +80,49 @@ func TestLockedName(t *testing.T) {
 	}
 }
 
+// benchContention runs the shared locked-vs-sharded workload (8 producers,
+// one consumer) and reports throughput; ns/op covers one full run, and the
+// Mpps metric is the figure README quotes.
+func benchContention(b *testing.B, mk func() Qdisc) {
+	const producers = 8
+	const perProducer = 20000
+	workload := ContentionPackets(producers, perProducer)
+	q := mk()
+	var packets int
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ReplayContention(q, workload)
+		packets += res.Packets
+		elapsed += res.Elapsed
+	}
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(packets)/elapsed.Seconds()/1e6, "Mpps")
+	}
+}
+
 func BenchmarkLockedContention(b *testing.B) {
-	q := NewLocked(NewEiffel(20000, 2e9, 0))
-	b.RunParallel(func(pb *testing.PB) {
-		pool := pkt.NewPool(64)
-		now := int64(0)
-		for pb.Next() {
-			p := pool.Get()
-			p.Size = 1500
-			p.SendAt = now
-			q.Enqueue(p, now)
-			if d := q.Dequeue(now + 1); d != nil {
-				pool.Put(d)
-			}
-			now += 1000
-		}
-	})
+	benchContention(b, func() Qdisc { return NewLocked(NewEiffel(20000, 2e9, 0)) })
+}
+
+// shardedContentionOpts is the throughput configuration README documents:
+// 8 shards x 2500 buckets (the same total bucket memory as the Locked
+// baseline's single 20000-bucket cFFS), rings sized to absorb the offered
+// burst — as Carousel sizes its wheel to the horizon — and DirectDue
+// coalescing already-due packets into one FIFO bucket.
+var shardedContentionOpts = ShardedOptions{
+	Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15, DirectDue: true,
+}
+
+func BenchmarkShardedContention(b *testing.B) {
+	benchContention(b, func() Qdisc { return NewSharded(shardedContentionOpts) })
+}
+
+func BenchmarkShardedContentionExact(b *testing.B) {
+	// Same geometry with exact cross-shard merge order preserved: every
+	// packet cycles through its shard's cFFS.
+	opts := shardedContentionOpts
+	opts.DirectDue = false
+	benchContention(b, func() Qdisc { return NewSharded(opts) })
 }

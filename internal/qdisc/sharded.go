@@ -1,0 +1,161 @@
+package qdisc
+
+import (
+	"sync/atomic"
+
+	"eiffel/internal/pkt"
+	"eiffel/internal/queue"
+	"eiffel/internal/shardq"
+)
+
+// Sharded replaces the global qdisc lock with the shardq runtime: flows
+// hash to one of N shards, each owning its own Eiffel cFFS shaper behind a
+// lock-free MPSC ring. Enqueue is safe from any number of producer
+// goroutines and is lock-free in the common case; Dequeue, DequeueBatch
+// and NextTimer must be driven by a single consumer goroutine (the softirq
+// role), which drains shards in batches picking the minimum-head shard.
+//
+// This is the scaling answer to Locked: same Qdisc surface, same cFFS per
+// shard, no serialization of senders behind one mutex.
+type Sharded struct {
+	rt   *shardq.Q
+	name string
+
+	// Release buffer: DequeueBatch pops ready packets in bulk; Dequeue
+	// hands them out one at a time. Everything buffered was already
+	// release-eligible when popped, so buffering never releases early.
+	buf     []*shardq.Node
+	bufHead int
+	bufLen  int
+	bufN    atomic.Int64 // buffered count, readable from any goroutine for Len
+
+	scratch []*shardq.Node // DequeueBatch conversion space
+}
+
+// ShardedOptions sizes a Sharded qdisc.
+type ShardedOptions struct {
+	// Shards is the shard count, rounded up to a power of two (default 8).
+	Shards int
+	// Buckets is the per-shard cFFS bucket count (as NewEiffel's;
+	// default 4096).
+	Buckets int
+	// HorizonNs is the shaping horizon covered without overflow.
+	HorizonNs int64
+	// Start anchors the initial window.
+	Start int64
+	// Batch is the consumer-side batch size (default 64).
+	Batch int
+	// RingBits sizes each shard's MPSC ring at 1<<RingBits slots
+	// (default 10).
+	RingBits uint
+	// DirectDue releases already-due packets in arrival order straight
+	// off the producer rings instead of cycling them through the cFFS —
+	// the coalesced-bucket fast path; see shardq.Options.DirectDue.
+	// Either way a packet is never released before its release bucket:
+	// DirectDue gates on the exact SendAt, while the cFFS path releases
+	// at bucket-start granularity (up to one granule early), matching
+	// the Locked Eiffel baseline's quantized behavior.
+	DirectDue bool
+}
+
+// NewSharded returns a Sharded qdisc whose shards each run an Eiffel cFFS
+// with the given geometry.
+func NewSharded(opt ShardedOptions) *Sharded {
+	if opt.Batch <= 0 {
+		opt.Batch = 64
+	}
+	if opt.Buckets <= 0 {
+		opt.Buckets = 4096
+	}
+	return &Sharded{
+		rt: shardq.New(shardq.Options{
+			NumShards: opt.Shards,
+			RingBits:  opt.RingBits,
+			Kind:      queue.KindCFFS,
+			Queue:     eiffelCfg(opt.Buckets, opt.HorizonNs, opt.Start),
+			DirectDue: opt.DirectDue,
+		}),
+		name: "Eiffel+shards",
+		buf:  make([]*shardq.Node, opt.Batch),
+	}
+}
+
+// Name implements Qdisc.
+func (s *Sharded) Name() string { return s.name }
+
+// Len implements Qdisc: packets published but not yet handed out,
+// including any sitting in the consumer's release buffer.
+func (s *Sharded) Len() int { return s.rt.Len() + int(s.bufN.Load()) }
+
+// Stats returns the runtime's shard/batch counters.
+func (s *Sharded) Stats() shardq.Snapshot { return s.rt.Stats() }
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return s.rt.NumShards() }
+
+// Enqueue implements Qdisc. Safe for concurrent producers.
+func (s *Sharded) Enqueue(p *pkt.Packet, _ int64) {
+	s.rt.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt))
+}
+
+// Dequeue implements Qdisc: one packet whose release time has arrived, or
+// nil. Refills the release buffer with a cross-shard batch when empty.
+func (s *Sharded) Dequeue(now int64) *pkt.Packet {
+	if s.bufHead == s.bufLen {
+		s.bufHead = 0
+		s.bufLen = s.rt.DequeueBatch(uint64(now), s.buf)
+		s.bufN.Store(int64(s.bufLen))
+		if s.bufLen == 0 {
+			return nil
+		}
+	}
+	n := s.buf[s.bufHead]
+	s.buf[s.bufHead] = nil
+	s.bufHead++
+	s.bufN.Add(-1)
+	return pkt.FromTimerNode(n)
+}
+
+// DequeueBatch pops up to len(out) release-eligible packets in merged
+// priority order, draining the internal buffer first. It returns how many
+// packets it wrote.
+func (s *Sharded) DequeueBatch(now int64, out []*pkt.Packet) int {
+	k := 0
+	for s.bufHead < s.bufLen && k < len(out) {
+		out[k] = pkt.FromTimerNode(s.buf[s.bufHead])
+		s.buf[s.bufHead] = nil
+		s.bufHead++
+		s.bufN.Add(-1)
+		k++
+	}
+	if k == len(out) {
+		return k
+	}
+	if cap(s.scratch) < len(out)-k {
+		s.scratch = make([]*shardq.Node, len(out)-k)
+	}
+	nodes := s.scratch[:len(out)-k]
+	m := s.rt.DequeueBatch(uint64(now), nodes)
+	for i := 0; i < m; i++ {
+		out[k] = pkt.FromTimerNode(nodes[i])
+		k++
+	}
+	return k
+}
+
+// NextTimer implements Qdisc: the soonest deadline across every shard
+// (buffered packets are already due, so a non-empty buffer means "now").
+func (s *Sharded) NextTimer(now int64) (int64, bool) {
+	if s.bufHead < s.bufLen {
+		return now, true
+	}
+	r, ok := s.rt.MinRank()
+	if !ok {
+		return 0, false
+	}
+	t := int64(r)
+	if t < now {
+		t = now
+	}
+	return t, true
+}

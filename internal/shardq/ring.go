@@ -1,0 +1,121 @@
+// Package shardq is the multi-producer sharded scheduling runtime: it
+// scales the single-lock qdisc deployment of §4 (the kernel serializes
+// every sender behind one global qdisc lock) by partitioning flows over N
+// shards, each owning its own Eiffel bucketed queue. Producers hash a flow
+// to a shard and publish through a bounded lock-free MPSC ring; the
+// consumer drains rings into the bucketed queues and dequeues in batches
+// across shards, always serving the shard whose head has the minimum
+// priority, so the merged output order tracks the global priority order at
+// batch granularity while enqueue stays contention-free in the common
+// case.
+package shardq
+
+import (
+	"sync/atomic"
+
+	"eiffel/internal/bucket"
+)
+
+// ringEntry is one publication slot. seq is the Vyukov sequence number:
+// equal to the slot position when free, position+1 once the payload is
+// visible, and advanced by the ring size again when consumed.
+type ringEntry struct {
+	seq  atomic.Uint64
+	n    *bucket.Node
+	rank uint64
+}
+
+// ring is a bounded lock-free multi-producer single-consumer queue of
+// (node, rank) pairs — the Vyukov bounded MPMC algorithm restricted to one
+// consumer, so the consumer side needs no atomics on its cursor. A full
+// ring reports failure instead of blocking; the caller (shard enqueue)
+// falls back to flushing under the shard lock, which doubles as
+// backpressure toward the bucketed queue.
+type ring struct {
+	mask    uint64
+	entries []ringEntry
+
+	_    [64]byte // keep the producer cursor off the entries' cache lines
+	tail atomic.Uint64
+
+	_    [64]byte // and off the consumer cursor's line
+	head uint64   // consumer-owned
+
+	// consumed is the consumer's published copy of head, stored after
+	// each drain so Len readers can compute ring occupancy (tail -
+	// consumed) without locks. It lags head by at most one batch.
+	consumed atomic.Uint64
+}
+
+// newRing returns a ring with 1<<bits slots.
+func newRing(bits uint) *ring {
+	size := uint64(1) << bits
+	r := &ring{mask: size - 1, entries: make([]ringEntry, size)}
+	for i := range r.entries {
+		r.entries[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push publishes (n, rank) from any goroutine. It reports false when the
+// ring is full; the payload is then NOT queued.
+func (r *ring) push(n *bucket.Node, rank uint64) bool {
+	for {
+		pos := r.tail.Load()
+		e := &r.entries[pos&r.mask]
+		switch seq := e.seq.Load(); {
+		case seq == pos:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				e.n, e.rank = n, rank
+				e.seq.Store(pos + 1)
+				return true
+			}
+		case seq < pos:
+			// The slot still holds an unconsumed element a full lap
+			// behind: the ring is full.
+			return false
+		default:
+			// Another producer claimed pos; reload and retry.
+		}
+	}
+}
+
+// empty reports whether every claimed slot has been consumed. It compares
+// the producers' cursor against the published consumed cursor — not the
+// raw head, which a producer's ring-full fallback may be advancing under
+// the shard lock while a lock-free caller reads. The two cursors agree
+// whenever no drain is in progress, which is the only time the lock-free
+// fast paths call this. A false result may include a slot that is claimed
+// but not yet published.
+func (r *ring) empty() bool { return r.tail.Load() == r.consumed.Load() }
+
+// publish makes the consumer's progress visible to Len readers. Consumer-
+// only; called once per drain, not per element.
+func (r *ring) publish() { r.consumed.Store(r.head) }
+
+// occupancy returns how many claimed slots are not yet known-consumed.
+// Safe from any goroutine; transiently overcounts by up to one drain.
+func (r *ring) occupancy() int64 { return int64(r.tail.Load() - r.consumed.Load()) }
+
+// pushes returns how many elements were ever claimed into the ring. Safe
+// from any goroutine.
+func (r *ring) pushes() uint64 { return r.tail.Load() }
+
+// pop removes the oldest published element. Consumer-only. ok=false means
+// the ring is empty or the oldest slot is claimed but not yet published
+// (the producer was preempted mid-publish); either way there is nothing
+// consumable right now.
+func (r *ring) pop() (n *bucket.Node, rank uint64, ok bool) {
+	e := &r.entries[r.head&r.mask]
+	if e.seq.Load() != r.head+1 {
+		return nil, 0, false
+	}
+	n, rank = e.n, e.rank
+	// The stale e.n pointer is left in place: the slot is dead until the
+	// next producer lap overwrites it, so clearing it would only add a
+	// store to the hot path. The ring therefore retains up to one lap of
+	// consumed nodes, which its owners keep alive anyway.
+	e.seq.Store(r.head + r.mask + 1)
+	r.head++
+	return n, rank, true
+}

@@ -1,0 +1,107 @@
+package shardq
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"eiffel/internal/bucket"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := newRing(3) // 8 slots
+	nodes := make([]bucket.Node, 8)
+	for i := range nodes {
+		if !r.push(&nodes[i], uint64(i)*10) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	if r.push(&bucket.Node{}, 99) {
+		t.Fatal("push succeeded on a full ring")
+	}
+	for i := range nodes {
+		n, rank, ok := r.pop()
+		if !ok || n != &nodes[i] || rank != uint64(i)*10 {
+			t.Fatalf("pop %d = (%p, %d, %v), want (%p, %d, true)", i, n, rank, ok, &nodes[i], i*10)
+		}
+	}
+	if _, _, ok := r.pop(); ok {
+		t.Fatal("pop succeeded on an empty ring")
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := newRing(2) // 4 slots
+	var nodes [64]bucket.Node
+	for lap := 0; lap < 16; lap++ {
+		for i := 0; i < 4; i++ {
+			if !r.push(&nodes[lap*4+i], uint64(lap*4+i)) {
+				t.Fatalf("lap %d push %d failed", lap, i)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			n, rank, ok := r.pop()
+			if !ok || rank != uint64(lap*4+i) || n != &nodes[lap*4+i] {
+				t.Fatalf("lap %d pop %d = (%p, %d, %v)", lap, i, n, rank, ok)
+			}
+		}
+	}
+}
+
+// TestRingConcurrentProducers hammers one ring from many producers while a
+// single consumer drains, checking that nothing is lost or duplicated.
+func TestRingConcurrentProducers(t *testing.T) {
+	const producers = 8
+	const perProducer = 4096
+	r := newRing(6) // 64 slots: small, so the full path is exercised
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				n := &bucket.Node{}
+				rank := uint64(w)<<32 | uint64(i)
+				for !r.push(n, rank) {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+
+	seen := make(map[uint64]bool, producers*perProducer)
+	nextPerProducer := make([]uint64, producers)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	producersDone := false
+	for len(seen) < producers*perProducer {
+		_, rank, ok := r.pop()
+		if !ok {
+			if producersDone {
+				// Every push completed before this empty pop: nothing can
+				// still be in flight, so elements were lost.
+				t.Fatalf("producers done, ring empty, but only %d of %d consumed",
+					len(seen), producers*perProducer)
+			}
+			select {
+			case <-done:
+				producersDone = true
+			default:
+			}
+			runtime.Gosched()
+			continue
+		}
+		if seen[rank] {
+			t.Fatalf("duplicate element %x", rank)
+		}
+		seen[rank] = true
+		// Per-producer FIFO: ranks from one producer must arrive in order.
+		w, i := rank>>32, rank&0xffffffff
+		if i != nextPerProducer[w] {
+			t.Fatalf("producer %d out of order: got %d, want %d", w, i, nextPerProducer[w])
+		}
+		nextPerProducer[w]++
+	}
+	wg.Wait()
+}

@@ -1,0 +1,429 @@
+package shardq
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+	"eiffel/internal/stats"
+)
+
+// Node is the intrusive handle the runtime moves around — the same
+// bucket.Node every queue in this repository shares, so callers can point
+// an existing packet or flow handle at a sharded runtime unchanged.
+type Node = bucket.Node
+
+// Options sizes a sharded runtime.
+type Options struct {
+	// NumShards is the shard count, rounded up to a power of two
+	// (default 8). Each shard owns an independent queue backend.
+	NumShards int
+	// RingBits sizes each shard's MPSC ring at 1<<RingBits slots
+	// (default 10, i.e. 1024).
+	RingBits uint
+	// Kind selects the per-shard queue backend (default KindCFFS — the
+	// Eiffel configuration).
+	Kind queue.Kind
+	// Queue sizes each shard's backend; see queue.Config.
+	Queue queue.Config
+	// DirectDue coalesces every already-due element (rank <= the drain
+	// bound) into one virtual FIFO bucket: the consumer delivers such
+	// elements straight off the rings, skipping the bucketed queue
+	// entirely. This is the limiting case of the paper's bucket
+	// quantization — elements within one bucket already release in FIFO
+	// rather than rank order, and DirectDue treats the whole overdue
+	// range as that bucket. Elements ahead of the bound are still shaped
+	// exactly. Trades release order among late elements for a large cut
+	// in per-element work.
+	DirectDue bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumShards <= 0 {
+		o.NumShards = 8
+	}
+	if o.NumShards&(o.NumShards-1) != 0 {
+		o.NumShards = 1 << bits.Len(uint(o.NumShards))
+	}
+	if o.RingBits == 0 {
+		o.RingBits = 10
+	}
+	return o
+}
+
+// batchPopper is the optional backend fast path: pop a whole run of
+// elements at or below a rank bound in one call (ffsq.CFFS implements it).
+type batchPopper interface {
+	DequeueBatch(maxRank uint64, out []*bucket.Node) int
+}
+
+// shard is one partition: a lock-free publication ring in front of a
+// mutex-protected bucketed queue. The mutex is uncontended in steady
+// state — producers only take it when their ring fills, and the consumer
+// amortizes it over whole batches.
+type shard struct {
+	ring *ring
+	mu   sync.Mutex
+	q    queue.PQ
+	bp   batchPopper // q, if it supports batch popping
+
+	// qlen mirrors q.Len() so Len readers need no lock: updated under mu
+	// (fallback path) or by the consumer, amortized per batch.
+	qlen atomic.Int64
+
+	// fallbackGen counts producer-side fallback flushes (bumped under
+	// mu). The consumer caches each shard's head rank between batches and
+	// only re-peeks when this generation moves or its ring is non-empty.
+	fallbackGen atomic.Uint32
+
+	_ [64]byte // one shard's lock traffic must not false-share the next's
+}
+
+// flushLocked drains the ring into the bucketed queue. Callers hold mu.
+func (s *shard) flushLocked() (drained int) {
+	for {
+		n, rank, ok := s.ring.pop()
+		if !ok {
+			break
+		}
+		s.q.Enqueue(n, rank)
+		drained++
+	}
+	if drained > 0 {
+		s.qlen.Add(int64(drained))
+		s.ring.publish()
+	}
+	return drained
+}
+
+// Snapshot is a point-in-time copy of the runtime's operational counters.
+type Snapshot struct {
+	// RingPushes counts enqueues that took the lock-free fast path.
+	RingPushes uint64
+	// RingFull counts enqueues that found their ring full and flushed it
+	// into the bucketed queue themselves, under the shard lock.
+	RingFull uint64
+	// Flushes counts ring drains that moved at least one element into a
+	// bucketed queue (producer fallback and consumer side).
+	Flushes uint64
+	// Flushed counts elements moved from rings into bucketed queues.
+	Flushed uint64
+	// Direct counts elements delivered straight from rings to the
+	// consumer by DirectDue, never touching a bucketed queue.
+	Direct uint64
+	// Batches counts DequeueBatch calls that returned at least one node.
+	Batches uint64
+	// Batched counts nodes returned by DequeueBatch.
+	Batched uint64
+}
+
+// String renders the counters compactly for experiment tables.
+func (s Snapshot) String() string {
+	avg := 0.0
+	if s.Batches > 0 {
+		avg = float64(s.Batched) / float64(s.Batches)
+	}
+	return fmt.Sprintf("pushes=%d ringfull=%d flushes=%d flushed=%d direct=%d batches=%d avg-batch=%.1f",
+		s.RingPushes, s.RingFull, s.Flushes, s.Flushed, s.Direct, s.Batches, avg)
+}
+
+// Q is the sharded multi-producer runtime. Enqueue is safe from any number
+// of goroutines concurrently; the consuming side (DequeueBatch, DequeueMin,
+// MinRank, Flush) must be driven by a single goroutine at a time, exactly
+// like a kernel qdisc's dequeue path runs on one softirq.
+type Q struct {
+	shards    []shard
+	shardBits uint
+	directDue bool
+
+	// heads caches each shard's bucket-quantized head rank between batch
+	// scans (consumer-owned scratch).
+	heads []headState
+
+	// rr rotates the DirectDue drain's starting shard (consumer-owned).
+	rr int
+
+	// Consumer-side counters; the producer fast path is kept free of
+	// bookkeeping atomics (pushes are derived from the ring cursors).
+	ringFull stats.Counter
+	flushes  stats.Counter
+	flushed  stats.Counter
+	direct   stats.Counter
+	batches  stats.Counter
+	batched  stats.Counter
+}
+
+type headState struct {
+	rank  uint64
+	ok    bool
+	gen   uint32
+	valid bool
+}
+
+// New returns a sharded runtime whose shards each own a backend built from
+// opt.Kind and opt.Queue.
+func New(opt Options) *Q {
+	opt = opt.withDefaults()
+	q := &Q{
+		shards:    make([]shard, opt.NumShards),
+		shardBits: uint(bits.TrailingZeros(uint(opt.NumShards))),
+		directDue: opt.DirectDue,
+		heads:     make([]headState, opt.NumShards),
+	}
+	for i := range q.shards {
+		q.shards[i].ring = newRing(opt.RingBits)
+		q.shards[i].q = queue.New(opt.Kind, opt.Queue)
+		q.shards[i].bp, _ = q.shards[i].q.(batchPopper)
+	}
+	return q
+}
+
+// NumShards returns the shard count.
+func (q *Q) NumShards() int { return len(q.shards) }
+
+// Len returns the number of queued elements (published but not yet
+// dequeued). Safe from any goroutine; while producers and the consumer
+// are running it may transiently overcount by up to one in-flight batch,
+// and it is exact whenever the runtime is quiescent.
+func (q *Q) Len() int {
+	var n int64
+	for i := range q.shards {
+		s := &q.shards[i]
+		n += s.ring.occupancy() + s.qlen.Load()
+	}
+	return int(n)
+}
+
+// Stats returns a snapshot of the operational counters.
+func (q *Q) Stats() Snapshot {
+	var pushes uint64
+	for i := range q.shards {
+		pushes += q.shards[i].ring.pushes()
+	}
+	return Snapshot{
+		RingPushes: pushes,
+		RingFull:   q.ringFull.Load(),
+		Flushes:    q.flushes.Load(),
+		Flushed:    q.flushed.Load(),
+		Direct:     q.direct.Load(),
+		Batches:    q.batches.Load(),
+		Batched:    q.batched.Load(),
+	}
+}
+
+// ShardFor returns the shard index flow hashes to.
+func (q *Q) ShardFor(flow uint64) int {
+	// Fibonacci hashing spreads clustered flow ids (sequential allocation
+	// is the common case) uniformly over the shard bits.
+	return int((flow * 0x9E3779B97F4A7C15) >> (64 - q.shardBits))
+}
+
+// Enqueue publishes n with the given rank on flow's shard. The fast path
+// is one lock-free ring push and no other shared-memory writes. When the
+// shard's ring is full the producer drains it into the bucketed queue
+// itself — backpressure that keeps the ring bounded without dropping or
+// blocking.
+func (q *Q) Enqueue(flow uint64, n *bucket.Node, rank uint64) {
+	s := &q.shards[q.ShardFor(flow)]
+	if s.ring.push(n, rank) {
+		return
+	}
+	s.mu.Lock()
+	drained := s.flushLocked()
+	s.q.Enqueue(n, rank)
+	s.qlen.Add(1)
+	s.fallbackGen.Add(1) // tell the consumer its cached head is stale
+	s.mu.Unlock()
+	q.ringFull.Inc()
+	if drained > 0 {
+		q.flushes.Inc()
+		q.flushed.Add(uint64(drained))
+	}
+}
+
+// refreshHead re-peeks shard i's head rank if anything could have changed
+// since the cached value: a non-empty ring, a producer fallback flush, or
+// an invalidation by the consumer's own pops. Consumer-side.
+func (q *Q) refreshHead(i int) {
+	s, h := &q.shards[i], &q.heads[i]
+	if h.valid && s.ring.empty() && h.gen == s.fallbackGen.Load() {
+		return
+	}
+	s.mu.Lock()
+	drained := s.flushLocked()
+	h.rank, h.ok = s.q.PeekMin()
+	h.gen = s.fallbackGen.Load() // exact: fallbacks also hold mu
+	s.mu.Unlock()
+	h.valid = true
+	if drained > 0 {
+		q.flushes.Inc()
+		q.flushed.Add(uint64(drained))
+	}
+}
+
+// drainRingDirect pops shard i's ring, delivering elements already at or
+// below maxRank straight to out (the DirectDue virtual bucket) and
+// spilling not-yet-due elements into the bucketed queue. It stops as soon
+// as out is full — due elements beyond the batch stay in the ring for the
+// next batch rather than taking the slow path. Consumer-side; returns how
+// many elements it wrote to out.
+func (q *Q) drainRingDirect(i int, maxRank uint64, out []*bucket.Node) int {
+	s := &q.shards[i]
+	if s.ring.empty() {
+		return 0
+	}
+	s.mu.Lock()
+	wrote, spilled := 0, 0
+	for wrote < len(out) {
+		n, rank, ok := s.ring.pop()
+		if !ok {
+			break
+		}
+		if rank <= maxRank {
+			out[wrote] = n
+			wrote++
+		} else {
+			s.q.Enqueue(n, rank)
+			spilled++
+		}
+	}
+	// qlen is credited before the ring consumption is published, as in
+	// flushLocked, so concurrent Len readers only ever overcount.
+	if spilled > 0 {
+		s.qlen.Add(int64(spilled))
+	}
+	if wrote+spilled > 0 {
+		s.ring.publish()
+	}
+	s.mu.Unlock()
+	if spilled > 0 {
+		// Spilled elements may sit ahead of the cached queue head.
+		q.heads[i].valid = false
+		q.flushes.Inc()
+		q.flushed.Add(uint64(spilled))
+	}
+	if wrote > 0 {
+		q.direct.Add(uint64(wrote))
+	}
+	return wrote
+}
+
+// Flush drains every shard's ring into its bucketed queue and refreshes
+// the consumer's cached head ranks. Consumer-side.
+func (q *Q) Flush() {
+	for i := range q.shards {
+		q.heads[i].valid = false
+		q.refreshHead(i)
+	}
+}
+
+// MinRank flushes any pending rings and returns the minimum
+// bucket-quantized head rank across shards, or ok=false if nothing is
+// queued in the bucketed queues. Consumer-side; this is the aggregate
+// NextTimer for shaped traffic (the soonest deadline any shard holds).
+func (q *Q) MinRank() (uint64, bool) {
+	min, ok := uint64(0), false
+	for i := range q.shards {
+		q.refreshHead(i)
+		if h := &q.heads[i]; h.ok && (!ok || h.rank < min) {
+			min, ok = h.rank, true
+		}
+	}
+	return min, ok
+}
+
+// DequeueBatch pops up to len(out) elements whose bucket-quantized rank is
+// <= maxRank and returns how many it wrote. In the default (exact) mode it
+// flushes every ring first, then repeatedly serves a run from the shard
+// with the minimum head rank — the run ends when that shard's head climbs
+// past the runner-up shard's head, so the merged sequence preserves the
+// global priority order to bucket granularity. In DirectDue mode, due
+// elements coming off the rings are delivered first, in ring order (see
+// Options.DirectDue); the bucketed queues are then merged exactly as in
+// the default mode. Consumer-side.
+func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	if len(out) == 0 {
+		return 0
+	}
+	total := 0
+	if q.directDue {
+		// Rotate the starting shard so no producer's shard gets standing
+		// priority when every batch fills before the scan completes.
+		n := len(q.shards)
+		for k := 0; k < n && total < len(out); k++ {
+			total += q.drainRingDirect((q.rr+k)&(n-1), maxRank, out[total:])
+		}
+		q.rr = (q.rr + 1) & (n - 1)
+		if total == len(out) {
+			q.batches.Inc()
+			q.batched.Add(uint64(total))
+			return total
+		}
+	}
+	heads := q.heads
+	for i := range q.shards {
+		q.refreshHead(i)
+	}
+
+	for total < len(out) {
+		best := -1
+		for i := range heads {
+			if heads[i].ok && (best < 0 || heads[i].rank < heads[best].rank) {
+				best = i
+			}
+		}
+		if best < 0 || heads[best].rank > maxRank {
+			break
+		}
+		// The run from the best shard may continue until its head passes
+		// the runner-up's head (or maxRank): up to there no other shard
+		// holds a smaller element.
+		limit := maxRank
+		for i := range heads {
+			if i != best && heads[i].ok && heads[i].rank < limit {
+				limit = heads[i].rank
+			}
+		}
+		s := &q.shards[best]
+		s.mu.Lock()
+		popped := 0
+		if s.bp != nil {
+			popped = s.bp.DequeueBatch(limit, out[total:])
+		} else {
+			for total+popped < len(out) {
+				r, ok := s.q.PeekMin()
+				if !ok || r > limit {
+					break
+				}
+				out[total+popped] = s.q.DequeueMin()
+				popped++
+			}
+		}
+		total += popped
+		s.qlen.Add(int64(-popped))
+		r, ok := s.q.PeekMin()
+		heads[best].rank, heads[best].ok = r, ok
+		s.mu.Unlock()
+	}
+	if total > 0 {
+		q.batches.Inc()
+		q.batched.Add(uint64(total))
+	}
+	return total
+}
+
+// DequeueMin pops the single globally minimum element, or nil if nothing
+// is queued after a flush. Consumer-side; batch callers should prefer
+// DequeueBatch, which amortizes the shard scan. In DirectDue mode the
+// returned element is the ring-order head of the due set, not necessarily
+// the global minimum (see Options.DirectDue).
+func (q *Q) DequeueMin() *bucket.Node {
+	var one [1]*bucket.Node
+	if q.DequeueBatch(^uint64(0), one[:]) == 0 {
+		return nil
+	}
+	return one[0]
+}

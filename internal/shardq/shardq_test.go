@@ -1,0 +1,218 @@
+package shardq
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+func newTestQ(shards int) *Q {
+	return New(Options{
+		NumShards: shards,
+		RingBits:  6,
+		Kind:      queue.KindCFFS,
+		Queue:     queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+	})
+}
+
+func TestShardRounding(t *testing.T) {
+	if got := New(Options{NumShards: 5}).NumShards(); got != 8 {
+		t.Fatalf("NumShards(5) rounded to %d, want 8", got)
+	}
+	if got := New(Options{}).NumShards(); got != 8 {
+		t.Fatalf("default NumShards = %d, want 8", got)
+	}
+	if got := New(Options{NumShards: 4}).NumShards(); got != 4 {
+		t.Fatalf("NumShards(4) = %d, want 4", got)
+	}
+}
+
+func TestShardForSpreads(t *testing.T) {
+	q := newTestQ(8)
+	var hits [8]int
+	for flow := uint64(0); flow < 8000; flow++ {
+		hits[q.ShardFor(flow)]++
+	}
+	for i, h := range hits {
+		if h < 500 || h > 1500 {
+			t.Fatalf("shard %d got %d of 8000 sequential flows; want near 1000", i, h)
+		}
+	}
+}
+
+// TestDrainOrder checks that a single-threaded fill/drain comes out in
+// global ascending rank order even though ranks are striped over shards.
+func TestDrainOrder(t *testing.T) {
+	q := newTestQ(4)
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	ranks := make([]uint64, n)
+	for i := range ranks {
+		ranks[i] = uint64(rng.Intn(1 << 11))
+		q.Enqueue(uint64(i), &bucket.Node{}, ranks[i])
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+
+	out := make([]*bucket.Node, 64)
+	var got []uint64
+	for {
+		k := q.DequeueBatch(^uint64(0), out)
+		if k == 0 {
+			break
+		}
+		for _, n := range out[:k] {
+			got = append(got, n.Rank())
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("drained %d, want %d", len(got), n)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+	for i := range got {
+		if got[i] != ranks[i] {
+			t.Fatalf("position %d: rank %d, want %d (global order violated)", i, got[i], ranks[i])
+		}
+	}
+}
+
+func TestDequeueBatchRespectsMaxRank(t *testing.T) {
+	q := newTestQ(4)
+	for i := 0; i < 100; i++ {
+		q.Enqueue(uint64(i), &bucket.Node{}, uint64(i))
+	}
+	out := make([]*bucket.Node, 200)
+	k := q.DequeueBatch(49, out)
+	if k != 50 {
+		t.Fatalf("DequeueBatch(maxRank=49) = %d, want 50", k)
+	}
+	for _, n := range out[:k] {
+		if n.Rank() > 49 {
+			t.Fatalf("released rank %d beyond maxRank 49", n.Rank())
+		}
+	}
+	if q.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", q.Len())
+	}
+}
+
+func TestMinRankAggregates(t *testing.T) {
+	q := newTestQ(4)
+	if _, ok := q.MinRank(); ok {
+		t.Fatal("MinRank ok on empty runtime")
+	}
+	q.Enqueue(1, &bucket.Node{}, 300)
+	q.Enqueue(2, &bucket.Node{}, 100)
+	q.Enqueue(3, &bucket.Node{}, 200)
+	if r, ok := q.MinRank(); !ok || r != 100 {
+		t.Fatalf("MinRank = (%d, %v), want (100, true)", r, ok)
+	}
+	if n := q.DequeueMin(); n == nil || n.Rank() != 100 {
+		t.Fatalf("DequeueMin rank = %v", n)
+	}
+	if r, ok := q.MinRank(); !ok || r != 200 {
+		t.Fatalf("MinRank after pop = (%d, %v), want (200, true)", r, ok)
+	}
+}
+
+// TestRingFullFallback forces the producer-side flush path with a tiny
+// ring and no consumer.
+func TestRingFullFallback(t *testing.T) {
+	q := New(Options{
+		NumShards: 1,
+		RingBits:  2, // 4 slots
+		Kind:      queue.KindCFFS,
+		Queue:     queue.Config{NumBuckets: 1 << 10, Granularity: 1},
+	})
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Enqueue(0, &bucket.Node{}, uint64(i))
+	}
+	st := q.Stats()
+	if st.RingFull == 0 {
+		t.Fatalf("expected ring-full fallbacks, stats: %v", st)
+	}
+	if q.Len() != n {
+		t.Fatalf("Len = %d, want %d", q.Len(), n)
+	}
+	out := make([]*bucket.Node, n)
+	if k := q.DequeueBatch(^uint64(0), out); k != n {
+		t.Fatalf("drained %d, want %d", k, n)
+	}
+	for i, nd := range out {
+		if nd.Rank() != uint64(i) {
+			t.Fatalf("position %d: rank %d", i, nd.Rank())
+		}
+	}
+}
+
+// TestConcurrentProducersDrain is the sharded counterpart of the qdisc
+// regression test: many producers, one consumer, nothing lost.
+func TestConcurrentProducersDrain(t *testing.T) {
+	const producers = 8
+	const perProducer = 4000
+	q := newTestQ(8)
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Enqueue(uint64(w*perProducer+i), &bucket.Node{}, uint64(i))
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	out := make([]*bucket.Node, 256)
+	consumed := 0
+	producersDone := false
+	for consumed < producers*perProducer {
+		k := q.DequeueBatch(^uint64(0), out)
+		consumed += k
+		if k > 0 {
+			continue
+		}
+		if producersDone {
+			// All publications completed before this empty drain, and
+			// DequeueBatch flushes every ring — nothing can be in flight.
+			t.Fatalf("consumed %d of %d with producers done", consumed, producers*perProducer)
+		}
+		select {
+		case <-done:
+			producersDone = true
+		default:
+		}
+		runtime.Gosched()
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+	st := q.Stats()
+	if st.Batched != producers*perProducer {
+		t.Fatalf("Batched = %d, want %d", st.Batched, producers*perProducer)
+	}
+	if st.RingPushes+st.RingFull != producers*perProducer {
+		t.Fatalf("pushes %d + ringfull %d != %d", st.RingPushes, st.RingFull, producers*perProducer)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{RingPushes: 10, Batches: 2, Batched: 8}
+	if got := s.String(); got == "" {
+		t.Fatal("empty snapshot string")
+	}
+}

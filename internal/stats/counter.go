@@ -1,0 +1,18 @@
+package stats
+
+import "sync/atomic"
+
+// Counter is a concurrency-safe monotonically increasing event counter.
+// The zero value is ready to use. The sharded runtime bumps these from
+// many producer goroutines at once, so the experiment harness can report
+// ring/batch behaviour without perturbing the hot path with locks.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
