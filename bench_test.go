@@ -111,6 +111,29 @@ func BenchmarkContention(b *testing.B) {
 	}
 }
 
+// BenchmarkShapedSched runs the decoupled shaping + priority scheduling
+// scaling experiment (8 producers, per-packet (SendAt, Rank); see
+// internal/exp/shapedsched.go). The reported metrics are the ShapedSharded
+// runtime's throughput gain over the kernel-style Locked pifo.Tree
+// baseline (the ≥2× acceptance figure) and its priority inversions beyond
+// scheduler bucket granularity (which must be zero, and is also asserted
+// by TestShapedShardedPriorityFidelity and TestShapedSchedQuick).
+func BenchmarkShapedSched(b *testing.B) {
+	res := runExp(b, "shapedsched")
+	rows := res.Tables[0].Rows
+	last := rows[len(rows)-1] // the shaped-sharded row
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64)
+	if err != nil {
+		b.Fatalf("shapedsched ratio column %q not numeric: %v", last[4], err)
+	}
+	b.ReportMetric(ratio, "shaped-vs-locked-tree")
+	inv, err := strconv.ParseFloat(last[5], 64)
+	if err != nil {
+		b.Fatalf("shapedsched inversions column %q not numeric: %v", last[5], err)
+	}
+	b.ReportMetric(inv, "priority-inversions")
+}
+
 // Ablation benches for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationHierVsFlat compares hierarchical vs flat FFS indexes.

@@ -42,6 +42,7 @@ import (
 	"eiffel/internal/pifo"
 	"eiffel/internal/pkt"
 	"eiffel/internal/policy"
+	"eiffel/internal/qdisc"
 	"eiffel/internal/queue"
 	"eiffel/internal/shardq"
 )
@@ -176,7 +177,9 @@ func NewLogQueue(opt LogOptions) *LogQueue { return ffsq.NewLogQueue(opt) }
 // queue behind a lock-free MPSC ring, replacing the kernel's global qdisc
 // lock (§4) with flow-hashed partitioning and batched drains. Enqueue is
 // safe from any number of goroutines; the consuming side is single-
-// consumer. See ARCHITECTURE.md for the design.
+// consumer. Len is lock-free and may transiently overcount by up to one
+// in-flight batch while producers and the consumer run concurrently; it
+// is exact at quiescence. See ARCHITECTURE.md for the design.
 type (
 	// ShardedQueue is the sharded multi-producer priority-queue runtime.
 	ShardedQueue = shardq.Q
@@ -188,3 +191,36 @@ type (
 
 // NewShardedQueue constructs a sharded multi-producer runtime.
 func NewShardedQueue(opt ShardedOptions) *ShardedQueue { return shardq.New(opt) }
+
+// Shaped-and-scheduled sharded runtime: the multi-producer form of the
+// paper's decoupled shaping (§3.2.2, Figure 8). Every element carries two
+// keys — a release time and a priority — through the packet's paired
+// TimerNode/SchedNode handles; producers publish lock-free, and the single
+// consumer migrates due elements from per-shard time-indexed shapers into
+// per-shard priority-indexed schedulers before draining the schedulers in
+// merged cross-shard priority order.
+type (
+	// ShapedShardedQueue is the shaped+scheduled sharded runtime.
+	ShapedShardedQueue = shardq.Shaped
+	// ShapedShardedQueueOptions sizes a ShapedShardedQueue.
+	ShapedShardedQueueOptions = shardq.ShapedOptions
+	// PairFunc maps a published shaper handle to its scheduler twin.
+	PairFunc = shardq.PairFunc
+
+	// ShapedSharded is the qdisc-shaped surface over the runtime: packets
+	// gate on SendAt and release in Rank order.
+	ShapedSharded = qdisc.ShapedSharded
+	// ShapedShardedOptions sizes a ShapedSharded qdisc.
+	ShapedShardedOptions = qdisc.ShapedShardedOptions
+)
+
+// NewShapedShardedQueue constructs a shaped+scheduled sharded runtime.
+func NewShapedShardedQueue(opt ShapedShardedQueueOptions) *ShapedShardedQueue {
+	return shardq.NewShaped(opt)
+}
+
+// NewShapedSharded constructs a shaped+scheduled sharded qdisc over
+// pkt.Packet's TimerNode/SchedNode pair.
+func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
+	return qdisc.NewShapedSharded(opt)
+}

@@ -55,6 +55,47 @@ func ExampleChoose() {
 	// BinHeap
 }
 
+// ExampleNewShapedSharded shows the decoupled shaping + priority
+// scheduling qdisc (Figure 8 on the sharded multi-producer runtime): a
+// packet never leaves before its SendAt, and among eligible packets
+// release order follows Rank — even when the earliest-due packet has the
+// worst priority.
+func ExampleNewShapedSharded() {
+	q := eiffel.NewShapedSharded(eiffel.ShapedShardedOptions{
+		Shards:    4,
+		HorizonNs: 2000, // tiny horizon: 1 ns shaping buckets
+		RankSpan:  1 << 11,
+	})
+	pool := eiffel.NewPool(4)
+	for _, pkt := range []struct{ sendAt, rank int64 }{
+		{100, 30}, // due first, worst priority
+		{200, 10},
+		{300, 20},
+	} {
+		p := pool.Get()
+		p.Flow = uint64(pkt.rank)
+		p.SendAt = pkt.sendAt
+		p.Rank = uint64(pkt.rank)
+		q.Enqueue(p, 0)
+	}
+	fmt.Println(q.Dequeue(50) == nil) // nothing due yet
+	if p := q.Dequeue(150); p != nil {
+		fmt.Println(p.Rank) // only the rank-30 packet is eligible
+	}
+	for {
+		p := q.Dequeue(350) // both remaining are eligible: priority order
+		if p == nil {
+			break
+		}
+		fmt.Println(p.Rank)
+	}
+	// Output:
+	// true
+	// 30
+	// 10
+	// 20
+}
+
 // ExampleNewLogQueue shows the log-scale bucket granularity prototype
 // (§5.2 future work): near-base ranks get exact 1-unit buckets while a
 // rank far beyond the linear region shares a geometrically wider bucket,

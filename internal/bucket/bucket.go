@@ -127,6 +127,33 @@ func (a *Array) PopFront(i int) (n *Node, becameEmpty bool) {
 	return n, becameEmpty
 }
 
+// DrainBucket detaches every node of bucket i at once, writing them to out
+// in FIFO order, and returns how many it wrote. When the bucket holds more
+// nodes than out has room for it drains nothing and returns (0, false) —
+// callers fall back to per-node PopFront. The bulk path walks the list
+// once and settles the bucket's count bookkeeping in O(1) instead of
+// per-node, which is what makes whole-bucket batch dequeues cheap.
+func (a *Array) DrainBucket(i int, out []*Node) (n int, ok bool) {
+	cnt := int(a.lens[i])
+	if cnt == 0 || cnt > len(out) {
+		return 0, false
+	}
+	l := &a.buckets[i]
+	k := 0
+	for nd := l.head; nd != nil; {
+		next := nd.next
+		nd.next, nd.prev, nd.owner = nil, nil, nil
+		nd.bucket = -1
+		out[k] = nd
+		k++
+		nd = next
+	}
+	l.head, l.tail = nil, nil
+	a.lens[i] = 0
+	a.count -= cnt
+	return cnt, true
+}
+
 // Remove detaches n from whatever bucket it is in, reporting whether that
 // bucket became empty. n must currently be in this array.
 func (a *Array) Remove(n *Node) (becameEmpty bool) {

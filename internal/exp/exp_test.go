@@ -174,6 +174,32 @@ func TestAblationsQuick(t *testing.T) {
 	}
 }
 
+func TestShapedSchedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := runQuick(t, "shapedsched")
+	rows := res.Tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows (locked tree, shaped shards), got %d", len(rows))
+	}
+	// The hard acceptance half: ZERO priority inversions beyond scheduler
+	// bucket granularity, for the baseline and the sharded runtime alike.
+	for _, row := range rows {
+		if row[5] != "0" {
+			t.Fatalf("%s: %s priority inversions beyond bucket granularity, want 0", row[0], row[5])
+		}
+	}
+	// Throughput sanity (the ≥2× acceptance figure is tracked by
+	// BenchmarkShapedSched; machine-dependent, so not asserted here): the
+	// sharded runtime must at least not lose to the global lock.
+	locked := cell(t, res, 0, 0, 3)
+	sharded := cell(t, res, 0, 1, 3)
+	if sharded < locked*0.8 {
+		t.Fatalf("shaped shards (%.2f Mpps) fell below the locked tree baseline (%.2f Mpps)", sharded, locked)
+	}
+}
+
 func TestRegistryNamesStable(t *testing.T) {
 	names := Names()
 	if len(names) != len(Registry) {

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+
+	"eiffel/internal/qdisc"
+	"eiffel/internal/stats"
+)
+
+// ShapedSched is the decoupled shaping + priority scheduling scaling
+// experiment (the multi-producer form of Figure 8, not a paper figure):
+// every packet carries both a release time spread over the 2 s horizon and
+// an uncorrelated priority, and the qdisc must honor both — never release
+// early, and release eligible packets in priority order. The baseline is
+// the kernel-style deployment (a pifo.Tree behind the decoupled shaper,
+// all behind one global lock); the contender is qdisc.ShapedSharded. Each
+// row reports contention throughput (8 producers vs one consumer) and the
+// priority-order fidelity of a post-publication drain — inversions beyond
+// scheduler-bucket granularity must be zero for both.
+func ShapedSched(o Options) *Result {
+	res := &Result{ID: "shapedsched"}
+	const producers = 8
+	const rankSpan = uint64(1) << 20
+	perProducer := 20000
+	if o.Quick {
+		perProducer = 4000
+		res.Notes = append(res.Notes, "quick mode: 4000 packets per producer instead of 20000")
+	}
+
+	geometry := qdisc.ShapedShardedOptions{
+		Shards:        8,
+		ShaperBuckets: 2500,
+		HorizonNs:     2e9,
+		SchedBuckets:  256,
+		RankSpan:      rankSpan,
+		RingBits:      15,
+	}
+	// The tree baseline gets the aggregate queue capacity of the 8 shards
+	// (8×2500 shaper buckets, 8×256 scheduler buckets), so the comparison
+	// measures the runtime, not the queue geometry.
+	treeGeometry := geometry
+	treeGeometry.ShaperBuckets = geometry.Shards * geometry.ShaperBuckets
+	treeGeometry.SchedBuckets = geometry.Shards * geometry.SchedBuckets
+
+	entries := []struct {
+		name string
+		mk   func() qdisc.Qdisc
+	}{
+		{"Eiffel tree+lock", func() qdisc.Qdisc { return qdisc.NewLocked(qdisc.NewShapedTree(treeGeometry)) }},
+		{"Eiffel+shaped-shards", func() qdisc.Qdisc { return qdisc.NewShapedSharded(geometry) }},
+	}
+
+	gran := rankSpan / (2 * uint64(geometry.SchedBuckets))
+	t := &stats.Table{
+		Title:   "Shaped+scheduled — 8 producers, per-packet (SendAt, Rank) through a decoupled qdisc",
+		Headers: []string{"qdisc", "producers", "packets", "Mpps", "vs lock", "inversions", "counters"},
+	}
+	// One workload, replayed by every pass: packets come back detached, and
+	// sharing the set keeps allocation (and GC scan of dead sets) out of
+	// the timed regions — the ContentionPackets contract.
+	packets := qdisc.ShapedPackets(producers, perProducer, rankSpan)
+	var lockedMpps float64
+	var lastPackets int
+	for _, e := range entries {
+		// Best of three replays on ONE instance: a qdisc is empty after a
+		// full replay, so reuse measures the steady state (warm rings and
+		// buckets, no per-rep construction garbage feeding the GC), and
+		// the max filters scheduler/GC hiccups that would otherwise
+		// dominate a single run on small machines. Both rows get the same
+		// treatment, so the ratio stays honest.
+		q := e.mk()
+		var mpps float64
+		for rep := 0; rep < 3; rep++ {
+			r := qdisc.ReplayContention(q, packets)
+			lastPackets = r.Packets
+			if m := r.Mpps(); m > mpps {
+				mpps = m
+			}
+		}
+		if lockedMpps == 0 {
+			lockedMpps = mpps
+		}
+
+		// Fidelity pass on a fresh instance: publish everything first, then
+		// drain, so the output order is fully priority-determined.
+		fq := e.mk()
+		released, inversions := qdisc.ReplayPriorityFidelity(fq, packets, gran)
+		if released != producers*perProducer {
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("%s: fidelity drain released %d of %d", e.name, released, producers*perProducer))
+		}
+
+		counters := "-"
+		if s, ok := fq.(*qdisc.ShapedSharded); ok {
+			counters = s.Stats().String()
+		}
+		t.AddRow(e.name,
+			fmt.Sprintf("%d", producers),
+			fmt.Sprintf("%d", lastPackets),
+			fmt.Sprintf("%.2f", mpps),
+			fmt.Sprintf("%.2fx", mpps/lockedMpps),
+			fmt.Sprintf("%d", inversions),
+			counters)
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"release times spread over the 2 s horizon, priorities uniform over 2^20; consumer drains at now = horizon",
+		fmt.Sprintf("inversions counted beyond the scheduler bucket granularity (%d rank units)", gran))
+	return res
+}

@@ -20,6 +20,14 @@ import "eiffel/internal/bucket"
 //
 // Ranks below hIndex (stragglers, e.g. a timestamp already in the past) are
 // clamped to the front of the primary so they are served immediately.
+//
+// An empty queue re-anchors the window at whatever rank arrives first —
+// backward for ranks behind the window, forward (with nb-1 buckets of
+// backward headroom) for ranks beyond it — since with nothing queued no
+// other position can matter. Eager anchoring keeps idle→burst transitions
+// on the O(1) path: without it, a burst landing past the window of an idle
+// queue piles unsorted into the overflow bucket and forces a fast-forward
+// plus full redistribution on the next dequeue.
 type CFFS struct {
 	prim, sec *half
 	hIndex    uint64 // lowest bucket number served by the primary half
@@ -105,12 +113,27 @@ func (c *CFFS) Stats() (rotations, overflows, fastForwards, clampedLow uint64) {
 // update.
 func (c *CFFS) Enqueue(n *bucket.Node, rank uint64) {
 	b := rank / c.gran
-	if c.count == 0 && b < c.hIndex {
-		// Empty queue and a rank behind the window: slide the window
-		// back instead of clamping. (Ranks beyond the window need no
-		// special case — they land in the overflow bucket and the
-		// dequeue-side fast-forward re-anchors at the true minimum.)
-		c.hIndex = b
+	if c.count == 0 {
+		if b < c.hIndex {
+			// Empty queue and a rank behind the window: slide the window
+			// back instead of clamping.
+			c.hIndex = b
+		} else if b-c.hIndex >= 2*c.nb {
+			// The forward mirror: an empty queue holds nothing the window
+			// position could matter for, so re-anchor at the rank instead
+			// of dropping the element into the overflow bucket — which
+			// would force a guaranteed fast-forward plus redistribution on
+			// the next dequeue (or, without redistribution, a rotation
+			// crawl across the whole gap). The element lands in the LAST
+			// primary bucket, keeping nb-1 buckets of backward headroom so
+			// slightly smaller ranks arriving next (downward re-ranks, the
+			// tail of a concurrent burst) still sort instead of clamping.
+			if b >= c.nb-1 {
+				c.hIndex = b - (c.nb - 1)
+			} else {
+				c.hIndex = 0
+			}
+		}
 	}
 	c.place(n, rank, b)
 	c.count++
@@ -170,6 +193,15 @@ func (c *CFFS) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 		i := c.prim.idx.Min()
 		if (c.hIndex+uint64(i))*c.gran > maxRank {
 			break
+		}
+		// Whole-bucket fast path: detach the FIFO list in one walk with
+		// O(1) bookkeeping. Falls back to per-node pops when the bucket
+		// holds more than the batch has room for.
+		if k, ok := c.prim.arr.DrainBucket(i, out[total:]); ok {
+			c.prim.idx.Clear(i)
+			total += k
+			c.count -= k
+			continue
 		}
 		for total < len(out) {
 			n, empty := c.prim.arr.PopFront(i)

@@ -183,15 +183,55 @@ func TestCFFSEmptyReanchor(t *testing.T) {
 	if n := q.DequeueMin(); n.Rank() != 35 {
 		t.Fatal("wrong element")
 	}
-	// Queue empty: enqueueing far ahead must re-anchor without rotations.
-	rotBefore, _, _, _ := q.Stats()
+	// Queue empty: enqueueing far ahead must re-anchor the window forward
+	// at enqueue time — not dump the element into the overflow bucket and
+	// leave the next dequeue to fast-forward and redistribute.
+	rotBefore, ovBefore, ffBefore, _ := q.Stats()
 	q.Enqueue(node(900000), 900000)
+	_, ovAfter, _, _ := q.Stats()
+	if ovAfter != ovBefore {
+		t.Fatal("empty-queue enqueue beyond the window landed in the overflow bucket")
+	}
 	if r, ok := q.PeekMin(); !ok || r != 900000 {
 		t.Fatalf("PeekMin = (%d,%v)", r, ok)
 	}
-	rotAfter, _, _, _ := q.Stats()
+	rotAfter, _, ffAfter, _ := q.Stats()
 	if rotAfter != rotBefore {
 		t.Fatal("empty-queue enqueue should not rotate")
+	}
+	if ffAfter != ffBefore {
+		t.Fatal("empty-queue enqueue should not need a dequeue-side fast-forward")
+	}
+	if n := q.DequeueMin(); n == nil || n.Rank() != 900000 {
+		t.Fatal("re-anchored element lost")
+	}
+}
+
+// TestCFFSEmptyReanchorStaysExact drives the empty→far-ahead→refill cycle
+// an idle-then-bursty shaper produces and checks ordering stays exact with
+// zero fast-forwards — the pattern that used to degrade: every idle gap
+// longer than the window forced an overflow + fast-forward + redistribute.
+func TestCFFSEmptyReanchorStaysExact(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 8, Granularity: 1})
+	base := uint64(0)
+	for cycle := 0; cycle < 50; cycle++ {
+		base += 1 << 20 // far beyond the 16-bucket window
+		// The first arrival anchors the window (in the last primary
+		// bucket); the rest land inside the forward half.
+		ranks := []uint64{base, base + 5, base + 3, base + 8}
+		for _, r := range ranks {
+			q.Enqueue(node(r), r)
+		}
+		want := []uint64{base, base + 3, base + 5, base + 8}
+		for i, w := range want {
+			if n := q.DequeueMin(); n == nil || n.Rank() != w {
+				t.Fatalf("cycle %d pos %d: got %v, want %d", cycle, i, n, w)
+			}
+		}
+	}
+	_, overflows, ffs, _ := q.Stats()
+	if overflows != 0 || ffs != 0 {
+		t.Fatalf("overflows=%d fastForwards=%d; want 0 with empty-queue re-anchoring", overflows, ffs)
 	}
 }
 
@@ -259,16 +299,23 @@ func TestQuickCFFSMonotonicWithProgression(t *testing.T) {
 		const gran = 8
 		q := NewCFFS(CFFSOptions{NumBuckets: nb, Granularity: gran})
 		base := uint64(0)
-		lastBucket := uint64(0)
+		// floor is the model's lower bound for sortable enqueues: buckets
+		// already served, and — since an empty queue re-anchors its window
+		// at the first arrival — the bucket of any element enqueued while
+		// the queue was empty. Ranks below it would be straggler-clamped
+		// (served immediately), which the paper permits but this ordering
+		// model excludes.
+		floor := uint64(0)
 		queued := 0
 		for op := 0; op < 800; op++ {
 			if rng.Intn(2) == 0 || queued == 0 {
 				// Ranks drift forward, occasionally jumping past the window.
 				r := base + uint64(rng.Intn(3*nb*gran))
-				if r/gran < lastBucket {
-					// Keep the model simple: never enqueue into the past
-					// relative to what was already dequeued.
-					r = lastBucket * gran
+				if r/gran < floor {
+					r = floor * gran
+				}
+				if queued == 0 && r/gran > floor {
+					floor = r / gran
 				}
 				q.Enqueue(node(r), r)
 				queued++
@@ -282,10 +329,10 @@ func TestQuickCFFSMonotonicWithProgression(t *testing.T) {
 				}
 				queued--
 				b := n.Rank() / gran
-				if b < lastBucket {
+				if b < floor {
 					return false // went backwards
 				}
-				lastBucket = b
+				floor = b
 			}
 		}
 		return q.Len() == queued
@@ -299,16 +346,21 @@ func TestQuickCFFSMonotonicWithProgression(t *testing.T) {
 // output bucket sequence must be sorted and contain every element.
 func TestQuickCFFSDrainSorted(t *testing.T) {
 	f := func(raw []uint32) bool {
-		// Anchor the window at the smallest rank: cFFS serves a forward-
-		// moving range, so ranks below the anchor would (by design) be
-		// clamped rather than sorted.
+		// Anchor the window at the smallest rank — and enqueue it first:
+		// cFFS serves a forward-moving range, so ranks below the anchor
+		// would (by design) be clamped rather than sorted, and an empty
+		// queue re-anchors its window at whatever arrives first.
 		lo := uint64(1 << 62)
-		for _, v := range raw {
+		loIdx := -1
+		for i, v := range raw {
 			if r := uint64(v % 4096); r < lo {
-				lo = r
+				lo, loIdx = r, i
 			}
 		}
 		q := NewCFFS(CFFSOptions{NumBuckets: 32, Granularity: 4, Start: lo})
+		if loIdx >= 0 {
+			raw[0], raw[loIdx] = raw[loIdx], raw[0]
+		}
 		for _, v := range raw {
 			r := uint64(v % 4096)
 			q.Enqueue(node(r), r)

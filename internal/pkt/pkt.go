@@ -57,6 +57,11 @@ func FromSchedNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
 // FromTimerNode recovers the packet owning a timer node.
 func FromTimerNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
 
+// FromNode recovers the packet owning either of its handles — for callers
+// like the shaped sharded runtime, whose consumer may hand back whichever
+// handle a packet last traveled on.
+func FromNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
+
 // Pool is a non-concurrent free list of packets. Get returns a zeroed
 // packet whose intrusive handles point back at it.
 type Pool struct {

@@ -67,6 +67,74 @@ func ContentionPackets(producers, perProducer int) [][]*pkt.Packet {
 	return sets
 }
 
+// ShapedPackets builds the shapedsched workload: the contention packet
+// sets plus a deterministic per-packet priority annotation spread over
+// [0, rankSpan) — uncorrelated with the release times, so shaping and
+// scheduling exercise different orders.
+func ShapedPackets(producers, perProducer int, rankSpan uint64) [][]*pkt.Packet {
+	sets := ContentionPackets(producers, perProducer)
+	const rankPrime = 1000003
+	for w, set := range sets {
+		for i, p := range set {
+			p.Rank = (uint64(i)*rankPrime + uint64(w)*31) % rankSpan
+		}
+	}
+	return sets
+}
+
+// ReplayPriorityFidelity checks the ordering half of the shapedsched
+// acceptance: every set is enqueued from its own goroutine, and only after
+// all producers finish does the consumer drain at now = horizon (so every
+// packet is release-eligible and the global output order is fully
+// determined by priorities). It returns how many packets came out and how
+// many adjacent pairs inverted beyond the given priority granularity — a
+// correct decoupled qdisc returns inversions == 0.
+func ReplayPriorityFidelity(q Qdisc, packets [][]*pkt.Packet, gran uint64) (released, inversions int) {
+	var wg sync.WaitGroup
+	for w := range packets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, p := range packets[w] {
+				q.Enqueue(p, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	now := horizon
+	var last uint64
+	count := func(p *pkt.Packet) {
+		qr := p.Rank / gran
+		if released > 0 && qr < last {
+			inversions++
+		}
+		last = qr
+		released++
+	}
+	if bd, ok := q.(BatchDequeuer); ok {
+		out := make([]*pkt.Packet, 1024)
+		for {
+			k := bd.DequeueBatch(now, out)
+			if k == 0 {
+				break
+			}
+			for _, p := range out[:k] {
+				count(p)
+			}
+		}
+	} else {
+		for {
+			p := q.Dequeue(now)
+			if p == nil {
+				break
+			}
+			count(p)
+		}
+	}
+	return released, inversions
+}
+
 // RunContention builds a fresh workload and replays it; see
 // ReplayContention.
 func RunContention(q Qdisc, producers, perProducer int) ContentionResult {

@@ -26,9 +26,10 @@ type Qdisc interface {
 	// Dequeue returns one packet whose release time has arrived, or nil.
 	Dequeue(now int64) *pkt.Packet
 	// NextTimer returns when the qdisc next needs service. ok=false means
-	// it is empty. Carousel answers now+granularity unconditionally while
-	// non-empty — it cannot know its soonest deadline (§2: no ExtractMin
-	// on a timing wheel) — whereas Eiffel answers the exact deadline.
+	// it is empty. Carousel answers now when the wheel already holds an
+	// overdue backlog and now+granularity otherwise — it cannot know its
+	// soonest FUTURE deadline (§2: no ExtractMin on a timing wheel) —
+	// whereas Eiffel answers the exact deadline.
 	NextTimer(now int64) (int64, bool)
 	// Len returns queued packets.
 	Len() int
@@ -146,11 +147,20 @@ func (c *Carousel) Dequeue(now int64) *pkt.Packet {
 	return pkt.FromTimerNode(n)
 }
 
-// NextTimer implements Qdisc: one tick per wheel granularity, always —
-// the fixed-interval firing that shows up as softirq overhead in Fig 10.
+// NextTimer implements Qdisc: one tick per wheel granularity while the
+// wheel only holds future slots — the fixed-interval firing that shows up
+// as softirq overhead in Fig 10 — but "now" when the wheel already holds
+// an overdue backlog (late arrivals clamped into the current slot, or a
+// host that fell behind). Without the overdue check the runner would idle
+// a full granularity before servicing packets that are already due, which
+// both delays release and mis-attributes idle time in the Figure 9/10
+// decomposition.
 func (c *Carousel) NextTimer(now int64) (int64, bool) {
 	if c.w.Len() == 0 {
 		return 0, false
+	}
+	if c.w.HasExpired(uint64(now)) {
+		return now, true
 	}
 	return now + c.gran, true
 }

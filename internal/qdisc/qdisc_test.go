@@ -161,6 +161,44 @@ func TestCarouselTimerFiresEveryTick(t *testing.T) {
 	}
 }
 
+// TestCarouselServicesOverdueBacklog is the regression test for the
+// NextTimer overdue bug: with a due backlog in the wheel, NextTimer used
+// to answer now+granularity, idling the host runner a full granularity
+// before releasing packets that were already due — and padding the
+// softirq idle time the Figure 9/10 decomposition meters. The fire count
+// is pinned: the whole overdue backlog must be serviced by exactly one
+// immediate timer fire.
+func TestCarouselServicesOverdueBacklog(t *testing.T) {
+	c := NewCarousel(100, 1000, 0) // granularity 10 ns
+	pool := pkt.NewPool(4)
+	c.Enqueue(mk(pool, 1, 5), 0)  // slot 0
+	c.Enqueue(mk(pool, 2, 15), 0) // slot 1
+	now := int64(25)              // both packets are overdue
+	fires, released := 0, 0
+	for c.Len() > 0 {
+		next, ok := c.NextTimer(now)
+		if !ok {
+			t.Fatal("NextTimer not ok with queued packets")
+		}
+		if next > now {
+			t.Fatalf("NextTimer(%d) = %d with an overdue backlog; the runner would idle %d ns",
+				now, next, next-now)
+		}
+		fires++
+		for c.Dequeue(now) != nil {
+			released++
+		}
+	}
+	if fires != 1 || released != 2 {
+		t.Fatalf("fires = %d, released = %d; want the backlog serviced in exactly 1 fire", fires, released)
+	}
+	// With nothing due, the wheel still demands its periodic tick.
+	c.Enqueue(mk(pool, 3, 900), int64(25))
+	if next, ok := c.NextTimer(25); !ok || next != 25+c.gran {
+		t.Fatalf("NextTimer with only future packets = (%d,%v), want one granularity tick", next, ok)
+	}
+}
+
 func TestRunHostSmall(t *testing.T) {
 	cfg := HostConfig{Flows: 200, AggregateBps: 200_000_000, SimSeconds: 2}
 	for _, q := range []Qdisc{NewEiffel(2048, 2e9, 0), NewCarousel(2048, 2e9, 0), NewFQ()} {

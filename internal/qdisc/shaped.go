@@ -1,0 +1,310 @@
+package qdisc
+
+import (
+	"sync/atomic"
+
+	"eiffel/internal/pifo"
+	"eiffel/internal/pkt"
+	"eiffel/internal/policy"
+	"eiffel/internal/queue"
+	"eiffel/internal/shardq"
+)
+
+// ShapedSharded is the shaped-and-scheduled sharded qdisc: the multi-
+// producer form of the paper's decoupled shaping (§3.2.2, Figure 8). Each
+// packet carries two keys — SendAt (when it may leave) and Rank (where it
+// goes once it may) — through the two intrusive handles pkt.Packet was
+// built with: TimerNode rides the per-shard time-indexed shaper cFFS,
+// SchedNode the per-shard priority-indexed scheduler (FFS-indexed vector
+// buckets over the fixed RankSpan; see shardq.ShapedOptions). Producers
+// publish (TimerNode, SendAt, Rank) triples over lock-free rings; the
+// single consumer migrates due packets shaper→scheduler and drains the
+// schedulers in merged cross-shard priority order.
+//
+// Concurrency contract matches Sharded: Enqueue from any number of
+// goroutines; Dequeue, DequeueBatch and NextTimer from one consumer
+// goroutine (the softirq role).
+type ShapedSharded struct {
+	rt       *shardq.Shaped
+	name     string
+	rankGran uint64
+
+	// Release buffer, exactly as in Sharded: everything buffered was
+	// already release-eligible when popped.
+	buf     []*shardq.Node
+	bufHead int
+	bufLen  int
+	bufN    atomic.Int64
+
+	scratch []*shardq.Node // DequeueBatch conversion space
+}
+
+// ShapedShardedOptions sizes a ShapedSharded qdisc.
+type ShapedShardedOptions struct {
+	// Shards is the shard count, rounded up to a power of two (default 8).
+	Shards int
+	// ShaperBuckets is the per-shard time-indexed cFFS bucket count
+	// (default 4096); shaping granularity = HorizonNs/(2*ShaperBuckets).
+	ShaperBuckets int
+	// HorizonNs is the shaping horizon covered without overflow.
+	HorizonNs int64
+	// Start anchors the initial shaper window.
+	Start int64
+	// SchedBuckets is the per-shard priority-indexed cFFS bucket count
+	// (default 4096); priority granularity = RankSpan/(2*SchedBuckets).
+	SchedBuckets int
+	// RankSpan is the priority range covered without overflow
+	// (default 1<<20).
+	RankSpan uint64
+	// Batch is the consumer-side batch size (default 64).
+	Batch int
+	// RingBits sizes each shard's MPSC ring at 1<<RingBits slots
+	// (default 10).
+	RingBits uint
+}
+
+// withDefaults fills the queue-geometry defaults shared by the sharded
+// qdisc and its single-threaded tree baseline.
+func (o ShapedShardedOptions) withDefaults() ShapedShardedOptions {
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.ShaperBuckets <= 0 {
+		o.ShaperBuckets = 4096
+	}
+	if o.SchedBuckets <= 0 {
+		o.SchedBuckets = 4096
+	}
+	if o.RankSpan == 0 {
+		o.RankSpan = 1 << 20
+	}
+	return o
+}
+
+// schedGran returns the scheduler bucket width the options imply.
+func (o ShapedShardedOptions) schedGran() uint64 {
+	if g := o.RankSpan / (2 * uint64(o.SchedBuckets)); g > 0 {
+		return g
+	}
+	return 1
+}
+
+// NewShapedSharded returns a ShapedSharded qdisc with the given geometry.
+func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
+	opt = opt.withDefaults()
+	schedGran := opt.schedGran()
+	return &ShapedSharded{
+		rt: shardq.NewShaped(shardq.ShapedOptions{
+			NumShards: opt.Shards,
+			RingBits:  opt.RingBits,
+			Shaper:    eiffelCfg(opt.ShaperBuckets, opt.HorizonNs, opt.Start),
+			Sched:     queue.Config{NumBuckets: opt.SchedBuckets, Granularity: schedGran},
+			Pair: func(n *shardq.Node) *shardq.Node {
+				return &pkt.FromTimerNode(n).SchedNode
+			},
+		}),
+		name:     "Eiffel+shaped-shards",
+		rankGran: schedGran,
+		buf:      make([]*shardq.Node, opt.Batch),
+	}
+}
+
+// Name implements Qdisc.
+func (s *ShapedSharded) Name() string { return s.name }
+
+// Len implements Qdisc: packets published but not yet handed out —
+// whether still in a ring, waiting in a shaper, migrated into a
+// scheduler, or sitting in the consumer's release buffer. Like
+// Sharded.Len it may transiently overcount by up to one in-flight batch
+// while producers and the consumer run concurrently; it is exact at
+// quiescence.
+func (s *ShapedSharded) Len() int { return s.rt.Len() + int(s.bufN.Load()) }
+
+// Stats returns the runtime's shard/migration/batch counters.
+func (s *ShapedSharded) Stats() shardq.Snapshot { return s.rt.Stats() }
+
+// NumShards returns the shard count.
+func (s *ShapedSharded) NumShards() int { return s.rt.NumShards() }
+
+// RankGranularity returns the scheduler bucket width: priority order among
+// released packets is exact to this granularity (ranks within one bucket
+// release FIFO).
+func (s *ShapedSharded) RankGranularity() uint64 { return s.rankGran }
+
+// Enqueue implements Qdisc. Safe for concurrent producers.
+func (s *ShapedSharded) Enqueue(p *pkt.Packet, _ int64) {
+	s.rt.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
+}
+
+// Dequeue implements Qdisc: the highest-priority packet whose release time
+// has arrived, or nil. Refills the release buffer with a cross-shard batch
+// when empty.
+func (s *ShapedSharded) Dequeue(now int64) *pkt.Packet {
+	if s.bufHead == s.bufLen {
+		s.bufHead = 0
+		s.bufLen = s.rt.DequeueBatch(uint64(now), ^uint64(0), s.buf)
+		s.bufN.Store(int64(s.bufLen))
+		if s.bufLen == 0 {
+			return nil
+		}
+	}
+	n := s.buf[s.bufHead]
+	s.buf[s.bufHead] = nil
+	s.bufHead++
+	s.bufN.Add(-1)
+	return pkt.FromNode(n)
+}
+
+// DequeueBatch pops up to len(out) release-eligible packets in merged
+// priority order, draining the internal buffer first. It returns how many
+// packets it wrote.
+func (s *ShapedSharded) DequeueBatch(now int64, out []*pkt.Packet) int {
+	k := 0
+	for s.bufHead < s.bufLen && k < len(out) {
+		out[k] = pkt.FromNode(s.buf[s.bufHead])
+		s.buf[s.bufHead] = nil
+		s.bufHead++
+		s.bufN.Add(-1)
+		k++
+	}
+	if k == len(out) {
+		return k
+	}
+	// Drain in chunks sized to stay cache-resident: the conversion reads
+	// each node's line right after the runtime's drain touched it, instead
+	// of revisiting a large batch after its head has been evicted.
+	const chunk = 256
+	if cap(s.scratch) < chunk {
+		s.scratch = make([]*shardq.Node, chunk)
+	}
+	for k < len(out) {
+		want := len(out) - k
+		if want > chunk {
+			want = chunk
+		}
+		nodes := s.scratch[:want]
+		m := s.rt.DequeueBatch(uint64(now), ^uint64(0), nodes)
+		for i := 0; i < m; i++ {
+			out[k] = pkt.FromNode(nodes[i])
+			nodes[i] = nil // release the popped node: scratch must not pin packets
+			k++
+		}
+		if m < want {
+			break
+		}
+	}
+	return k
+}
+
+// NextTimer implements Qdisc: "now" whenever a release-eligible packet is
+// already buffered or migrated into a scheduler, otherwise the soonest
+// shaper deadline across every shard.
+func (s *ShapedSharded) NextTimer(now int64) (int64, bool) {
+	if s.bufHead < s.bufLen || s.rt.SchedLen() > 0 {
+		return now, true
+	}
+	r, ok := s.rt.NextRelease(uint64(now))
+	if s.rt.SchedLen() > 0 {
+		// NextRelease's migration pass just moved due packets into the
+		// schedulers: they are eligible NOW, regardless of how far off the
+		// next still-shaped deadline is.
+		return now, true
+	}
+	if !ok {
+		return 0, false
+	}
+	t := int64(r)
+	if t < now {
+		t = now
+	}
+	return t, true
+}
+
+// --- Single-threaded baseline: pifo.Tree behind the decoupled shaper ---
+
+// ShapedTree is the single-threaded reference for the same semantics: the
+// paper's Figure 8 pipeline built from a pifo.Tree. Packets whose SendAt
+// is in the future park in a single time-indexed shaper cFFS (TimerNode);
+// once due they migrate into the tree, whose leaf ranks them by the Rank
+// annotation (SchedNode). Wrapped in Locked, this is the kernel-style
+// global-lock deployment the shapedsched experiment measures
+// ShapedSharded against.
+type ShapedTree struct {
+	tree   *pifo.Tree
+	leaf   *pifo.Class
+	shaper queue.PQ
+}
+
+// NewShapedTree returns a ShapedTree whose shaper and scheduler use the
+// same geometry as a ShapedSharded shard, so the comparison isolates the
+// runtime, not the queues.
+func NewShapedTree(opt ShapedShardedOptions) *ShapedTree {
+	opt = opt.withDefaults()
+	schedGran := opt.schedGran()
+	t := pifo.NewTree(pifo.TreeOptions{
+		RootRanker:        policy.StrictChild{},
+		RootQueue:         queue.Config{NumBuckets: 64, Granularity: 1},
+		ShaperBuckets:     64, // class shaper: unused, packets shape outside
+		ShaperGranularity: 1 << 16,
+	})
+	leaf := t.NewPacketLeaf(nil, policy.RankAnnotation{}, pifo.ClassOptions{
+		Name:  "prio",
+		Queue: queue.Config{NumBuckets: opt.SchedBuckets, Granularity: schedGran},
+	})
+	return &ShapedTree{
+		tree:   t,
+		leaf:   leaf,
+		shaper: queue.New(queue.KindCFFS, eiffelCfg(opt.ShaperBuckets, opt.HorizonNs, opt.Start)),
+	}
+}
+
+// Name implements Qdisc.
+func (q *ShapedTree) Name() string { return "Eiffel tree" }
+
+// Len implements Qdisc.
+func (q *ShapedTree) Len() int { return q.shaper.Len() + q.tree.Len() }
+
+// Enqueue implements Qdisc: future packets park in the shaper; due packets
+// go straight into the tree.
+func (q *ShapedTree) Enqueue(p *pkt.Packet, now int64) {
+	if p.SendAt > now {
+		q.shaper.Enqueue(&p.TimerNode, uint64(p.SendAt))
+		return
+	}
+	q.tree.Enqueue(q.leaf, p, now)
+}
+
+// admitDue migrates every shaper packet whose release bucket has arrived
+// into the scheduling tree.
+func (q *ShapedTree) admitDue(now int64) {
+	for {
+		r, ok := q.shaper.PeekMin()
+		if !ok || int64(r) > now {
+			return
+		}
+		p := pkt.FromTimerNode(q.shaper.DequeueMin())
+		q.tree.Enqueue(q.leaf, p, now)
+	}
+}
+
+// Dequeue implements Qdisc.
+func (q *ShapedTree) Dequeue(now int64) *pkt.Packet {
+	q.admitDue(now)
+	return q.tree.Dequeue(now)
+}
+
+// NextTimer implements Qdisc.
+func (q *ShapedTree) NextTimer(now int64) (int64, bool) {
+	if q.tree.Len() > 0 {
+		return now, true
+	}
+	r, ok := q.shaper.PeekMin()
+	if !ok {
+		return 0, false
+	}
+	t := int64(r)
+	if t < now {
+		t = now
+	}
+	return t, true
+}

@@ -84,7 +84,13 @@ func NewSharded(opt ShardedOptions) *Sharded {
 func (s *Sharded) Name() string { return s.name }
 
 // Len implements Qdisc: packets published but not yet handed out,
-// including any sitting in the consumer's release buffer.
+// including any sitting in the consumer's release buffer. While producers
+// and the consumer run concurrently Len may transiently overcount by up
+// to one in-flight batch (ring occupancy is published per drain, not per
+// element); it is exact whenever the qdisc is quiescent. Callers that
+// need an exact count must therefore read it with producers and the
+// consumer stopped — the contract the contention harness and the
+// concurrent tests rely on.
 func (s *Sharded) Len() int { return s.rt.Len() + int(s.bufN.Load()) }
 
 // Stats returns the runtime's shard/batch counters.
@@ -138,6 +144,7 @@ func (s *Sharded) DequeueBatch(now int64, out []*pkt.Packet) int {
 	m := s.rt.DequeueBatch(uint64(now), nodes)
 	for i := 0; i < m; i++ {
 		out[k] = pkt.FromTimerNode(nodes[i])
+		nodes[i] = nil // drop the handle: scratch must not pin released packets
 		k++
 	}
 	return k

@@ -112,6 +112,31 @@ func TestShardedDequeueBatch(t *testing.T) {
 	}
 }
 
+// TestShardedDequeueBatchReleasesScratch is the regression test for the
+// scratch GC pin: DequeueBatch used to leave the popped *shardq.Node
+// pointers behind in s.scratch after converting them to packets, keeping
+// every released packet reachable from the qdisc and defeating pool
+// reuse/GC until the slots happened to be overwritten.
+func TestShardedDequeueBatchReleasesScratch(t *testing.T) {
+	q := NewSharded(ShardedOptions{Shards: 2, Buckets: 1000, HorizonNs: 2000})
+	pool := pkt.NewPool(16)
+	for i := 0; i < 10; i++ {
+		p := pool.Get()
+		p.Flow = uint64(i)
+		p.SendAt = int64(i)
+		q.Enqueue(p, 0)
+	}
+	out := make([]*pkt.Packet, 16)
+	if k := q.DequeueBatch(1000, out); k != 10 {
+		t.Fatalf("DequeueBatch = %d, want 10", k)
+	}
+	for i, n := range q.scratch {
+		if n != nil {
+			t.Fatalf("scratch[%d] still pins a released packet's node", i)
+		}
+	}
+}
+
 // TestShardedConcurrentProducers is the sharded twin of the Locked
 // regression test: 8 producers, one consumer, all packets accounted for.
 func TestShardedConcurrentProducers(t *testing.T) {

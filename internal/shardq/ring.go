@@ -18,15 +18,19 @@ import (
 
 // ringEntry is one publication slot. seq is the Vyukov sequence number:
 // equal to the slot position when free, position+1 once the payload is
-// visible, and advanced by the ring size again when consumed.
+// visible, and advanced by the ring size again when consumed. The payload
+// is a (node, rank, aux) triple: plain rank-ordered runtimes leave aux
+// zero, while the shaped runtime publishes (node, sendAt, rank) so one
+// ring push carries both scheduling dimensions.
 type ringEntry struct {
 	seq  atomic.Uint64
 	n    *bucket.Node
 	rank uint64
+	aux  uint64
 }
 
 // ring is a bounded lock-free multi-producer single-consumer queue of
-// (node, rank) pairs — the Vyukov bounded MPMC algorithm restricted to one
+// (node, rank, aux) triples — the Vyukov bounded MPMC algorithm restricted to one
 // consumer, so the consumer side needs no atomics on its cursor. A full
 // ring reports failure instead of blocking; the caller (shard enqueue)
 // falls back to flushing under the shard lock, which doubles as
@@ -57,16 +61,16 @@ func newRing(bits uint) *ring {
 	return r
 }
 
-// push publishes (n, rank) from any goroutine. It reports false when the
-// ring is full; the payload is then NOT queued.
-func (r *ring) push(n *bucket.Node, rank uint64) bool {
+// push publishes (n, rank, aux) from any goroutine. It reports false when
+// the ring is full; the payload is then NOT queued.
+func (r *ring) push(n *bucket.Node, rank, aux uint64) bool {
 	for {
 		pos := r.tail.Load()
 		e := &r.entries[pos&r.mask]
 		switch seq := e.seq.Load(); {
 		case seq == pos:
 			if r.tail.CompareAndSwap(pos, pos+1) {
-				e.n, e.rank = n, rank
+				e.n, e.rank, e.aux = n, rank, aux
 				e.seq.Store(pos + 1)
 				return true
 			}
@@ -105,17 +109,17 @@ func (r *ring) pushes() uint64 { return r.tail.Load() }
 // the ring is empty or the oldest slot is claimed but not yet published
 // (the producer was preempted mid-publish); either way there is nothing
 // consumable right now.
-func (r *ring) pop() (n *bucket.Node, rank uint64, ok bool) {
+func (r *ring) pop() (n *bucket.Node, rank, aux uint64, ok bool) {
 	e := &r.entries[r.head&r.mask]
 	if e.seq.Load() != r.head+1 {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	n, rank = e.n, e.rank
+	n, rank, aux = e.n, e.rank, e.aux
 	// The stale e.n pointer is left in place: the slot is dead until the
 	// next producer lap overwrites it, so clearing it would only add a
 	// store to the hot path. The ring therefore retains up to one lap of
 	// consumed nodes, which its owners keep alive anyway.
 	e.seq.Store(r.head + r.mask + 1)
 	r.head++
-	return n, rank, true
+	return n, rank, aux, true
 }

@@ -12,20 +12,21 @@ func TestRingFIFO(t *testing.T) {
 	r := newRing(3) // 8 slots
 	nodes := make([]bucket.Node, 8)
 	for i := range nodes {
-		if !r.push(&nodes[i], uint64(i)*10) {
+		if !r.push(&nodes[i], uint64(i)*10, uint64(i)*100) {
 			t.Fatalf("push %d failed on non-full ring", i)
 		}
 	}
-	if r.push(&bucket.Node{}, 99) {
+	if r.push(&bucket.Node{}, 99, 0) {
 		t.Fatal("push succeeded on a full ring")
 	}
 	for i := range nodes {
-		n, rank, ok := r.pop()
-		if !ok || n != &nodes[i] || rank != uint64(i)*10 {
-			t.Fatalf("pop %d = (%p, %d, %v), want (%p, %d, true)", i, n, rank, ok, &nodes[i], i*10)
+		n, rank, aux, ok := r.pop()
+		if !ok || n != &nodes[i] || rank != uint64(i)*10 || aux != uint64(i)*100 {
+			t.Fatalf("pop %d = (%p, %d, %d, %v), want (%p, %d, %d, true)",
+				i, n, rank, aux, ok, &nodes[i], i*10, i*100)
 		}
 	}
-	if _, _, ok := r.pop(); ok {
+	if _, _, _, ok := r.pop(); ok {
 		t.Fatal("pop succeeded on an empty ring")
 	}
 }
@@ -35,12 +36,12 @@ func TestRingWrapAround(t *testing.T) {
 	var nodes [64]bucket.Node
 	for lap := 0; lap < 16; lap++ {
 		for i := 0; i < 4; i++ {
-			if !r.push(&nodes[lap*4+i], uint64(lap*4+i)) {
+			if !r.push(&nodes[lap*4+i], uint64(lap*4+i), 0) {
 				t.Fatalf("lap %d push %d failed", lap, i)
 			}
 		}
 		for i := 0; i < 4; i++ {
-			n, rank, ok := r.pop()
+			n, rank, _, ok := r.pop()
 			if !ok || rank != uint64(lap*4+i) || n != &nodes[lap*4+i] {
 				t.Fatalf("lap %d pop %d = (%p, %d, %v)", lap, i, n, rank, ok)
 			}
@@ -63,7 +64,7 @@ func TestRingConcurrentProducers(t *testing.T) {
 			for i := 0; i < perProducer; i++ {
 				n := &bucket.Node{}
 				rank := uint64(w)<<32 | uint64(i)
-				for !r.push(n, rank) {
+				for !r.push(n, rank, 0) {
 					runtime.Gosched()
 				}
 			}
@@ -76,7 +77,7 @@ func TestRingConcurrentProducers(t *testing.T) {
 	go func() { wg.Wait(); close(done) }()
 	producersDone := false
 	for len(seen) < producers*perProducer {
-		_, rank, ok := r.pop()
+		_, rank, _, ok := r.pop()
 		if !ok {
 			if producersDone {
 				// Every push completed before this empty pop: nothing can

@@ -1,0 +1,410 @@
+package shardq
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+	"eiffel/internal/stats"
+)
+
+// PairFunc maps the node a producer published (the element's handle in the
+// time-indexed shaper) to the element's second handle, used by the
+// priority-indexed scheduler. The two handles must belong to the same
+// element and the scheduler handle must be detached while the element sits
+// in the shaper — exactly the contract pkt.Packet's TimerNode/SchedNode
+// pair is built for (Figure 8's decoupling).
+type PairFunc func(*bucket.Node) *bucket.Node
+
+// ShapedOptions sizes a shaped-and-scheduled sharded runtime.
+type ShapedOptions struct {
+	// NumShards is the shard count, rounded up to a power of two
+	// (default 8).
+	NumShards int
+	// RingBits sizes each shard's MPSC ring at 1<<RingBits slots
+	// (default 10).
+	RingBits uint
+	// Shaper sizes each shard's time-indexed cFFS (ranks are release
+	// timestamps; granularity is the shaping precision).
+	Shaper queue.Config
+	// Sched sizes each shard's priority-indexed scheduler (ranks are
+	// scheduling priorities; granularity is the priority resolution). The
+	// config spans 2*NumBuckets*Granularity of rank space from Start, the
+	// cFFS convention.
+	Sched queue.Config
+	// SchedMoving selects a circular cFFS for the scheduler side, for
+	// priority domains that move forward without bound (virtual finish
+	// times). The default is a fixed-range FFS-indexed vector-bucket store
+	// with identical ordering semantics over the configured span (ranks
+	// outside it clamp to the edge buckets) and a cheaper hot path: slice
+	// appends and sequential whole-bucket copies instead of intrusive
+	// list links and pointer chases.
+	SchedMoving bool
+	// Pair maps a shaper handle to its scheduler twin. Required.
+	Pair PairFunc
+}
+
+func (o ShapedOptions) withDefaults() ShapedOptions {
+	base := Options{NumShards: o.NumShards, RingBits: o.RingBits}.withDefaults()
+	o.NumShards, o.RingBits = base.NumShards, base.RingBits
+	return o
+}
+
+// shapedShard is one partition of the shaped runtime: the same lock-free
+// publication ring as the plain runtime, in front of TWO mutex-protected
+// bucketed queues — a shaper keyed by release time and a scheduler keyed
+// by priority. Producers only ever feed the shaper side; the consumer
+// migrates due elements shaper→scheduler and drains the scheduler.
+type shapedShard struct {
+	ring *ring
+	mu   sync.Mutex
+
+	shaper   queue.PQ
+	sched    queue.PQ
+	shaperBP batchPopper // shaper, if it supports batch popping
+	schedBP  batchPopper // sched, if it supports batch popping
+
+	// qlen mirrors shaper.Len()+sched.Len() so Len readers need no lock;
+	// migration moves elements between the two without changing it.
+	qlen atomic.Int64
+
+	// fallbackGen counts producer-side fallback flushes, as in shard.
+	fallbackGen atomic.Uint32
+
+	_ [64]byte // keep one shard's lock traffic off the next's cache lines
+}
+
+// flushLocked drains the ring into the shaper, stashing each element's
+// priority on its scheduler handle for the later migration. Producer-side
+// fallback path: producers know no drain bound and must never touch the
+// scheduler (the consumer's merge caches scheduler heads). Callers hold
+// mu.
+func (s *shapedShard) flushLocked(pair PairFunc) (drained int) {
+	for {
+		n, sendAt, rank, ok := s.ring.pop()
+		if !ok {
+			break
+		}
+		pair(n).SetRank(rank)
+		s.shaper.Enqueue(n, sendAt)
+		drained++
+	}
+	if drained > 0 {
+		s.qlen.Add(int64(drained))
+		s.ring.publish()
+	}
+	return drained
+}
+
+// flushDueLocked is the consumer's flush: elements already due at the
+// drain bound skip the shaper entirely and land straight in the scheduler
+// — they would migrate in this same pass anyway, so the detour through the
+// time-indexed queue is pure wasted work (the shaped analogue of the plain
+// runtime's DirectDue, except nothing is reordered: the scheduler still
+// merges by priority). The due path enqueues the PUBLISHED handle itself:
+// an element that never parks never needs its second handle, and skipping
+// it keeps the hot path to the cache lines the ring pop already touched.
+// Only elements that actually wait in the shaper stash their priority on
+// the paired handle for the later migration. Not-yet-due elements park in
+// the shaper as usual. Callers hold mu; consumer-side only.
+func (s *shapedShard) flushDueLocked(pair PairFunc, due uint64) (drained, direct int) {
+	for {
+		n, sendAt, rank, ok := s.ring.pop()
+		if !ok {
+			break
+		}
+		if sendAt <= due {
+			s.sched.Enqueue(n, rank)
+			direct++
+		} else {
+			pair(n).SetRank(rank)
+			s.shaper.Enqueue(n, sendAt)
+		}
+		drained++
+	}
+	if drained > 0 {
+		s.qlen.Add(int64(drained))
+		s.ring.publish()
+	}
+	return drained, direct
+}
+
+// Shaped is the shaped-and-scheduled sharded runtime: the multi-producer
+// scaling of the paper's decoupled shaping (§3.2.2, Figure 8). Each
+// element carries two keys — a release time (sendAt) and a priority
+// (rank). Producers publish (node, sendAt, rank) triples over lock-free
+// rings; the consumer first migrates elements whose release time has
+// arrived from the per-shard shapers into the per-shard schedulers, then
+// drains the schedulers in merged cross-shard priority order. An element
+// is therefore never released before its release bucket, and among
+// released elements global priority order holds to scheduler-bucket
+// granularity — the combination hardware PIFOs cannot express.
+//
+// Concurrency contract matches Q: Enqueue from any number of goroutines;
+// DequeueBatch, DequeueMin, NextRelease, SchedLen, Flush from a single
+// consumer goroutine.
+type Shaped struct {
+	shards    []shapedShard
+	shardBits uint
+	pair      PairFunc
+
+	// shaperHeads caches each shard's soonest release time; schedHeads
+	// caches each shard's minimum priority. Consumer-owned scratch.
+	shaperHeads []headState
+	schedHeads  []headState
+
+	// schedN counts elements currently sitting in scheduler queues
+	// (migrated but not yet drained), readable from any goroutine.
+	schedN atomic.Int64
+
+	migScratch []*bucket.Node // migration conversion space
+
+	ringFull stats.Counter
+	flushes  stats.Counter
+	flushed  stats.Counter
+	migrated stats.Counter
+	batches  stats.Counter
+	batched  stats.Counter
+}
+
+// NewShaped returns a shaped-and-scheduled runtime whose shards each own a
+// shaper and a scheduler built from opt.
+func NewShaped(opt ShapedOptions) *Shaped {
+	if opt.Pair == nil {
+		panic("shardq: NewShaped needs a Pair function")
+	}
+	opt = opt.withDefaults()
+	q := &Shaped{
+		shards:      make([]shapedShard, opt.NumShards),
+		shardBits:   uint(bits.TrailingZeros(uint(opt.NumShards))),
+		pair:        opt.Pair,
+		shaperHeads: make([]headState, opt.NumShards),
+		schedHeads:  make([]headState, opt.NumShards),
+		migScratch:  make([]*bucket.Node, 256),
+	}
+	for i := range q.shards {
+		s := &q.shards[i]
+		s.ring = newRing(opt.RingBits)
+		s.shaper = queue.New(queue.KindCFFS, opt.Shaper)
+		if opt.SchedMoving {
+			s.sched = queue.New(queue.KindCFFS, opt.Sched)
+		} else {
+			s.sched = newVecSched(opt.Sched)
+		}
+		s.shaperBP, _ = s.shaper.(batchPopper)
+		s.schedBP, _ = s.sched.(batchPopper)
+	}
+	return q
+}
+
+// NumShards returns the shard count.
+func (q *Shaped) NumShards() int { return len(q.shards) }
+
+// Len returns the number of queued elements (published but not yet
+// dequeued), wherever they sit: ring, shaper, or scheduler. Safe from any
+// goroutine; while producers and the consumer run it may transiently
+// overcount by up to one in-flight batch, and it is exact at quiescence.
+func (q *Shaped) Len() int {
+	var n int64
+	for i := range q.shards {
+		s := &q.shards[i]
+		n += s.ring.occupancy() + s.qlen.Load()
+	}
+	return int(n)
+}
+
+// SchedLen returns how many elements have migrated into scheduler queues
+// but not yet been drained — i.e. elements that are release-eligible right
+// now. Safe from any goroutine, same transient-overcount caveat as Len.
+func (q *Shaped) SchedLen() int { return int(q.schedN.Load()) }
+
+// Stats returns a snapshot of the operational counters.
+func (q *Shaped) Stats() Snapshot {
+	var pushes uint64
+	for i := range q.shards {
+		pushes += q.shards[i].ring.pushes()
+	}
+	return Snapshot{
+		RingPushes: pushes,
+		RingFull:   q.ringFull.Load(),
+		Flushes:    q.flushes.Load(),
+		Flushed:    q.flushed.Load(),
+		Migrated:   q.migrated.Load(),
+		Batches:    q.batches.Load(),
+		Batched:    q.batched.Load(),
+	}
+}
+
+// ShardFor returns the shard index flow hashes to (same Fibonacci hash as
+// the plain runtime, so a flow lands on the same shard under either).
+func (q *Shaped) ShardFor(flow uint64) int {
+	return int((flow * 0x9E3779B97F4A7C15) >> (64 - q.shardBits))
+}
+
+// Enqueue publishes n (the element's shaper handle) with the given release
+// time and priority on flow's shard. The fast path is one lock-free ring
+// push; a full ring falls back to flushing under the shard lock, exactly
+// as in Q.Enqueue.
+func (q *Shaped) Enqueue(flow uint64, n *bucket.Node, sendAt, rank uint64) {
+	s := &q.shards[q.ShardFor(flow)]
+	if s.ring.push(n, sendAt, rank) {
+		return
+	}
+	s.mu.Lock()
+	drained := s.flushLocked(q.pair)
+	q.pair(n).SetRank(rank)
+	s.shaper.Enqueue(n, sendAt)
+	s.qlen.Add(1)
+	s.fallbackGen.Add(1)
+	s.mu.Unlock()
+	q.ringFull.Inc()
+	if drained > 0 {
+		q.flushes.Inc()
+		q.flushed.Add(uint64(drained))
+	}
+}
+
+// migrate flushes shard i's ring and moves every element whose release
+// time is at or below now from the shaper into the scheduler, refreshing
+// both cached heads. Consumer-side. The whole move runs under one lock
+// acquisition and uses whole-bucket batch pops on the shaper side.
+func (q *Shaped) migrate(i int, now uint64) {
+	s := &q.shards[i]
+	sh, sc := &q.shaperHeads[i], &q.schedHeads[i]
+	// Idle fast path: nothing new in the ring, no fallback since the last
+	// look, and the cached shaper head is not yet due — the shard cannot
+	// contribute anything, so skip the lock entirely.
+	if sh.valid && sc.valid && s.ring.empty() && sh.gen == s.fallbackGen.Load() &&
+		(!sh.ok || sh.rank > now) {
+		return
+	}
+	s.mu.Lock()
+	drained, moved := s.flushDueLocked(q.pair, now)
+	for {
+		var k int
+		if s.shaperBP != nil {
+			k = s.shaperBP.DequeueBatch(now, q.migScratch)
+		} else {
+			for k < len(q.migScratch) {
+				r, ok := s.shaper.PeekMin()
+				if !ok || r > now {
+					break
+				}
+				q.migScratch[k] = s.shaper.DequeueMin()
+				k++
+			}
+		}
+		if k == 0 {
+			break
+		}
+		for j := 0; j < k; j++ {
+			sn := q.pair(q.migScratch[j])
+			s.sched.Enqueue(sn, sn.Rank())
+			q.migScratch[j] = nil // do not pin migrated elements against GC
+		}
+		moved += k
+	}
+	sh.rank, sh.ok = s.shaper.PeekMin()
+	sh.gen = s.fallbackGen.Load()
+	sh.valid = true
+	sc.rank, sc.ok = s.sched.PeekMin()
+	sc.valid = true
+	s.mu.Unlock()
+	if moved > 0 {
+		q.schedN.Add(int64(moved))
+		q.migrated.Add(uint64(moved))
+	}
+	if drained > 0 {
+		q.flushes.Inc()
+		q.flushed.Add(uint64(drained))
+	}
+}
+
+// Flush drains every shard's ring into its shaper and migrates everything
+// due at now, refreshing the consumer's cached heads. Consumer-side.
+func (q *Shaped) Flush(now uint64) {
+	for i := range q.shards {
+		q.migrate(i, now)
+	}
+}
+
+// NextRelease flushes pending rings and returns the minimum
+// bucket-quantized release time across every shard's shaper, or ok=false
+// if no element is waiting on time. Elements already migrated into
+// scheduler queues are release-eligible immediately and are NOT covered
+// here — check SchedLen first. Consumer-side; this is the aggregate
+// SoonestDeadline for arming the host timer.
+func (q *Shaped) NextRelease(now uint64) (uint64, bool) {
+	min, ok := uint64(0), false
+	for i := range q.shards {
+		q.migrate(i, now)
+		if h := &q.shaperHeads[i]; h.ok && (!ok || h.rank < min) {
+			min, ok = h.rank, true
+		}
+	}
+	return min, ok
+}
+
+// DequeueBatch migrates every element due at now shaper→scheduler, then
+// pops up to len(out) elements whose bucket-quantized priority is at most
+// maxRank from the schedulers, merged across shards in global priority
+// order exactly as Q.DequeueBatch merges (minimum-head runs bounded by the
+// runner-up head). It returns how many nodes it wrote to out. A returned
+// node is one of the element's two handles — the published one for
+// elements that were already due when flushed, the paired one for elements
+// that parked in the shaper first; recover the element through Data, which
+// both handles share. Consumer-side.
+func (q *Shaped) DequeueBatch(now, maxRank uint64, out []*bucket.Node) int {
+	if len(out) == 0 {
+		return 0
+	}
+	for i := range q.shards {
+		q.migrate(i, now)
+	}
+
+	// Producers cannot disturb the merge — they only ever publish into
+	// shapers, and this batch's migration pass is done — so the cached
+	// scheduler heads are exact for the whole drain.
+	total := mergeRuns(q.schedHeads, maxRank, out, func(best int, limit uint64, out []*bucket.Node) int {
+		s := &q.shards[best]
+		s.mu.Lock()
+		popped := 0
+		if s.schedBP != nil {
+			popped = s.schedBP.DequeueBatch(limit, out)
+		} else {
+			for popped < len(out) {
+				r, ok := s.sched.PeekMin()
+				if !ok || r > limit {
+					break
+				}
+				out[popped] = s.sched.DequeueMin()
+				popped++
+			}
+		}
+		s.qlen.Add(int64(-popped))
+		r, ok := s.sched.PeekMin()
+		q.schedHeads[best].rank, q.schedHeads[best].ok = r, ok
+		s.mu.Unlock()
+		return popped
+	})
+	if total > 0 {
+		q.schedN.Add(int64(-total))
+		q.batches.Inc()
+		q.batched.Add(uint64(total))
+	}
+	return total
+}
+
+// DequeueMin migrates due elements and pops the single highest-priority
+// release-eligible element (its scheduler handle), or nil if nothing is
+// eligible at now. Consumer-side; batch callers should prefer
+// DequeueBatch.
+func (q *Shaped) DequeueMin(now uint64) *bucket.Node {
+	var one [1]*bucket.Node
+	if q.DequeueBatch(now, ^uint64(0), one[:]) == 0 {
+		return nil
+	}
+	return one[0]
+}

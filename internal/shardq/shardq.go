@@ -85,7 +85,7 @@ type shard struct {
 // flushLocked drains the ring into the bucketed queue. Callers hold mu.
 func (s *shard) flushLocked() (drained int) {
 	for {
-		n, rank, ok := s.ring.pop()
+		n, rank, _, ok := s.ring.pop()
 		if !ok {
 			break
 		}
@@ -114,6 +114,9 @@ type Snapshot struct {
 	// Direct counts elements delivered straight from rings to the
 	// consumer by DirectDue, never touching a bucketed queue.
 	Direct uint64
+	// Migrated counts elements moved shaper→scheduler by the shaped
+	// runtime when their release time arrived (zero for plain runtimes).
+	Migrated uint64
 	// Batches counts DequeueBatch calls that returned at least one node.
 	Batches uint64
 	// Batched counts nodes returned by DequeueBatch.
@@ -126,8 +129,12 @@ func (s Snapshot) String() string {
 	if s.Batches > 0 {
 		avg = float64(s.Batched) / float64(s.Batches)
 	}
-	return fmt.Sprintf("pushes=%d ringfull=%d flushes=%d flushed=%d direct=%d batches=%d avg-batch=%.1f",
+	out := fmt.Sprintf("pushes=%d ringfull=%d flushes=%d flushed=%d direct=%d batches=%d avg-batch=%.1f",
 		s.RingPushes, s.RingFull, s.Flushes, s.Flushed, s.Direct, s.Batches, avg)
+	if s.Migrated > 0 {
+		out += fmt.Sprintf(" migrated=%d", s.Migrated)
+	}
+	return out
 }
 
 // Q is the sharded multi-producer runtime. Enqueue is safe from any number
@@ -161,6 +168,38 @@ type headState struct {
 	ok    bool
 	gen   uint32
 	valid bool
+}
+
+// mergeRuns is the cross-shard priority merge both runtimes share: it
+// repeatedly serves a run from the shard whose cached head rank is the
+// minimum, bounded by the runner-up shard's head (up to there no other
+// shard can hold a smaller element) and by maxRank, until out fills or
+// nothing at or below maxRank remains. serve pops from shard i up to
+// limit, writes into out, returns how many it popped, and MUST refresh
+// heads[i] before returning — the loop's progress argument: a run that
+// pops nothing still raises the shard's cached head past limit.
+func mergeRuns(heads []headState, maxRank uint64, out []*bucket.Node,
+	serve func(i int, limit uint64, out []*bucket.Node) int) int {
+	total := 0
+	for total < len(out) {
+		best := -1
+		for i := range heads {
+			if heads[i].ok && (best < 0 || heads[i].rank < heads[best].rank) {
+				best = i
+			}
+		}
+		if best < 0 || heads[best].rank > maxRank {
+			break
+		}
+		limit := maxRank
+		for i := range heads {
+			if i != best && heads[i].ok && heads[i].rank < limit {
+				limit = heads[i].rank
+			}
+		}
+		total += serve(best, limit, out[total:])
+	}
+	return total
 }
 
 // New returns a sharded runtime whose shards each own a backend built from
@@ -228,7 +267,7 @@ func (q *Q) ShardFor(flow uint64) int {
 // blocking.
 func (q *Q) Enqueue(flow uint64, n *bucket.Node, rank uint64) {
 	s := &q.shards[q.ShardFor(flow)]
-	if s.ring.push(n, rank) {
+	if s.ring.push(n, rank, 0) {
 		return
 	}
 	s.mu.Lock()
@@ -278,7 +317,7 @@ func (q *Q) drainRingDirect(i int, maxRank uint64, out []*bucket.Node) int {
 	s.mu.Lock()
 	wrote, spilled := 0, 0
 	for wrote < len(out) {
-		n, rank, ok := s.ring.pop()
+		n, rank, _, ok := s.ring.pop()
 		if !ok {
 			break
 		}
@@ -350,11 +389,27 @@ func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 	}
 	total := 0
 	if q.directDue {
+		// Cap the direct fill below the full batch whenever a bucketed
+		// queue holds backlog: under sustained ring pressure every batch
+		// would otherwise fill from the rings alone and elements spilled
+		// into the queues (producer ring-full fallbacks, earlier not-yet-
+		// due spills) would starve indefinitely behind arbitrarily newer
+		// ring traffic. Reserving a quarter of each batch bounds their
+		// wait at a few batches.
+		limit := len(out)
+		if reserve := len(out) / 4; reserve > 0 {
+			for i := range q.shards {
+				if q.shards[i].qlen.Load() > 0 {
+					limit = len(out) - reserve
+					break
+				}
+			}
+		}
 		// Rotate the starting shard so no producer's shard gets standing
 		// priority when every batch fills before the scan completes.
 		n := len(q.shards)
-		for k := 0; k < n && total < len(out); k++ {
-			total += q.drainRingDirect((q.rr+k)&(n-1), maxRank, out[total:])
+		for k := 0; k < n && total < limit; k++ {
+			total += q.drainRingDirect((q.rr+k)&(n-1), maxRank, out[total:limit])
 		}
 		q.rr = (q.rr + 1) & (n - 1)
 		if total == len(out) {
@@ -363,51 +418,31 @@ func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 			return total
 		}
 	}
-	heads := q.heads
 	for i := range q.shards {
 		q.refreshHead(i)
 	}
-
-	for total < len(out) {
-		best := -1
-		for i := range heads {
-			if heads[i].ok && (best < 0 || heads[i].rank < heads[best].rank) {
-				best = i
-			}
-		}
-		if best < 0 || heads[best].rank > maxRank {
-			break
-		}
-		// The run from the best shard may continue until its head passes
-		// the runner-up's head (or maxRank): up to there no other shard
-		// holds a smaller element.
-		limit := maxRank
-		for i := range heads {
-			if i != best && heads[i].ok && heads[i].rank < limit {
-				limit = heads[i].rank
-			}
-		}
+	total += mergeRuns(q.heads, maxRank, out[total:], func(best int, limit uint64, out []*bucket.Node) int {
 		s := &q.shards[best]
 		s.mu.Lock()
 		popped := 0
 		if s.bp != nil {
-			popped = s.bp.DequeueBatch(limit, out[total:])
+			popped = s.bp.DequeueBatch(limit, out)
 		} else {
-			for total+popped < len(out) {
+			for popped < len(out) {
 				r, ok := s.q.PeekMin()
 				if !ok || r > limit {
 					break
 				}
-				out[total+popped] = s.q.DequeueMin()
+				out[popped] = s.q.DequeueMin()
 				popped++
 			}
 		}
-		total += popped
 		s.qlen.Add(int64(-popped))
 		r, ok := s.q.PeekMin()
-		heads[best].rank, heads[best].ok = r, ok
+		q.heads[best].rank, q.heads[best].ok = r, ok
 		s.mu.Unlock()
-	}
+		return popped
+	})
 	if total > 0 {
 		q.batches.Inc()
 		q.batched.Add(uint64(total))

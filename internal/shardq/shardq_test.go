@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"eiffel/internal/bucket"
@@ -155,6 +156,57 @@ func TestRingFullFallback(t *testing.T) {
 	}
 }
 
+// TestDirectDueReservesForQueueBacklog is the regression test for
+// direct-due starvation: with the bucketed queues backlogged, a batch
+// that could fill entirely from ring traffic must still hand part of
+// itself to the queues, or fallback-spilled elements wait forever behind
+// newer ring arrivals.
+func TestDirectDueReservesForQueueBacklog(t *testing.T) {
+	q := New(Options{
+		NumShards: 1,
+		RingBits:  3, // 8 slots
+		Kind:      queue.KindCFFS,
+		Queue:     queue.Config{NumBuckets: 1 << 10, Granularity: 1},
+		DirectDue: true,
+	})
+	// Pre-stamp each node's rank: DirectDue delivers nodes straight off
+	// the ring, where the rank travels in the ring entry and is never
+	// written back to the node.
+	enq := func(rank uint64) {
+		n := &bucket.Node{}
+		n.SetRank(rank)
+		q.Enqueue(0, n, rank)
+	}
+	// Nine enqueues: the ninth finds the ring full and spills everything
+	// (ranks 0..8) into the bucketed queue via the producer fallback,
+	// leaving the ring empty...
+	for i := 0; i < 9; i++ {
+		enq(uint64(i))
+	}
+	if st := q.Stats(); st.RingFull != 1 {
+		t.Fatalf("setup: RingFull = %d, want exactly 1", st.RingFull)
+	}
+	// ...then exactly refill the ring with strictly newer elements, so a
+	// ring-sized batch could be satisfied from the ring alone.
+	for i := 100; i < 108; i++ {
+		enq(uint64(i))
+	}
+	out := make([]*bucket.Node, 8)
+	k := q.DequeueBatch(^uint64(0), out)
+	if k != 8 {
+		t.Fatalf("DequeueBatch = %d, want a full batch", k)
+	}
+	minRank := out[0].Rank()
+	for _, n := range out[:k] {
+		if n.Rank() < minRank {
+			minRank = n.Rank()
+		}
+	}
+	if minRank >= 100 {
+		t.Fatalf("batch served only ring arrivals (min rank %d); queue backlog starved", minRank)
+	}
+}
+
 // TestConcurrentProducersDrain is the sharded counterpart of the qdisc
 // regression test: many producers, one consumer, nothing lost.
 func TestConcurrentProducersDrain(t *testing.T) {
@@ -207,6 +259,127 @@ func TestConcurrentProducersDrain(t *testing.T) {
 	}
 	if st.RingPushes+st.RingFull != producers*perProducer {
 		t.Fatalf("pushes %d + ringfull %d != %d", st.RingPushes, st.RingFull, producers*perProducer)
+	}
+}
+
+// TestCrossShardOrderUnderFallback is the randomized cross-shard ordering
+// property test: the consumer drains window after window in exact mode
+// while producers — squeezed through deliberately tiny rings so their
+// fallback flushes constantly land mid-batch, bumping the fallback
+// generation the consumer's head cache keys on — publish the NEXT window
+// concurrently. Every window is fully published before the consumer
+// drains it and the drain bound caps each batch at the window edge, so
+// the merged output must be globally non-inverting to bucket granularity;
+// an element missed because a stale cached head hid a fallback flush
+// would surface as a count mismatch or an inversion in a later window.
+func TestCrossShardOrderUnderFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized multi-round concurrency property test")
+	}
+	const (
+		producers = 2
+		rounds    = 60
+		perRound  = 400
+		window    = uint64(1 << 12)
+		gran      = uint64(4)
+	)
+	q := New(Options{
+		NumShards: 4,
+		RingBits:  3, // 8 slots: almost every burst overflows into fallback
+		Kind:      queue.KindCFFS,
+		Queue:     queue.Config{NumBuckets: 1 << 12, Granularity: gran},
+	})
+
+	rng := rand.New(rand.NewSource(42))
+	// Pre-generate each round's (flow, rank) pairs so producer goroutines
+	// need no locked rng.
+	type item struct {
+		flow, rank uint64
+	}
+	work := make([][][]item, producers)
+	for w := range work {
+		work[w] = make([][]item, rounds)
+		for r := range work[w] {
+			items := make([]item, perRound/producers)
+			for i := range items {
+				items[i] = item{
+					flow: rng.Uint64(),
+					rank: uint64(r)*window + uint64(rng.Intn(int(window))),
+				}
+			}
+			work[w][r] = items
+		}
+	}
+
+	var published [producers]atomic.Int64 // highest round fully published, per producer
+	var consumed atomic.Int64             // highest round fully drained
+	for w := 0; w < producers; w++ {
+		published[w].Store(-1)
+	}
+	consumed.Store(-1)
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stay at most two rounds ahead of the consumer so the
+				// publishing of round r+1 overlaps the draining of round r.
+				for int64(r) > consumed.Load()+2 {
+					runtime.Gosched()
+				}
+				for _, it := range work[w][r] {
+					q.Enqueue(it.flow, &bucket.Node{}, it.rank)
+				}
+				published[w].Store(int64(r))
+			}
+		}(w)
+	}
+
+	out := make([]*bucket.Node, 97) // odd batch size: batches straddle windows
+	var got []uint64
+	for r := 0; r < rounds; r++ {
+		for {
+			ready := true
+			for w := range published {
+				if published[w].Load() < int64(r) {
+					ready = false
+				}
+			}
+			if ready {
+				break
+			}
+			runtime.Gosched()
+		}
+		bound := uint64(r+1)*window - 1
+		drained := 0
+		for drained < perRound {
+			k := q.DequeueBatch(bound, out)
+			if k == 0 {
+				t.Fatalf("round %d: drained %d of %d with the round fully published", r, drained, perRound)
+			}
+			for _, n := range out[:k] {
+				got = append(got, n.Rank())
+			}
+			drained += k
+		}
+		if drained != perRound {
+			t.Fatalf("round %d: drained %d, want %d", r, drained, perRound)
+		}
+		consumed.Store(int64(r))
+	}
+	wg.Wait()
+	if len(got) != rounds*perRound {
+		t.Fatalf("total drained %d, want %d", len(got), rounds*perRound)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i]/gran < got[i-1]/gran {
+			t.Fatalf("position %d: rank %d after %d — inversion beyond bucket granularity", i, got[i], got[i-1])
+		}
+	}
+	if st := q.Stats(); st.RingFull == 0 {
+		t.Fatal("rings never overflowed: the test did not exercise mid-batch fallback flushes")
 	}
 }
 

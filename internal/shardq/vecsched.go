@@ -1,0 +1,135 @@
+package shardq
+
+import (
+	"eiffel/internal/bucket"
+	"eiffel/internal/ffsq"
+	"eiffel/internal/queue"
+)
+
+// vecSched is the Shaped runtime's scheduler-side bucket store: a
+// fixed-range bucketed min-queue whose buckets are slices instead of
+// intrusive lists, indexed by the same hierarchical FFS bitmap as the
+// cFFS. Ordering semantics are identical to a bucketed queue — ascending
+// bucket order, FIFO within a bucket — but both halves of the hot path
+// get cheaper: Enqueue appends to a slice without touching the previous
+// tail element's cache line, and DequeueBatch hands whole buckets over
+// with a sequential copy instead of a pointer chase through scattered
+// nodes. The trade is generality: the rank range is fixed (ranks beyond
+// it clamp into the edge buckets, preserving order only to that clamp)
+// and there is no Remove — exactly the operations the scheduler side of
+// the migration pipeline never needs, since priorities span a fixed
+// configured range and elements only ever enter (migrate) and leave
+// (merged drain) in bulk.
+//
+// Nodes held here are not marked queued (no bucket.Array owner), so the
+// usual double-insert panics do not fire for scheduler-held elements; the
+// runtime's single-consumer discipline already guarantees an element is
+// in at most one structure.
+type vecSched struct {
+	buckets [][]*bucket.Node
+	heads   []int // per-bucket consumed prefix (partial batch pops)
+	idx     *ffsq.Hier
+	gran    uint64
+	base    uint64 // bucket number of buckets[0]
+	count   int
+}
+
+func newVecSched(cfg queue.Config) *vecSched {
+	// queue.Config counts buckets per HALF (the cFFS convention: a config
+	// covers 2*NumBuckets*Granularity of rank space); allocate the same
+	// span so a Sched config means the same range under either store.
+	nb := 2 * cfg.NumBuckets
+	if nb <= 0 {
+		nb = 1 << 12
+	}
+	gran := cfg.Granularity
+	if gran == 0 {
+		gran = 1
+	}
+	return &vecSched{
+		buckets: make([][]*bucket.Node, nb),
+		heads:   make([]int, nb),
+		idx:     ffsq.NewHier(nb),
+		gran:    gran,
+		base:    cfg.Start / gran,
+	}
+}
+
+func (v *vecSched) Len() int { return v.count }
+
+// slot clamps rank's bucket into the fixed range.
+func (v *vecSched) slot(rank uint64) int {
+	b := rank / v.gran
+	if b < v.base {
+		return 0
+	}
+	if off := b - v.base; off < uint64(len(v.buckets)) {
+		return int(off)
+	}
+	return len(v.buckets) - 1
+}
+
+func (v *vecSched) Enqueue(n *bucket.Node, rank uint64) {
+	n.SetRank(rank)
+	i := v.slot(rank)
+	if len(v.buckets[i]) == v.heads[i] {
+		v.idx.Set(i)
+	}
+	v.buckets[i] = append(v.buckets[i], n)
+	v.count++
+}
+
+func (v *vecSched) PeekMin() (uint64, bool) {
+	if v.count == 0 {
+		return 0, false
+	}
+	return (v.base + uint64(v.idx.Min())) * v.gran, true
+}
+
+// DequeueBatch pops up to len(out) elements whose bucket-quantized rank is
+// at most maxRank, ascending by bucket, FIFO within a bucket.
+func (v *vecSched) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	total := 0
+	for total < len(out) && v.count > 0 {
+		i := v.idx.Min()
+		if (v.base+uint64(i))*v.gran > maxRank {
+			break
+		}
+		pend := v.buckets[i][v.heads[i]:]
+		k := copy(out[total:], pend)
+		clear(pend[:k]) // consumed slots must not pin released elements
+		total += k
+		v.count -= k
+		if k == len(pend) {
+			v.buckets[i] = v.buckets[i][:0]
+			v.heads[i] = 0
+			v.idx.Clear(i)
+		} else if v.heads[i] += k; v.heads[i] > len(v.buckets[i])/2 {
+			// Compact once the consumed prefix dominates: without this, a
+			// bucket with a standing backlog drained in partial batches
+			// grows its backing array without bound (every append lands
+			// past a prefix that is never reclaimed). Amortized O(1): each
+			// element moves at most once per halving.
+			n := copy(v.buckets[i], v.buckets[i][v.heads[i]:])
+			clear(v.buckets[i][n:])
+			v.buckets[i] = v.buckets[i][:n]
+			v.heads[i] = 0
+		}
+	}
+	return total
+}
+
+// DequeueMin pops the single minimum element, or nil.
+func (v *vecSched) DequeueMin() *bucket.Node {
+	var one [1]*bucket.Node
+	if v.DequeueBatch(^uint64(0), one[:]) == 0 {
+		return nil
+	}
+	return one[0]
+}
+
+// Remove is not supported: scheduler-side elements only leave through the
+// merged drain.
+func (v *vecSched) Remove(*bucket.Node) {
+	panic("shardq: vecSched does not support Remove")
+}

@@ -1,0 +1,119 @@
+package shardq
+
+import (
+	"testing"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+func TestVecSchedOrderingAndFIFO(t *testing.T) {
+	v := newVecSched(queue.Config{NumBuckets: 8, Granularity: 10}) // span [0,160)
+	n1, n2, n3, n4 := &bucket.Node{}, &bucket.Node{}, &bucket.Node{}, &bucket.Node{}
+	v.Enqueue(n1, 55)
+	v.Enqueue(n2, 12)
+	v.Enqueue(n3, 57) // same bucket as n1: FIFO after it
+	v.Enqueue(n4, 140)
+	if r, ok := v.PeekMin(); !ok || r != 10 {
+		t.Fatalf("PeekMin = (%d,%v), want quantized 10", r, ok)
+	}
+	want := []*bucket.Node{n2, n1, n3, n4}
+	for i, w := range want {
+		if got := v.DequeueMin(); got != w {
+			t.Fatalf("position %d: got %v, want %v (rank %d)", i, got, w, w.Rank())
+		}
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d after drain", v.Len())
+	}
+	if _, ok := v.PeekMin(); ok {
+		t.Fatal("PeekMin ok on empty store")
+	}
+}
+
+func TestVecSchedClampsOutOfRange(t *testing.T) {
+	v := newVecSched(queue.Config{NumBuckets: 4, Granularity: 10, Start: 100}) // span [100,180)
+	lo, hi, mid := &bucket.Node{}, &bucket.Node{}, &bucket.Node{}
+	v.Enqueue(hi, 5000) // beyond: clamps to last bucket
+	v.Enqueue(mid, 150)
+	v.Enqueue(lo, 3) // behind: clamps to first bucket
+	if got := v.DequeueMin(); got != lo {
+		t.Fatalf("first = rank %d, want the low clamp", got.Rank())
+	}
+	if got := v.DequeueMin(); got != mid {
+		t.Fatalf("second = rank %d, want 150", got.Rank())
+	}
+	if got := v.DequeueMin(); got != hi {
+		t.Fatalf("third = rank %d, want the high clamp", got.Rank())
+	}
+}
+
+// TestVecSchedPartialBatchReleasesSlots checks partial bucket pops advance
+// the consumed prefix, keep FIFO, and nil consumed slots so the store
+// never pins released elements.
+func TestVecSchedPartialBatchReleasesSlots(t *testing.T) {
+	v := newVecSched(queue.Config{NumBuckets: 4, Granularity: 10})
+	var nodes [6]*bucket.Node
+	for i := range nodes {
+		nodes[i] = &bucket.Node{}
+		v.Enqueue(nodes[i], 15) // all in one bucket
+	}
+	out := make([]*bucket.Node, 2)
+	for round := 0; round < 3; round++ {
+		if k := v.DequeueBatch(^uint64(0), out); k != 2 {
+			t.Fatalf("round %d: DequeueBatch = %d, want 2", round, k)
+		}
+		for j, n := range out[:2] {
+			if n != nodes[round*2+j] {
+				t.Fatalf("round %d pos %d: FIFO violated", round, j)
+			}
+		}
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len = %d after drain", v.Len())
+	}
+	// The bucket's retained capacity must hold no stale element pointers.
+	for i, b := range v.buckets {
+		for j := 0; j < cap(b); j++ {
+			if b[:cap(b)][j] != nil {
+				t.Fatalf("bucket %d slot %d still pins a released element", i, j)
+			}
+		}
+	}
+}
+
+// TestVecSchedSteadyStateDoesNotGrow is the regression test for unbounded
+// bucket growth: a hot bucket with a standing backlog drained in partial
+// batches used to advance its consumed prefix forever without compacting,
+// growing the backing array monotonically under constant occupancy.
+func TestVecSchedSteadyStateDoesNotGrow(t *testing.T) {
+	v := newVecSched(queue.Config{NumBuckets: 4, Granularity: 10})
+	const backlog = 100
+	for i := 0; i < backlog; i++ {
+		v.Enqueue(&bucket.Node{}, 15)
+	}
+	out := make([]*bucket.Node, 8)
+	for i := 0; i < 10000; i++ {
+		if k := v.DequeueBatch(^uint64(0), out); k != len(out) {
+			t.Fatalf("iter %d: popped %d", i, k)
+		}
+		for j := 0; j < len(out); j++ {
+			v.Enqueue(&bucket.Node{}, 15)
+		}
+	}
+	if v.Len() != backlog {
+		t.Fatalf("Len = %d, want steady %d", v.Len(), backlog)
+	}
+	if c := cap(v.buckets[1]); c > 8*backlog {
+		t.Fatalf("bucket capacity grew to %d with a constant backlog of %d", c, backlog)
+	}
+}
+
+func TestVecSchedRemovePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove did not panic")
+		}
+	}()
+	newVecSched(queue.Config{NumBuckets: 4, Granularity: 1}).Remove(&bucket.Node{})
+}

@@ -67,6 +67,24 @@ func (w *Wheel) Schedule(n *bucket.Node, ts uint64) {
 	w.arr.Push(int(slot%w.slots), n, ts)
 }
 
+// HasExpired reports whether some element's slot time is <= now, i.e.
+// whether a PopExpired(now) would return a node. It advances the wheel
+// cursor over empty elapsed slots (exactly as PopExpired would), so the
+// scan cost amortizes instead of repeating.
+func (w *Wheel) HasExpired(now uint64) bool {
+	if w.arr.Len() == 0 {
+		return false
+	}
+	nowSlot := now / w.gran
+	for w.cur <= nowSlot {
+		if !w.arr.BucketEmpty(int(w.cur % w.slots)) {
+			return true
+		}
+		w.cur++
+	}
+	return false
+}
+
 // PopExpired returns one element whose slot time is <= now, advancing the
 // wheel over empty slots, or nil if nothing is due. Callers drain with a
 // loop; a Carousel-style shaper calls this from a periodic timer.

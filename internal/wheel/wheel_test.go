@@ -11,6 +11,33 @@ import (
 
 func node() *bucket.Node { return &bucket.Node{} }
 
+func TestHasExpired(t *testing.T) {
+	w := New(100, 10, 0)
+	if w.HasExpired(500) {
+		t.Fatal("HasExpired on empty wheel")
+	}
+	w.Schedule(node(), 250)
+	if w.HasExpired(0) {
+		t.Fatal("HasExpired(0) with only a slot-25 element")
+	}
+	if w.HasExpired(249) { // 249 is slot 24; the element sits in slot 25
+		t.Fatal("HasExpired(249) before the element's slot")
+	}
+	if !w.HasExpired(250) {
+		t.Fatal("!HasExpired(250) at the element's slot start")
+	}
+	if !w.HasExpired(900) {
+		t.Fatal("!HasExpired(900) with an overdue element")
+	}
+	// HasExpired must not consume: the pop still returns the element.
+	if n := w.PopExpired(900); n == nil || n.Rank() != 250 {
+		t.Fatalf("PopExpired after HasExpired = %v", n)
+	}
+	if w.HasExpired(900) {
+		t.Fatal("HasExpired after the only element was popped")
+	}
+}
+
 func TestReleaseOrder(t *testing.T) {
 	w := New(100, 10, 0)
 	ts := []uint64{250, 30, 990, 30, 500}
