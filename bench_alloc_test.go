@@ -1,0 +1,99 @@
+package eiffel_test
+
+import (
+	"testing"
+
+	"eiffel"
+)
+
+// Steady-state hot-path benchmarks: each iteration publishes a fixed
+// burst through the enqueue pipeline and drains it back out, reusing one
+// runtime, one element set, and one output buffer — so after the first
+// lap warms every internal buffer, allocs/op MUST be zero. CI runs these
+// with -benchmem and fails the build on any nonzero allocs/op
+// (scripts/check_bench_allocs.sh); TestEnqueueHotPathAllocationFree
+// asserts the same property without the bench runner.
+
+const hotBurst = 1024
+
+// hotDrain empties q through the reused out buffer.
+func hotDrain(b *testing.B, q *eiffel.ShardedQueue, out []*eiffel.Node) {
+	for q.Len() > 0 {
+		if q.DequeueBatch(^uint64(0), out) == 0 {
+			b.Fatal("drain stalled with elements queued")
+		}
+	}
+}
+
+func BenchmarkHotPathEnqueuePerElement(b *testing.B) {
+	q := eiffel.NewShardedQueue(eiffel.ShardedOptions{NumShards: 8})
+	nodes := make([]eiffel.Node, hotBurst)
+	out := make([]*eiffel.Node, 256)
+	lap := func() {
+		for j := range nodes {
+			q.Enqueue(uint64(j), &nodes[j], uint64(j%4096))
+		}
+		hotDrain(b, q, out)
+	}
+	lap() // warm every internal buffer to its steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+}
+
+func BenchmarkHotPathEnqueueBatched(b *testing.B) {
+	q := eiffel.NewShardedQueue(eiffel.ShardedOptions{NumShards: 8})
+	prod := q.NewProducer(64)
+	nodes := make([]eiffel.Node, hotBurst)
+	out := make([]*eiffel.Node, 256)
+	lap := func() {
+		for j := range nodes {
+			prod.Enqueue(uint64(j), &nodes[j], uint64(j%4096))
+		}
+		prod.Flush()
+		hotDrain(b, q, out)
+	}
+	lap() // warm every internal buffer to its steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+}
+
+func BenchmarkHotPathShapedEnqueueBatched(b *testing.B) {
+	q := eiffel.NewShapedSharded(eiffel.ShapedShardedOptions{
+		Shards: 8, HorizonNs: 1 << 20, RankSpan: 1 << 20,
+	})
+	pool := eiffel.NewPool(hotBurst)
+	ps := make([]*eiffel.Packet, hotBurst)
+	for i := range ps {
+		p := pool.Get()
+		p.Flow = uint64(i)
+		p.SendAt = int64(i % (1 << 18))
+		p.Rank = uint64((i * 131) % (1 << 20))
+		ps[i] = p
+	}
+	out := make([]*eiffel.Packet, 256)
+	now := int64(1 << 19)
+	lap := func() {
+		q.EnqueueBatch(ps, now)
+		for q.Len() > 0 {
+			if q.DequeueBatch(1<<20, out) == 0 {
+				b.Fatal("drain stalled with packets queued")
+			}
+		}
+	}
+	lap() // warm every internal buffer to its steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+	b.StopTimer()
+	if pool.Allocs() != hotBurst {
+		b.Fatalf("packet pool allocated beyond its pre-population: %d", pool.Allocs())
+	}
+}

@@ -100,12 +100,12 @@ func BenchmarkFig20Choose(b *testing.B) { runExp(b, "fig20") }
 
 // BenchmarkContention runs the locked-vs-sharded qdisc scaling experiment
 // (8 producers, one consumer; see internal/exp/contention.go). The
-// reported metric is the sharded direct-due runtime's throughput gain over
-// the kernel-style global-lock deployment.
+// reported metric is the batched direct-due sharded runtime's throughput
+// gain over the kernel-style global-lock deployment.
 func BenchmarkContention(b *testing.B) {
 	res := runExp(b, "contention")
 	rows := res.Tables[0].Rows
-	last := rows[len(rows)-1] // the direct-due sharded configuration
+	last := rows[len(rows)-1] // the batched direct-due sharded configuration
 	if v, err := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64); err == nil {
 		b.ReportMetric(v, "sharded-vs-lock")
 	}
@@ -115,13 +115,14 @@ func BenchmarkContention(b *testing.B) {
 // scaling experiment (8 producers, per-packet (SendAt, Rank); see
 // internal/exp/shapedsched.go). The reported metrics are the ShapedSharded
 // runtime's throughput gain over the kernel-style Locked pifo.Tree
-// baseline (the ≥2× acceptance figure) and its priority inversions beyond
-// scheduler bucket granularity (which must be zero, and is also asserted
-// by TestShapedShardedPriorityFidelity and TestShapedSchedQuick).
+// baseline (the ≥2× acceptance figure, measured on the batched-admission
+// row) and its priority inversions beyond scheduler bucket granularity
+// (which must be zero, and is also asserted by
+// TestShapedShardedPriorityFidelity{,Batched} and TestShapedSchedQuick).
 func BenchmarkShapedSched(b *testing.B) {
 	res := runExp(b, "shapedsched")
 	rows := res.Tables[0].Rows
-	last := rows[len(rows)-1] // the shaped-sharded row
+	last := rows[len(rows)-1] // the batched shaped-sharded row
 	ratio, err := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64)
 	if err != nil {
 		b.Fatalf("shapedsched ratio column %q not numeric: %v", last[4], err)

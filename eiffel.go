@@ -180,6 +180,12 @@ func NewLogQueue(opt LogOptions) *LogQueue { return ffsq.NewLogQueue(opt) }
 // consumer. Len is lock-free and may transiently overcount by up to one
 // in-flight batch while producers and the consumer run concurrently; it
 // is exact at quiescence. See ARCHITECTURE.md for the design.
+//
+// The enqueue side batches too: a per-goroutine Producer handle stages
+// elements per shard and publishes each shard's run as ONE multi-slot
+// ring claim (one CAS for the whole run), and EnqueueBatch does the same
+// for one-shot callers. Both are allocation-free in steady state — see
+// ExampleShardedQueue_producer.
 type (
 	// ShardedQueue is the sharded multi-producer priority-queue runtime.
 	ShardedQueue = shardq.Q
@@ -187,6 +193,11 @@ type (
 	ShardedOptions = shardq.Options
 	// ShardedStats is a snapshot of a ShardedQueue's counters.
 	ShardedStats = shardq.Snapshot
+	// Producer is a per-goroutine batched enqueue handle for a
+	// ShardedQueue (NewProducer). Staged elements publish on Flush.
+	Producer = shardq.Producer
+	// ShapedProducer is the Producer analogue for a ShapedShardedQueue.
+	ShapedProducer = shardq.ShapedProducer
 )
 
 // NewShardedQueue constructs a sharded multi-producer runtime.

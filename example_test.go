@@ -111,3 +111,42 @@ func ExampleNewLogQueue() {
 	// 1
 	// 32768
 }
+
+// ExampleShardedQueue_producer shows the batched enqueue pipeline: a
+// per-goroutine Producer stages elements per shard and publishes each
+// shard's run as one multi-slot ring claim — one CAS for the whole run
+// instead of one per element. Staged elements are invisible until Flush;
+// after it, the consumer's batched drain merges shards in rank order
+// exactly as with per-element Enqueue.
+func ExampleShardedQueue_producer() {
+	q := eiffel.NewShardedQueue(eiffel.ShardedOptions{NumShards: 4})
+	prod := q.NewProducer(64) // one handle per producer goroutine
+
+	nodes := make([]eiffel.Node, 6)
+	for i := range nodes {
+		flow, rank := uint64(i%3), uint64((i*37)%100)
+		prod.Enqueue(flow, &nodes[i], rank)
+	}
+	fmt.Println(q.Len()) // still staged: nothing published yet
+
+	prod.Flush()
+	fmt.Println(q.Len())
+
+	out := make([]*eiffel.Node, 8)
+	n := q.DequeueBatch(^uint64(0), out)
+	for i, nd := range out[:n] {
+		if i > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Print(nd.Rank())
+	}
+	fmt.Println()
+
+	st := q.Stats()
+	fmt.Println(st.BulkClaimed, "elements over", st.BulkClaims, "claims")
+	// Output:
+	// 0
+	// 6
+	// 0 11 37 48 74 85
+	// 6 elements over 2 claims
+}

@@ -23,31 +23,41 @@ func Contention(o Options) *Result {
 		res.Notes = append(res.Notes, "quick mode: 4000 packets per producer instead of 20000")
 	}
 
+	// producerBatch is the run length batched rows admit per EnqueueBatch
+	// call — the harness's producer-batch-size knob.
+	const producerBatch = 256
+
+	exact := func() qdisc.Qdisc {
+		return qdisc.NewSharded(qdisc.ShardedOptions{
+			Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15,
+		})
+	}
+	directDue := func() qdisc.Qdisc {
+		return qdisc.NewSharded(qdisc.ShardedOptions{
+			Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15, DirectDue: true,
+		})
+	}
 	entries := []struct {
 		name string
 		mk   func() qdisc.Qdisc
+		opt  qdisc.ContentionOptions
 	}{
-		{"Eiffel+lock", func() qdisc.Qdisc { return qdisc.NewLocked(qdisc.NewEiffel(20000, 2e9, 0)) }},
-		{"Eiffel+shards (exact)", func() qdisc.Qdisc {
-			return qdisc.NewSharded(qdisc.ShardedOptions{
-				Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15,
-			})
-		}},
-		{"Eiffel+shards (direct-due)", func() qdisc.Qdisc {
-			return qdisc.NewSharded(qdisc.ShardedOptions{
-				Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15, DirectDue: true,
-			})
-		}},
+		{"Eiffel+lock", func() qdisc.Qdisc { return qdisc.NewLocked(qdisc.NewEiffel(20000, 2e9, 0)) }, qdisc.ContentionOptions{}},
+		{"Eiffel+shards (exact)", exact, qdisc.ContentionOptions{}},
+		{"Eiffel+shards (exact, batched)", exact, qdisc.ContentionOptions{ProducerBatch: producerBatch}},
+		{"Eiffel+shards (direct-due)", directDue, qdisc.ContentionOptions{}},
+		{"Eiffel+shards (direct-due, batched)", directDue, qdisc.ContentionOptions{ProducerBatch: producerBatch}},
 	}
 
 	t := &stats.Table{
 		Title:   "Contention — 8 producers vs one consumer through a shaping qdisc",
 		Headers: []string{"qdisc", "producers", "packets", "Mpps", "vs lock", "counters"},
 	}
+	packets := qdisc.ContentionPackets(producers, perProducer)
 	var lockedMpps float64
 	for _, e := range entries {
 		q := e.mk()
-		r := qdisc.RunContention(q, producers, perProducer)
+		r := qdisc.ReplayContentionOpts(q, packets, e.opt)
 		mpps := r.Mpps()
 		if lockedMpps == 0 {
 			lockedMpps = mpps
@@ -65,6 +75,7 @@ func Contention(o Options) *Result {
 	}
 	res.Tables = append(res.Tables, t)
 	res.Notes = append(res.Notes,
-		"release times spread over the 2 s horizon; consumer drains at now = horizon")
+		"release times spread over the 2 s horizon; consumer drains at now = horizon",
+		fmt.Sprintf("batched rows admit packets in runs of %d via EnqueueBatch (staging + multi-slot ring claims)", producerBatch))
 	return res
 }

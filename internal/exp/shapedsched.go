@@ -42,12 +42,19 @@ func ShapedSched(o Options) *Result {
 	treeGeometry.ShaperBuckets = geometry.Shards * geometry.ShaperBuckets
 	treeGeometry.SchedBuckets = geometry.Shards * geometry.SchedBuckets
 
+	// producerBatch is the run length the batched row admits per
+	// EnqueueBatch call — the harness's producer-batch-size knob.
+	const producerBatch = 256
+
 	entries := []struct {
 		name string
 		mk   func() qdisc.Qdisc
+		opt  qdisc.ContentionOptions
 	}{
-		{"Eiffel tree+lock", func() qdisc.Qdisc { return qdisc.NewLocked(qdisc.NewShapedTree(treeGeometry)) }},
-		{"Eiffel+shaped-shards", func() qdisc.Qdisc { return qdisc.NewShapedSharded(geometry) }},
+		{"Eiffel tree+lock", func() qdisc.Qdisc { return qdisc.NewLocked(qdisc.NewShapedTree(treeGeometry)) }, qdisc.ContentionOptions{}},
+		{"Eiffel+shaped-shards", func() qdisc.Qdisc { return qdisc.NewShapedSharded(geometry) }, qdisc.ContentionOptions{}},
+		{"Eiffel+shaped-shards (batched)", func() qdisc.Qdisc { return qdisc.NewShapedSharded(geometry) },
+			qdisc.ContentionOptions{ProducerBatch: producerBatch}},
 	}
 
 	gran := rankSpan / (2 * uint64(geometry.SchedBuckets))
@@ -71,7 +78,7 @@ func ShapedSched(o Options) *Result {
 		q := e.mk()
 		var mpps float64
 		for rep := 0; rep < 3; rep++ {
-			r := qdisc.ReplayContention(q, packets)
+			r := qdisc.ReplayContentionOpts(q, packets, e.opt)
 			lastPackets = r.Packets
 			if m := r.Mpps(); m > mpps {
 				mpps = m
@@ -82,9 +89,11 @@ func ShapedSched(o Options) *Result {
 		}
 
 		// Fidelity pass on a fresh instance: publish everything first, then
-		// drain, so the output order is fully priority-determined.
+		// drain, so the output order is fully priority-determined — through
+		// the same admission path as the throughput pass, because batching
+		// must not cost a single inversion.
 		fq := e.mk()
-		released, inversions := qdisc.ReplayPriorityFidelity(fq, packets, gran)
+		released, inversions := qdisc.ReplayPriorityFidelityOpts(fq, packets, gran, e.opt)
 		if released != producers*perProducer {
 			res.Notes = append(res.Notes,
 				fmt.Sprintf("%s: fidelity drain released %d of %d", e.name, released, producers*perProducer))

@@ -139,6 +139,17 @@ func (c *CFFS) Enqueue(n *bucket.Node, rank uint64) {
 	c.count++
 }
 
+// EnqueueBatch inserts ns[i] with ranks[i] for every i — the enqueue-side
+// batching hook: callers that hold a whole run (the sharded runtime's
+// locked ring flushes) insert it through ONE call instead of one interface
+// dispatch per element. Exactly equivalent to that sequence of Enqueue
+// calls, including the empty-queue re-anchoring on the first element.
+func (c *CFFS) EnqueueBatch(ns []*bucket.Node, ranks []uint64) {
+	for i, n := range ns {
+		c.Enqueue(n, ranks[i])
+	}
+}
+
 func (c *CFFS) place(n *bucket.Node, rank, b uint64) {
 	var h *half
 	var i uint64
@@ -337,9 +348,21 @@ func (c *CFFS) drainInto(h *half, i int) {
 	}
 }
 
+// scratchRetainCap bounds the redistribution buffer capacity kept alive
+// between flushes. One huge overflow burst (or a fast-forward over a large
+// backlog) grows scratch to the burst size; without a bound that peak
+// capacity — plus the stale node pointers in it — would be retained for
+// the queue's whole lifetime. Steady-state redistributions are far smaller
+// than this, so the common path never re-allocates.
+const scratchRetainCap = 1024
+
 func (c *CFFS) flushScratch() {
 	for _, n := range c.scratch {
 		c.place(n, n.Rank(), n.Rank()/c.gran)
 	}
-	c.scratch = c.scratch[:0]
+	if cap(c.scratch) > scratchRetainCap {
+		c.scratch = nil // drop the peak-sized buffer; reallocated lazily
+	} else {
+		c.scratch = c.scratch[:0]
+	}
 }

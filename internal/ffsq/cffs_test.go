@@ -404,3 +404,71 @@ func BenchmarkCFFSEnqueueDequeue(b *testing.B) {
 		q.Enqueue(n, base+uint64(rng.Intn(8192)))
 	}
 }
+
+// TestCFFSEnqueueBatchEquivalent checks the batched enqueue hook against
+// the per-element path: same elements, same ranks, same drain order, same
+// counters — including the first-element empty-queue re-anchoring.
+func TestCFFSEnqueueBatchEquivalent(t *testing.T) {
+	mk := func() *CFFS { return NewCFFS(CFFSOptions{NumBuckets: 16, Granularity: 4}) }
+	ranks := []uint64{500, 3, 99, 0, 3, 127, 64, 500, 1 << 20, 12}
+
+	ref := mk()
+	for _, r := range ranks {
+		ref.Enqueue(node(r), r)
+	}
+	bq := mk()
+	ns := make([]*bucket.Node, len(ranks))
+	for i, r := range ranks {
+		ns[i] = node(r)
+	}
+	bq.EnqueueBatch(ns, ranks)
+
+	if ref.Len() != bq.Len() {
+		t.Fatalf("Len: per-element %d vs batch %d", ref.Len(), bq.Len())
+	}
+	for i := 0; ; i++ {
+		a, b := ref.DequeueMin(), bq.DequeueMin()
+		if (a == nil) != (b == nil) {
+			t.Fatalf("drain %d: per-element %v vs batch %v", i, a, b)
+		}
+		if a == nil {
+			break
+		}
+		if a.Rank() != b.Rank() {
+			t.Fatalf("drain %d: per-element rank %d vs batch rank %d", i, a.Rank(), b.Rank())
+		}
+	}
+}
+
+// TestCFFSScratchShrinksAfterBurst is the redistribution-buffer retention
+// regression: one huge overflow burst must not leave the queue holding a
+// burst-sized scratch capacity (plus its stale node pointers) forever.
+func TestCFFSScratchShrinksAfterBurst(t *testing.T) {
+	q := NewCFFS(CFFSOptions{NumBuckets: 8, Granularity: 1})
+	q.Enqueue(node(0), 0)
+	// A burst far beyond the window piles into the overflow bucket...
+	const burst = 4 * scratchRetainCap
+	for i := 0; i < burst; i++ {
+		q.Enqueue(node(uint64(1000000+i)), uint64(1000000+i))
+	}
+	// ...and the drain fast-forwards, cycling the whole burst through the
+	// scratch buffer (possibly repeatedly, via overflow redistribution).
+	var prev uint64
+	for i := 0; q.Len() > 0; i++ {
+		n := q.DequeueMin()
+		if n == nil {
+			t.Fatalf("nil dequeue with %d queued", q.Len())
+		}
+		if n.Rank() < prev {
+			t.Fatalf("dequeue %d: rank %d after %d", i, n.Rank(), prev)
+		}
+		prev = n.Rank()
+	}
+	_, _, ff, _ := q.Stats()
+	if ff == 0 {
+		t.Fatal("burst did not exercise a fast-forward")
+	}
+	if got := cap(q.scratch); got > scratchRetainCap {
+		t.Fatalf("scratch capacity %d retained after the burst, want <= %d", got, scratchRetainCap)
+	}
+}

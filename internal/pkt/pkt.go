@@ -5,7 +5,11 @@
 // about).
 package pkt
 
-import "eiffel/internal/bucket"
+import (
+	"unsafe"
+
+	"eiffel/internal/bucket"
+)
 
 // Packet is one schedulable unit. Scheduling state lives in the embedded
 // intrusive handles; metadata fields are annotations set by packet
@@ -51,15 +55,26 @@ const (
 	FlagECNEcho
 )
 
-// FromSchedNode recovers the packet owning a scheduling node.
-func FromSchedNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
+// FromSchedNode recovers the packet owning a scheduling node. Pure pointer
+// arithmetic on the embedded handle's offset (the kernel's container_of):
+// the conversion itself never loads the node's memory, which matters on
+// the batch release path where the handle pointer is hot (it just came off
+// a ring or bucket) but the packet's cache lines were last touched by the
+// producer.
+func FromSchedNode(n *bucket.Node) *Packet {
+	return (*Packet)(unsafe.Pointer(uintptr(unsafe.Pointer(n)) - unsafe.Offsetof(Packet{}.SchedNode)))
+}
 
-// FromTimerNode recovers the packet owning a timer node.
-func FromTimerNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
+// FromTimerNode recovers the packet owning a timer node (container_of, as
+// FromSchedNode).
+func FromTimerNode(n *bucket.Node) *Packet {
+	return (*Packet)(unsafe.Pointer(uintptr(unsafe.Pointer(n)) - unsafe.Offsetof(Packet{}.TimerNode)))
+}
 
 // FromNode recovers the packet owning either of its handles — for callers
 // like the shaped sharded runtime, whose consumer may hand back whichever
-// handle a packet last traveled on.
+// handle a packet last traveled on. Only this variant must consult the
+// node's Data backpointer, since the handle's identity is unknown.
 func FromNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
 
 // Pool is a non-concurrent free list of packets. Get returns a zeroed

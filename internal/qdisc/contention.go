@@ -16,6 +16,23 @@ type BatchDequeuer interface {
 	DequeueBatch(now int64, out []*pkt.Packet) int
 }
 
+// BatchEnqueuer is the producer-side twin: qdiscs that can admit a whole
+// run of packets in one call (Sharded and ShapedSharded, which stage the
+// run per shard and publish each shard's piece as one multi-slot ring
+// claim). The harness's ProducerBatch knob routes enqueues through it.
+type BatchEnqueuer interface {
+	EnqueueBatch(ps []*pkt.Packet, now int64)
+}
+
+// ContentionOptions tunes how a contention replay drives the qdisc.
+type ContentionOptions struct {
+	// ProducerBatch admits each producer's packets in runs of this size
+	// through the qdisc's EnqueueBatch, when it has one. Zero or one (or
+	// a qdisc without batch admission) means per-packet Enqueue — the
+	// PR-2 behavior, kept as the comparison baseline.
+	ProducerBatch int
+}
+
 // horizon is the shaping horizon the contention qdiscs are built for.
 const horizon = int64(2e9)
 
@@ -90,14 +107,19 @@ func ShapedPackets(producers, perProducer int, rankSpan uint64) [][]*pkt.Packet 
 // many adjacent pairs inverted beyond the given priority granularity — a
 // correct decoupled qdisc returns inversions == 0.
 func ReplayPriorityFidelity(q Qdisc, packets [][]*pkt.Packet, gran uint64) (released, inversions int) {
+	return ReplayPriorityFidelityOpts(q, packets, gran, ContentionOptions{})
+}
+
+// ReplayPriorityFidelityOpts is ReplayPriorityFidelity with the harness
+// knobs applied — the fidelity guarantee must hold through the batched
+// admission path exactly as through the per-packet one.
+func ReplayPriorityFidelityOpts(q Qdisc, packets [][]*pkt.Packet, gran uint64, opt ContentionOptions) (released, inversions int) {
 	var wg sync.WaitGroup
 	for w := range packets {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for _, p := range packets[w] {
-				q.Enqueue(p, 0)
-			}
+			produce(q, packets[w], opt)
 		}(w)
 	}
 	wg.Wait()
@@ -141,14 +163,39 @@ func RunContention(q Qdisc, producers, perProducer int) ContentionResult {
 	return ReplayContention(q, ContentionPackets(producers, perProducer))
 }
 
-// ReplayContention replays the §4 many-senders scenario against q: one
-// goroutine per packet set enqueues its packets in order while one
-// consumer concurrently drains until every packet has come back out. The
-// workload is identical for every qdisc, so Locked vs Sharded numbers are
-// directly comparable — this is the repo's locked-vs-sharded experiment
-// substrate. Packets must be detached (as they are after a full prior
-// replay), so a benchmark can replay one workload repeatedly.
+// produce pushes one packet set through the qdisc, in set order, honoring
+// the ProducerBatch knob.
+func produce(q Qdisc, set []*pkt.Packet, opt ContentionOptions) {
+	if be, ok := q.(BatchEnqueuer); ok && opt.ProducerBatch > 1 {
+		for i := 0; i < len(set); i += opt.ProducerBatch {
+			j := i + opt.ProducerBatch
+			if j > len(set) {
+				j = len(set)
+			}
+			be.EnqueueBatch(set[i:j], 0)
+		}
+		return
+	}
+	for _, p := range set {
+		q.Enqueue(p, 0)
+	}
+}
+
+// ReplayContention replays the §4 many-senders scenario against q with
+// per-packet admission; see ReplayContentionOpts.
 func ReplayContention(q Qdisc, packets [][]*pkt.Packet) ContentionResult {
+	return ReplayContentionOpts(q, packets, ContentionOptions{})
+}
+
+// ReplayContentionOpts replays the §4 many-senders scenario against q: one
+// goroutine per packet set enqueues its packets in order (per packet, or
+// in ProducerBatch-sized runs through the qdisc's batch admission) while
+// one consumer concurrently drains until every packet has come back out.
+// The workload is identical for every qdisc, so Locked vs Sharded numbers
+// are directly comparable — this is the repo's locked-vs-sharded
+// experiment substrate. Packets must be detached (as they are after a full
+// prior replay), so a benchmark can replay one workload repeatedly.
+func ReplayContentionOpts(q Qdisc, packets [][]*pkt.Packet, opt ContentionOptions) ContentionResult {
 	producers := len(packets)
 	total := 0
 	for _, set := range packets {
@@ -161,9 +208,7 @@ func ReplayContention(q Qdisc, packets [][]*pkt.Packet) ContentionResult {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for _, p := range packets[w] {
-				q.Enqueue(p, 0)
-			}
+			produce(q, packets[w], opt)
 		}(w)
 	}
 

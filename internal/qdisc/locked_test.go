@@ -83,7 +83,7 @@ func TestLockedName(t *testing.T) {
 // benchContention runs the shared locked-vs-sharded workload (8 producers,
 // one consumer) and reports throughput; ns/op covers one full run, and the
 // Mpps metric is the figure README quotes.
-func benchContention(b *testing.B, mk func() Qdisc) {
+func benchContention(b *testing.B, mk func() Qdisc, opt ContentionOptions) {
 	const producers = 8
 	const perProducer = 20000
 	workload := ContentionPackets(producers, perProducer)
@@ -92,7 +92,7 @@ func benchContention(b *testing.B, mk func() Qdisc) {
 	var elapsed time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := ReplayContention(q, workload)
+		res := ReplayContentionOpts(q, workload, opt)
 		packets += res.Packets
 		elapsed += res.Elapsed
 	}
@@ -103,7 +103,7 @@ func benchContention(b *testing.B, mk func() Qdisc) {
 }
 
 func BenchmarkLockedContention(b *testing.B) {
-	benchContention(b, func() Qdisc { return NewLocked(NewEiffel(20000, 2e9, 0)) })
+	benchContention(b, func() Qdisc { return NewLocked(NewEiffel(20000, 2e9, 0)) }, ContentionOptions{})
 }
 
 // shardedContentionOpts is the throughput configuration README documents:
@@ -115,8 +115,22 @@ var shardedContentionOpts = ShardedOptions{
 	Shards: 8, Buckets: 2500, HorizonNs: 2e9, RingBits: 15, DirectDue: true,
 }
 
+// contentionProducerBatch is the producer-side run length the batched
+// benchmarks admit through EnqueueBatch (the README's "batched" column).
+const contentionProducerBatch = 256
+
+// BenchmarkShardedContention drives the batched producer pipeline —
+// staging, multi-slot ring claims, bulk flushes — the configuration the
+// runtime is built for and the number README tracks.
 func BenchmarkShardedContention(b *testing.B) {
-	benchContention(b, func() Qdisc { return NewSharded(shardedContentionOpts) })
+	benchContention(b, func() Qdisc { return NewSharded(shardedContentionOpts) },
+		ContentionOptions{ProducerBatch: contentionProducerBatch})
+}
+
+// BenchmarkShardedContentionPerElement is the PR-2 admission path — one
+// Enqueue (one ring CAS) per packet — kept as the batching ablation.
+func BenchmarkShardedContentionPerElement(b *testing.B) {
+	benchContention(b, func() Qdisc { return NewSharded(shardedContentionOpts) }, ContentionOptions{})
 }
 
 func BenchmarkShardedContentionExact(b *testing.B) {
@@ -124,5 +138,12 @@ func BenchmarkShardedContentionExact(b *testing.B) {
 	// packet cycles through its shard's cFFS.
 	opts := shardedContentionOpts
 	opts.DirectDue = false
-	benchContention(b, func() Qdisc { return NewSharded(opts) })
+	benchContention(b, func() Qdisc { return NewSharded(opts) },
+		ContentionOptions{ProducerBatch: contentionProducerBatch})
+}
+
+func BenchmarkShardedContentionExactPerElement(b *testing.B) {
+	opts := shardedContentionOpts
+	opts.DirectDue = false
+	benchContention(b, func() Qdisc { return NewSharded(opts) }, ContentionOptions{})
 }

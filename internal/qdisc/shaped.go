@@ -1,6 +1,7 @@
 package qdisc
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"eiffel/internal/pifo"
@@ -37,6 +38,10 @@ type ShapedSharded struct {
 	bufN    atomic.Int64
 
 	scratch []*shardq.Node // DequeueBatch conversion space
+
+	// prodPool recycles runtime staging handles for EnqueueBatch, as in
+	// Sharded.
+	prodPool sync.Pool
 }
 
 // ShapedShardedOptions sizes a ShapedSharded qdisc.
@@ -93,7 +98,7 @@ func (o ShapedShardedOptions) schedGran() uint64 {
 func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
 	opt = opt.withDefaults()
 	schedGran := opt.schedGran()
-	return &ShapedSharded{
+	s := &ShapedSharded{
 		rt: shardq.NewShaped(shardq.ShapedOptions{
 			NumShards: opt.Shards,
 			RingBits:  opt.RingBits,
@@ -107,6 +112,8 @@ func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
 		rankGran: schedGran,
 		buf:      make([]*shardq.Node, opt.Batch),
 	}
+	s.prodPool.New = func() any { return s.rt.NewProducer(0) }
+	return s
 }
 
 // Name implements Qdisc.
@@ -136,6 +143,19 @@ func (s *ShapedSharded) Enqueue(p *pkt.Packet, _ int64) {
 	s.rt.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
 }
 
+// EnqueueBatch admits a whole run of packets at once, staging per shard
+// and publishing each shard's run as one multi-slot ring claim carrying
+// both scheduling dimensions. Safe for concurrent producers; equivalent to
+// enqueueing the packets one by one — everything is published on return.
+func (s *ShapedSharded) EnqueueBatch(ps []*pkt.Packet, _ int64) {
+	b := s.prodPool.Get().(*shardq.ShapedProducer)
+	for _, p := range ps {
+		b.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
+	}
+	b.Flush()
+	s.prodPool.Put(b)
+}
+
 // Dequeue implements Qdisc: the highest-priority packet whose release time
 // has arrived, or nil. Refills the release buffer with a cross-shard batch
 // when empty.
@@ -152,7 +172,7 @@ func (s *ShapedSharded) Dequeue(now int64) *pkt.Packet {
 	s.buf[s.bufHead] = nil
 	s.bufHead++
 	s.bufN.Add(-1)
-	return pkt.FromNode(n)
+	return pkt.FromSchedNode(n)
 }
 
 // DequeueBatch pops up to len(out) release-eligible packets in merged
@@ -161,7 +181,7 @@ func (s *ShapedSharded) Dequeue(now int64) *pkt.Packet {
 func (s *ShapedSharded) DequeueBatch(now int64, out []*pkt.Packet) int {
 	k := 0
 	for s.bufHead < s.bufLen && k < len(out) {
-		out[k] = pkt.FromNode(s.buf[s.bufHead])
+		out[k] = pkt.FromSchedNode(s.buf[s.bufHead])
 		s.buf[s.bufHead] = nil
 		s.bufHead++
 		s.bufN.Add(-1)
@@ -185,10 +205,10 @@ func (s *ShapedSharded) DequeueBatch(now int64, out []*pkt.Packet) int {
 		nodes := s.scratch[:want]
 		m := s.rt.DequeueBatch(uint64(now), ^uint64(0), nodes)
 		for i := 0; i < m; i++ {
-			out[k] = pkt.FromNode(nodes[i])
-			nodes[i] = nil // release the popped node: scratch must not pin packets
+			out[k] = pkt.FromSchedNode(nodes[i])
 			k++
 		}
+		clear(nodes[:m]) // release the popped nodes: scratch must not pin packets
 		if m < want {
 			break
 		}

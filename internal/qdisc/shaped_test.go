@@ -201,3 +201,28 @@ func TestShapedShardedContention(t *testing.T) {
 		t.Fatal("no packets migrated shaper→scheduler")
 	}
 }
+
+// TestShapedShardedPriorityFidelityBatched re-runs the acceptance
+// assertion through the batched admission path: staging and multi-slot
+// ring claims must not cost a single inversion beyond bucket granularity.
+func TestShapedShardedPriorityFidelityBatched(t *testing.T) {
+	q := NewShapedSharded(ShapedShardedOptions{
+		Shards: 8, ShaperBuckets: 2500, HorizonNs: 2e9,
+		SchedBuckets: 2048, RankSpan: 1 << 20, RingBits: 10,
+	})
+	packets := ShapedPackets(8, 2000, 1<<20)
+	released, inversions := ReplayPriorityFidelityOpts(q, packets, q.RankGranularity(),
+		ContentionOptions{ProducerBatch: 128})
+	if released != 16000 {
+		t.Fatalf("released %d of 16000", released)
+	}
+	if inversions != 0 {
+		t.Fatalf("%d priority inversions beyond bucket granularity", inversions)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+	if st := q.Stats(); st.BulkClaims == 0 {
+		t.Fatal("batched admission performed no bulk claims")
+	}
+}

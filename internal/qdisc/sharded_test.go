@@ -207,3 +207,103 @@ func TestRunContention(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedEnqueueBatchEquivalent is the qdisc half of the batching
+// property: the same packet workload admitted per packet and via
+// EnqueueBatch must drain in exactly the same order from exact-mode
+// sharded qdiscs (batch admission is a transport optimization, never a
+// reordering).
+func TestShardedEnqueueBatchEquivalent(t *testing.T) {
+	opts := ShardedOptions{Shards: 4, Buckets: 2048, HorizonNs: 2e9, RingBits: 12}
+	sets := ContentionPackets(1, 5000)
+
+	drainIDs := func(q *Sharded) []uint64 {
+		out := make([]*pkt.Packet, 97)
+		var ids []uint64
+		for {
+			k := q.DequeueBatch(horizon, out)
+			if k == 0 {
+				return ids
+			}
+			for _, p := range out[:k] {
+				ids = append(ids, p.ID)
+			}
+		}
+	}
+
+	ref := NewSharded(opts)
+	for _, p := range sets[0] {
+		ref.Enqueue(p, 0)
+	}
+	want := drainIDs(ref)
+	if len(want) != 5000 {
+		t.Fatalf("reference drained %d of 5000", len(want))
+	}
+
+	bq := NewSharded(opts)
+	for i := 0; i < len(sets[0]); i += 192 {
+		j := i + 192
+		if j > len(sets[0]) {
+			j = len(sets[0])
+		}
+		bq.EnqueueBatch(sets[0][i:j], 0)
+	}
+	if st := bq.Stats(); st.BulkClaims == 0 {
+		t.Fatal("EnqueueBatch performed no bulk claims")
+	}
+	got := drainIDs(bq)
+	if len(got) != len(want) {
+		t.Fatalf("batched drained %d, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: batched released packet %d, reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedEnqueueBatchConcurrent hammers batch admission from many
+// goroutines at once — each call borrows a pooled staging handle, so
+// concurrent batches must neither lose nor duplicate packets.
+func TestShardedEnqueueBatchConcurrent(t *testing.T) {
+	q := NewSharded(ShardedOptions{Shards: 4, Buckets: 2048, HorizonNs: 2e9, RingBits: 8, DirectDue: true})
+	const producers = 8
+	const perProducer = 3000
+	sets := ContentionPackets(producers, perProducer)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i += 64 {
+				j := i + 64
+				if j > perProducer {
+					j = perProducer
+				}
+				q.EnqueueBatch(sets[w][i:j], 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := q.Len(); got != producers*perProducer {
+		t.Fatalf("Len = %d after concurrent batch admission, want %d", got, producers*perProducer)
+	}
+	seen := make(map[uint64]bool, producers*perProducer)
+	out := make([]*pkt.Packet, 256)
+	for {
+		k := q.DequeueBatch(horizon, out)
+		if k == 0 {
+			break
+		}
+		for _, p := range out[:k] {
+			key := p.Flow<<32 | p.ID
+			if seen[key] {
+				t.Fatalf("packet flow=%d id=%d released twice", p.Flow, p.ID)
+			}
+			seen[key] = true
+		}
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("released %d distinct packets, want %d", len(seen), producers*perProducer)
+	}
+}

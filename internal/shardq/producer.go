@@ -1,0 +1,197 @@
+package shardq
+
+// This file is the producer side of the batched enqueue pipeline: a
+// per-goroutine staging handle that amortizes the per-element costs of
+// Enqueue — the flow hash, the ring CAS, and the publication barrier —
+// over whole runs. Elements stage into per-shard buffers; a flush routes
+// each shard's run as ONE multi-slot ring claim (ring.pushN), so k
+// same-shard elements cost one CAS and one atomic store instead of k of
+// each. When a ring fills mid-flush the remainder of the run moves
+// straight into the bucketed queue under the shard lock through one
+// backend EnqueueBatch call — the batched form of Enqueue's ring-full
+// fallback, with the same backpressure semantics.
+
+// stage is the flat per-shard staging store shared by Producer and
+// ShapedProducer: shard i's pending run occupies pubs[i*per : i*per+cnt[i]].
+// Like the ring, consumed segments retain their node pointers until
+// overwritten — a bounded retention of elements that are live in the
+// runtime anyway.
+type stage struct {
+	per    int
+	staged int
+	cnt    []int32
+	pubs   []pub
+}
+
+func newStage(shards, per int) stage {
+	if per <= 0 {
+		per = 64
+	}
+	return stage{
+		per:  per,
+		cnt:  make([]int32, shards),
+		pubs: make([]pub, shards*per),
+	}
+}
+
+// Producer is a per-goroutine batched enqueue handle for Q. Enqueue stages
+// an element on its shard's buffer and flushes that shard automatically
+// when the buffer fills; Flush publishes every pending element. A staged
+// element is NOT yet published: it is invisible to Len and the consumer
+// until its shard flushes. Each Producer must be driven by a single
+// goroutine at a time; any number of Producers (and plain Enqueue callers)
+// may feed one Q concurrently.
+type Producer struct {
+	q  *Q
+	st stage
+}
+
+// NewProducer returns a staging handle whose per-shard buffers hold batch
+// elements each (default 64). Larger batches amortize the ring claim
+// further but delay publication until Flush.
+func (q *Q) NewProducer(batch int) *Producer {
+	return &Producer{q: q, st: newStage(len(q.shards), batch)}
+}
+
+// Staged returns how many elements are staged but not yet published.
+func (p *Producer) Staged() int { return p.st.staged }
+
+// Enqueue stages n with the given rank on flow's shard, flushing the shard
+// if its staging buffer is full. The hot path is a hash and a handful of
+// plain stores — no shared-memory traffic at all until the flush.
+func (p *Producer) Enqueue(flow uint64, n *Node, rank uint64) {
+	i := p.q.ShardFor(flow)
+	c := p.st.cnt[i]
+	p.st.pubs[i*p.st.per+int(c)] = pub{n: n, rank: rank}
+	p.st.cnt[i] = c + 1
+	p.st.staged++
+	if int(c)+1 == p.st.per {
+		p.flushShard(i)
+	}
+}
+
+// Flush publishes every staged element. Call it when the producer's burst
+// ends — after it, everything previously enqueued is visible to the
+// consumer, exactly as if published through Q.Enqueue.
+func (p *Producer) Flush() {
+	if p.st.staged == 0 {
+		return
+	}
+	for i, c := range p.st.cnt {
+		if c > 0 {
+			p.flushShard(i)
+		}
+	}
+}
+
+// flushShard publishes shard i's staged run: multi-slot ring claims while
+// the ring has room, then the locked queue fallback for any remainder.
+func (p *Producer) flushShard(i int) {
+	c := int(p.st.cnt[i])
+	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]
+	s := &p.q.shards[i]
+	done := 0
+	for done < c {
+		k := s.ring.pushN(pubs[done:])
+		if k > 0 {
+			p.q.bulkClaims.Inc()
+			p.q.bulkClaimed.Add(uint64(k))
+			done += k
+			continue
+		}
+		// Ring full: drain it and move the rest of the run straight into
+		// the bucketed queue, all under one lock acquisition.
+		s.mu.Lock()
+		drained := s.flushLocked()
+		s.enqueuePubsLocked(pubs[done:])
+		s.qlen.Add(int64(c - done))
+		s.fallbackGen.Add(1) // tell the consumer its cached head is stale
+		s.mu.Unlock()
+		p.q.ringFull.Inc()
+		if drained > 0 {
+			p.q.flushes.Inc()
+			p.q.flushed.Add(uint64(drained))
+		}
+		done = c
+	}
+	p.st.cnt[i] = 0
+	p.st.staged -= c
+}
+
+// ShapedProducer is the Producer analogue for the shaped runtime: each
+// staged element carries a release time and a priority, and a shard flush
+// publishes (node, sendAt, rank) triples as one multi-slot ring claim.
+// Same contract: one goroutine per handle, any number of handles per
+// Shaped, staged elements invisible until flushed.
+type ShapedProducer struct {
+	q  *Shaped
+	st stage
+}
+
+// NewProducer returns a staging handle for the shaped runtime whose
+// per-shard buffers hold batch elements each (default 64).
+func (q *Shaped) NewProducer(batch int) *ShapedProducer {
+	return &ShapedProducer{q: q, st: newStage(len(q.shards), batch)}
+}
+
+// Staged returns how many elements are staged but not yet published.
+func (p *ShapedProducer) Staged() int { return p.st.staged }
+
+// Enqueue stages n (the element's shaper handle) with the given release
+// time and priority on flow's shard, flushing the shard if its staging
+// buffer is full.
+func (p *ShapedProducer) Enqueue(flow uint64, n *Node, sendAt, rank uint64) {
+	i := p.q.ShardFor(flow)
+	c := p.st.cnt[i]
+	p.st.pubs[i*p.st.per+int(c)] = pub{n: n, rank: sendAt, aux: rank}
+	p.st.cnt[i] = c + 1
+	p.st.staged++
+	if int(c)+1 == p.st.per {
+		p.flushShard(i)
+	}
+}
+
+// Flush publishes every staged element.
+func (p *ShapedProducer) Flush() {
+	if p.st.staged == 0 {
+		return
+	}
+	for i, c := range p.st.cnt {
+		if c > 0 {
+			p.flushShard(i)
+		}
+	}
+}
+
+func (p *ShapedProducer) flushShard(i int) {
+	c := int(p.st.cnt[i])
+	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]
+	s := &p.q.shards[i]
+	done := 0
+	for done < c {
+		k := s.ring.pushN(pubs[done:])
+		if k > 0 {
+			p.q.bulkClaims.Inc()
+			p.q.bulkClaimed.Add(uint64(k))
+			done += k
+			continue
+		}
+		// Ring full: park the rest of the run in the shaper directly,
+		// stashing each element's priority on its scheduler handle as the
+		// per-element fallback does.
+		s.mu.Lock()
+		drained := s.flushLocked(p.q.pair)
+		s.enqueuePubsLocked(p.q.pair, pubs[done:])
+		s.qlen.Add(int64(c - done))
+		s.fallbackGen.Add(1)
+		s.mu.Unlock()
+		p.q.ringFull.Inc()
+		if drained > 0 {
+			p.q.flushes.Inc()
+			p.q.flushed.Add(uint64(drained))
+		}
+		done = c
+	}
+	p.st.cnt[i] = 0
+	p.st.staged -= c
+}

@@ -1,0 +1,310 @@
+package shardq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+func newExactQ(shards int, ringBits uint) *Q {
+	return New(Options{
+		NumShards: shards,
+		RingBits:  ringBits,
+		Queue:     queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+	})
+}
+
+func TestProducerStagesUntilFlush(t *testing.T) {
+	q := newExactQ(4, 10)
+	p := q.NewProducer(16)
+	nodes := make([]bucket.Node, 10)
+	for i := range nodes {
+		p.Enqueue(uint64(i), &nodes[i], uint64(i))
+	}
+	if got := p.Staged(); got != 10 {
+		t.Fatalf("Staged = %d, want 10", got)
+	}
+	if got := q.Len(); got != 0 {
+		t.Fatalf("Len = %d before Flush, want 0 (staged elements are unpublished)", got)
+	}
+	p.Flush()
+	if got := p.Staged(); got != 0 {
+		t.Fatalf("Staged = %d after Flush, want 0", got)
+	}
+	if got := q.Len(); got != 10 {
+		t.Fatalf("Len = %d after Flush, want 10", got)
+	}
+	st := q.Stats()
+	if st.BulkClaims == 0 || st.BulkClaimed != 10 {
+		t.Fatalf("bulk counters = %d claims / %d claimed, want >0 / 10", st.BulkClaims, st.BulkClaimed)
+	}
+	out := make([]*bucket.Node, 16)
+	if got := q.DequeueBatch(^uint64(0), out); got != 10 {
+		t.Fatalf("DequeueBatch = %d, want 10", got)
+	}
+}
+
+// TestProducerAutoFlushAtCapacity checks that a shard's staging buffer
+// publishes itself when it fills, without an explicit Flush.
+func TestProducerAutoFlushAtCapacity(t *testing.T) {
+	q := newExactQ(1, 10) // one shard: every element stages on the same buffer
+	p := q.NewProducer(8)
+	nodes := make([]bucket.Node, 8)
+	for i := range nodes {
+		p.Enqueue(0, &nodes[i], uint64(i))
+	}
+	if got := p.Staged(); got != 0 {
+		t.Fatalf("Staged = %d after filling the buffer, want 0 (auto-flush)", got)
+	}
+	if got := q.Len(); got != 8 {
+		t.Fatalf("Len = %d after auto-flush, want 8", got)
+	}
+}
+
+// TestProducerRingFullFallback forces staged runs through the locked
+// fallback: a ring much smaller than the staged batch must spill the
+// remainder straight into the bucketed queue, losing nothing and keeping
+// per-shard FIFO order.
+func TestProducerRingFullFallback(t *testing.T) {
+	q := newExactQ(1, 2) // 4-slot ring
+	p := q.NewProducer(64)
+	const n = 40
+	nodes := make([]bucket.Node, n)
+	for i := range nodes {
+		nodes[i].Data = i
+		p.Enqueue(0, &nodes[i], 7) // same rank: drain order is pure FIFO
+	}
+	p.Flush()
+	if got := q.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	st := q.Stats()
+	if st.RingFull == 0 {
+		t.Fatalf("RingFull = 0, want >0 (ring has 4 slots, %d staged)", n)
+	}
+	out := make([]*bucket.Node, n)
+	if got := q.DequeueBatch(^uint64(0), out); got != n {
+		t.Fatalf("DequeueBatch = %d, want %d", got, n)
+	}
+	for i, nd := range out {
+		if nd.Data.(int) != i {
+			t.Fatalf("position %d: element %d — fallback broke FIFO order", i, nd.Data.(int))
+		}
+	}
+}
+
+func TestSnapshotStringBulkCounters(t *testing.T) {
+	s := Snapshot{RingPushes: 10, BulkClaims: 2, BulkClaimed: 9}
+	if got := s.String(); !strings.Contains(got, "bulk-claims=2") || !strings.Contains(got, "avg-claim=4.5") {
+		t.Fatalf("String() = %q, want bulk-claims=2 and avg-claim=4.5", got)
+	}
+	if got := (Snapshot{RingPushes: 3}).String(); strings.Contains(got, "bulk") {
+		t.Fatalf("String() = %q: bulk counters rendered despite no bulk claims", got)
+	}
+}
+
+// drainAll drains q completely in exact mode, returning the elements'
+// Data annotations in release order.
+func drainAll(q *Q, chunk int) []int {
+	out := make([]*bucket.Node, chunk)
+	var got []int
+	for {
+		k := q.DequeueBatch(^uint64(0), out)
+		if k == 0 {
+			return got
+		}
+		for _, n := range out[:k] {
+			got = append(got, n.Data.(int))
+		}
+	}
+}
+
+// TestBatchVsPerElementEquivalence is the batching correctness property:
+// the SAME randomized (flow, rank) workload admitted per element, through
+// a staging Producer (random flush points), and through EnqueueBatch
+// (random run lengths) must produce byte-identical exact-mode DequeueBatch
+// sequences — batching is a transport optimization, never a reordering.
+func TestBatchVsPerElementEquivalence(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	size := 2000
+	if !testing.Short() {
+		seeds = append(seeds, 1001, 90210)
+		size = 20000
+	}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		flows := make([]uint64, size)
+		ranks := make([]uint64, size)
+		for i := range flows {
+			flows[i] = uint64(rng.Intn(97))
+			ranks[i] = uint64(rng.Intn(1 << 11))
+		}
+		mkNodes := func() []bucket.Node {
+			nodes := make([]bucket.Node, size)
+			for i := range nodes {
+				nodes[i].Data = i
+			}
+			return nodes
+		}
+
+		// Per-element reference.
+		ref := newExactQ(4, 8)
+		refNodes := mkNodes()
+		for i := range refNodes {
+			ref.Enqueue(flows[i], &refNodes[i], ranks[i])
+		}
+		want := drainAll(ref, 37)
+		if len(want) != size {
+			t.Fatalf("seed %d: reference drained %d of %d", seed, len(want), size)
+		}
+
+		// Staging Producer with random flush points and a small ring, so
+		// partial claims and fallbacks interleave with clean bulk claims.
+		pq := newExactQ(4, 8)
+		pqNodes := mkNodes()
+		prod := pq.NewProducer(1 + rng.Intn(100))
+		for i := range pqNodes {
+			prod.Enqueue(flows[i], &pqNodes[i], ranks[i])
+			if rng.Intn(200) == 0 {
+				prod.Flush()
+			}
+		}
+		prod.Flush()
+		if got := drainAll(pq, 37); !equalInts(got, want) {
+			t.Fatalf("seed %d: Producer admission reordered the drain", seed)
+		}
+
+		// EnqueueBatch in random run lengths.
+		bq := newExactQ(4, 8)
+		bqNodes := mkNodes()
+		ns := make([]*Node, size)
+		for i := range bqNodes {
+			ns[i] = &bqNodes[i]
+		}
+		for i := 0; i < size; {
+			j := i + 1 + rng.Intn(500)
+			if j > size {
+				j = size
+			}
+			bq.EnqueueBatch(flows[i:j], ns[i:j], ranks[i:j])
+			i = j
+		}
+		if got := drainAll(bq, 37); !equalInts(got, want) {
+			t.Fatalf("seed %d: EnqueueBatch admission reordered the drain", seed)
+		}
+	}
+}
+
+// TestShapedBatchVsPerElementEquivalence is the shaped variant: random
+// (flow, sendAt, rank) workloads admitted per element and through a
+// ShapedProducer must release identically across a rising now sweep —
+// batching must disturb neither the release gating nor the priority
+// merge. Rings are sized to absorb the whole burst (asserted below):
+// a ring-full fallback detours elements through the shaper, whose
+// sendAt-bucket order legitimately re-orders equal-rank arrivals relative
+// to the ring path — identically possible under per-element admission,
+// but dependent on WHERE the fallback strikes, so exact sequence equality
+// is only defined on the fallback-free path.
+func TestShapedBatchVsPerElementEquivalence(t *testing.T) {
+	seeds := []int64{3, 19}
+	size := 2000
+	if !testing.Short() {
+		seeds = append(seeds, 4242)
+		size = 20000
+	}
+	const horizon = 1 << 12
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		flows := make([]uint64, size)
+		sendAts := make([]uint64, size)
+		ranks := make([]uint64, size)
+		for i := range flows {
+			flows[i] = uint64(rng.Intn(97))
+			sendAts[i] = uint64(rng.Intn(horizon))
+			ranks[i] = uint64(rng.Intn(1 << 11))
+		}
+		mkElems := func() []*elem {
+			es := make([]*elem, size)
+			for i := range es {
+				es[i] = newElem(sendAts[i], ranks[i])
+				es[i].timer.Data = es[i] // already set, but keep explicit
+			}
+			return es
+		}
+		drain := func(q *Shaped) []*elem {
+			out := make([]*bucket.Node, 53)
+			var got []*elem
+			// Rising now sweep: partial eligibility at every step, full
+			// drain at the horizon.
+			for _, now := range []uint64{horizon / 7, horizon / 3, horizon / 2, horizon} {
+				for {
+					k := q.DequeueBatch(now, ^uint64(0), out)
+					if k == 0 {
+						break
+					}
+					for _, n := range out[:k] {
+						got = append(got, n.Data.(*elem))
+					}
+				}
+			}
+			return got
+		}
+
+		ref := newShapedQ(4, 14)
+		refEs := mkElems()
+		for i, e := range refEs {
+			ref.Enqueue(flows[i], &e.timer, sendAts[i], ranks[i])
+		}
+		want := drain(ref)
+		if len(want) != size {
+			t.Fatalf("seed %d: reference drained %d of %d", seed, len(want), size)
+		}
+
+		pq := newShapedQ(4, 14)
+		pqEs := mkElems()
+		prod := pq.NewProducer(1 + rng.Intn(100))
+		for i, e := range pqEs {
+			prod.Enqueue(flows[i], &e.timer, sendAts[i], ranks[i])
+			if rng.Intn(200) == 0 {
+				prod.Flush()
+			}
+		}
+		prod.Flush()
+		if st := pq.Stats(); st.RingFull != 0 {
+			t.Fatalf("seed %d: %d ring-full fallbacks — ring must absorb the burst for exact equivalence", seed, st.RingFull)
+		}
+		got := drain(pq)
+		if len(got) != size {
+			t.Fatalf("seed %d: batched drained %d of %d", seed, len(got), size)
+		}
+		refIdx := make(map[*elem]int, size)
+		for i, e := range refEs {
+			refIdx[e] = i
+		}
+		gotIdx := make(map[*elem]int, size)
+		for i, e := range pqEs {
+			gotIdx[e] = i
+		}
+		for i := range want {
+			if refIdx[want[i]] != gotIdx[got[i]] {
+				t.Fatalf("seed %d: position %d diverged (want workload index %d, got %d)",
+					seed, i, refIdx[want[i]], gotIdx[got[i]])
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -16,25 +16,32 @@ import (
 	"eiffel/internal/bucket"
 )
 
-// ringEntry is one publication slot. seq is the Vyukov sequence number:
-// equal to the slot position when free, position+1 once the payload is
-// visible, and advanced by the ring size again when consumed. The payload
-// is a (node, rank, aux) triple: plain rank-ordered runtimes leave aux
-// zero, while the shaped runtime publishes (node, sendAt, rank) so one
-// ring push carries both scheduling dimensions.
+// ringEntry is one publication slot. seq is the publication sequence
+// number: position+1 once the slot's payload is visible to the consumer,
+// anything else (zero initially, a previous lap's value afterwards) while
+// it is not. It is read with atomic loads; writes are atomic for the slot
+// that publishes a claim and plain for the interior slots of a multi-slot
+// claim, which the consumer provably cannot reach until the claim's first
+// slot publishes (see pushN). The payload is a (node, rank, aux) triple:
+// plain rank-ordered runtimes leave aux zero, while the shaped runtime
+// publishes (node, sendAt, rank) so one ring push carries both scheduling
+// dimensions.
 type ringEntry struct {
-	seq  atomic.Uint64
+	seq  uint64
 	n    *bucket.Node
 	rank uint64
 	aux  uint64
 }
 
 // ring is a bounded lock-free multi-producer single-consumer queue of
-// (node, rank, aux) triples — the Vyukov bounded MPMC algorithm restricted to one
-// consumer, so the consumer side needs no atomics on its cursor. A full
-// ring reports failure instead of blocking; the caller (shard enqueue)
-// falls back to flushing under the shard lock, which doubles as
-// backpressure toward the bucketed queue.
+// (node, rank, aux) triples. Producers claim slots by CAS on the tail —
+// one slot (push) or a contiguous run of slots (pushN) per CAS — and
+// publish each slot by writing its sequence number after the payload.
+// Slots are freed for the next lap by the consumer republishing its
+// cursor (publish), not per element, so the consumer's pop needs no
+// atomic read-modify-write at all. A full ring reports failure instead of
+// blocking; the caller (shard enqueue) falls back to flushing under the
+// shard lock, which doubles as backpressure toward the bucketed queue.
 type ring struct {
 	mask    uint64
 	entries []ringEntry
@@ -46,41 +53,104 @@ type ring struct {
 	head uint64   // consumer-owned
 
 	// consumed is the consumer's published copy of head, stored after
-	// each drain so Len readers can compute ring occupancy (tail -
-	// consumed) without locks. It lags head by at most one batch.
+	// each drain. It is what producers measure fullness against and what
+	// Len readers compute ring occupancy (tail - consumed) from, so every
+	// pop MUST be followed by a publish once the drain completes: slots
+	// are not reusable until the consumption is published. It lags head
+	// by at most one drain.
 	consumed atomic.Uint64
 }
 
-// newRing returns a ring with 1<<bits slots.
+// newRing returns a ring with 1<<bits slots. The zero sequence numbers
+// mean "never published": position p publishes as p+1, which is never 0.
 func newRing(bits uint) *ring {
 	size := uint64(1) << bits
-	r := &ring{mask: size - 1, entries: make([]ringEntry, size)}
-	for i := range r.entries {
-		r.entries[i].seq.Store(uint64(i))
-	}
-	return r
+	return &ring{mask: size - 1, entries: make([]ringEntry, size)}
 }
 
 // push publishes (n, rank, aux) from any goroutine. It reports false when
-// the ring is full; the payload is then NOT queued.
+// the ring is full; the payload is then NOT queued. Fullness is measured
+// against the published consumed cursor, so a drain in progress does not
+// free slots until it publishes — conservative, never unsafe.
+//
+// consumed is loaded BEFORE the tail so that cons <= pos: the consumed
+// cursor only grows, and it can never pass a tail that was read after it.
 func (r *ring) push(n *bucket.Node, rank, aux uint64) bool {
 	for {
+		cons := r.consumed.Load()
 		pos := r.tail.Load()
-		e := &r.entries[pos&r.mask]
-		switch seq := e.seq.Load(); {
-		case seq == pos:
-			if r.tail.CompareAndSwap(pos, pos+1) {
-				e.n, e.rank, e.aux = n, rank, aux
-				e.seq.Store(pos + 1)
-				return true
-			}
-		case seq < pos:
-			// The slot still holds an unconsumed element a full lap
-			// behind: the ring is full.
+		if pos-cons > r.mask {
 			return false
-		default:
-			// Another producer claimed pos; reload and retry.
 		}
+		if r.tail.CompareAndSwap(pos, pos+1) {
+			e := &r.entries[pos&r.mask]
+			e.n, e.rank, e.aux = n, rank, aux
+			atomic.StoreUint64(&e.seq, pos+1)
+			return true
+		}
+	}
+}
+
+// pub is one staged publication: the payload triple a producer wants to
+// place in a ring slot. Interleaved (rather than parallel arrays) so the
+// staging buffers and the slot-filling loop walk one sequential stream.
+type pub struct {
+	n    *bucket.Node
+	rank uint64 // the rank, or the release time for the shaped runtime
+	aux  uint64 // zero, or the priority for the shaped runtime
+}
+
+// pushN publishes up to len(pubs) elements with a SINGLE CAS on the tail,
+// claiming a contiguous run of slots. It returns how many leading elements
+// of pubs it published — fewer than len(pubs) when the ring is near-full
+// (partial claim), zero when it is full. This is the producer-side
+// batching primitive: k elements cost one CAS and one atomic store instead
+// of k of each.
+//
+// Publication protocol: the interior slots of the claim ([pos+1, pos+k))
+// write their payloads AND sequence numbers with plain stores; only the
+// first slot's sequence number is stored atomically (release), last. The
+// consumer pops strictly in position order and polls only the slot at its
+// head, so it cannot observe any interior slot before it has consumed the
+// first — and its acquiring load of the first slot's seq makes every
+// earlier plain store of the claim visible. Slot reuse across laps is
+// ordered by the consumed cursor: a producer only claims a slot after
+// loading a consumed value proving the previous lap's element was popped
+// and published, which orders the consumer's reads before the producer's
+// overwrites.
+func (r *ring) pushN(pubs []pub) int {
+	want := uint64(len(pubs))
+	if want == 0 {
+		return 0
+	}
+	for {
+		cons := r.consumed.Load()
+		pos := r.tail.Load()
+		if pos-cons > r.mask {
+			// Full — or a stale view of it: the consumer may have
+			// published and other producers refilled between the two
+			// loads, in which case pos-cons can exceed the ring size and
+			// the free-slot subtraction below would underflow into a
+			// claim over unconsumed slots. Report full either way, as
+			// push does; the caller's locked fallback is always safe.
+			return 0
+		}
+		k := r.mask + 1 - (pos - cons) // free slots (cons <= pos: see push)
+		if k > want {
+			k = want
+		}
+		if !r.tail.CompareAndSwap(pos, pos+k) {
+			continue
+		}
+		for i := uint64(1); i < k; i++ {
+			e := &r.entries[(pos+i)&r.mask]
+			e.n, e.rank, e.aux = pubs[i].n, pubs[i].rank, pubs[i].aux
+			e.seq = pos + i + 1
+		}
+		e := &r.entries[pos&r.mask]
+		e.n, e.rank, e.aux = pubs[0].n, pubs[0].rank, pubs[0].aux
+		atomic.StoreUint64(&e.seq, pos+1)
+		return int(k)
 	}
 }
 
@@ -93,8 +163,11 @@ func (r *ring) push(n *bucket.Node, rank, aux uint64) bool {
 // but not yet published.
 func (r *ring) empty() bool { return r.tail.Load() == r.consumed.Load() }
 
-// publish makes the consumer's progress visible to Len readers. Consumer-
-// only; called once per drain, not per element.
+// publish makes the consumer's progress visible to Len readers and frees
+// the consumed slots for the producers' next lap. Consumer-only; called
+// once per drain, not per element — and REQUIRED after any sequence of
+// pops, or the slots stay unusable and producers eventually see a
+// permanently full ring.
 func (r *ring) publish() { r.consumed.Store(r.head) }
 
 // occupancy returns how many claimed slots are not yet known-consumed.
@@ -108,10 +181,11 @@ func (r *ring) pushes() uint64 { return r.tail.Load() }
 // pop removes the oldest published element. Consumer-only. ok=false means
 // the ring is empty or the oldest slot is claimed but not yet published
 // (the producer was preempted mid-publish); either way there is nothing
-// consumable right now.
+// consumable right now. pop itself performs no atomic read-modify-write:
+// slots are recycled wholesale by publish.
 func (r *ring) pop() (n *bucket.Node, rank, aux uint64, ok bool) {
 	e := &r.entries[r.head&r.mask]
-	if e.seq.Load() != r.head+1 {
+	if atomic.LoadUint64(&e.seq) != r.head+1 {
 		return nil, 0, 0, false
 	}
 	n, rank, aux = e.n, e.rank, e.aux
@@ -119,7 +193,6 @@ func (r *ring) pop() (n *bucket.Node, rank, aux uint64, ok bool) {
 	// next producer lap overwrites it, so clearing it would only add a
 	// store to the hot path. The ring therefore retains up to one lap of
 	// consumed nodes, which its owners keep alive anyway.
-	e.seq.Store(r.head + r.mask + 1)
 	r.head++
 	return n, rank, aux, true
 }

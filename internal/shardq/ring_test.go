@@ -46,11 +46,105 @@ func TestRingWrapAround(t *testing.T) {
 				t.Fatalf("lap %d pop %d = (%p, %d, %v)", lap, i, n, rank, ok)
 			}
 		}
+		// Slots are recycled by the published cursor, not per pop: without
+		// this the next lap's pushes would find the ring still full.
+		r.publish()
+	}
+}
+
+// TestRingPushNClaims covers the multi-slot claim: full batches, partial
+// claims near the full mark, and zero claims on a full ring.
+func TestRingPushNClaims(t *testing.T) {
+	r := newRing(3) // 8 slots
+	nodes := make([]bucket.Node, 12)
+	pubs := make([]pub, 12)
+	for i := range nodes {
+		pubs[i] = pub{n: &nodes[i], rank: uint64(i) * 10, aux: uint64(i) * 100}
+	}
+
+	if got := r.pushN(pubs[:5]); got != 5 {
+		t.Fatalf("pushN on empty ring claimed %d of 5", got)
+	}
+	// 3 slots left: a 12-element batch must claim exactly the remainder.
+	if got := r.pushN(pubs[5:]); got != 3 {
+		t.Fatalf("pushN near-full claimed %d, want partial claim of 3", got)
+	}
+	if got := r.pushN(pubs[8:]); got != 0 {
+		t.Fatalf("pushN on full ring claimed %d, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		n, rank, aux, ok := r.pop()
+		if !ok || n != pubs[i].n || rank != pubs[i].rank || aux != pubs[i].aux {
+			t.Fatalf("pop %d = (%p, %d, %d, %v), want (%p, %d, %d, true)",
+				i, n, rank, aux, ok, pubs[i].n, pubs[i].rank, pubs[i].aux)
+		}
+	}
+	r.publish()
+
+	// After publishing, the freed slots are claimable again.
+	if got := r.pushN(pubs[8:]); got != 4 {
+		t.Fatalf("pushN after publish claimed %d of 4", got)
+	}
+	for i := 8; i < 12; i++ {
+		if n, _, _, ok := r.pop(); !ok || n != pubs[i].n {
+			t.Fatalf("pop %d after refill = (%p, %v)", i, n, ok)
+		}
+	}
+	r.publish()
+	if !r.empty() {
+		t.Fatal("ring not empty after full drain + publish")
+	}
+}
+
+// TestRingPushNStaleConsumedGuard pins the full guard against the
+// stale-cursor interleaving: a producer that loaded consumed, then lost
+// the CPU while the consumer published and other producers refilled the
+// whole ring, resumes seeing tail - consumed > size. Without the guard
+// the free-slot subtraction underflows and the claim overwrites
+// unconsumed slots; with it, pushN reports full exactly as push does.
+// The test reproduces the stale VIEW directly by winding the published
+// cursor back under a quiesced ring.
+func TestRingPushNStaleConsumedGuard(t *testing.T) {
+	r := newRing(2) // 4 slots
+	nodes := make([]bucket.Node, 8)
+	pubs := make([]pub, 8)
+	for i := range nodes {
+		pubs[i] = pub{n: &nodes[i], rank: uint64(i)}
+	}
+	if got := r.pushN(pubs[:4]); got != 4 {
+		t.Fatalf("first lap claimed %d of 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		r.pop()
+	}
+	r.publish()
+	if got := r.pushN(pubs[4:8]); got != 4 {
+		t.Fatalf("second lap claimed %d of 4", got)
+	}
+	// tail=8, consumed=4. Wind the published cursor back to what the
+	// stalled producer read: pos - cons = 6 > size.
+	r.consumed.Store(2)
+	if got := r.pushN(pubs[:2]); got != 0 {
+		t.Fatalf("pushN with a stale consumed view claimed %d slots, want 0 (full)", got)
+	}
+	if r.push(&bucket.Node{}, 99, 0) {
+		t.Fatal("push with a stale consumed view must also report full")
+	}
+	r.consumed.Store(4)
+	// The ring's second lap must be intact.
+	for i := 4; i < 8; i++ {
+		n, rank, _, ok := r.pop()
+		if !ok || n != pubs[i].n || rank != pubs[i].rank {
+			t.Fatalf("pop %d after stale-view probe = (%p, %d, %v), want (%p, %d, true)",
+				i, n, rank, ok, pubs[i].n, pubs[i].rank)
+		}
 	}
 }
 
 // TestRingConcurrentProducers hammers one ring from many producers while a
 // single consumer drains, checking that nothing is lost or duplicated.
+// Producers mix single pushes and multi-slot claims so the two publication
+// protocols interleave on one ring.
 func TestRingConcurrentProducers(t *testing.T) {
 	const producers = 8
 	const perProducer = 4096
@@ -61,6 +155,31 @@ func TestRingConcurrentProducers(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if w%2 == 0 {
+				// Batched producer: runs of up to 7 via pushN, retrying
+				// the unclaimed suffix until everything lands.
+				const run = 7
+				pubs := make([]pub, run)
+				for i := 0; i < perProducer; i += run {
+					k := run
+					if i+k > perProducer {
+						k = perProducer - i
+					}
+					for j := 0; j < k; j++ {
+						pubs[j] = pub{n: &bucket.Node{}, rank: uint64(w)<<32 | uint64(i+j)}
+					}
+					done := 0
+					for done < k {
+						pushed := r.pushN(pubs[done:k])
+						if pushed == 0 {
+							runtime.Gosched()
+							continue
+						}
+						done += pushed
+					}
+				}
+				return
+			}
 			for i := 0; i < perProducer; i++ {
 				n := &bucket.Node{}
 				rank := uint64(w)<<32 | uint64(i)
@@ -79,6 +198,7 @@ func TestRingConcurrentProducers(t *testing.T) {
 	for len(seen) < producers*perProducer {
 		_, rank, _, ok := r.pop()
 		if !ok {
+			r.publish() // free everything consumed so far
 			if producersDone {
 				// Every push completed before this empty pop: nothing can
 				// still be in flight, so elements were lost.
@@ -104,5 +224,6 @@ func TestRingConcurrentProducers(t *testing.T) {
 		}
 		nextPerProducer[w]++
 	}
+	r.publish()
 	wg.Wait()
 }

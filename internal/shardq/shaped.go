@@ -61,10 +61,22 @@ type shapedShard struct {
 	ring *ring
 	mu   sync.Mutex
 
-	shaper   queue.PQ
-	sched    queue.PQ
-	shaperBP batchPopper // shaper, if it supports batch popping
-	schedBP  batchPopper // sched, if it supports batch popping
+	shaper    queue.PQ
+	sched     queue.PQ
+	shaperBP  batchPopper // shaper, if it supports batch popping
+	schedBP   batchPopper // sched, if it supports batch popping
+	shaperBPU batchPusher // shaper, if it supports batch pushing
+	schedBPU  batchPusher // sched, if it supports batch pushing
+
+	// Flush staging (guarded by mu): ring pops partition into a
+	// scheduler-bound run and a shaper-bound run, and each run lands as
+	// one backend EnqueueBatch call instead of one interface dispatch per
+	// element. Retains its last run of node pointers until overwritten,
+	// like the ring — bounded, and the nodes are live in the queues.
+	dueNs       []*bucket.Node // scheduler-bound (already due)
+	dueRanks    []uint64
+	parkNs      []*bucket.Node // shaper-bound (still shaped)
+	parkSendAts []uint64
 
 	// qlen mirrors shaper.Len()+sched.Len() so Len readers need no lock;
 	// migration moves elements between the two without changing it.
@@ -76,20 +88,75 @@ type shapedShard struct {
 	_ [64]byte // keep one shard's lock traffic off the next's cache lines
 }
 
-// flushLocked drains the ring into the shaper, stashing each element's
-// priority on its scheduler handle for the later migration. Producer-side
-// fallback path: producers know no drain bound and must never touch the
-// scheduler (the consumer's merge caches scheduler heads). Callers hold
-// mu.
+// enqueueShaperRunLocked parks one run in the shaper — one interface call
+// when the backend can take a batch. The elements' priorities must already
+// be stashed on their paired handles. Callers hold mu and settle qlen.
+func (s *shapedShard) enqueueShaperRunLocked(ns []*bucket.Node, sendAts []uint64) {
+	if s.shaperBPU != nil {
+		s.shaperBPU.EnqueueBatch(ns, sendAts)
+		return
+	}
+	for i, n := range ns {
+		s.shaper.Enqueue(n, sendAts[i])
+	}
+}
+
+// enqueueSchedRunLocked moves one run into the scheduler. Callers hold mu.
+func (s *shapedShard) enqueueSchedRunLocked(ns []*bucket.Node, ranks []uint64) {
+	if s.schedBPU != nil {
+		s.schedBPU.EnqueueBatch(ns, ranks)
+		return
+	}
+	for i, n := range ns {
+		s.sched.Enqueue(n, ranks[i])
+	}
+}
+
+// enqueuePubsLocked parks a staged run that never made it into the ring (a
+// ShapedProducer's ring-full fallback) in the shaper, stashing each
+// element's priority on its paired handle and converting through the flush
+// scratch so the backend still sees whole runs. Callers hold mu and settle
+// qlen themselves.
+func (s *shapedShard) enqueuePubsLocked(pair PairFunc, pubs []pub) {
+	for len(pubs) > 0 {
+		k := len(s.parkNs)
+		if k > len(pubs) {
+			k = len(pubs)
+		}
+		for j := 0; j < k; j++ {
+			pair(pubs[j].n).SetRank(pubs[j].aux)
+			s.parkNs[j], s.parkSendAts[j] = pubs[j].n, pubs[j].rank
+		}
+		s.enqueueShaperRunLocked(s.parkNs[:k], s.parkSendAts[:k])
+		pubs = pubs[k:]
+	}
+}
+
+// flushLocked drains the ring into the shaper in staged runs, stashing
+// each element's priority on its scheduler handle for the later migration.
+// Producer-side fallback path: producers know no drain bound and must
+// never touch the scheduler (the consumer's merge caches scheduler heads).
+// Callers hold mu.
 func (s *shapedShard) flushLocked(pair PairFunc) (drained int) {
 	for {
-		n, sendAt, rank, ok := s.ring.pop()
-		if !ok {
+		k := 0
+		for k < len(s.parkNs) {
+			n, sendAt, rank, ok := s.ring.pop()
+			if !ok {
+				break
+			}
+			pair(n).SetRank(rank)
+			s.parkNs[k], s.parkSendAts[k] = n, sendAt
+			k++
+		}
+		if k == 0 {
 			break
 		}
-		pair(n).SetRank(rank)
-		s.shaper.Enqueue(n, sendAt)
-		drained++
+		s.enqueueShaperRunLocked(s.parkNs[:k], s.parkSendAts[:k])
+		drained += k
+		if k < len(s.parkNs) {
+			break
+		}
 	}
 	if drained > 0 {
 		s.qlen.Add(int64(drained))
@@ -103,26 +170,46 @@ func (s *shapedShard) flushLocked(pair PairFunc) (drained int) {
 // — they would migrate in this same pass anyway, so the detour through the
 // time-indexed queue is pure wasted work (the shaped analogue of the plain
 // runtime's DirectDue, except nothing is reordered: the scheduler still
-// merges by priority). The due path enqueues the PUBLISHED handle itself:
-// an element that never parks never needs its second handle, and skipping
-// it keeps the hot path to the cache lines the ring pop already touched.
-// Only elements that actually wait in the shaper stash their priority on
-// the paired handle for the later migration. Not-yet-due elements park in
-// the shaper as usual. Callers hold mu; consumer-side only.
+// merges by priority). The due path converts to the PAIRED scheduler
+// handle immediately (for the qdisc pairing this is pure pointer
+// arithmetic), so every element the scheduler ever holds — and therefore
+// every node a drain returns — is its scheduler handle; consumers convert
+// back without consulting the node's memory. Elements that actually wait
+// in the shaper stash their priority on the paired handle for the later
+// migration. Not-yet-due elements park in the shaper as usual. Each
+// destination receives whole staged runs, FIFO order within each
+// preserved. Callers hold mu; consumer-side only.
 func (s *shapedShard) flushDueLocked(pair PairFunc, due uint64) (drained, direct int) {
 	for {
-		n, sendAt, rank, ok := s.ring.pop()
-		if !ok {
+		dd, pp := 0, 0
+		for dd < len(s.dueNs) && pp < len(s.parkNs) {
+			n, sendAt, rank, ok := s.ring.pop()
+			if !ok {
+				break
+			}
+			if sendAt <= due {
+				s.dueNs[dd], s.dueRanks[dd] = pair(n), rank
+				dd++
+			} else {
+				pair(n).SetRank(rank)
+				s.parkNs[pp], s.parkSendAts[pp] = n, sendAt
+				pp++
+			}
+		}
+		if dd == 0 && pp == 0 {
 			break
 		}
-		if sendAt <= due {
-			s.sched.Enqueue(n, rank)
-			direct++
-		} else {
-			pair(n).SetRank(rank)
-			s.shaper.Enqueue(n, sendAt)
+		if dd > 0 {
+			s.enqueueSchedRunLocked(s.dueNs[:dd], s.dueRanks[:dd])
+			direct += dd
 		}
-		drained++
+		if pp > 0 {
+			s.enqueueShaperRunLocked(s.parkNs[:pp], s.parkSendAts[:pp])
+		}
+		drained += dd + pp
+		if dd < len(s.dueNs) && pp < len(s.parkNs) {
+			break
+		}
 	}
 	if drained > 0 {
 		s.qlen.Add(int64(drained))
@@ -160,13 +247,21 @@ type Shaped struct {
 	schedN atomic.Int64
 
 	migScratch []*bucket.Node // migration conversion space
+	migNs      []*bucket.Node // paired-handle staging for batched migration
+	migRanks   []uint64
 
-	ringFull stats.Counter
-	flushes  stats.Counter
-	flushed  stats.Counter
-	migrated stats.Counter
-	batches  stats.Counter
-	batched  stats.Counter
+	// prodPool recycles staging ShapedProducers for the one-shot
+	// EnqueueBatch surface (see Q.prodPool).
+	prodPool sync.Pool
+
+	ringFull    stats.Counter
+	flushes     stats.Counter
+	flushed     stats.Counter
+	migrated    stats.Counter
+	batches     stats.Counter
+	batched     stats.Counter
+	bulkClaims  stats.Counter
+	bulkClaimed stats.Counter
 }
 
 // NewShaped returns a shaped-and-scheduled runtime whose shards each own a
@@ -182,7 +277,9 @@ func NewShaped(opt ShapedOptions) *Shaped {
 		pair:        opt.Pair,
 		shaperHeads: make([]headState, opt.NumShards),
 		schedHeads:  make([]headState, opt.NumShards),
-		migScratch:  make([]*bucket.Node, 256),
+		migScratch:  make([]*bucket.Node, flushChunk),
+		migNs:       make([]*bucket.Node, flushChunk),
+		migRanks:    make([]uint64, flushChunk),
 	}
 	for i := range q.shards {
 		s := &q.shards[i]
@@ -195,7 +292,14 @@ func NewShaped(opt ShapedOptions) *Shaped {
 		}
 		s.shaperBP, _ = s.shaper.(batchPopper)
 		s.schedBP, _ = s.sched.(batchPopper)
+		s.shaperBPU, _ = s.shaper.(batchPusher)
+		s.schedBPU, _ = s.sched.(batchPusher)
+		s.dueNs = make([]*bucket.Node, flushChunk)
+		s.dueRanks = make([]uint64, flushChunk)
+		s.parkNs = make([]*bucket.Node, flushChunk)
+		s.parkSendAts = make([]uint64, flushChunk)
 	}
+	q.prodPool.New = func() any { return q.NewProducer(0) }
 	return q
 }
 
@@ -227,13 +331,15 @@ func (q *Shaped) Stats() Snapshot {
 		pushes += q.shards[i].ring.pushes()
 	}
 	return Snapshot{
-		RingPushes: pushes,
-		RingFull:   q.ringFull.Load(),
-		Flushes:    q.flushes.Load(),
-		Flushed:    q.flushed.Load(),
-		Migrated:   q.migrated.Load(),
-		Batches:    q.batches.Load(),
-		Batched:    q.batched.Load(),
+		RingPushes:  pushes,
+		RingFull:    q.ringFull.Load(),
+		BulkClaims:  q.bulkClaims.Load(),
+		BulkClaimed: q.bulkClaimed.Load(),
+		Flushes:     q.flushes.Load(),
+		Flushed:     q.flushed.Load(),
+		Migrated:    q.migrated.Load(),
+		Batches:     q.batches.Load(),
+		Batched:     q.batched.Load(),
 	}
 }
 
@@ -264,6 +370,21 @@ func (q *Shaped) Enqueue(flow uint64, n *bucket.Node, sendAt, rank uint64) {
 		q.flushes.Inc()
 		q.flushed.Add(uint64(drained))
 	}
+}
+
+// EnqueueBatch publishes ns[i] (each element's shaper handle) with release
+// time sendAts[i] and priority ranks[i] on flows[i]'s shard, grouping
+// elements per shard so each group lands as one multi-slot ring claim.
+// Safe from any number of goroutines concurrently and allocation-free in
+// steady state; everything is published by the time it returns. Producers
+// with a batch stream of their own should hold a NewProducer handle.
+func (q *Shaped) EnqueueBatch(flows []uint64, ns []*Node, sendAts, ranks []uint64) {
+	p := q.prodPool.Get().(*ShapedProducer)
+	for i, n := range ns {
+		p.Enqueue(flows[i], n, sendAts[i], ranks[i])
+	}
+	p.Flush()
+	q.prodPool.Put(p)
 }
 
 // migrate flushes shard i's ring and moves every element whose release
@@ -299,11 +420,14 @@ func (q *Shaped) migrate(i int, now uint64) {
 		if k == 0 {
 			break
 		}
+		// Convert to the paired scheduler handles and hand the whole run
+		// over in one backend call.
 		for j := 0; j < k; j++ {
 			sn := q.pair(q.migScratch[j])
-			s.sched.Enqueue(sn, sn.Rank())
+			q.migNs[j], q.migRanks[j] = sn, sn.Rank()
 			q.migScratch[j] = nil // do not pin migrated elements against GC
 		}
+		s.enqueueSchedRunLocked(q.migNs[:k], q.migRanks[:k])
 		moved += k
 	}
 	sh.rank, sh.ok = s.shaper.PeekMin()
@@ -352,10 +476,11 @@ func (q *Shaped) NextRelease(now uint64) (uint64, bool) {
 // maxRank from the schedulers, merged across shards in global priority
 // order exactly as Q.DequeueBatch merges (minimum-head runs bounded by the
 // runner-up head). It returns how many nodes it wrote to out. A returned
-// node is one of the element's two handles — the published one for
-// elements that were already due when flushed, the paired one for elements
-// that parked in the shaper first; recover the element through Data, which
-// both handles share. Consumer-side.
+// node is always the element's PAIRED scheduler handle (elements reach a
+// scheduler only through Pair — at migration, or directly when flushed
+// already due); recover the element through Data, which both handles
+// share, or by the handle's owner offset when the pairing is an embedded
+// field. Consumer-side.
 func (q *Shaped) DequeueBatch(now, maxRank uint64, out []*bucket.Node) int {
 	if len(out) == 0 {
 		return 0

@@ -11,6 +11,11 @@ import (
 	"eiffel/internal/stats"
 )
 
+// flushChunk is how many ring elements a locked flush moves per backend
+// call: big enough to amortize the interface dispatch away, small enough
+// to stay cache-resident.
+const flushChunk = 256
+
 // Node is the intrusive handle the runtime moves around — the same
 // bucket.Node every queue in this repository shares, so callers can point
 // an existing packet or flow handle at a sharded runtime unchanged.
@@ -60,6 +65,13 @@ type batchPopper interface {
 	DequeueBatch(maxRank uint64, out []*bucket.Node) int
 }
 
+// batchPusher is the enqueue-side twin: insert a whole run of elements in
+// one call (ffsq.CFFS and vecSched implement it), so locked flushes move
+// ring→queue without a per-element interface dispatch.
+type batchPusher interface {
+	EnqueueBatch(ns []*bucket.Node, ranks []uint64)
+}
+
 // shard is one partition: a lock-free publication ring in front of a
 // mutex-protected bucketed queue. The mutex is uncontended in steady
 // state — producers only take it when their ring fills, and the consumer
@@ -69,6 +81,7 @@ type shard struct {
 	mu   sync.Mutex
 	q    queue.PQ
 	bp   batchPopper // q, if it supports batch popping
+	bpu  batchPusher // q, if it supports batch pushing
 
 	// qlen mirrors q.Len() so Len readers need no lock: updated under mu
 	// (fallback path) or by the consumer, amortized per batch.
@@ -79,18 +92,38 @@ type shard struct {
 	// only re-peeks when this generation moves or its ring is non-empty.
 	fallbackGen atomic.Uint32
 
+	// flushNs/flushRanks stage ring pops so a locked flush hands the
+	// backend whole runs through one EnqueueBatch call instead of one
+	// interface dispatch per element. Guarded by mu. Like the ring, the
+	// staging retains its last run of node pointers until overwritten —
+	// bounded, and the nodes live on in the bucketed queue anyway.
+	flushNs    []*bucket.Node
+	flushRanks []uint64
+
 	_ [64]byte // one shard's lock traffic must not false-share the next's
 }
 
-// flushLocked drains the ring into the bucketed queue. Callers hold mu.
+// flushLocked drains the ring into the bucketed queue in staged runs.
+// Callers hold mu.
 func (s *shard) flushLocked() (drained int) {
 	for {
-		n, rank, _, ok := s.ring.pop()
-		if !ok {
+		k := 0
+		for k < len(s.flushNs) {
+			n, rank, _, ok := s.ring.pop()
+			if !ok {
+				break
+			}
+			s.flushNs[k], s.flushRanks[k] = n, rank
+			k++
+		}
+		if k == 0 {
 			break
 		}
-		s.q.Enqueue(n, rank)
-		drained++
+		s.enqueueRunLocked(s.flushNs[:k], s.flushRanks[:k])
+		drained += k
+		if k < len(s.flushNs) {
+			break
+		}
 	}
 	if drained > 0 {
 		s.qlen.Add(int64(drained))
@@ -99,13 +132,52 @@ func (s *shard) flushLocked() (drained int) {
 	return drained
 }
 
+// enqueueRunLocked moves one run into the bucketed queue — one interface
+// call when the backend can take a batch. Callers hold mu and settle qlen
+// themselves.
+func (s *shard) enqueueRunLocked(ns []*bucket.Node, ranks []uint64) {
+	if s.bpu != nil {
+		s.bpu.EnqueueBatch(ns, ranks)
+		return
+	}
+	for i, n := range ns {
+		s.q.Enqueue(n, ranks[i])
+	}
+}
+
+// enqueuePubsLocked moves a staged run that never made it into the ring
+// (a Producer's ring-full fallback) into the bucketed queue, converting
+// through the flush scratch so the backend still sees whole runs. Callers
+// hold mu and settle qlen themselves.
+func (s *shard) enqueuePubsLocked(pubs []pub) {
+	for len(pubs) > 0 {
+		k := len(s.flushNs)
+		if k > len(pubs) {
+			k = len(pubs)
+		}
+		for j := 0; j < k; j++ {
+			s.flushNs[j], s.flushRanks[j] = pubs[j].n, pubs[j].rank
+		}
+		s.enqueueRunLocked(s.flushNs[:k], s.flushRanks[:k])
+		pubs = pubs[k:]
+	}
+}
+
 // Snapshot is a point-in-time copy of the runtime's operational counters.
 type Snapshot struct {
-	// RingPushes counts enqueues that took the lock-free fast path.
+	// RingPushes counts enqueues that took the lock-free fast path
+	// (slots claimed, whether one at a time or in bulk).
 	RingPushes uint64
 	// RingFull counts enqueues that found their ring full and flushed it
 	// into the bucketed queue themselves, under the shard lock.
 	RingFull uint64
+	// BulkClaims counts pushN calls that claimed at least one slot — the
+	// number of tail CASes the batched producer path performed.
+	BulkClaims uint64
+	// BulkClaimed counts slots claimed through pushN. BulkClaimed /
+	// BulkClaims is the producer-side amortization factor: how many
+	// enqueues each CAS carried.
+	BulkClaimed uint64
 	// Flushes counts ring drains that moved at least one element into a
 	// bucketed queue (producer fallback and consumer side).
 	Flushes uint64
@@ -131,6 +203,10 @@ func (s Snapshot) String() string {
 	}
 	out := fmt.Sprintf("pushes=%d ringfull=%d flushes=%d flushed=%d direct=%d batches=%d avg-batch=%.1f",
 		s.RingPushes, s.RingFull, s.Flushes, s.Flushed, s.Direct, s.Batches, avg)
+	if s.BulkClaims > 0 {
+		out += fmt.Sprintf(" bulk-claims=%d avg-claim=%.1f",
+			s.BulkClaims, float64(s.BulkClaimed)/float64(s.BulkClaims))
+	}
 	if s.Migrated > 0 {
 		out += fmt.Sprintf(" migrated=%d", s.Migrated)
 	}
@@ -153,14 +229,23 @@ type Q struct {
 	// rr rotates the DirectDue drain's starting shard (consumer-owned).
 	rr int
 
-	// Consumer-side counters; the producer fast path is kept free of
-	// bookkeeping atomics (pushes are derived from the ring cursors).
-	ringFull stats.Counter
-	flushes  stats.Counter
-	flushed  stats.Counter
-	direct   stats.Counter
-	batches  stats.Counter
-	batched  stats.Counter
+	// prodPool recycles staging Producers for the one-shot EnqueueBatch
+	// surface, so batch admission stays allocation-free in steady state
+	// without a per-goroutine handle.
+	prodPool sync.Pool
+
+	// Consumer-side and amortized batch counters; the per-element
+	// producer fast path is kept free of bookkeeping atomics (pushes are
+	// derived from the ring cursors), and the batched path bumps the bulk
+	// counters once per claim, not per element.
+	ringFull    stats.Counter
+	flushes     stats.Counter
+	flushed     stats.Counter
+	direct      stats.Counter
+	batches     stats.Counter
+	batched     stats.Counter
+	bulkClaims  stats.Counter
+	bulkClaimed stats.Counter
 }
 
 type headState struct {
@@ -174,28 +259,36 @@ type headState struct {
 // repeatedly serves a run from the shard whose cached head rank is the
 // minimum, bounded by the runner-up shard's head (up to there no other
 // shard can hold a smaller element) and by maxRank, until out fills or
-// nothing at or below maxRank remains. serve pops from shard i up to
-// limit, writes into out, returns how many it popped, and MUST refresh
-// heads[i] before returning — the loop's progress argument: a run that
-// pops nothing still raises the shard's cached head past limit.
+// nothing at or below maxRank remains. The best shard and the runner-up
+// bound come out of ONE pass over the heads, tracking the minimum and
+// second-minimum together. serve pops from shard i up to limit, writes
+// into out, returns how many it popped, and MUST refresh heads[i] before
+// returning — the loop's progress argument: a run that pops nothing still
+// raises the shard's cached head past limit.
 func mergeRuns(heads []headState, maxRank uint64, out []*bucket.Node,
 	serve func(i int, limit uint64, out []*bucket.Node) int) int {
 	total := 0
 	for total < len(out) {
-		best := -1
+		best, second := -1, ^uint64(0)
 		for i := range heads {
-			if heads[i].ok && (best < 0 || heads[i].rank < heads[best].rank) {
+			if !heads[i].ok {
+				continue
+			}
+			if best < 0 || heads[i].rank < heads[best].rank {
+				if best >= 0 {
+					second = heads[best].rank // displaced minimum becomes runner-up
+				}
 				best = i
+			} else if heads[i].rank < second {
+				second = heads[i].rank
 			}
 		}
 		if best < 0 || heads[best].rank > maxRank {
 			break
 		}
 		limit := maxRank
-		for i := range heads {
-			if i != best && heads[i].ok && heads[i].rank < limit {
-				limit = heads[i].rank
-			}
+		if second < limit {
+			limit = second
 		}
 		total += serve(best, limit, out[total:])
 	}
@@ -216,7 +309,11 @@ func New(opt Options) *Q {
 		q.shards[i].ring = newRing(opt.RingBits)
 		q.shards[i].q = queue.New(opt.Kind, opt.Queue)
 		q.shards[i].bp, _ = q.shards[i].q.(batchPopper)
+		q.shards[i].bpu, _ = q.shards[i].q.(batchPusher)
+		q.shards[i].flushNs = make([]*bucket.Node, flushChunk)
+		q.shards[i].flushRanks = make([]uint64, flushChunk)
 	}
+	q.prodPool.New = func() any { return q.NewProducer(0) }
 	return q
 }
 
@@ -243,13 +340,15 @@ func (q *Q) Stats() Snapshot {
 		pushes += q.shards[i].ring.pushes()
 	}
 	return Snapshot{
-		RingPushes: pushes,
-		RingFull:   q.ringFull.Load(),
-		Flushes:    q.flushes.Load(),
-		Flushed:    q.flushed.Load(),
-		Direct:     q.direct.Load(),
-		Batches:    q.batches.Load(),
-		Batched:    q.batched.Load(),
+		RingPushes:  pushes,
+		RingFull:    q.ringFull.Load(),
+		BulkClaims:  q.bulkClaims.Load(),
+		BulkClaimed: q.bulkClaimed.Load(),
+		Flushes:     q.flushes.Load(),
+		Flushed:     q.flushed.Load(),
+		Direct:      q.direct.Load(),
+		Batches:     q.batches.Load(),
+		Batched:     q.batched.Load(),
 	}
 }
 
@@ -281,6 +380,23 @@ func (q *Q) Enqueue(flow uint64, n *bucket.Node, rank uint64) {
 		q.flushes.Inc()
 		q.flushed.Add(uint64(drained))
 	}
+}
+
+// EnqueueBatch publishes ns[i] with ranks[i] on flows[i]'s shard, for every
+// i, through a pooled staging Producer: elements are grouped per shard and
+// each group lands as one multi-slot ring claim (a single CAS) instead of
+// len(ns) independent pushes. Safe from any number of goroutines
+// concurrently, and allocation-free in steady state. Everything is
+// published by the time it returns — the post-condition matches a loop of
+// Enqueue calls. Producers with a batch stream of their own should hold a
+// NewProducer handle instead and flush on their own schedule.
+func (q *Q) EnqueueBatch(flows []uint64, ns []*Node, ranks []uint64) {
+	p := q.prodPool.Get().(*Producer)
+	for i, n := range ns {
+		p.Enqueue(flows[i], n, ranks[i])
+	}
+	p.Flush()
+	q.prodPool.Put(p)
 }
 
 // refreshHead re-peeks shard i's head rank if anything could have changed

@@ -1,6 +1,8 @@
 package shardq
 
 import (
+	"math/bits"
+
 	"eiffel/internal/bucket"
 	"eiffel/internal/ffsq"
 	"eiffel/internal/queue"
@@ -26,12 +28,13 @@ import (
 // runtime's single-consumer discipline already guarantees an element is
 // in at most one structure.
 type vecSched struct {
-	buckets [][]*bucket.Node
-	heads   []int // per-bucket consumed prefix (partial batch pops)
-	idx     *ffsq.Hier
-	gran    uint64
-	base    uint64 // bucket number of buckets[0]
-	count   int
+	buckets   [][]*bucket.Node
+	heads     []int // per-bucket consumed prefix (partial batch pops)
+	idx       *ffsq.Hier
+	gran      uint64
+	granShift int8   // log2(gran) when gran is a power of two, else -1
+	base      uint64 // bucket number of buckets[0]
+	count     int
 }
 
 func newVecSched(cfg queue.Config) *vecSched {
@@ -46,12 +49,21 @@ func newVecSched(cfg queue.Config) *vecSched {
 	if gran == 0 {
 		gran = 1
 	}
+	// Rank→bucket is one 64-bit division per enqueue — a measurable slice
+	// of the migration hot path. Power-of-two granularities (the common
+	// configuration: rank spans and bucket counts are both powers of two)
+	// take a shift instead.
+	shift := int8(-1)
+	if gran&(gran-1) == 0 {
+		shift = int8(bits.TrailingZeros64(gran))
+	}
 	return &vecSched{
-		buckets: make([][]*bucket.Node, nb),
-		heads:   make([]int, nb),
-		idx:     ffsq.NewHier(nb),
-		gran:    gran,
-		base:    cfg.Start / gran,
+		buckets:   make([][]*bucket.Node, nb),
+		heads:     make([]int, nb),
+		idx:       ffsq.NewHier(nb),
+		gran:      gran,
+		granShift: shift,
+		base:      cfg.Start / gran,
 	}
 }
 
@@ -59,7 +71,12 @@ func (v *vecSched) Len() int { return v.count }
 
 // slot clamps rank's bucket into the fixed range.
 func (v *vecSched) slot(rank uint64) int {
-	b := rank / v.gran
+	var b uint64
+	if v.granShift >= 0 {
+		b = rank >> uint(v.granShift)
+	} else {
+		b = rank / v.gran
+	}
 	if b < v.base {
 		return 0
 	}
@@ -77,6 +94,16 @@ func (v *vecSched) Enqueue(n *bucket.Node, rank uint64) {
 	}
 	v.buckets[i] = append(v.buckets[i], n)
 	v.count++
+}
+
+// EnqueueBatch inserts ns[i] with ranks[i] for every i: the batched form
+// the migration and due-flush paths use so a whole run costs one call.
+// Equivalent to that sequence of Enqueue calls (same clamping, same
+// per-bucket FIFO order).
+func (v *vecSched) EnqueueBatch(ns []*bucket.Node, ranks []uint64) {
+	for i, n := range ns {
+		v.Enqueue(n, ranks[i])
+	}
 }
 
 func (v *vecSched) PeekMin() (uint64, bool) {

@@ -117,3 +117,45 @@ func TestVecSchedRemovePanics(t *testing.T) {
 	}()
 	newVecSched(queue.Config{NumBuckets: 4, Granularity: 1}).Remove(&bucket.Node{})
 }
+
+// TestVecSchedEnqueueBatch checks the batched enqueue hook: same ordering
+// semantics (ascending bucket, FIFO within bucket, clamped edges) as the
+// equivalent sequence of Enqueue calls.
+func TestVecSchedEnqueueBatch(t *testing.T) {
+	v := newVecSched(queue.Config{NumBuckets: 8, Granularity: 4})
+	ranks := []uint64{17, 3, 17, 200, 0, 63, 5}
+	ns := make([]*bucket.Node, len(ranks))
+	for i := range ranks {
+		ns[i] = &bucket.Node{Data: i}
+	}
+	v.EnqueueBatch(ns, ranks)
+	if v.Len() != len(ranks) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(ranks))
+	}
+	out := make([]*bucket.Node, len(ranks))
+	if got := v.DequeueBatch(^uint64(0), out); got != len(ranks) {
+		t.Fatalf("DequeueBatch = %d, want %d", got, len(ranks))
+	}
+	// 16 buckets of width 4 cover ranks [0,64): bucket 0 serves [3,0] in
+	// arrival order, then 5 (bucket 1), the two 17s (bucket 4) FIFO, and
+	// the last bucket holds 200 (clamped high) before 63 — FIFO again,
+	// since 200 arrived first.
+	want := []uint64{3, 0, 5, 17, 17, 200, 63}
+	for i, n := range out {
+		if n.Rank() != want[i] {
+			t.Fatalf("position %d: rank %d, want %d", i, n.Rank(), want[i])
+		}
+	}
+	// granShift fast path must agree with the divide fallback.
+	if v.granShift != 2 {
+		t.Fatalf("granShift = %d for granularity 4, want 2", v.granShift)
+	}
+	odd := newVecSched(queue.Config{NumBuckets: 8, Granularity: 3})
+	if odd.granShift != -1 {
+		t.Fatalf("granShift = %d for granularity 3, want -1 (divide path)", odd.granShift)
+	}
+	odd.Enqueue(&bucket.Node{}, 7)
+	if r, ok := odd.PeekMin(); !ok || r != 6 {
+		t.Fatalf("PeekMin = (%d,%v), want (6,true): 7/3 quantizes to bucket 2", r, ok)
+	}
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Fails if any root-package steady-state hot-path benchmark reports a
+# nonzero allocs/op. The BenchmarkHotPath* targets each run one full
+# publish->drain lap per op against pre-warmed runtimes, so any allocation
+# is a regression on the enqueue/dequeue hot paths (bench_alloc_test.go).
+set -eu
+cd "$(dirname "$0")/.."
+out="$(go test -run '^$' -bench 'BenchmarkHotPath' -benchtime 100x -benchmem .)"
+printf '%s\n' "$out"
+printf '%s\n' "$out" | awk '
+	/^BenchmarkHotPath/ {
+		allocs = $(NF-1)
+		if (allocs + 0 != 0) {
+			bad = 1
+			print "FAIL: nonzero allocs/op on a hot path: " $0 > "/dev/stderr"
+		}
+	}
+	END { exit bad }
+'
