@@ -97,3 +97,44 @@ func BenchmarkHotPathShapedEnqueueBatched(b *testing.B) {
 		b.Fatalf("packet pool allocated beyond its pre-population: %d", pool.Allocs())
 	}
 }
+
+func BenchmarkHotPathPolicyBatched(b *testing.B) {
+	q, err := eiffel.NewPolicySharded(eiffel.PolicyShardedOptions{
+		Policy: `
+			root ranker=strict
+			leaf pf parent=root kind=flow policy=pfabric buckets=4096 gran=64
+		`,
+		Shards: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := eiffel.NewPool(hotBurst)
+	ps := make([]*eiffel.Packet, hotBurst)
+	for i := range ps {
+		p := pool.Get()
+		p.Flow = uint64(i % 64)
+		p.Size = 1500
+		p.Rank = uint64((hotBurst - i) * 1500 % (1 << 19))
+		ps[i] = p
+	}
+	out := make([]*eiffel.Packet, 256)
+	lap := func() {
+		q.EnqueueBatch(ps, 0)
+		for q.Len() > 0 {
+			if q.DequeueBatch(0, out) == 0 {
+				b.Fatal("drain stalled with packets queued")
+			}
+		}
+	}
+	lap() // warm flow tables, rings, and staging to steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+	b.StopTimer()
+	if pool.Allocs() != hotBurst {
+		b.Fatalf("packet pool allocated beyond its pre-population: %d", pool.Allocs())
+	}
+}

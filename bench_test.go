@@ -135,6 +135,32 @@ func BenchmarkShapedSched(b *testing.B) {
 	b.ReportMetric(inv, "priority-inversions")
 }
 
+// BenchmarkPolicySched runs the programmable-policy scaling experiment
+// (8 producers replaying pFabric, LQF, and hierarchical WFQ programs
+// through shard-confined extended-PIFO trees; see
+// internal/exp/policysched.go). The reported metrics are the batched
+// PolicySharded row's throughput gain over the kernel-style locked
+// pifo.Tree baseline on the pFabric program (the ≥2× acceptance figure)
+// and its flow-order violations, which must be zero and are also asserted
+// by TestPolicyShardedFlowOrderMatchesLockedTree and TestPolicySchedQuick.
+func BenchmarkPolicySched(b *testing.B) {
+	res := runExp(b, "policysched")
+	rows := res.Tables[0].Rows
+	// Row 2 is pfabric / policy-shards (batched); see the entries order in
+	// internal/exp/policysched.go.
+	last := rows[2]
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64)
+	if err != nil {
+		b.Fatalf("policysched ratio column %q not numeric: %v", last[4], err)
+	}
+	b.ReportMetric(ratio, "policy-vs-locked-tree")
+	mis, err := strconv.ParseFloat(last[5], 64)
+	if err != nil {
+		b.Fatalf("policysched misorders column %q not numeric: %v", last[5], err)
+	}
+	b.ReportMetric(mis, "flow-misorders")
+}
+
 // Ablation benches for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationHierVsFlat compares hierarchical vs flat FFS indexes.

@@ -225,6 +225,39 @@ type (
 	ShapedShardedOptions = qdisc.ShapedShardedOptions
 )
 
+// Programmable policies on the sharded runtime: every shard of a
+// ShardedQueue can own any Scheduler backend (Options.Backend), and
+// PolicySharded uses that hook to run a compiled extended-PIFO program —
+// pFabric, LQF, hierarchical WFQ, anything the Compile grammar expresses —
+// shard-confined behind the lock-free multi-producer admission path.
+// Flow-hash sharding keeps each flow's backlog on one shard, so per-flow
+// ranking and on-dequeue transactions stay exact (flow-local dequeue order
+// is identical to one global locked Tree), while cross-shard order merges
+// approximately by each shard's head rank.
+type (
+	// Scheduler is the per-shard queue backend contract of the sharded
+	// runtime (EnqueueBatch/DequeueBatch/Min).
+	Scheduler = shardq.Scheduler
+	// PolicySharded runs a compiled policy program on the sharded runtime.
+	PolicySharded = qdisc.PolicySharded
+	// PolicyShardedOptions configures a PolicySharded qdisc.
+	PolicyShardedOptions = qdisc.PolicyShardedOptions
+	// PolicyTree is the single-tree baseline for the same program.
+	PolicyTree = qdisc.PolicyTree
+)
+
+// NewPolicySharded compiles a policy program (one private Tree per shard)
+// onto the sharded multi-producer runtime.
+func NewPolicySharded(opt PolicyShardedOptions) (*PolicySharded, error) {
+	return qdisc.NewPolicySharded(opt)
+}
+
+// NewPolicyTree compiles the same program into a single-tree qdisc — the
+// locked baseline PolicySharded is measured against.
+func NewPolicyTree(spec, leaf string) (*PolicyTree, error) {
+	return qdisc.NewPolicyTree(spec, leaf)
+}
+
 // NewShapedShardedQueue constructs a shaped+scheduled sharded runtime.
 func NewShapedShardedQueue(opt ShapedShardedQueueOptions) *ShapedShardedQueue {
 	return shardq.NewShaped(opt)

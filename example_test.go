@@ -150,3 +150,45 @@ func ExampleShardedQueue_producer() {
 	// 0 11 37 48 74 85
 	// 6 elements over 2 claims
 }
+
+// ExampleNewPolicySharded runs the paper's Longest-Queue-First program
+// (Figure 6 — per-flow ranking plus on-dequeue re-ranking) on the sharded
+// multi-producer runtime: each shard owns a private compiled tree, and the
+// longest flow is always served first. One shard keeps the output
+// deterministic for the example; real deployments shard by flow hash.
+func ExampleNewPolicySharded() {
+	q, err := eiffel.NewPolicySharded(eiffel.PolicyShardedOptions{
+		Policy: `
+			root ranker=strict
+			leaf lqf parent=root kind=flow policy=lqf buckets=4096 gran=1
+		`,
+		Shards: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	pool := eiffel.NewPool(16)
+	enqueue := func(flow uint64, n int) {
+		for i := 0; i < n; i++ {
+			p := pool.Get()
+			p.Flow = flow
+			p.Size = 100
+			q.Enqueue(p, 0)
+		}
+	}
+	enqueue(1, 1)
+	enqueue(2, 3) // longest: served until flow 3 ties
+	enqueue(3, 2)
+
+	for {
+		p := q.Dequeue(0)
+		if p == nil {
+			break
+		}
+		fmt.Print(p.Flow, " ")
+	}
+	fmt.Println()
+	// Output:
+	// 2 3 2 1 3 2
+}

@@ -2,14 +2,20 @@
 // scale: a leaf-spine fabric running the web-search workload, comparing
 // DCTCP against pFabric with exact and approximate switch priority queues.
 // The question the paper asks: does approximate prioritization at every
-// switch hurt network-wide flow completion times? (Answer: no.)
+// switch hurt network-wide flow completion times? (Answer: no.) It then
+// runs the pFabric host qdisc itself — the Figure 14 extended-PIFO
+// program — through the sharded multi-producer runtime and prints a
+// locked-vs-sharded throughput line, the single-machine analogue of the
+// same approximation-tolerance argument.
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"eiffel"
 	"eiffel/internal/netsim"
+	"eiffel/internal/qdisc"
 )
 
 func main() {
@@ -46,4 +52,31 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	shardedThroughput()
+}
+
+// shardedThroughput replays the canonical pFabric flow policy (Figure 14)
+// as a host qdisc: once on a single pifo.Tree behind the kernel-style
+// global lock, once shard-confined on the multi-producer runtime, 8
+// producers each.
+func shardedThroughput() {
+	spec := qdisc.PolicySpecPFabric
+	packets := qdisc.PolicyPackets(8, 20000, 256)
+
+	tree, err := eiffel.NewPolicyTree(spec, "")
+	if err != nil {
+		panic(err)
+	}
+	lockedMpps := qdisc.BestOfReplays(qdisc.NewLocked(tree), packets, 3, qdisc.ContentionOptions{})
+
+	sharded, err := eiffel.NewPolicySharded(eiffel.PolicyShardedOptions{Policy: spec, Shards: 8})
+	if err != nil {
+		panic(err)
+	}
+	shardedMpps := qdisc.BestOfReplays(sharded, packets, 3, qdisc.ContentionOptions{})
+
+	fmt.Println()
+	fmt.Printf("pFabric host qdisc, 8 producers: locked tree %.2f Mpps, sharded %.2f Mpps (%.2fx)\n",
+		lockedMpps, shardedMpps, shardedMpps/lockedMpps)
 }

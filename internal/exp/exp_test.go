@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -200,6 +201,77 @@ func TestShapedSchedQuick(t *testing.T) {
 		if sharded < locked*0.8 {
 			t.Fatalf("%s (%.2f Mpps) fell below the locked tree baseline (%.2f Mpps)",
 				rows[row][0], sharded, locked)
+		}
+	}
+}
+
+func TestPolicySchedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := runQuick(t, "policysched")
+	rows := res.Tables[0].Rows
+	if len(rows) != 9 {
+		t.Fatalf("want 9 rows (3 policies x locked/sharded/batched), got %d", len(rows))
+	}
+	for _, row := range rows {
+		// Flow-local exactness is the hard half of the acceptance: zero
+		// packets out of their flow's enqueue order, on every policy,
+		// through every admission path.
+		if row[5] != "0" {
+			t.Fatalf("%s/%s: %s flow-order violations, want 0", row[0], row[1], row[5])
+		}
+		// Hierarchical WFQ: the weight-3 class's share of the served half
+		// must track 3:1 — near-exact on the locked tree, bounded error
+		// across shard-local virtual-time domains.
+		if row[6] != "-" {
+			share, err := strconv.ParseFloat(row[6], 64)
+			if err != nil {
+				t.Fatalf("gold-share %q not numeric: %v", row[6], err)
+			}
+			bound := 0.05
+			if row[1] != "tree+lock" {
+				bound = 0.10
+			}
+			if diff := share - 0.75; diff > bound || diff < -bound {
+				t.Fatalf("%s/%s: gold share %.3f strays more than %.2f from 0.75",
+					row[0], row[1], share, bound)
+			}
+		}
+	}
+	// Throughput sanity (the ≥2× acceptance figure is tracked by
+	// BenchmarkPolicySched; machine-dependent, so not asserted here): on
+	// the direct-mode policies (pfabric, lqf — single flow leaf, served
+	// packet-free) the sharded runtime must at least not lose to the
+	// global lock. The hierarchical WFQ rows run the full per-shard tree
+	// through one consumer and are reported, not asserted: their value is
+	// the bounded cross-shard fairness, not throughput.
+	//
+	// The bound is loose (0.7×, where full runs measure 2×+) and a
+	// failing measurement retries once on a fresh run: quick mode replays
+	// a small workload on whatever CPU the runner spares — on a 1-CPU box
+	// `go test ./...` overlaps other packages' compilation with this
+	// test's timed replays — so one reading can be ruined by transient
+	// CPU theft. A real regression to locked-or-worse throughput fails
+	// both runs.
+	throughputOK := func(res *Result) (string, bool) {
+		for p := 0; p < 2; p++ {
+			locked := cell(t, res, 0, 3*p, 3)
+			for row := 3*p + 1; row < 3*p+3; row++ {
+				sharded := cell(t, res, 0, row, 3)
+				if sharded < locked*0.7 {
+					r := res.Tables[0].Rows[row]
+					return fmt.Sprintf("%s/%s (%.2f Mpps) fell below the locked tree baseline (%.2f Mpps)",
+						r[0], r[1], sharded, locked), false
+				}
+			}
+		}
+		return "", true
+	}
+	if msg, ok := throughputOK(res); !ok {
+		t.Logf("retrying after a suspect measurement: %s", msg)
+		if msg, ok := throughputOK(runQuick(t, "policysched")); !ok {
+			t.Fatal(msg)
 		}
 	}
 }

@@ -80,6 +80,7 @@ var Registry = map[string]Runner{
 	"ablation-shaper":       AblationShaperBackend,
 	"contention":            Contention,
 	"shapedsched":           ShapedSched,
+	"policysched":           PolicySched,
 }
 
 // Names returns registry keys in stable order.

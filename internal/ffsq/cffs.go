@@ -243,6 +243,10 @@ func (c *CFFS) PeekMin() (rank uint64, ok bool) {
 	return (c.hIndex + uint64(i)) * c.gran, true
 }
 
+// Min is PeekMin under the shardq.Scheduler backend contract, letting a
+// cFFS serve as a per-shard backend without an adapter.
+func (c *CFFS) Min() (uint64, bool) { return c.PeekMin() }
+
 // FrontMin returns the FIFO head of the lowest non-empty bucket without
 // removing it, or nil.
 func (c *CFFS) FrontMin() *bucket.Node {

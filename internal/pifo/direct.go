@@ -1,0 +1,204 @@
+package pifo
+
+import (
+	"eiffel/internal/ffsq"
+	"eiffel/internal/pkt"
+)
+
+// This file is the shard-confined direct service path: when a policy
+// program is a single unshaped flow leaf, the class hierarchy above the
+// leaf adds no scheduling decisions — the root always serves its only
+// child — so a shard-private backend can drive the leaf itself and skip
+// the per-packet hierarchy walk (root queue churn, activation checks,
+// backlog propagation, shaper peeks). Combined with packet-free
+// transactions (RankFlowPolicy), keys carried by the caller, and ranks
+// cached in the flow ring, the scheduler core never loads packet memory
+// at all: the enqueue keys arrive pre-resolved (the sharded runtime's
+// producers read them while the packet is cache-hot and ship them over
+// the publication ring), and the dequeue-side front rank comes from the
+// flow's own ring slot. Those two cold-packet loads are the largest
+// per-packet costs of the tree-driven path — pFabric's on-dequeue
+// transaction chases the front packet's pointer into memory last touched
+// at enqueue.
+//
+// Semantics relative to Tree-driven service: per-flow order is identical
+// (FIFO within a flow, transactions run in the same places with the same
+// inputs). Two documented divergences, both invisible to flow-local
+// order:
+//
+//   - A flow whose re-rank lands in the bucket it already occupies keeps
+//     its bucket position, where the tree's remove-and-reinsert would
+//     rotate it to the bucket tail. Buckets are FIFO either way, so this
+//     only permutes service among flows whose ranks tie at bucket
+//     granularity.
+//   - Drained flows are retained (never released): policy state is NOT
+//     zeroed between a flow's backlogged periods. Every packet-free
+//     policy must therefore treat a flow whose Len just became 1 as
+//     freshly started — the convention the paper's policies already
+//     follow (pFabric: "previous rank is stale").
+
+// RankFlowPolicy is the packet-free form of FlowPolicy: transactions that
+// depend only on flow state and the packet's rank annotation, so the
+// scheduler core never dereferences a packet. The paper's flow policies
+// are all of this form — pFabric reads p.Rank, LQF/SQF read f.Len, FIFO
+// reads neither — and implement both interfaces with identical math.
+type RankFlowPolicy interface {
+	// OnEnqueueRank is OnEnqueue with the arriving packet's rank
+	// annotation in place of the packet.
+	OnEnqueueRank(f *Flow, rank uint64, now int64) uint64
+	// OnDequeueRank is OnDequeue after the head packet (whose annotation
+	// was rank) left the flow; frontRank is the new head's annotation,
+	// valid only when f.Len() > 0.
+	OnDequeueRank(f *Flow, rank, frontRank uint64, now int64) uint64
+}
+
+// DirectRanked reports whether this class supports direct ranked service:
+// a flow leaf whose policy is packet-free (RankFlowPolicy) and whose
+// queue is the default cFFS (the direct path uses its peek-front and
+// granularity surfaces). The caller must also ensure no class on the
+// leaf's path is rate-limited — shaping needs the tree's shaper, which
+// direct service bypasses.
+func (c *Class) DirectRanked() bool {
+	if c.kind != flowLeaf {
+		return false
+	}
+	if _, ok := c.flowPol.(RankFlowPolicy); !ok {
+		return false
+	}
+	_, ok := c.pq.(*ffsq.CFFS)
+	return ok
+}
+
+// directState is the cached plumbing of a direct-driven leaf: the
+// concrete queue (no interface dispatch on the hot path) and an
+// open-addressed flow table. Flows are retained once created — no
+// deletions keeps linear probing trivial and recycles ring capacity —
+// so the table is sized by distinct flow ids seen, not live flows.
+type directState struct {
+	pol   RankFlowPolicy
+	pq    *ffsq.CFFS
+	gran  uint64
+	tab   []flowSlot
+	shift uint // Fibonacci-hash shift for the current table size
+	n     int  // occupied slots
+}
+
+// flowSlot keeps the key beside the pointer so a probe compares ids
+// without dereferencing the flow.
+type flowSlot struct {
+	id uint64
+	f  *Flow
+}
+
+// fibMult deliberately differs from the sharded runtime's flow-hash
+// multiplier (0x9E3779B97F4A7C15): shards select flows by the TOP bits of
+// that product, so a shard's whole flow population shares them — reusing
+// the same mix here would cluster every flow into one region of the table
+// and degrade linear probing to long chains.
+const fibMult = 0xD6E8FEB86659FD93
+
+func (c *Class) direct() *directState {
+	if c.directCache == nil {
+		cffs := c.pq.(*ffsq.CFFS)
+		c.directCache = &directState{
+			pol:   c.flowPol.(RankFlowPolicy),
+			pq:    cffs,
+			gran:  cffs.Granularity(),
+			tab:   make([]flowSlot, 1<<8),
+			shift: 64 - 8,
+		}
+	}
+	return c.directCache
+}
+
+// flow returns the retained Flow for id, creating it on first sight.
+func (d *directState) flow(id uint64) *Flow {
+	mask := uint64(len(d.tab) - 1)
+	for i := (id * fibMult) >> d.shift; ; i = (i + 1) & mask {
+		s := &d.tab[i]
+		if s.f == nil {
+			if d.n >= len(d.tab)/2 {
+				d.grow()
+				return d.flow(id)
+			}
+			f := &Flow{ID: id}
+			f.Node.Data = f
+			*s = flowSlot{id: id, f: f}
+			d.n++
+			return f
+		}
+		if s.id == id {
+			return s.f
+		}
+	}
+}
+
+func (d *directState) grow() {
+	old := d.tab
+	d.tab = make([]flowSlot, 2*len(old))
+	d.shift--
+	mask := uint64(len(d.tab) - 1)
+	for _, s := range old {
+		if s.f == nil {
+			continue
+		}
+		i := (s.id * fibMult) >> d.shift
+		for d.tab[i].f != nil {
+			i = (i + 1) & mask
+		}
+		d.tab[i] = s
+	}
+}
+
+// DirectEnqueue inserts p at this leaf under the caller-resolved keys
+// (flow id and rank annotation), running the packet-free enqueue
+// transaction. The packet pointer is stored, never dereferenced. A leaf
+// driven directly must be driven directly for its whole life — never
+// mixed with Tree.Enqueue/Dequeue on the same tree — and DirectRanked
+// must hold.
+func (c *Class) DirectEnqueue(p *pkt.Packet, flow, rank uint64, now int64) {
+	d := c.direct()
+	f := d.flow(flow)
+	f.pushRanked(p, rank)
+	r := d.pol.OnEnqueueRank(f, rank, now)
+	if f.Node.Queued() {
+		if r/d.gran != f.Node.Rank()/d.gran {
+			// Re-rank moves the flow to another bucket. Same-bucket
+			// re-ranks keep the flow's position (see the file comment).
+			d.pq.Remove(&f.Node)
+			d.pq.Enqueue(&f.Node, r)
+		}
+	} else {
+		d.pq.Enqueue(&f.Node, r)
+	}
+	c.backlog++
+}
+
+// DirectDequeue serves the next packet under direct ranked service, or
+// nil when the leaf is empty. The head flow is peeked, not popped: when
+// the on-dequeue transaction leaves the flow in its current bucket — the
+// common case for pFabric (the running minimum rarely moves buckets) and
+// for coarse-grained LQF — the flow stays in place and the queue is not
+// touched at all.
+func (c *Class) DirectDequeue(now int64) *pkt.Packet {
+	d := c.direct()
+	n := d.pq.FrontMin()
+	if n == nil {
+		return nil
+	}
+	f := n.Data.(*Flow)
+	p, rank := f.popRanked()
+	var front uint64
+	if f.n > 0 {
+		front = f.frontRank()
+	}
+	r := d.pol.OnDequeueRank(f, rank, front, now)
+	if f.n == 0 {
+		d.pq.Remove(&f.Node) // flow object retained; see the file comment
+	} else if r/d.gran != f.Node.Rank()/d.gran {
+		d.pq.Remove(&f.Node)
+		d.pq.Enqueue(&f.Node, r)
+	}
+	c.backlog--
+	return p
+}

@@ -24,6 +24,21 @@ type Flow struct {
 	ring []*pkt.Packet
 	head int
 	n    int
+
+	// rring replaces ring on the direct ranked-service path (see
+	// direct.go): each slot pairs the packet pointer with its cached rank
+	// annotation, so dequeue-side transactions read the next packet's
+	// rank from the slot they are touching anyway instead of chasing the
+	// packet pointer into cold memory. A flow is driven either ranked or
+	// plain for its whole life, never both.
+	rring []rankedSlot
+}
+
+// rankedSlot pairs a queued packet with its cached rank annotation so the
+// ranked ring serves both with one line touch.
+type rankedSlot struct {
+	p    *pkt.Packet
+	rank uint64
 }
 
 // Len returns the number of queued packets.
@@ -68,6 +83,45 @@ func (f *Flow) grow() {
 		ring[i] = f.ring[(f.head+i)%len(f.ring)]
 	}
 	f.ring = ring
+	f.head = 0
+}
+
+// pushRanked is push for the direct ranked-service path: the packet's
+// rank annotation is cached beside the pointer. Bytes is NOT maintained
+// here — reading p.Size would be the exact cold-packet load the ranked
+// path exists to avoid, and no packet-free policy consumes Bytes.
+func (f *Flow) pushRanked(p *pkt.Packet, rank uint64) {
+	if f.n == len(f.rring) {
+		f.growRanked()
+	}
+	f.rring[(f.head+f.n)%len(f.rring)] = rankedSlot{p: p, rank: rank}
+	f.n++
+}
+
+// popRanked removes the head packet and returns it with its cached rank.
+// It performs no load through the packet pointer (see pushRanked).
+func (f *Flow) popRanked() (*pkt.Packet, uint64) {
+	s := f.rring[f.head]
+	f.rring[f.head].p = nil
+	f.head = (f.head + 1) % len(f.rring)
+	f.n--
+	return s.p, s.rank
+}
+
+// frontRank returns the head packet's cached rank; only valid when
+// f.Len() > 0 on a ranked-driven flow.
+func (f *Flow) frontRank() uint64 { return f.rring[f.head].rank }
+
+func (f *Flow) growRanked() {
+	size := len(f.rring) * 2
+	if size == 0 {
+		size = 8
+	}
+	rring := make([]rankedSlot, size)
+	for i := 0; i < f.n; i++ {
+		rring[i] = f.rring[(f.head+i)%len(f.rring)]
+	}
+	f.rring = rring
 	f.head = 0
 }
 

@@ -96,10 +96,26 @@ type Class struct {
 	resuming bool  // re-activation after a shaper park, not fresh demand
 
 	backlog int // packets in this subtree
+
+	directCache *directState // direct ranked-service plumbing (direct.go)
 }
 
 // Backlog returns the number of packets queued under this class.
 func (c *Class) Backlog() int { return c.backlog }
+
+// IsLeaf reports whether the class is a leaf (packet, flow, or time-gated)
+// rather than an internal class.
+func (c *Class) IsLeaf() bool { return c.kind != internalClass }
+
+// Limited reports whether the class carries a shaping rate limit.
+func (c *Class) Limited() bool { return c.rateBps > 0 }
+
+// HeadRank returns the (bucket-quantized) rank of the next entry in this
+// class's own priority queue — the best child for an internal class, the
+// best flow for a flow leaf, the best packet for a packet leaf — or
+// ok=false when the queue is empty. Shard-confined policy backends use it
+// as the merge key the cross-shard drain compares (shardq.Scheduler.Min).
+func (c *Class) HeadRank() (uint64, bool) { return c.pq.PeekMin() }
 
 // Parent returns the parent class (nil for the root).
 func (c *Class) Parent() *Class { return c.parent }
@@ -178,6 +194,15 @@ func NewTree(opt TreeOptions) *Tree {
 
 // Root returns the root class.
 func (t *Tree) Root() *Class { return t.root }
+
+// Classes returns every class in declaration order, root first — the
+// stable order compiled programs rely on to map packet annotations onto
+// leaves (Compile's classes map loses it).
+func (t *Tree) Classes() []*Class {
+	out := make([]*Class, len(t.classes))
+	copy(out, t.classes)
+	return out
+}
 
 // Len returns the total number of queued packets.
 func (t *Tree) Len() int { return t.root.backlog }

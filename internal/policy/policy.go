@@ -177,6 +177,12 @@ func (l LQF) OnEnqueue(f *pifo.Flow, _ *pkt.Packet, _ int64) uint64 { return l.r
 // OnDequeue implements pifo.FlowPolicy.
 func (l LQF) OnDequeue(f *pifo.Flow, _ *pkt.Packet, _ int64) uint64 { return l.rank(f) }
 
+// OnEnqueueRank implements pifo.RankFlowPolicy (LQF reads only f.Len).
+func (l LQF) OnEnqueueRank(f *pifo.Flow, _ uint64, _ int64) uint64 { return l.rank(f) }
+
+// OnDequeueRank implements pifo.RankFlowPolicy.
+func (l LQF) OnDequeueRank(f *pifo.Flow, _, _ uint64, _ int64) uint64 { return l.rank(f) }
+
 // SQF is Shortest Queue First (the dual of LQF), useful in tests.
 type SQF struct{}
 
@@ -185,6 +191,12 @@ func (SQF) OnEnqueue(f *pifo.Flow, _ *pkt.Packet, _ int64) uint64 { return uint6
 
 // OnDequeue implements pifo.FlowPolicy.
 func (SQF) OnDequeue(f *pifo.Flow, _ *pkt.Packet, _ int64) uint64 { return uint64(f.Len()) }
+
+// OnEnqueueRank implements pifo.RankFlowPolicy.
+func (SQF) OnEnqueueRank(f *pifo.Flow, _ uint64, _ int64) uint64 { return uint64(f.Len()) }
+
+// OnDequeueRank implements pifo.RankFlowPolicy.
+func (SQF) OnDequeueRank(f *pifo.Flow, _, _ uint64, _ int64) uint64 { return uint64(f.Len()) }
 
 // PFabric implements the pFabric host/switch queue discipline exactly as
 // Figure 14 expresses it in the extended PIFO model:
@@ -222,6 +234,32 @@ func (PFabric) OnDequeue(f *pifo.Flow, p *pkt.Packet, _ int64) uint64 {
 	return f.Rank
 }
 
+// OnEnqueueRank implements pifo.RankFlowPolicy — the same transaction as
+// OnEnqueue with the rank annotation passed in, so the scheduler core
+// never loads the packet.
+func (PFabric) OnEnqueueRank(f *pifo.Flow, rank uint64, _ int64) uint64 {
+	if f.Len() == 1 {
+		f.Rank = rank
+		return f.Rank
+	}
+	if rank < f.Rank {
+		f.Rank = rank
+	}
+	return f.Rank
+}
+
+// OnDequeueRank implements pifo.RankFlowPolicy.
+func (PFabric) OnDequeueRank(f *pifo.Flow, rank, frontRank uint64, _ int64) uint64 {
+	if f.Len() > 0 {
+		r := rank
+		if frontRank < r {
+			r = frontRank
+		}
+		f.Rank = r
+	}
+	return f.Rank
+}
+
 // FlowFIFO serves flows in order of first arrival (per-flow FIFO batching).
 type FlowFIFO struct {
 	seq uint64
@@ -238,3 +276,15 @@ func (ff *FlowFIFO) OnEnqueue(f *pifo.Flow, _ *pkt.Packet, _ int64) uint64 {
 
 // OnDequeue implements pifo.FlowPolicy.
 func (*FlowFIFO) OnDequeue(f *pifo.Flow, _ *pkt.Packet, _ int64) uint64 { return f.U0 }
+
+// OnEnqueueRank implements pifo.RankFlowPolicy.
+func (ff *FlowFIFO) OnEnqueueRank(f *pifo.Flow, _ uint64, _ int64) uint64 {
+	if f.Len() == 1 {
+		ff.seq++
+		f.U0 = ff.seq
+	}
+	return f.U0
+}
+
+// OnDequeueRank implements pifo.RankFlowPolicy.
+func (*FlowFIFO) OnDequeueRank(f *pifo.Flow, _, _ uint64, _ int64) uint64 { return f.U0 }

@@ -2,18 +2,35 @@ package policy
 
 import (
 	"fmt"
+	"strings"
 
 	"eiffel/internal/pifo"
 )
 
 // Registry resolves the paper's transaction names for the policy compiler
-// (pifo.Compile). Fresh stateful rankers (FIFO, RR) are created per call
-// so compiled trees never share counters.
+// (pifo.Compile). Lookups are case-insensitive, and a miss returns a
+// descriptive error naming every known transaction — a policy file with a
+// typo fails at compile time with the menu in hand, never with a nil
+// ranker. Fresh stateful rankers (FIFO, RR) are created per call so
+// compiled trees never share counters.
 type Registry struct{}
+
+// Known transaction names, one list per kind, in the order errors print
+// them. Keep in sync with the switches below (registry_test.go asserts
+// every listed name resolves).
+var (
+	knownChildRankers  = []string{"wfq", "strict", "rr"}
+	knownPacketRankers = []string{"fifo", "edf", "strict", "lstf", "rank"}
+	knownFlowPolicies  = []string{"fifo", "pfabric", "lqf", "sqf"}
+)
+
+func unknown(kind, name string, known []string) error {
+	return fmt.Errorf("unknown %s %q (known: %s)", kind, name, strings.Join(known, ", "))
+}
 
 // ChildRanker implements pifo.CompileRegistry.
 func (Registry) ChildRanker(name string) (pifo.ChildRanker, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "", "wfq":
 		return WFQ{}, nil
 	case "strict":
@@ -21,13 +38,13 @@ func (Registry) ChildRanker(name string) (pifo.ChildRanker, error) {
 	case "rr":
 		return &RRChild{}, nil
 	default:
-		return nil, fmt.Errorf("unknown child ranker %q", name)
+		return nil, unknown("child ranker", name, knownChildRankers)
 	}
 }
 
 // PacketRanker implements pifo.CompileRegistry.
 func (Registry) PacketRanker(name string) (pifo.PacketRanker, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "", "fifo":
 		return &FIFO{}, nil
 	case "edf":
@@ -39,13 +56,13 @@ func (Registry) PacketRanker(name string) (pifo.PacketRanker, error) {
 	case "rank":
 		return RankAnnotation{}, nil
 	default:
-		return nil, fmt.Errorf("unknown packet ranker %q", name)
+		return nil, unknown("packet ranker", name, knownPacketRankers)
 	}
 }
 
 // FlowPolicy implements pifo.CompileRegistry.
 func (Registry) FlowPolicy(name string) (pifo.FlowPolicy, error) {
-	switch name {
+	switch strings.ToLower(name) {
 	case "", "fifo":
 		return &FlowFIFO{}, nil
 	case "pfabric":
@@ -55,6 +72,6 @@ func (Registry) FlowPolicy(name string) (pifo.FlowPolicy, error) {
 	case "sqf":
 		return SQF{}, nil
 	default:
-		return nil, fmt.Errorf("unknown flow policy %q", name)
+		return nil, unknown("flow policy", name, knownFlowPolicies)
 	}
 }

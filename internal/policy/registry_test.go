@@ -1,0 +1,91 @@
+package policy_test
+
+import (
+	"strings"
+	"testing"
+
+	"eiffel/internal/policy"
+)
+
+// TestRegistryCaseInsensitive is the regression test for the lookup fix:
+// transaction names resolve regardless of case, so a policy file written
+// "PFabric" or "WFQ" compiles instead of failing on an exact-match miss.
+func TestRegistryCaseInsensitive(t *testing.T) {
+	reg := policy.Registry{}
+	for _, name := range []string{"pfabric", "PFabric", "PFABRIC", "Lqf", "SQF", "fifo", "FIFO"} {
+		p, err := reg.FlowPolicy(name)
+		if err != nil || p == nil {
+			t.Fatalf("FlowPolicy(%q) = (%v, %v), want a policy", name, p, err)
+		}
+	}
+	for _, name := range []string{"wfq", "WFQ", "Strict", "RR"} {
+		r, err := reg.ChildRanker(name)
+		if err != nil || r == nil {
+			t.Fatalf("ChildRanker(%q) = (%v, %v), want a ranker", name, r, err)
+		}
+	}
+	for _, name := range []string{"edf", "EDF", "LSTF", "Rank", "strict"} {
+		r, err := reg.PacketRanker(name)
+		if err != nil || r == nil {
+			t.Fatalf("PacketRanker(%q) = (%v, %v), want a ranker", name, r, err)
+		}
+	}
+}
+
+// TestRegistryUnknownNamesListed asserts a miss returns a non-nil error
+// (never a silent nil ranker) that names both the failed lookup and every
+// known transaction of that kind.
+func TestRegistryUnknownNamesListed(t *testing.T) {
+	reg := policy.Registry{}
+
+	r1, err := reg.ChildRanker("nope")
+	if r1 != nil || err == nil {
+		t.Fatalf("ChildRanker miss = (%v, %v), want (nil, error)", r1, err)
+	}
+	for _, want := range []string{`"nope"`, "wfq", "strict", "rr"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("child ranker error %q does not mention %s", err, want)
+		}
+	}
+
+	r2, err := reg.PacketRanker("nope")
+	if r2 != nil || err == nil {
+		t.Fatalf("PacketRanker miss = (%v, %v), want (nil, error)", r2, err)
+	}
+	for _, want := range []string{`"nope"`, "fifo", "edf", "strict", "lstf", "rank"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("packet ranker error %q does not mention %s", err, want)
+		}
+	}
+
+	r3, err := reg.FlowPolicy("nope")
+	if r3 != nil || err == nil {
+		t.Fatalf("FlowPolicy miss = (%v, %v), want (nil, error)", r3, err)
+	}
+	for _, want := range []string{`"nope"`, "fifo", "pfabric", "lqf", "sqf"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("flow policy error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// TestRegistryKnownListsResolve keeps the advertised menus honest: every
+// name an error would list must actually resolve.
+func TestRegistryKnownListsResolve(t *testing.T) {
+	reg := policy.Registry{}
+	for _, name := range []string{"wfq", "strict", "rr"} {
+		if _, err := reg.ChildRanker(name); err != nil {
+			t.Fatalf("listed child ranker %q does not resolve: %v", name, err)
+		}
+	}
+	for _, name := range []string{"fifo", "edf", "strict", "lstf", "rank"} {
+		if _, err := reg.PacketRanker(name); err != nil {
+			t.Fatalf("listed packet ranker %q does not resolve: %v", name, err)
+		}
+	}
+	for _, name := range []string{"fifo", "pfabric", "lqf", "sqf"} {
+		if _, err := reg.FlowPolicy(name); err != nil {
+			t.Fatalf("listed flow policy %q does not resolve: %v", name, err)
+		}
+	}
+}

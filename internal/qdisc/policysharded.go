@@ -1,0 +1,579 @@
+package qdisc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eiffel/internal/pifo"
+	"eiffel/internal/pkt"
+	"eiffel/internal/policy"
+	"eiffel/internal/shardq"
+)
+
+// This file marries the two halves of the paper: the extended-PIFO
+// programming model (per-flow ranking, on-dequeue transactions, class
+// hierarchies — §3.2) and the sharded multi-producer runtime
+// (internal/shardq). Each shard owns a PRIVATE pifo.Tree compiled from the
+// same policy program; flow-hash sharding guarantees a flow's whole
+// backlog is confined to one shard, so per-flow re-ranking (LQF, pFabric)
+// and on-dequeue ranking transactions run lock-free inside that shard's
+// tree, and the cross-shard drain merges by each tree's reported head rank
+// exactly as the flat-rank runtimes merge. Per-flow dequeue order is
+// therefore EXACT (identical to one global locked tree); cross-shard
+// order is approximate at head-rank granularity — the shard-local
+// approximation Figure 19 and Alcoz et al. show preserves policy outcomes.
+
+// Canonical policy programs, in the Compile grammar — the paper's three
+// flexibility showcases. One definition feeds the policysched experiment,
+// the runnable examples, and the equivalence tests, so the program text
+// and the replay rows can never drift apart.
+const (
+	// PolicySpecPFabric is shortest-remaining-first per-flow ranking
+	// (Figure 14): packet Rank annotations carry remaining flow size.
+	PolicySpecPFabric = `
+root ranker=strict
+leaf pf parent=root kind=flow policy=pfabric buckets=4096 gran=64
+`
+	// PolicySpecLQF is Longest Queue First (Figure 6): both primitives —
+	// per-flow ranking and on-dequeue re-ranking — on one leaf.
+	PolicySpecLQF = `
+root ranker=strict
+leaf lqf parent=root kind=flow policy=lqf buckets=4096 gran=256
+`
+	// PolicySpecHWFQ is a two-class weighted hierarchy (3:1) with flow-
+	// FIFO leaves; packets route to a leaf by their Class annotation.
+	PolicySpecHWFQ = `
+root ranker=wfq buckets=4096 gran=16384
+class gold parent=root ranker=wfq weight=3 buckets=4096 gran=16384
+class silver parent=root ranker=wfq weight=1 buckets=4096 gran=16384
+leaf gold0 parent=gold kind=flow policy=fifo buckets=4096 gran=64
+leaf silver0 parent=silver kind=flow policy=fifo buckets=4096 gran=64
+`
+)
+
+// treeSched adapts one shard-private extended-PIFO tree to the
+// shardq.Scheduler backend contract. The published ring rank carries the
+// enqueue timestamp (now), which the backend feeds to the tree's
+// scheduling transactions; the merge rank reported by Min is the head
+// class's queue minimum — the policy-rank domain when the program is a
+// single leaf under the root, the root ranker's domain otherwise.
+type treeSched struct {
+	tree   *pifo.Tree
+	leaves []*pifo.Class // program leaves in declaration order
+	fixed  *pifo.Class   // non-nil: every packet enqueues here
+	head   *pifo.Class   // merge-rank class (sole leaf, or the root)
+
+	// now is the consumer-set clock for dequeue-side transactions.
+	// Atomic because the consumer advances it (advanceClock) while a
+	// producer whose ring filled may be reading it under the shard lock
+	// on the fallback flush path — and atomics keep the clock
+	// propagation off the shard mutexes entirely (no per-drain lock
+	// round-trips when now moves every batch).
+	now atomic.Int64
+
+	// direct selects the shard-confined fast path (pifo direct ranked
+	// service): the program is a single unshaped flow leaf whose policy
+	// is packet-free, so the backend drives the leaf itself — no
+	// hierarchy walk, no packet loads on dequeue. Semantically identical
+	// per flow; ties at bucket granularity may rotate differently (see
+	// pifo/direct.go).
+	direct bool
+
+	// stalled marks a backend whose tree refused to serve its own head
+	// (a shaper gate inside the program): Min then reports empty so the
+	// cross-shard merge's progress contract holds. Cleared by any enqueue
+	// or by the consumer advancing the clock; atomic for the same
+	// consumer-vs-fallback concurrency as now.
+	stalled atomic.Bool
+}
+
+func (b *treeSched) leafFor(p *pkt.Packet) *pifo.Class {
+	if b.fixed != nil {
+		return b.fixed
+	}
+	// Multi-leaf programs route by the packet's Class annotation, modulo
+	// the leaf count, in program declaration order.
+	return b.leaves[int(uint32(p.Class))%len(b.leaves)]
+}
+
+// Enqueue implements shardq.Scheduler: rank is the enqueue timestamp —
+// except in direct mode, where PolicySharded publishes the packet's rank
+// annotation instead (the keys are re-derived from the packet here, the
+// slow-but-correct form of the aux path below).
+func (b *treeSched) Enqueue(n *shardq.Node, rank uint64) {
+	p := pkt.FromSchedNode(n)
+	if b.direct {
+		b.fixed.DirectEnqueue(p, p.Flow, p.Rank, b.now.Load())
+		return
+	}
+	b.stalled.Store(false)
+	b.tree.Enqueue(b.leafFor(p), p, int64(rank))
+}
+
+// EnqueueBatch implements shardq.Scheduler.
+func (b *treeSched) EnqueueBatch(ns []*shardq.Node, ranks []uint64) {
+	if b.direct {
+		leaf, now := b.fixed, b.now.Load()
+		for _, n := range ns {
+			p := pkt.FromSchedNode(n)
+			leaf.DirectEnqueue(p, p.Flow, p.Rank, now)
+		}
+		return
+	}
+	b.stalled.Store(false)
+	for i, n := range ns {
+		p := pkt.FromSchedNode(n)
+		b.tree.Enqueue(b.leafFor(p), p, int64(ranks[i]))
+	}
+}
+
+// EnqueueAux implements shardq.AuxScheduler: in direct mode PolicySharded
+// publishes (rank annotation, flow id) over the ring, so the insert runs
+// packet-free — the producer resolved both keys while the packet was
+// cache-hot, and this side never loads it.
+func (b *treeSched) EnqueueAux(n *shardq.Node, rank, aux uint64) {
+	if !b.direct {
+		b.Enqueue(n, rank)
+		return
+	}
+	b.fixed.DirectEnqueue(pkt.FromSchedNode(n), aux, rank, b.now.Load())
+}
+
+// EnqueueBatchAux implements shardq.AuxScheduler.
+func (b *treeSched) EnqueueBatchAux(ns []*shardq.Node, ranks, auxes []uint64) {
+	if !b.direct {
+		b.EnqueueBatch(ns, ranks)
+		return
+	}
+	leaf, now := b.fixed, b.now.Load()
+	for i, n := range ns {
+		leaf.DirectEnqueue(pkt.FromSchedNode(n), auxes[i], ranks[i], now)
+	}
+}
+
+// DequeueBatch implements shardq.Scheduler: serve the program while its
+// head rank stays within maxRank. Each pop runs the program's on-dequeue
+// transactions, so the head is re-read every iteration.
+func (b *treeSched) DequeueBatch(maxRank uint64, out []*shardq.Node) int {
+	popped := 0
+	now := b.now.Load()
+	if b.direct {
+		leaf := b.fixed
+		for popped < len(out) {
+			r, ok := leaf.HeadRank()
+			if !ok || r > maxRank {
+				break
+			}
+			p := leaf.DirectDequeue(now)
+			if p == nil {
+				break
+			}
+			out[popped] = &p.SchedNode
+			popped++
+		}
+		return popped
+	}
+	for popped < len(out) {
+		r, ok := b.head.HeadRank()
+		if !ok || r > maxRank {
+			break
+		}
+		p := b.tree.Dequeue(now)
+		if p == nil {
+			// The head shows demand the tree will not serve at now (a
+			// shaper gate). Report empty from Min until new work or a
+			// later clock arrives — mergeRuns' progress argument.
+			b.stalled.Store(true)
+			break
+		}
+		out[popped] = &p.SchedNode
+		popped++
+	}
+	return popped
+}
+
+// Min implements shardq.Scheduler.
+func (b *treeSched) Min() (uint64, bool) {
+	if b.stalled.Load() {
+		return 0, false
+	}
+	return b.head.HeadRank()
+}
+
+// Len implements shardq.Scheduler.
+func (b *treeSched) Len() int {
+	if b.direct {
+		return b.fixed.Backlog()
+	}
+	return b.tree.Len()
+}
+
+// setNow advances the backend's dequeue-side clock, waking a stalled
+// tree. Safe from the consumer without the shard lock (atomics).
+func (b *treeSched) setNow(now int64) {
+	if now != b.now.Load() {
+		b.now.Store(now)
+		b.stalled.Store(false)
+	}
+}
+
+// nextEvent returns the tree's earliest pending shaper release.
+func (b *treeSched) nextEvent() (int64, bool) { return b.tree.NextEvent() }
+
+// compiledProgram is one compiled instance of a policy program plus the
+// leaf-routing and merge-head resolution PolicySharded needs per shard.
+type compiledProgram struct {
+	tree   *pifo.Tree
+	leaves []*pifo.Class
+	fixed  *pifo.Class
+	head   *pifo.Class
+	direct bool
+}
+
+// compileProgram compiles spec through the policy registry and resolves
+// leaf routing: leafName pins every packet to one named leaf; otherwise a
+// single-leaf program routes everything to its leaf and a multi-leaf
+// program routes by the packet Class annotation. The merge head is the
+// leaf itself when the program is exactly one leaf directly under the root
+// (the merge then compares policy ranks across shards); any deeper
+// hierarchy merges by the root ranker's domain.
+func compileProgram(spec, leafName string) (*compiledProgram, error) {
+	tree, classes, err := pifo.Compile(spec, policy.Registry{})
+	if err != nil {
+		return nil, err
+	}
+	cp := &compiledProgram{tree: tree}
+	rootChildren := 0
+	for _, c := range tree.Classes() {
+		if c.IsLeaf() {
+			cp.leaves = append(cp.leaves, c)
+		}
+		if c.Parent() == tree.Root() {
+			rootChildren++
+		}
+	}
+	if len(cp.leaves) == 0 {
+		return nil, fmt.Errorf("qdisc: policy program has no leaf class")
+	}
+	if leafName != "" {
+		c := classes[leafName]
+		if c == nil {
+			return nil, fmt.Errorf("qdisc: policy program has no class %q", leafName)
+		}
+		if !c.IsLeaf() {
+			return nil, fmt.Errorf("qdisc: class %q is not a leaf", leafName)
+		}
+		cp.fixed = c
+	} else if len(cp.leaves) == 1 {
+		cp.fixed = cp.leaves[0]
+	}
+	cp.head = tree.Root()
+	if len(cp.leaves) == 1 && rootChildren == 1 && cp.leaves[0].Parent() == tree.Root() {
+		cp.head = cp.leaves[0]
+		// Shard-confined fast path: a single unshaped packet-free flow
+		// leaf under the root can be driven directly (pifo direct ranked
+		// service), skipping the hierarchy walk per packet.
+		cp.direct = cp.leaves[0].DirectRanked() && !tree.Root().Limited() && !cp.leaves[0].Limited()
+	}
+	return cp, nil
+}
+
+// PolicySharded runs an extended-PIFO policy program on the sharded
+// multi-producer runtime: flows hash to one of N shards, each owning a
+// private compiled pifo.Tree behind a lock-free MPSC ring, so pFabric,
+// LQF, and hierarchical WFQ programs scale past the global qdisc lock
+// while keeping per-flow dequeue order exactly as the locked tree would
+// produce it (flows never span shards). Cross-shard order is merged by
+// each tree's head rank and is approximate at that granularity; the
+// policysched experiment measures the residual fairness error.
+//
+// Concurrency contract matches Sharded: Enqueue/EnqueueBatch from any
+// number of goroutines; Dequeue, DequeueBatch, and NextTimer from a single
+// consumer goroutine.
+//
+// Rate limits inside the program apply PER SHARD (each shard runs its own
+// copy of the tree, shaper included), so a limited class's aggregate rate
+// is its configured rate times the number of shards its flows land on.
+// Work-conserving programs — the policies above — are unaffected.
+type PolicySharded struct {
+	rt       *shardq.Q
+	backends []*treeSched
+	name     string
+	lastNow  int64
+
+	// direct mirrors the backends' fast-path selection and switches the
+	// publication format: (rank annotation, flow id) over the ring's
+	// (rank, aux) pair instead of the enqueue timestamp, so the consumer
+	// side runs packet-free.
+	direct bool
+
+	// Release buffer, exactly as in Sharded: Dequeue hands out packets
+	// popped in cross-shard batches.
+	buf     []*shardq.Node
+	bufHead int
+	bufLen  int
+	bufN    atomic.Int64
+
+	scratch []*shardq.Node // DequeueBatch conversion space
+
+	// prodPool recycles runtime staging handles for EnqueueBatch, as in
+	// Sharded.
+	prodPool sync.Pool
+}
+
+// PolicyShardedOptions configures a PolicySharded qdisc.
+type PolicyShardedOptions struct {
+	// Policy is the program source, in the pifo.Compile grammar; names
+	// resolve through the policy registry (wfq/strict/rr, edf/fifo/
+	// strict/lstf/rank, pfabric/lqf/sqf/fifo). Required.
+	Policy string
+	// Leaf names the class every packet enqueues at. Default: the
+	// program's single leaf; multi-leaf programs route each packet by its
+	// Class annotation (modulo the leaf count, in declaration order).
+	Leaf string
+	// Shards is the shard count, rounded up to a power of two (default 8).
+	Shards int
+	// RingBits sizes each shard's MPSC ring at 1<<RingBits slots
+	// (default 10).
+	RingBits uint
+	// Batch is the consumer-side batch size (default 64).
+	Batch int
+}
+
+// NewPolicySharded compiles opt.Policy once per shard and returns the
+// sharded policy qdisc, or an error when the program does not compile or
+// the leaf selection is ambiguous.
+func NewPolicySharded(opt PolicyShardedOptions) (*PolicySharded, error) {
+	if opt.Batch <= 0 {
+		opt.Batch = 64
+	}
+	// Validate the program (and the leaf resolution) once up front, so the
+	// per-shard factory below cannot fail.
+	probe, err := compileProgram(opt.Policy, opt.Leaf)
+	if err != nil {
+		return nil, err
+	}
+	s := &PolicySharded{
+		name:   "Eiffel+policy-shards",
+		direct: probe.direct,
+		buf:    make([]*shardq.Node, opt.Batch),
+	}
+	s.rt = shardq.New(shardq.Options{
+		NumShards: opt.Shards,
+		RingBits:  opt.RingBits,
+		Backend: func(int) shardq.Scheduler {
+			cp, err := compileProgram(opt.Policy, opt.Leaf)
+			if err != nil {
+				panic("qdisc: policy program compiled at validation but not per shard: " + err.Error())
+			}
+			b := &treeSched{tree: cp.tree, leaves: cp.leaves, fixed: cp.fixed, head: cp.head, direct: cp.direct}
+			s.backends = append(s.backends, b)
+			return b
+		},
+	})
+	s.prodPool.New = func() any { return s.rt.NewProducer(0) }
+	return s, nil
+}
+
+// Name implements Qdisc.
+func (s *PolicySharded) Name() string { return s.name }
+
+// Len implements Qdisc: packets published but not yet handed out,
+// including the consumer's release buffer. Same transient-overcount
+// contract as Sharded.Len.
+func (s *PolicySharded) Len() int { return s.rt.Len() + int(s.bufN.Load()) }
+
+// Stats returns the runtime's shard/batch counters.
+func (s *PolicySharded) Stats() shardq.Snapshot { return s.rt.Stats() }
+
+// NumShards returns the shard count.
+func (s *PolicySharded) NumShards() int { return s.rt.NumShards() }
+
+// Enqueue implements Qdisc: the packet publishes on its flow's shard; the
+// shard's program runs the enqueue transactions when the element is
+// flushed ring→backend (by the consumer, or by a producer whose ring
+// filled). In direct mode the ring carries (rank annotation, flow id) —
+// both read here, while the packet is the producer's hot cache line — so
+// the consumer side never loads the packet; otherwise it carries the
+// enqueue timestamp for the tree's transactions. Safe for concurrent
+// producers. now must be non-negative.
+func (s *PolicySharded) Enqueue(p *pkt.Packet, now int64) {
+	if s.direct {
+		s.rt.EnqueueAux(p.Flow, &p.SchedNode, p.Rank, p.Flow)
+		return
+	}
+	s.rt.Enqueue(p.Flow, &p.SchedNode, uint64(now))
+}
+
+// EnqueueBatch admits a whole run of packets at once, staging per shard
+// and publishing each shard's run as one multi-slot ring claim. Safe for
+// concurrent producers; everything is published on return.
+func (s *PolicySharded) EnqueueBatch(ps []*pkt.Packet, now int64) {
+	b := s.prodPool.Get().(*shardq.Producer)
+	if s.direct {
+		for _, p := range ps {
+			b.EnqueueAux(p.Flow, &p.SchedNode, p.Rank, p.Flow)
+		}
+	} else {
+		for _, p := range ps {
+			b.Enqueue(p.Flow, &p.SchedNode, uint64(now))
+		}
+	}
+	b.Flush()
+	s.prodPool.Put(b)
+}
+
+// advanceClock propagates the consumer's clock into every shard backend so
+// dequeue-side transactions see it, waking trees stalled on shaper gates.
+// The clock and stall flags are atomics, so this costs one load-compare
+// (and, when the clock moved, a store pair) per shard — no shard locks,
+// even though producers whose rings filled read the same fields on their
+// fallback flush paths.
+func (s *PolicySharded) advanceClock(now int64) {
+	if now == s.lastNow {
+		return
+	}
+	s.lastNow = now
+	stalled := false
+	for _, b := range s.backends {
+		stalled = stalled || b.stalled.Load()
+		b.setNow(now)
+	}
+	if stalled {
+		// A stalled backend reported itself empty to the merge's head
+		// cache; force a re-peek now that the clock moved.
+		s.rt.Flush()
+	}
+}
+
+// Dequeue implements Qdisc: the packet the policy program serves next, or
+// nil when every shard is empty (or gated). Refills the release buffer
+// with a cross-shard batch when empty.
+func (s *PolicySharded) Dequeue(now int64) *pkt.Packet {
+	if s.bufHead == s.bufLen {
+		s.advanceClock(now)
+		s.bufHead = 0
+		s.bufLen = s.rt.DequeueBatch(^uint64(0), s.buf)
+		s.bufN.Store(int64(s.bufLen))
+		if s.bufLen == 0 {
+			return nil
+		}
+	}
+	n := s.buf[s.bufHead]
+	s.buf[s.bufHead] = nil
+	s.bufHead++
+	s.bufN.Add(-1)
+	return pkt.FromSchedNode(n)
+}
+
+// DequeueBatch pops up to len(out) packets in merged cross-shard policy
+// order, draining the internal buffer first. It returns how many packets
+// it wrote.
+func (s *PolicySharded) DequeueBatch(now int64, out []*pkt.Packet) int {
+	k := 0
+	for s.bufHead < s.bufLen && k < len(out) {
+		out[k] = pkt.FromSchedNode(s.buf[s.bufHead])
+		s.buf[s.bufHead] = nil
+		s.bufHead++
+		s.bufN.Add(-1)
+		k++
+	}
+	if k == len(out) {
+		return k
+	}
+	s.advanceClock(now)
+	if cap(s.scratch) < len(out)-k {
+		s.scratch = make([]*shardq.Node, len(out)-k)
+	}
+	nodes := s.scratch[:len(out)-k]
+	m := s.rt.DequeueBatch(^uint64(0), nodes)
+	for i := 0; i < m; i++ {
+		out[k] = pkt.FromSchedNode(nodes[i])
+		k++
+	}
+	clear(nodes[:m]) // drop the handles: scratch must not pin released packets
+	return k
+}
+
+// NextTimer implements Qdisc: "now" while any packet is servable, the
+// soonest per-shard shaper release when every backlogged tree is gated,
+// ok=false when empty.
+func (s *PolicySharded) NextTimer(now int64) (int64, bool) {
+	if s.bufHead < s.bufLen {
+		return now, true
+	}
+	s.advanceClock(now)
+	if _, ok := s.rt.MinRank(); ok {
+		return now, true
+	}
+	if s.Len() == 0 {
+		return 0, false
+	}
+	// Backlogged but nothing servable: every tree is shaper-gated. Peek
+	// each tree's shaper under its shard lock — a producer fallback may
+	// be enqueueing into the same tree concurrently.
+	min, ok := int64(0), false
+	for i, b := range s.backends {
+		s.rt.WithShardLocked(i, func(shardq.Scheduler) {
+			if t, tok := b.nextEvent(); tok && (!ok || t < min) {
+				min, ok = t, true
+			}
+		})
+	}
+	if !ok {
+		return 0, false
+	}
+	if min < now {
+		min = now
+	}
+	return min, true
+}
+
+// --- Single-threaded baseline: one locked tree, same program ---
+
+// PolicyTree runs the same compiled program as one global pifo.Tree — the
+// single-threaded reference PolicySharded is measured against (wrap it in
+// Locked for the kernel-style global-lock deployment).
+type PolicyTree struct {
+	cp   *compiledProgram
+	name string
+}
+
+// NewPolicyTree compiles spec (leafName as in PolicyShardedOptions.Leaf)
+// into a single-tree qdisc.
+func NewPolicyTree(spec, leafName string) (*PolicyTree, error) {
+	cp, err := compileProgram(spec, leafName)
+	if err != nil {
+		return nil, err
+	}
+	return &PolicyTree{cp: cp, name: "Eiffel tree(policy)"}, nil
+}
+
+// Name implements Qdisc.
+func (q *PolicyTree) Name() string { return q.name }
+
+// Len implements Qdisc.
+func (q *PolicyTree) Len() int { return q.cp.tree.Len() }
+
+// Enqueue implements Qdisc.
+func (q *PolicyTree) Enqueue(p *pkt.Packet, now int64) {
+	leaf := q.cp.fixed
+	if leaf == nil {
+		leaf = q.cp.leaves[int(uint32(p.Class))%len(q.cp.leaves)]
+	}
+	q.cp.tree.Enqueue(leaf, p, now)
+}
+
+// Dequeue implements Qdisc.
+func (q *PolicyTree) Dequeue(now int64) *pkt.Packet { return q.cp.tree.Dequeue(now) }
+
+// NextTimer implements Qdisc: "now" while backlogged (the programs this
+// baseline replays are work-conserving; a shaper-gated tree would answer
+// through NextEvent-driven hosts instead).
+func (q *PolicyTree) NextTimer(now int64) (int64, bool) {
+	if q.cp.tree.Len() == 0 {
+		return 0, false
+	}
+	return now, true
+}

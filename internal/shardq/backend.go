@@ -1,0 +1,129 @@
+package shardq
+
+import (
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+// Scheduler is the per-shard queue backend contract: everything the
+// runtime's drain and merge machinery needs from the structure behind a
+// shard's ring, and nothing more. The runtime only ever moves elements in
+// runs — flushes hand the backend whole EnqueueBatch runs, merged drains
+// pop whole DequeueBatch runs bounded by the runner-up shard's Min — so
+// the contract is batch-first; the single-element Enqueue exists for the
+// producer ring-full fallback and spill paths.
+//
+// Semantics every backend must honor:
+//
+//   - Ranks are uint64 priorities, smaller first. Bucketed backends may
+//     quantize: Min and the DequeueBatch bound then operate on quantized
+//     ranks, and FIFO order holds within a bucket.
+//   - DequeueBatch pops up to len(out) elements whose (quantized) rank is
+//     at most maxRank, in nondecreasing (quantized) rank order, and
+//     returns how many it wrote. A call that returns 0 MUST leave Min
+//     either empty or above maxRank — the cross-shard merge's progress
+//     argument (mergeRuns) depends on it.
+//   - Calls are externally synchronized by the shard lock; backends need
+//     no internal locking and are free to keep per-call scratch.
+//
+// Backends that re-rank elements internally between calls (the extended-
+// PIFO policy backend: per-flow ranking, on-dequeue transactions) are
+// fully supported: the runtime re-reads Min after every run it serves, so
+// a backend may report a different head each time.
+type Scheduler interface {
+	// Enqueue inserts one element with the given rank.
+	Enqueue(n *bucket.Node, rank uint64)
+	// EnqueueBatch inserts ns[i] with ranks[i] for every i — equivalent to
+	// that sequence of Enqueue calls.
+	EnqueueBatch(ns []*bucket.Node, ranks []uint64)
+	// DequeueBatch pops up to len(out) elements with (quantized) rank at
+	// most maxRank and returns how many it wrote.
+	DequeueBatch(maxRank uint64, out []*bucket.Node) int
+	// Min returns the (quantized) minimum rank, or ok=false when empty.
+	Min() (uint64, bool)
+	// Len returns the number of queued elements.
+	Len() int
+}
+
+// batchPopper is the optional queue.PQ fast path the adapter sniffs for:
+// pop a whole run of elements at or below a rank bound in one call
+// (ffsq.CFFS implements it).
+type batchPopper interface {
+	DequeueBatch(maxRank uint64, out []*bucket.Node) int
+}
+
+// batchPusher is the enqueue-side twin: insert a whole run of elements in
+// one call, so locked flushes move ring→queue without a per-element
+// interface dispatch.
+type batchPusher interface {
+	EnqueueBatch(ns []*bucket.Node, ranks []uint64)
+}
+
+// AuxScheduler is the optional two-key backend extension: the publication
+// ring carries a (rank, aux) pair per element (the same wire format the
+// shaped runtime uses for (sendAt, rank)), and a backend that implements
+// AuxScheduler receives both words. This is how a policy backend gets the
+// producer-resolved keys — e.g. (rank annotation, flow id) — without ever
+// loading packet memory on the consumer: the producer reads the packet
+// once, when it is cache-hot, and the keys ride the ring. Elements
+// published without an aux (plain Enqueue/EnqueueBatch surfaces) deliver
+// aux = 0.
+type AuxScheduler interface {
+	Scheduler
+	// EnqueueAux inserts one element with the full ring payload.
+	EnqueueAux(n *bucket.Node, rank, aux uint64)
+	// EnqueueBatchAux inserts ns[i] with (ranks[i], auxes[i]) for every i.
+	EnqueueBatchAux(ns []*bucket.Node, ranks, auxes []uint64)
+}
+
+// pqSched adapts a queue.PQ to the Scheduler contract, using the PQ's
+// batch fast paths when it has them and per-element loops otherwise.
+type pqSched struct {
+	q   queue.PQ
+	bp  batchPopper
+	bpu batchPusher
+}
+
+// wrapPQ returns q itself when it already satisfies Scheduler (cFFS,
+// vecSched), else a pqSched adapter.
+func wrapPQ(q queue.PQ) Scheduler {
+	if s, ok := q.(Scheduler); ok {
+		return s
+	}
+	s := &pqSched{q: q}
+	s.bp, _ = q.(batchPopper)
+	s.bpu, _ = q.(batchPusher)
+	return s
+}
+
+func (s *pqSched) Enqueue(n *bucket.Node, rank uint64) { s.q.Enqueue(n, rank) }
+
+func (s *pqSched) EnqueueBatch(ns []*bucket.Node, ranks []uint64) {
+	if s.bpu != nil {
+		s.bpu.EnqueueBatch(ns, ranks)
+		return
+	}
+	for i, n := range ns {
+		s.q.Enqueue(n, ranks[i])
+	}
+}
+
+func (s *pqSched) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	if s.bp != nil {
+		return s.bp.DequeueBatch(maxRank, out)
+	}
+	popped := 0
+	for popped < len(out) {
+		r, ok := s.q.PeekMin()
+		if !ok || r > maxRank {
+			break
+		}
+		out[popped] = s.q.DequeueMin()
+		popped++
+	}
+	return popped
+}
+
+func (s *pqSched) Min() (uint64, bool) { return s.q.PeekMin() }
+
+func (s *pqSched) Len() int { return s.q.Len() }

@@ -60,9 +60,15 @@ func (p *Producer) Staged() int { return p.st.staged }
 // if its staging buffer is full. The hot path is a hash and a handful of
 // plain stores — no shared-memory traffic at all until the flush.
 func (p *Producer) Enqueue(flow uint64, n *Node, rank uint64) {
+	p.EnqueueAux(flow, n, rank, 0)
+}
+
+// EnqueueAux is Enqueue carrying the ring's second payload word for
+// AuxScheduler backends (see Q.EnqueueAux).
+func (p *Producer) EnqueueAux(flow uint64, n *Node, rank, aux uint64) {
 	i := p.q.ShardFor(flow)
 	c := p.st.cnt[i]
-	p.st.pubs[i*p.st.per+int(c)] = pub{n: n, rank: rank}
+	p.st.pubs[i*p.st.per+int(c)] = pub{n: n, rank: rank, aux: aux}
 	p.st.cnt[i] = c + 1
 	p.st.staged++
 	if int(c)+1 == p.st.per {

@@ -54,19 +54,16 @@ func (o ShapedOptions) withDefaults() ShapedOptions {
 
 // shapedShard is one partition of the shaped runtime: the same lock-free
 // publication ring as the plain runtime, in front of TWO mutex-protected
-// bucketed queues — a shaper keyed by release time and a scheduler keyed
-// by priority. Producers only ever feed the shaper side; the consumer
-// migrates due elements shaper→scheduler and drains the scheduler.
+// Scheduler backends — a shaper keyed by release time and a scheduler
+// keyed by priority. Producers only ever feed the shaper side; the
+// consumer migrates due elements shaper→scheduler and drains the
+// scheduler.
 type shapedShard struct {
 	ring *ring
 	mu   sync.Mutex
 
-	shaper    queue.PQ
-	sched     queue.PQ
-	shaperBP  batchPopper // shaper, if it supports batch popping
-	schedBP   batchPopper // sched, if it supports batch popping
-	shaperBPU batchPusher // shaper, if it supports batch pushing
-	schedBPU  batchPusher // sched, if it supports batch pushing
+	shaper Scheduler
+	sched  Scheduler
 
 	// Flush staging (guarded by mu): ring pops partition into a
 	// scheduler-bound run and a shaper-bound run, and each run lands as
@@ -88,30 +85,6 @@ type shapedShard struct {
 	_ [64]byte // keep one shard's lock traffic off the next's cache lines
 }
 
-// enqueueShaperRunLocked parks one run in the shaper — one interface call
-// when the backend can take a batch. The elements' priorities must already
-// be stashed on their paired handles. Callers hold mu and settle qlen.
-func (s *shapedShard) enqueueShaperRunLocked(ns []*bucket.Node, sendAts []uint64) {
-	if s.shaperBPU != nil {
-		s.shaperBPU.EnqueueBatch(ns, sendAts)
-		return
-	}
-	for i, n := range ns {
-		s.shaper.Enqueue(n, sendAts[i])
-	}
-}
-
-// enqueueSchedRunLocked moves one run into the scheduler. Callers hold mu.
-func (s *shapedShard) enqueueSchedRunLocked(ns []*bucket.Node, ranks []uint64) {
-	if s.schedBPU != nil {
-		s.schedBPU.EnqueueBatch(ns, ranks)
-		return
-	}
-	for i, n := range ns {
-		s.sched.Enqueue(n, ranks[i])
-	}
-}
-
 // enqueuePubsLocked parks a staged run that never made it into the ring (a
 // ShapedProducer's ring-full fallback) in the shaper, stashing each
 // element's priority on its paired handle and converting through the flush
@@ -127,7 +100,7 @@ func (s *shapedShard) enqueuePubsLocked(pair PairFunc, pubs []pub) {
 			pair(pubs[j].n).SetRank(pubs[j].aux)
 			s.parkNs[j], s.parkSendAts[j] = pubs[j].n, pubs[j].rank
 		}
-		s.enqueueShaperRunLocked(s.parkNs[:k], s.parkSendAts[:k])
+		s.shaper.EnqueueBatch(s.parkNs[:k], s.parkSendAts[:k])
 		pubs = pubs[k:]
 	}
 }
@@ -152,7 +125,7 @@ func (s *shapedShard) flushLocked(pair PairFunc) (drained int) {
 		if k == 0 {
 			break
 		}
-		s.enqueueShaperRunLocked(s.parkNs[:k], s.parkSendAts[:k])
+		s.shaper.EnqueueBatch(s.parkNs[:k], s.parkSendAts[:k])
 		drained += k
 		if k < len(s.parkNs) {
 			break
@@ -200,11 +173,11 @@ func (s *shapedShard) flushDueLocked(pair PairFunc, due uint64) (drained, direct
 			break
 		}
 		if dd > 0 {
-			s.enqueueSchedRunLocked(s.dueNs[:dd], s.dueRanks[:dd])
+			s.sched.EnqueueBatch(s.dueNs[:dd], s.dueRanks[:dd])
 			direct += dd
 		}
 		if pp > 0 {
-			s.enqueueShaperRunLocked(s.parkNs[:pp], s.parkSendAts[:pp])
+			s.shaper.EnqueueBatch(s.parkNs[:pp], s.parkSendAts[:pp])
 		}
 		drained += dd + pp
 		if dd < len(s.dueNs) && pp < len(s.parkNs) {
@@ -284,16 +257,12 @@ func NewShaped(opt ShapedOptions) *Shaped {
 	for i := range q.shards {
 		s := &q.shards[i]
 		s.ring = newRing(opt.RingBits)
-		s.shaper = queue.New(queue.KindCFFS, opt.Shaper)
+		s.shaper = wrapPQ(queue.New(queue.KindCFFS, opt.Shaper))
 		if opt.SchedMoving {
-			s.sched = queue.New(queue.KindCFFS, opt.Sched)
+			s.sched = wrapPQ(queue.New(queue.KindCFFS, opt.Sched))
 		} else {
 			s.sched = newVecSched(opt.Sched)
 		}
-		s.shaperBP, _ = s.shaper.(batchPopper)
-		s.schedBP, _ = s.sched.(batchPopper)
-		s.shaperBPU, _ = s.shaper.(batchPusher)
-		s.schedBPU, _ = s.sched.(batchPusher)
 		s.dueNs = make([]*bucket.Node, flushChunk)
 		s.dueRanks = make([]uint64, flushChunk)
 		s.parkNs = make([]*bucket.Node, flushChunk)
@@ -404,19 +373,7 @@ func (q *Shaped) migrate(i int, now uint64) {
 	s.mu.Lock()
 	drained, moved := s.flushDueLocked(q.pair, now)
 	for {
-		var k int
-		if s.shaperBP != nil {
-			k = s.shaperBP.DequeueBatch(now, q.migScratch)
-		} else {
-			for k < len(q.migScratch) {
-				r, ok := s.shaper.PeekMin()
-				if !ok || r > now {
-					break
-				}
-				q.migScratch[k] = s.shaper.DequeueMin()
-				k++
-			}
-		}
+		k := s.shaper.DequeueBatch(now, q.migScratch)
 		if k == 0 {
 			break
 		}
@@ -427,13 +384,13 @@ func (q *Shaped) migrate(i int, now uint64) {
 			q.migNs[j], q.migRanks[j] = sn, sn.Rank()
 			q.migScratch[j] = nil // do not pin migrated elements against GC
 		}
-		s.enqueueSchedRunLocked(q.migNs[:k], q.migRanks[:k])
+		s.sched.EnqueueBatch(q.migNs[:k], q.migRanks[:k])
 		moved += k
 	}
-	sh.rank, sh.ok = s.shaper.PeekMin()
+	sh.rank, sh.ok = s.shaper.Min()
 	sh.gen = s.fallbackGen.Load()
 	sh.valid = true
-	sc.rank, sc.ok = s.sched.PeekMin()
+	sc.rank, sc.ok = s.sched.Min()
 	sc.valid = true
 	s.mu.Unlock()
 	if moved > 0 {
@@ -495,21 +452,9 @@ func (q *Shaped) DequeueBatch(now, maxRank uint64, out []*bucket.Node) int {
 	total := mergeRuns(q.schedHeads, maxRank, out, func(best int, limit uint64, out []*bucket.Node) int {
 		s := &q.shards[best]
 		s.mu.Lock()
-		popped := 0
-		if s.schedBP != nil {
-			popped = s.schedBP.DequeueBatch(limit, out)
-		} else {
-			for popped < len(out) {
-				r, ok := s.sched.PeekMin()
-				if !ok || r > limit {
-					break
-				}
-				out[popped] = s.sched.DequeueMin()
-				popped++
-			}
-		}
+		popped := s.sched.DequeueBatch(limit, out)
 		s.qlen.Add(int64(-popped))
-		r, ok := s.sched.PeekMin()
+		r, ok := s.sched.Min()
 		q.schedHeads[best].rank, q.schedHeads[best].ok = r, ok
 		s.mu.Unlock()
 		return popped

@@ -34,6 +34,13 @@ type Options struct {
 	Kind queue.Kind
 	// Queue sizes each shard's backend; see queue.Config.
 	Queue queue.Config
+	// Backend, when non-nil, supplies shard i's Scheduler backend directly
+	// and overrides Kind/Queue. This is the programmable-policy hook: the
+	// factory runs once per shard at construction, so each shard owns a
+	// private backend instance (e.g. an extended-PIFO tree plus its policy
+	// program) and the flow-hash sharding keeps every flow's backlog
+	// confined to that instance.
+	Backend func(shard int) Scheduler
 	// DirectDue coalesces every already-due element (rank <= the drain
 	// bound) into one virtual FIFO bucket: the consumer delivers such
 	// elements straight off the rings, skipping the bucketed queue
@@ -59,29 +66,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// batchPopper is the optional backend fast path: pop a whole run of
-// elements at or below a rank bound in one call (ffsq.CFFS implements it).
-type batchPopper interface {
-	DequeueBatch(maxRank uint64, out []*bucket.Node) int
-}
-
-// batchPusher is the enqueue-side twin: insert a whole run of elements in
-// one call (ffsq.CFFS and vecSched implement it), so locked flushes move
-// ring→queue without a per-element interface dispatch.
-type batchPusher interface {
-	EnqueueBatch(ns []*bucket.Node, ranks []uint64)
-}
-
 // shard is one partition: a lock-free publication ring in front of a
-// mutex-protected bucketed queue. The mutex is uncontended in steady
+// mutex-protected Scheduler backend. The mutex is uncontended in steady
 // state — producers only take it when their ring fills, and the consumer
 // amortizes it over whole batches.
 type shard struct {
 	ring *ring
 	mu   sync.Mutex
-	q    queue.PQ
-	bp   batchPopper // q, if it supports batch popping
-	bpu  batchPusher // q, if it supports batch pushing
+	q    Scheduler
+	qa   AuxScheduler // q, if it consumes the ring's aux word
 
 	// qlen mirrors q.Len() so Len readers need no lock: updated under mu
 	// (fallback path) or by the consumer, amortized per batch.
@@ -92,34 +85,47 @@ type shard struct {
 	// only re-peeks when this generation moves or its ring is non-empty.
 	fallbackGen atomic.Uint32
 
-	// flushNs/flushRanks stage ring pops so a locked flush hands the
-	// backend whole runs through one EnqueueBatch call instead of one
+	// flushNs/flushRanks/flushAux stage ring pops so a locked flush hands
+	// the backend whole runs through one EnqueueBatch call instead of one
 	// interface dispatch per element. Guarded by mu. Like the ring, the
 	// staging retains its last run of node pointers until overwritten —
 	// bounded, and the nodes live on in the bucketed queue anyway.
 	flushNs    []*bucket.Node
 	flushRanks []uint64
+	flushAux   []uint64 // staged only for AuxScheduler backends
 
 	_ [64]byte // one shard's lock traffic must not false-share the next's
 }
 
 // flushLocked drains the ring into the bucketed queue in staged runs.
-// Callers hold mu.
+// Aux-aware backends receive the full (rank, aux) payload. Callers hold
+// mu.
 func (s *shard) flushLocked() (drained int) {
 	for {
 		k := 0
-		for k < len(s.flushNs) {
-			n, rank, _, ok := s.ring.pop()
-			if !ok {
-				break
+		if s.qa != nil {
+			for k < len(s.flushNs) {
+				n, rank, aux, ok := s.ring.pop()
+				if !ok {
+					break
+				}
+				s.flushNs[k], s.flushRanks[k], s.flushAux[k] = n, rank, aux
+				k++
 			}
-			s.flushNs[k], s.flushRanks[k] = n, rank
-			k++
+		} else {
+			for k < len(s.flushNs) {
+				n, rank, _, ok := s.ring.pop()
+				if !ok {
+					break
+				}
+				s.flushNs[k], s.flushRanks[k] = n, rank
+				k++
+			}
 		}
 		if k == 0 {
 			break
 		}
-		s.enqueueRunLocked(s.flushNs[:k], s.flushRanks[:k])
+		s.enqueueRunLocked(k)
 		drained += k
 		if k < len(s.flushNs) {
 			break
@@ -132,23 +138,20 @@ func (s *shard) flushLocked() (drained int) {
 	return drained
 }
 
-// enqueueRunLocked moves one run into the bucketed queue — one interface
-// call when the backend can take a batch. Callers hold mu and settle qlen
-// themselves.
-func (s *shard) enqueueRunLocked(ns []*bucket.Node, ranks []uint64) {
-	if s.bpu != nil {
-		s.bpu.EnqueueBatch(ns, ranks)
+// enqueueRunLocked hands the first k staged elements to the backend in
+// one call. Callers hold mu.
+func (s *shard) enqueueRunLocked(k int) {
+	if s.qa != nil {
+		s.qa.EnqueueBatchAux(s.flushNs[:k], s.flushRanks[:k], s.flushAux[:k])
 		return
 	}
-	for i, n := range ns {
-		s.q.Enqueue(n, ranks[i])
-	}
+	s.q.EnqueueBatch(s.flushNs[:k], s.flushRanks[:k])
 }
 
 // enqueuePubsLocked moves a staged run that never made it into the ring
-// (a Producer's ring-full fallback) into the bucketed queue, converting
-// through the flush scratch so the backend still sees whole runs. Callers
-// hold mu and settle qlen themselves.
+// (a Producer's ring-full fallback) into the backend, converting through
+// the flush scratch so the backend still sees whole runs. Callers hold mu
+// and settle qlen themselves.
 func (s *shard) enqueuePubsLocked(pubs []pub) {
 	for len(pubs) > 0 {
 		k := len(s.flushNs)
@@ -157,8 +160,11 @@ func (s *shard) enqueuePubsLocked(pubs []pub) {
 		}
 		for j := 0; j < k; j++ {
 			s.flushNs[j], s.flushRanks[j] = pubs[j].n, pubs[j].rank
+			if s.qa != nil {
+				s.flushAux[j] = pubs[j].aux
+			}
 		}
-		s.enqueueRunLocked(s.flushNs[:k], s.flushRanks[:k])
+		s.enqueueRunLocked(k)
 		pubs = pubs[k:]
 	}
 }
@@ -307,11 +313,17 @@ func New(opt Options) *Q {
 	}
 	for i := range q.shards {
 		q.shards[i].ring = newRing(opt.RingBits)
-		q.shards[i].q = queue.New(opt.Kind, opt.Queue)
-		q.shards[i].bp, _ = q.shards[i].q.(batchPopper)
-		q.shards[i].bpu, _ = q.shards[i].q.(batchPusher)
+		if opt.Backend != nil {
+			q.shards[i].q = opt.Backend(i)
+			q.shards[i].qa, _ = q.shards[i].q.(AuxScheduler)
+		} else {
+			q.shards[i].q = wrapPQ(queue.New(opt.Kind, opt.Queue))
+		}
 		q.shards[i].flushNs = make([]*bucket.Node, flushChunk)
 		q.shards[i].flushRanks = make([]uint64, flushChunk)
+		if q.shards[i].qa != nil {
+			q.shards[i].flushAux = make([]uint64, flushChunk)
+		}
 	}
 	q.prodPool.New = func() any { return q.NewProducer(0) }
 	return q
@@ -319,6 +331,19 @@ func New(opt Options) *Q {
 
 // NumShards returns the shard count.
 func (q *Q) NumShards() int { return len(q.shards) }
+
+// WithShardLocked runs fn on shard i's backend under that shard's lock —
+// the synchronization context every backend method normally runs in.
+// Backend owners (the policy qdisc) use it to touch backend state outside
+// the runtime's own locked paths (clock propagation, timer peeks), which
+// would otherwise race a producer's ring-full fallback flush into the
+// same backend. fn must not call back into q.
+func (q *Q) WithShardLocked(i int, fn func(Scheduler)) {
+	s := &q.shards[i]
+	s.mu.Lock()
+	fn(s.q)
+	s.mu.Unlock()
+}
 
 // Len returns the number of queued elements (published but not yet
 // dequeued). Safe from any goroutine; while producers and the consumer
@@ -365,13 +390,26 @@ func (q *Q) ShardFor(flow uint64) int {
 // itself — backpressure that keeps the ring bounded without dropping or
 // blocking.
 func (q *Q) Enqueue(flow uint64, n *bucket.Node, rank uint64) {
+	q.EnqueueAux(flow, n, rank, 0)
+}
+
+// EnqueueAux is Enqueue carrying the ring's second payload word: aux is
+// delivered to AuxScheduler backends (and dropped by plain ones). This is
+// the producer half of the packet-free policy pipeline — the producer
+// resolves both keys while the element is cache-hot and the consumer
+// never has to.
+func (q *Q) EnqueueAux(flow uint64, n *bucket.Node, rank, aux uint64) {
 	s := &q.shards[q.ShardFor(flow)]
-	if s.ring.push(n, rank, 0) {
+	if s.ring.push(n, rank, aux) {
 		return
 	}
 	s.mu.Lock()
 	drained := s.flushLocked()
-	s.q.Enqueue(n, rank)
+	if s.qa != nil {
+		s.qa.EnqueueAux(n, rank, aux)
+	} else {
+		s.q.Enqueue(n, rank)
+	}
 	s.qlen.Add(1)
 	s.fallbackGen.Add(1) // tell the consumer its cached head is stale
 	s.mu.Unlock()
@@ -409,7 +447,7 @@ func (q *Q) refreshHead(i int) {
 	}
 	s.mu.Lock()
 	drained := s.flushLocked()
-	h.rank, h.ok = s.q.PeekMin()
+	h.rank, h.ok = s.q.Min()
 	h.gen = s.fallbackGen.Load() // exact: fallbacks also hold mu
 	s.mu.Unlock()
 	h.valid = true
@@ -433,13 +471,16 @@ func (q *Q) drainRingDirect(i int, maxRank uint64, out []*bucket.Node) int {
 	s.mu.Lock()
 	wrote, spilled := 0, 0
 	for wrote < len(out) {
-		n, rank, _, ok := s.ring.pop()
+		n, rank, aux, ok := s.ring.pop()
 		if !ok {
 			break
 		}
 		if rank <= maxRank {
 			out[wrote] = n
 			wrote++
+		} else if s.qa != nil {
+			s.qa.EnqueueAux(n, rank, aux)
+			spilled++
 		} else {
 			s.q.Enqueue(n, rank)
 			spilled++
@@ -540,21 +581,9 @@ func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 	total += mergeRuns(q.heads, maxRank, out[total:], func(best int, limit uint64, out []*bucket.Node) int {
 		s := &q.shards[best]
 		s.mu.Lock()
-		popped := 0
-		if s.bp != nil {
-			popped = s.bp.DequeueBatch(limit, out)
-		} else {
-			for popped < len(out) {
-				r, ok := s.q.PeekMin()
-				if !ok || r > limit {
-					break
-				}
-				out[popped] = s.q.DequeueMin()
-				popped++
-			}
-		}
+		popped := s.q.DequeueBatch(limit, out)
 		s.qlen.Add(int64(-popped))
-		r, ok := s.q.PeekMin()
+		r, ok := s.q.Min()
 		q.heads[best].rank, q.heads[best].ok = r, ok
 		s.mu.Unlock()
 		return popped

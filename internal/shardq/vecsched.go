@@ -113,6 +113,9 @@ func (v *vecSched) PeekMin() (uint64, bool) {
 	return (v.base + uint64(v.idx.Min())) * v.gran, true
 }
 
+// Min is PeekMin under the Scheduler backend contract.
+func (v *vecSched) Min() (uint64, bool) { return v.PeekMin() }
+
 // DequeueBatch pops up to len(out) elements whose bucket-quantized rank is
 // at most maxRank, ascending by bucket, FIFO within a bucket.
 func (v *vecSched) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
