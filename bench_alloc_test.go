@@ -1,6 +1,7 @@
 package eiffel_test
 
 import (
+	"sync"
 	"testing"
 
 	"eiffel"
@@ -60,6 +61,58 @@ func BenchmarkHotPathEnqueueBatched(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lap()
+	}
+}
+
+// BenchmarkHotPathGroupDrain holds the MULTI-consumer drain path to the
+// same zero-allocs/op bar as the single-consumer paths: four persistent
+// group workers (spawned before the timer so goroutine startup never
+// lands in an op) each drain their consumer group's shards concurrently,
+// one publish→parallel-drain lap per op. The workers coordinate through
+// pre-allocated channels and a WaitGroup — nothing on the lap allocates
+// once the first warming lap has grown every internal buffer.
+func BenchmarkHotPathGroupDrain(b *testing.B) {
+	const groups = 4
+	q := eiffel.NewShardedQueue(eiffel.ShardedOptions{NumShards: 8, NumGroups: groups})
+	prod := q.NewProducer(64)
+	nodes := make([]eiffel.Node, hotBurst)
+
+	var wg sync.WaitGroup
+	start := make([]chan struct{}, groups)
+	for g := 0; g < groups; g++ {
+		start[g] = make(chan struct{}, 1)
+		go func(g int) {
+			out := make([]*eiffel.Node, 256)
+			for range start[g] {
+				for q.GroupDequeueBatch(g, ^uint64(0), out) > 0 {
+				}
+				wg.Done()
+			}
+		}(g)
+	}
+	lap := func() {
+		for j := range nodes {
+			prod.Enqueue(uint64(j), &nodes[j], uint64(j%4096))
+		}
+		prod.Flush()
+		wg.Add(groups)
+		for g := range start {
+			start[g] <- struct{}{}
+		}
+		wg.Wait()
+		if q.Len() != 0 {
+			b.Fatal("group drain left elements queued")
+		}
+	}
+	lap() // warm every internal buffer to its steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+	b.StopTimer()
+	for g := range start {
+		close(start[g])
 	}
 }
 

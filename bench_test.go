@@ -111,6 +111,30 @@ func BenchmarkContention(b *testing.B) {
 	}
 }
 
+// BenchmarkEgress runs the parallel-egress scaling experiment (8
+// producers vs G consumer-group drain workers, G ∈ {1,2,4}; see
+// internal/exp/egress.go). The reported metrics are the G=4 row's
+// aggregate throughput gain over the single-consumer G=1 baseline (≥1.5×
+// on a multi-core runner; ~1× is the honest answer on single-vCPU CI,
+// where the workers serialize) and its per-flow order violations under
+// parallel egress, which must be zero and are also asserted by
+// TestMultiShardedGroupFidelity and TestEgressQuick.
+func BenchmarkEgress(b *testing.B) {
+	res := runExp(b, "egress")
+	rows := res.Tables[0].Rows
+	last := rows[len(rows)-1] // the G=4 row
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(last[3], "x"), 64)
+	if err != nil {
+		b.Fatalf("egress ratio column %q not numeric: %v", last[3], err)
+	}
+	b.ReportMetric(ratio, "g4-vs-g1")
+	viol, err := strconv.ParseFloat(last[5], 64)
+	if err != nil {
+		b.Fatalf("egress violations column %q not numeric: %v", last[5], err)
+	}
+	b.ReportMetric(viol, "flow-order-violations")
+}
+
 // BenchmarkShapedSched runs the decoupled shaping + priority scheduling
 // scaling experiment (8 producers, per-packet (SendAt, Rank); see
 // internal/exp/shapedsched.go). The reported metrics are the ShapedSharded

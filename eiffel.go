@@ -176,8 +176,11 @@ func NewLogQueue(opt LogOptions) *LogQueue { return ffsq.NewLogQueue(opt) }
 // Sharded multi-producer runtime: N shards, each owning its own bucketed
 // queue behind a lock-free MPSC ring, replacing the kernel's global qdisc
 // lock (§4) with flow-hashed partitioning and batched drains. Enqueue is
-// safe from any number of goroutines; the consuming side is single-
-// consumer. Len is lock-free and may transiently overcount by up to one
+// safe from any number of goroutines; the consuming side partitions into
+// consumer GROUPS (ShardedOptions.NumGroups, default 1 — the single-
+// consumer deployment), each drained by its own worker goroutine through
+// GroupDequeueBatch with per-flow order identical to the single-consumer
+// runtime. Len is lock-free and may transiently overcount by up to one
 // in-flight batch while producers and the consumer run concurrently; it
 // is exact at quiescence. See ARCHITECTURE.md for the design.
 //
@@ -224,6 +227,39 @@ type (
 	// ShapedShardedOptions sizes a ShapedSharded qdisc.
 	ShapedShardedOptions = qdisc.ShapedShardedOptions
 )
+
+// Parallel egress: the sharded runtimes partitioned into consumer groups,
+// each drained by a dedicated worker into its own egress sink — the
+// multi-queue-NIC topology. Flow-hash confinement pins every flow to one
+// shard, hence one group, so per-flow dequeue order is identical to the
+// single-consumer qdiscs with zero new hot-path synchronization; only the
+// interleaving across groups (across TX queues) is relaxed.
+type (
+	// MultiSharded is Sharded drained by one worker per consumer group.
+	MultiSharded = qdisc.MultiSharded
+	// MultiShardedOptions sizes a MultiSharded qdisc.
+	MultiShardedOptions = qdisc.MultiShardedOptions
+	// MultiShaped is ShapedSharded drained by one worker per consumer
+	// group, each migrating and draining on its own clock.
+	MultiShaped = qdisc.MultiShaped
+	// MultiShapedOptions sizes a MultiShaped qdisc.
+	MultiShapedOptions = qdisc.MultiShapedOptions
+	// EgressSink models one egress transmit queue (a NIC TX ring); each
+	// group worker owns one.
+	EgressSink = qdisc.EgressSink
+	// CountingSink is the trivial EgressSink: an atomic packet counter.
+	CountingSink = qdisc.CountingSink
+)
+
+// NewMultiSharded constructs a parallel-egress sharded qdisc.
+func NewMultiSharded(opt MultiShardedOptions) *MultiSharded {
+	return qdisc.NewMultiSharded(opt)
+}
+
+// NewMultiShaped constructs a parallel-egress shaped+scheduled qdisc.
+func NewMultiShaped(opt MultiShapedOptions) *MultiShaped {
+	return qdisc.NewMultiShaped(opt)
+}
 
 // Programmable policies on the sharded runtime: every shard of a
 // ShardedQueue can own any Scheduler backend (Options.Backend), and

@@ -175,6 +175,39 @@ func TestAblationsQuick(t *testing.T) {
 	}
 }
 
+func TestEgressQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := runQuick(t, "egress")
+	rows := res.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("want 3 rows (G=1, G=2, G=4), got %d", len(rows))
+	}
+	// The hard acceptance half: parallel egress must not cost a single
+	// per-flow order violation, and no flow may ever be released by a
+	// group other than its own.
+	for _, row := range rows {
+		if row[5] != "0" {
+			t.Fatalf("G=%s: %s per-flow order violations, want 0", row[0], row[5])
+		}
+		if row[6] != "0" {
+			t.Fatalf("G=%s: %s flow-group violations, want 0", row[0], row[6])
+		}
+	}
+	// Throughput sanity (the ≥1.5× G=4 acceptance figure needs a
+	// multi-core runner and is tracked by BenchmarkEgress; this container
+	// may be single-vCPU, where workers serialize): every row must still
+	// move packets at a plausible rate. The floor is deliberately low —
+	// race-instrumented runs are an order of magnitude slower than bare
+	// ones, and this guard is for wedged drains, not performance.
+	for ri := range rows {
+		if v := cell(t, res, 0, ri, 2); v < 0.05 {
+			t.Fatalf("G=%s: %.2f Mpps implausibly low", rows[ri][0], v)
+		}
+	}
+}
+
 func TestShapedSchedQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-heavy")

@@ -79,6 +79,7 @@ var Registry = map[string]Runner{
 	"ablation-backends":     AblationComparisonQueues,
 	"ablation-shaper":       AblationShaperBackend,
 	"contention":            Contention,
+	"egress":                Egress,
 	"shapedsched":           ShapedSched,
 	"policysched":           PolicySched,
 }

@@ -84,6 +84,42 @@ func ContentionPackets(producers, perProducer int) [][]*pkt.Packet {
 	return sets
 }
 
+// EgressPackets builds the egress workload: like ContentionPackets, but
+// with flowsPer multi-packet flows per producer (flow ranges disjoint
+// across producers, so each flow's enqueue order is well defined) and
+// release times that spread over the shaping horizon while increasing
+// STRICTLY along each flow. Per-flow dequeue order through an exact-merge
+// sharded qdisc is then fully determined — nondecreasing SendAt, FIFO
+// within a bucket — so the group-fidelity replay can assert it packet by
+// packet.
+func EgressPackets(producers, perProducer, flowsPer int) [][]*pkt.Packet {
+	sets := make([][]*pkt.Packet, producers)
+	step := (horizon - 1) / int64(perProducer)
+	if step <= 0 {
+		step = 1
+	}
+	for w := range sets {
+		pool := pkt.NewPool(perProducer) // pools are not shared: one per set
+		set := make([]*pkt.Packet, perProducer)
+		for i := range set {
+			p := pool.Get()
+			f := i % flowsPer
+			p.Flow = uint64(w*flowsPer + f)
+			p.Size = 1500
+			// Strictly increasing in i, so also strictly increasing along
+			// every flow (a flow's packets are the i ≡ f mod flowsPer
+			// subsequence); the +w skew keeps producers out of lockstep
+			// without reordering any flow. i*step stays below the horizon
+			// by construction and w (≤ producers) is far below one step,
+			// so every SendAt is in [0, horizon).
+			p.SendAt = int64(i)*step + int64(w)
+			set[i] = p
+		}
+		sets[w] = set
+	}
+	return sets
+}
+
 // ShapedPackets builds the shapedsched workload: the contention packet
 // sets plus a deterministic per-packet priority annotation spread over
 // [0, rankSpan) — uncorrelated with the release times, so shaping and
@@ -261,9 +297,16 @@ func RunContention(q Qdisc, producers, perProducer int) ContentionResult {
 	return ReplayContention(q, ContentionPackets(producers, perProducer))
 }
 
+// enqueuer is the producer-side surface produce needs — satisfied by every
+// Qdisc and by the multi-consumer egress fronts, which expose no
+// single-consumer Dequeue.
+type enqueuer interface {
+	Enqueue(p *pkt.Packet, now int64)
+}
+
 // produce pushes one packet set through the qdisc, in set order, honoring
 // the ProducerBatch knob.
-func produce(q Qdisc, set []*pkt.Packet, opt ContentionOptions) {
+func produce(q enqueuer, set []*pkt.Packet, opt ContentionOptions) {
 	if be, ok := q.(BatchEnqueuer); ok && opt.ProducerBatch > 1 {
 		for i := 0; i < len(set); i += opt.ProducerBatch {
 			j := i + opt.ProducerBatch

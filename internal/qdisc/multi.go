@@ -1,0 +1,534 @@
+package qdisc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"eiffel/internal/pkt"
+	"eiffel/internal/queue"
+	"eiffel/internal/shardq"
+)
+
+// This file is the parallel-egress front over the sharded runtimes:
+// consumer GROUPS. PRs 1–4 scaled the producer side (lock-free rings,
+// multi-slot claims, batched admission) while every dequeue still funneled
+// through one consumer goroutine — the serial-egress bottleneck. A
+// multi-queue NIC has no such funnel: each TX queue is drained by its own
+// core. MultiSharded and MultiShaped model exactly that topology — the
+// runtime's shards partition into G consumer groups (shardq
+// Options.NumGroups), each drained by a dedicated worker into its own
+// EgressSink (one NIC TX queue). Flow-hash confinement means a flow's
+// shard — and therefore the flow itself — belongs to exactly one group, so
+// per-flow dequeue order is identical to the single-consumer qdisc with
+// ZERO new cross-worker synchronization on the hot path; only the
+// interleaving across groups (across TX queues, where ordering never held
+// on the wire anyway) is relaxed.
+
+// EgressSink models one egress transmit queue — a NIC TX ring, a DPDK
+// port queue, a per-core pacer. Each consumer-group worker owns one sink
+// and hands it every batch it drains. Tx is called only from that group's
+// worker goroutine; ps is the worker's reusable scratch, valid only for
+// the duration of the call (copy what must outlive it).
+type EgressSink interface {
+	Tx(ps []*pkt.Packet)
+}
+
+// CountingSink is the trivial EgressSink: an atomic packet counter, the
+// "TX queue" of benchmarks and experiments where transmission is free.
+type CountingSink struct{ n atomic.Int64 }
+
+// Tx implements EgressSink.
+func (c *CountingSink) Tx(ps []*pkt.Packet) { c.n.Add(int64(len(ps))) }
+
+// Count returns how many packets have been handed to the sink. Safe from
+// any goroutine.
+func (c *CountingSink) Count() int64 { return c.n.Load() }
+
+// multiGroup is one group worker's qdisc-side scratch: the node→packet
+// conversion buffer. Padded so concurrent workers never false-share.
+type multiGroup struct {
+	scratch []*shardq.Node
+	_       [64]byte
+}
+
+// MultiShardedOptions sizes a MultiSharded qdisc.
+type MultiShardedOptions struct {
+	ShardedOptions
+	// Groups is the consumer-group count, rounded up to a power of two and
+	// clamped to the shard count (default 1 — the single-consumer
+	// topology, behaviorally identical to Sharded).
+	Groups int
+}
+
+// MultiSharded is Sharded with parallel egress: the same flow-hashed,
+// ring-fronted shard array, drained by one worker per consumer group
+// instead of one worker total. Enqueue/EnqueueBatch are safe from any
+// number of producer goroutines, exactly as in Sharded; the consuming
+// side is GroupDequeueBatch/GroupNextTimer, safe concurrently across
+// DISTINCT groups with each group driven by one goroutine at a time.
+// There is no single-consumer Dequeue — a serial drain of a parallel
+// front would only reintroduce the bottleneck this type removes (use
+// Sharded for that deployment), and skipping it also means no release
+// buffer: every popped packet goes straight to the group's sink.
+type MultiSharded struct {
+	rt     *shardq.Q
+	name   string
+	groups []multiGroup
+
+	// prodPool recycles runtime staging handles for EnqueueBatch, as in
+	// Sharded.
+	prodPool sync.Pool
+}
+
+// NewMultiSharded returns a MultiSharded qdisc whose shards each run an
+// Eiffel cFFS with the given geometry, partitioned into opt.Groups
+// consumer groups.
+func NewMultiSharded(opt MultiShardedOptions) *MultiSharded {
+	if opt.Batch <= 0 {
+		opt.Batch = 64
+	}
+	if opt.Buckets <= 0 {
+		opt.Buckets = 4096
+	}
+	m := &MultiSharded{
+		rt: shardq.New(shardq.Options{
+			NumShards: opt.Shards,
+			NumGroups: opt.Groups,
+			RingBits:  opt.RingBits,
+			Kind:      queue.KindCFFS,
+			Queue:     eiffelCfg(opt.Buckets, opt.HorizonNs, opt.Start),
+			DirectDue: opt.DirectDue,
+		}),
+		name: "Eiffel+egress-groups",
+	}
+	m.groups = make([]multiGroup, m.rt.NumGroups())
+	m.prodPool.New = func() any { return m.rt.NewProducer(0) }
+	return m
+}
+
+// Name labels the qdisc in result tables.
+func (m *MultiSharded) Name() string { return m.name }
+
+// Len returns packets published but not yet drained, same transient-
+// overcount contract as Sharded.Len. Safe from any goroutine.
+func (m *MultiSharded) Len() int { return m.rt.Len() }
+
+// Stats returns the runtime's shard/batch counters.
+func (m *MultiSharded) Stats() shardq.Snapshot { return m.rt.Stats() }
+
+// NumShards returns the shard count.
+func (m *MultiSharded) NumShards() int { return m.rt.NumShards() }
+
+// NumGroups returns the consumer-group count.
+func (m *MultiSharded) NumGroups() int { return m.rt.NumGroups() }
+
+// GroupFor returns the consumer group that will drain p's flow — the only
+// group whose worker ever releases it.
+func (m *MultiSharded) GroupFor(flow uint64) int { return m.rt.GroupFor(flow) }
+
+// Enqueue admits one packet. Safe for concurrent producers.
+func (m *MultiSharded) Enqueue(p *pkt.Packet, _ int64) {
+	m.rt.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt))
+}
+
+// EnqueueBatch admits a whole run of packets at once, staging per shard
+// and publishing each shard's run as one multi-slot ring claim. Safe for
+// concurrent producers; everything is published on return.
+func (m *MultiSharded) EnqueueBatch(ps []*pkt.Packet, _ int64) {
+	b := m.prodPool.Get().(*shardq.Producer)
+	for _, p := range ps {
+		b.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt))
+	}
+	b.Flush()
+	m.prodPool.Put(b)
+}
+
+// GroupDequeueBatch pops up to len(out) release-eligible packets from
+// consumer group g in the group's merged priority order and returns how
+// many it wrote. Group-worker-side: distinct groups concurrently, one
+// goroutine per group at a time.
+func (m *MultiSharded) GroupDequeueBatch(g int, now int64, out []*pkt.Packet) int {
+	mg := &m.groups[g]
+	if cap(mg.scratch) < len(out) {
+		mg.scratch = make([]*shardq.Node, len(out))
+	}
+	nodes := mg.scratch[:len(out)]
+	k := m.rt.GroupDequeueBatch(g, uint64(now), nodes)
+	for i := 0; i < k; i++ {
+		out[i] = pkt.FromTimerNode(nodes[i])
+	}
+	clear(nodes[:k]) // drop the handles: scratch must not pin released packets
+	return k
+}
+
+// GroupNextTimer returns when consumer group g next needs service: the
+// soonest deadline across the group's shards, clamped to now when it has
+// already passed. ok=false means the group holds nothing.
+// Group-worker-side.
+func (m *MultiSharded) GroupNextTimer(g int, now int64) (int64, bool) {
+	r, ok := m.rt.GroupMinRank(g)
+	if !ok {
+		return 0, false
+	}
+	t := int64(r)
+	if t < now {
+		t = now
+	}
+	return t, true
+}
+
+// serveIdleNap is how long a Serve worker sleeps when its group has
+// nothing to drain: long enough that an idle group costs ~zero CPU (the
+// poll itself settles to a few atomic loads once the head cache is
+// warm), short enough that a fresh burst waits at most tens of
+// microseconds.
+const serveIdleNap = 50 * time.Microsecond
+
+// Serve starts one drain worker per consumer group: worker g loops
+// GroupDequeueBatch at clock()'s current value and hands every non-empty
+// batch to sinks[g] (len(sinks) must equal NumGroups; batch sizes each
+// worker's scratch, default 64). It returns a stop function that halts
+// the workers and waits for them to exit; packets still queued when stop
+// is called remain queued.
+//
+// Serve is a POLLING front, the BESS/DPDK deployment style: an idle
+// worker naps serveIdleNap between polls rather than arming a timer, so
+// a drained group costs one wakeup per nap instead of a spinning core,
+// and clock stays a pure value source (it is never asked how a virtual
+// duration maps to wall time). Deployments that want timer-driven
+// wakeups should drive GroupDequeueBatch themselves, arming real timers
+// from GroupNextTimer — which is exactly what that method exists for.
+func (m *MultiSharded) Serve(clock func() int64, sinks []EgressSink, batch int) (stop func()) {
+	if batch <= 0 {
+		batch = 64
+	}
+	var halt atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < m.NumGroups(); g++ {
+		wg.Add(1)
+		go func(g int, sink EgressSink) {
+			defer wg.Done()
+			out := make([]*pkt.Packet, batch)
+			for !halt.Load() {
+				if k := m.GroupDequeueBatch(g, clock(), out); k > 0 {
+					sink.Tx(out[:k])
+					continue
+				}
+				time.Sleep(serveIdleNap)
+			}
+		}(g, sinks[g])
+	}
+	return func() { halt.Store(true); wg.Wait() }
+}
+
+// MultiShapedOptions sizes a MultiShaped qdisc.
+type MultiShapedOptions struct {
+	ShapedShardedOptions
+	// Groups is the consumer-group count (default 1), as in
+	// MultiShardedOptions.
+	Groups int
+}
+
+// MultiShaped is ShapedSharded with parallel egress: per-shard decoupled
+// shaper→scheduler pipelines drained by one worker per consumer group.
+// Each group's worker migrates and drains on its own clock; flows never
+// span groups, so per-flow release gating ("never before SendAt") and
+// priority order are exactly the single-consumer qdisc's no matter how
+// the workers' clocks skew. Same concurrency contract as MultiSharded.
+type MultiShaped struct {
+	rt       *shardq.Shaped
+	name     string
+	rankGran uint64
+	groups   []multiGroup
+
+	prodPool sync.Pool
+}
+
+// NewMultiShaped returns a MultiShaped qdisc with the given geometry,
+// partitioned into opt.Groups consumer groups.
+func NewMultiShaped(opt MultiShapedOptions) *MultiShaped {
+	base := opt.ShapedShardedOptions.withDefaults()
+	schedGran := base.schedGran()
+	m := &MultiShaped{
+		rt: shardq.NewShaped(shardq.ShapedOptions{
+			NumShards: base.Shards,
+			NumGroups: opt.Groups,
+			RingBits:  base.RingBits,
+			Shaper:    eiffelCfg(base.ShaperBuckets, base.HorizonNs, base.Start),
+			Sched:     queue.Config{NumBuckets: base.SchedBuckets, Granularity: schedGran},
+			Pair: func(n *shardq.Node) *shardq.Node {
+				return &pkt.FromTimerNode(n).SchedNode
+			},
+		}),
+		name:     "Eiffel+shaped-egress-groups",
+		rankGran: schedGran,
+	}
+	m.groups = make([]multiGroup, m.rt.NumGroups())
+	m.prodPool.New = func() any { return m.rt.NewProducer(0) }
+	return m
+}
+
+// Name labels the qdisc in result tables.
+func (m *MultiShaped) Name() string { return m.name }
+
+// Len returns packets published but not yet drained, wherever they sit —
+// ring, shaper, or scheduler. Same transient-overcount contract as
+// ShapedSharded.Len.
+func (m *MultiShaped) Len() int { return m.rt.Len() }
+
+// Stats returns the runtime's shard/migration/batch counters.
+func (m *MultiShaped) Stats() shardq.Snapshot { return m.rt.Stats() }
+
+// NumGroups returns the consumer-group count.
+func (m *MultiShaped) NumGroups() int { return m.rt.NumGroups() }
+
+// GroupFor returns the consumer group that will drain p's flow.
+func (m *MultiShaped) GroupFor(flow uint64) int { return m.rt.GroupFor(flow) }
+
+// RankGranularity returns the scheduler bucket width (see
+// ShapedSharded.RankGranularity).
+func (m *MultiShaped) RankGranularity() uint64 { return m.rankGran }
+
+// Enqueue admits one packet carrying both keys. Safe for concurrent
+// producers.
+func (m *MultiShaped) Enqueue(p *pkt.Packet, _ int64) {
+	m.rt.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
+}
+
+// EnqueueBatch admits a whole run of packets at once. Safe for concurrent
+// producers; everything is published on return.
+func (m *MultiShaped) EnqueueBatch(ps []*pkt.Packet, _ int64) {
+	b := m.prodPool.Get().(*shardq.ShapedProducer)
+	for _, p := range ps {
+		b.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
+	}
+	b.Flush()
+	m.prodPool.Put(b)
+}
+
+// GroupDequeueBatch migrates group g's due packets shaper→scheduler at
+// now, then pops up to len(out) release-eligible packets in the group's
+// merged priority order. Group-worker-side.
+func (m *MultiShaped) GroupDequeueBatch(g int, now int64, out []*pkt.Packet) int {
+	mg := &m.groups[g]
+	// Chunked like ShapedSharded.DequeueBatch, so the node→packet
+	// conversion stays cache-resident behind the runtime's drain.
+	const chunk = 256
+	if cap(mg.scratch) < chunk {
+		mg.scratch = make([]*shardq.Node, chunk)
+	}
+	k := 0
+	for k < len(out) {
+		want := len(out) - k
+		if want > chunk {
+			want = chunk
+		}
+		nodes := mg.scratch[:want]
+		n := m.rt.GroupDequeueBatch(g, uint64(now), ^uint64(0), nodes)
+		for i := 0; i < n; i++ {
+			out[k] = pkt.FromSchedNode(nodes[i])
+			k++
+		}
+		clear(nodes[:n]) // release the popped nodes: scratch must not pin packets
+		if n < want {
+			break
+		}
+	}
+	return k
+}
+
+// GroupNextTimer returns when consumer group g next needs service: "now"
+// whenever a release-eligible packet already sits in one of the group's
+// schedulers — INCLUDING packets this very call's migration pass just
+// made eligible (the delivery-window edge the single-consumer NextTimer
+// fix of PR 2 covers: a due packet parked in the shaper, or still in a
+// ring, must not wait behind a far-future "next release" answer) —
+// otherwise the group's soonest shaper deadline. Group-worker-side.
+func (m *MultiShaped) GroupNextTimer(g int, now int64) (int64, bool) {
+	if m.rt.GroupSchedLen(g) > 0 {
+		return now, true
+	}
+	r, ok := m.rt.GroupNextRelease(g, uint64(now))
+	if m.rt.GroupSchedLen(g) > 0 {
+		// The migration pass inside GroupNextRelease moved due packets
+		// into the group's schedulers: they are eligible NOW.
+		return now, true
+	}
+	if !ok {
+		return 0, false
+	}
+	t := int64(r)
+	if t < now {
+		t = now
+	}
+	return t, true
+}
+
+// --- Parallel-egress contention replays (the egress experiment substrate) ---
+
+// EgressResult reports one parallel-egress contention replay.
+type EgressResult struct {
+	// Packets is the total number of packets pushed through the qdisc.
+	Packets int
+	// Elapsed is the wall time from first enqueue to last dequeue.
+	Elapsed time.Duration
+	// PerGroup is how many packets each group's worker drained.
+	PerGroup []int64
+}
+
+// Mpps returns aggregate million packets per second through the qdisc.
+func (r EgressResult) Mpps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.Elapsed.Seconds() / 1e6
+}
+
+// ReplayEgress replays the many-senders scenario against a parallel-
+// egress front: one goroutine per packet set enqueues (per packet or in
+// ProducerBatch runs) while one drain worker PER CONSUMER GROUP
+// concurrently pops its group until every packet has come back out. The
+// workload contract matches ReplayContentionOpts — detached packets,
+// replayable — so locked, single-consumer, and multi-consumer rows are
+// directly comparable.
+func ReplayEgress(m *MultiSharded, packets [][]*pkt.Packet, opt ContentionOptions) EgressResult {
+	total := 0
+	for _, set := range packets {
+		total += len(set)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := range packets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			produce(m, packets[w], opt)
+		}(w)
+	}
+	var producersDone atomic.Bool
+	go func() { wg.Wait(); producersDone.Store(true) }()
+
+	now := horizon // beyond every SendAt: everything is always eligible
+	G := m.NumGroups()
+	perGroup := make([]int64, G)
+	var consumed atomic.Int64
+	var cwg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		cwg.Add(1)
+		go func(g int) {
+			defer cwg.Done()
+			out := make([]*pkt.Packet, 1024)
+			var suspectSince time.Time
+			for {
+				k := m.GroupDequeueBatch(g, now, out)
+				if k > 0 {
+					perGroup[g] += int64(k) // worker-private slot; read after join
+					consumed.Add(int64(k))
+					suspectSince = time.Time{}
+					continue
+				}
+				if consumed.Load() >= int64(total) {
+					return
+				}
+				if producersDone.Load() && m.Len() == 0 && consumed.Load() < int64(total) {
+					// Looks like lost packets — but unlike the single-consumer
+					// replay, this observation RACES the other workers: a peer
+					// may have popped the final batch (Len is already 0) and
+					// not yet added it to consumed. That window closes as soon
+					// as the peer runs again, so only a condition that
+					// PERSISTS is a real loss. Defensive: a correct front
+					// can't get here durably.
+					if suspectSince.IsZero() {
+						suspectSince = time.Now()
+					} else if time.Since(suspectSince) > 2*time.Second {
+						panic("qdisc: egress replay lost packets")
+					}
+				} else {
+					suspectSince = time.Time{}
+				}
+				runtime.Gosched()
+			}
+		}(g)
+	}
+	cwg.Wait()
+	elapsed := time.Since(start)
+	wg.Wait()
+	return EgressResult{Packets: total, Elapsed: elapsed, PerGroup: perGroup}
+}
+
+// ReplayEgressFidelity checks the parallel-egress ordering contract: every
+// packet set enqueues from its own goroutine; once everything is
+// published, one worker per group drains concurrently, each recording
+// which packets it released and in what order. It returns how many
+// packets came out, how many left their flow's publish order
+// (orderViolations — per-flow order must survive parallel egress exactly,
+// EgressPackets having made each flow's eligible order well defined), and
+// how many flows were released by a group other than the one that owns
+// them (groupViolations — the partition invariant: a flow has exactly one
+// egress worker).
+func ReplayEgressFidelity(m *MultiSharded, packets [][]*pkt.Packet, opt ContentionOptions) (released, orderViolations, groupViolations int) {
+	expected := map[uint64][]uint64{}
+	for _, set := range packets {
+		for _, p := range set {
+			expected[p.Flow] = append(expected[p.Flow], p.ID)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := range packets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			produce(m, packets[w], opt)
+		}(w)
+	}
+	wg.Wait()
+
+	type rec struct {
+		flow, id uint64
+	}
+	G := m.NumGroups()
+	seqs := make([][]rec, G) // worker-private; merged after the join
+	var cwg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		cwg.Add(1)
+		go func(g int) {
+			defer cwg.Done()
+			out := make([]*pkt.Packet, 1024)
+			for {
+				k := m.GroupDequeueBatch(g, horizon, out)
+				if k == 0 {
+					return // quiescent publish: an empty pop means the group is drained
+				}
+				for _, p := range out[:k] {
+					seqs[g] = append(seqs[g], rec{p.Flow, p.ID})
+				}
+			}
+		}(g)
+	}
+	cwg.Wait()
+
+	flowGroup := map[uint64]int{}
+	pos := map[uint64]int{}
+	for g, seq := range seqs {
+		for _, r := range seq {
+			if owner, seen := flowGroup[r.flow]; !seen {
+				flowGroup[r.flow] = g
+				if m.GroupFor(r.flow) != g {
+					groupViolations++
+				}
+			} else if owner != g {
+				groupViolations++
+			}
+			ids := expected[r.flow]
+			if i := pos[r.flow]; i >= len(ids) || ids[i] != r.id {
+				orderViolations++
+			}
+			pos[r.flow]++
+			released++
+		}
+	}
+	return released, orderViolations, groupViolations
+}

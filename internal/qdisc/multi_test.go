@@ -1,0 +1,439 @@
+package qdisc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"eiffel/internal/pkt"
+)
+
+// TestMultiShardedGroupFidelity is the group-fidelity property test at
+// the qdisc level: concurrent batched producers, then one worker per
+// group draining concurrently. Every flow must be released by exactly its
+// owning group and in exactly its publish order — the acceptance
+// invariant of the egress experiment, asserted here deterministically.
+func TestMultiShardedGroupFidelity(t *testing.T) {
+	packets := EgressPackets(4, 4000, 400)
+	for _, groups := range []int{1, 2, 4} {
+		for _, batch := range []int{0, 256} {
+			m := NewMultiSharded(MultiShardedOptions{
+				ShardedOptions: ShardedOptions{Shards: 8, Buckets: 2048, HorizonNs: horizon, RingBits: 10},
+				Groups:         groups,
+			})
+			released, orderViol, groupViol := ReplayEgressFidelity(m, packets, ContentionOptions{ProducerBatch: batch})
+			if released != 4*4000 {
+				t.Fatalf("G=%d batch=%d: released %d of %d", groups, batch, released, 4*4000)
+			}
+			if orderViol != 0 {
+				t.Fatalf("G=%d batch=%d: %d per-flow order violations, want 0", groups, batch, orderViol)
+			}
+			if groupViol != 0 {
+				t.Fatalf("G=%d batch=%d: %d flow-group violations, want 0", groups, batch, groupViol)
+			}
+			if m.Len() != 0 {
+				t.Fatalf("G=%d batch=%d: Len = %d after full drain", groups, batch, m.Len())
+			}
+		}
+	}
+}
+
+// TestMultiShardedMatchesShardedPerFlow publishes one packet stream into
+// the single-consumer Sharded qdisc and then into a four-group
+// MultiSharded, drains the latter with four concurrent workers, and
+// requires every flow's release order to be identical — parallel egress
+// relaxes only the cross-flow interleaving between groups.
+func TestMultiShardedMatchesSharedPerFlow(t *testing.T) {
+	packets := EgressPackets(1, 8000, 250)
+
+	single := NewSharded(ShardedOptions{Shards: 8, Buckets: 2048, HorizonNs: horizon, RingBits: 10})
+	for _, p := range packets[0] {
+		single.Enqueue(p, 0)
+	}
+	want := map[uint64][]uint64{}
+	for {
+		p := single.Dequeue(horizon)
+		if p == nil {
+			break
+		}
+		want[p.Flow] = append(want[p.Flow], p.ID)
+	}
+
+	m := NewMultiSharded(MultiShardedOptions{
+		ShardedOptions: ShardedOptions{Shards: 8, Buckets: 2048, HorizonNs: horizon, RingBits: 10},
+		Groups:         4,
+	})
+	for _, p := range packets[0] {
+		m.Enqueue(p, 0)
+	}
+	got := map[uint64][]uint64{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < m.NumGroups(); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]*pkt.Packet, 128)
+			local := map[uint64][]uint64{}
+			for {
+				k := m.GroupDequeueBatch(g, horizon, out)
+				if k == 0 {
+					break
+				}
+				for _, p := range out[:k] {
+					local[p.Flow] = append(local[p.Flow], p.ID)
+				}
+			}
+			mu.Lock()
+			for f, ids := range local {
+				got[f] = append(got[f], ids...)
+			}
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	if len(got) != len(want) {
+		t.Fatalf("flow sets differ: %d vs %d", len(got), len(want))
+	}
+	for f, ids := range want {
+		g := got[f]
+		if len(g) != len(ids) {
+			t.Fatalf("flow %d: %d packets under groups, %d under single consumer", f, len(g), len(ids))
+		}
+		for i := range ids {
+			if g[i] != ids[i] {
+				t.Fatalf("flow %d position %d: packet %d under groups, %d under single consumer",
+					f, i, g[i], ids[i])
+			}
+		}
+	}
+}
+
+// TestPolicyShardedGroupsMatchSingleConsumer is the policy half of the
+// group partition invariant: for pFabric, LQF, and flow-FIFO programs,
+// per-flow dequeue order under four concurrent group workers must be
+// IDENTICAL to the single-consumer qdisc — shard-confined policy
+// execution composes with consumer groups because a flow's whole policy
+// state lives in one shard of one group.
+func TestPolicyShardedGroupsMatchSingleConsumer(t *testing.T) {
+	const policyFIFO = `
+root ranker=strict
+leaf ff parent=root kind=flow policy=fifo buckets=4096 gran=64
+`
+	specs := map[string]string{
+		"pfabric": PolicySpecPFabric,
+		"lqf":     PolicySpecLQF,
+		"fifo":    policyFIFO,
+	}
+	for name, spec := range specs {
+		packets := PolicyPackets(4, 3000, 64)
+		mk := func(groups int) *PolicySharded {
+			q, err := NewPolicySharded(PolicyShardedOptions{Policy: spec, Shards: 8, Groups: groups})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return q
+		}
+
+		drain := func(q *PolicySharded, groups int) map[uint64][]uint64 {
+			for _, set := range packets {
+				for _, p := range set {
+					q.Enqueue(p, 0)
+				}
+			}
+			seq := map[uint64][]uint64{}
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for g := 0; g < groups; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					out := make([]*pkt.Packet, 64)
+					local := map[uint64][]uint64{}
+					for {
+						k := q.GroupDequeueBatch(g, 0, out)
+						if k == 0 {
+							break
+						}
+						for _, p := range out[:k] {
+							if q.GroupFor(p.Flow) != g {
+								panic("packet released by a group that does not own its flow")
+							}
+							local[p.Flow] = append(local[p.Flow], p.ID)
+						}
+					}
+					mu.Lock()
+					for f, ids := range local {
+						if len(seq[f]) > 0 {
+							mu.Unlock()
+							panic("flow drained by two groups")
+						}
+						seq[f] = ids
+					}
+					mu.Unlock()
+				}(g)
+			}
+			wg.Wait()
+			return seq
+		}
+
+		want := drain(mk(1), 1)
+		got := drain(mk(4), 4)
+		if len(got) != len(want) {
+			t.Fatalf("%s: flow sets differ: %d vs %d", name, len(got), len(want))
+		}
+		for f, ids := range want {
+			g := got[f]
+			if len(g) != len(ids) {
+				t.Fatalf("%s flow %d: %d packets under groups, %d under single consumer", name, f, len(g), len(ids))
+			}
+			for i := range ids {
+				if g[i] != ids[i] {
+					t.Fatalf("%s flow %d position %d: packet %d under groups, %d under single consumer",
+						name, f, i, g[i], ids[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiShardedServe exercises the worker-spawning front: Serve drains
+// every group into its sink until stopped.
+func TestMultiShardedServe(t *testing.T) {
+	m := NewMultiSharded(MultiShardedOptions{
+		ShardedOptions: ShardedOptions{Shards: 8, Buckets: 2048, HorizonNs: horizon, RingBits: 10},
+		Groups:         2,
+	})
+	packets := EgressPackets(1, 6000, 100)
+	sinks := []*CountingSink{{}, {}}
+	stop := m.Serve(func() int64 { return horizon }, []EgressSink{sinks[0], sinks[1]}, 64)
+	m.EnqueueBatch(packets[0], 0)
+	deadline := time.Now().Add(20 * time.Second)
+	for sinks[0].Count()+sinks[1].Count() < int64(len(packets[0])) {
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatalf("served %d of %d before deadline", sinks[0].Count()+sinks[1].Count(), len(packets[0]))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after serving everything", m.Len())
+	}
+	if sinks[0].Count() == 0 || sinks[1].Count() == 0 {
+		t.Fatalf("a group's sink saw no traffic: %d/%d", sinks[0].Count(), sinks[1].Count())
+	}
+}
+
+// TestShardedDirectDueNextTimerAfterDirectWindow is the satellite
+// regression test for the DirectDue delivery-window edge: a batch that
+// fills straight off the rings leaves due packets parked in the bucketed
+// queue (the fallback spill) AND in the rings, and NextTimer must still
+// answer "now" once the release buffer empties — not the far-future
+// answer a stale head cache would give.
+func TestShardedDirectDueNextTimerAfterDirectWindow(t *testing.T) {
+	q := NewSharded(ShardedOptions{
+		Shards: 1, Buckets: 1024, HorizonNs: 1 << 20,
+		RingBits: 3, Batch: 4, DirectDue: true,
+	})
+	pool := pkt.NewPool(32)
+	now := int64(1 << 16)
+	enq := func(sendAt int64) {
+		p := pool.Get()
+		p.Flow = 1
+		p.SendAt = sendAt
+		q.Enqueue(p, 0)
+	}
+	// Nine due packets: the ninth finds the 8-slot ring full and spills
+	// everything into the cFFS via the producer fallback...
+	for i := 0; i < 9; i++ {
+		enq(int64(i))
+	}
+	// ...then refill the ring with eight more due packets, so the next
+	// batch's direct window can fill from ring traffic.
+	for i := 100; i < 108; i++ {
+		enq(int64(i))
+	}
+	// Drain exactly one release-buffer fill (Batch=4) packet by packet.
+	for i := 0; i < 4; i++ {
+		if p := q.Dequeue(now); p == nil {
+			t.Fatalf("Dequeue %d returned nil with a due backlog", i)
+		}
+	}
+	// 13 due packets remain, split between ring and bucketed queue; the
+	// buffer is empty. The very next service moment is NOW.
+	if next, ok := q.NextTimer(now); !ok || next != now {
+		t.Fatalf("NextTimer = (%d,%v) with %d due packets queued, want (%d,true)",
+			next, ok, q.Len(), now)
+	}
+	// And the remaining backlog must drain completely at now.
+	got := 0
+	for q.Dequeue(now) != nil {
+		got++
+	}
+	if got != 13 {
+		t.Fatalf("drained %d after the direct window, want 13", got)
+	}
+}
+
+// TestShapedShardedNextTimerAfterDueDelivery pins the shaped analogue of
+// the DirectDue delivery-window edge (the class of bug PR 2's NextRelease
+// fix covered): packets that were still in the RINGS when they became due
+// are routed straight into the schedulers by the delivery pass
+// (flushDueLocked), and NextTimer must answer "now" while any of them
+// remain undelivered — including right after a batch filled the release
+// buffer and was handed out.
+func TestShapedShardedNextTimerAfterDueDelivery(t *testing.T) {
+	q := NewShapedSharded(ShapedShardedOptions{
+		Shards: 2, ShaperBuckets: 1000, HorizonNs: 2000,
+		SchedBuckets: 512, RankSpan: 1024, Batch: 4,
+	})
+	pool := pkt.NewPool(32)
+	now := int64(500)
+	for i := 0; i < 20; i++ {
+		q.Enqueue(mkShaped(pool, uint64(i), int64(i%100), uint64(i)), 0)
+	}
+	// Everything is due at now but still sitting in rings: the first
+	// NextTimer's migration pass delivers ring packets straight into the
+	// schedulers, and the answer must be "now".
+	if next, ok := q.NextTimer(now); !ok || next != now {
+		t.Fatalf("NextTimer(%d) = (%d,%v) with 20 due ring packets, want now", now, next, ok)
+	}
+	// Drain one full release-buffer fill; scheduler backlog remains, so
+	// the next service moment is still NOW.
+	for i := 0; i < 4; i++ {
+		if p := q.Dequeue(now); p == nil {
+			t.Fatalf("Dequeue %d returned nil with a due backlog", i)
+		}
+	}
+	if next, ok := q.NextTimer(now); !ok || next != now {
+		t.Fatalf("NextTimer after the delivery window = (%d,%v), want now", next, ok)
+	}
+	got := 4
+	for q.Dequeue(now) != nil {
+		got++
+	}
+	if got != 20 {
+		t.Fatalf("drained %d, want 20", got)
+	}
+	if _, ok := q.NextTimer(now); ok {
+		t.Fatal("NextTimer ok on a fully drained qdisc")
+	}
+}
+
+// TestMultiShapedGroupNextTimer pins the same delivery-window contract on
+// the parallel front: each group's GroupNextTimer must answer "now"
+// whenever ITS migration pass just made packets eligible, and groups must
+// answer independently (a due backlog in one group must not surface in
+// another's timer).
+func TestMultiShapedGroupNextTimer(t *testing.T) {
+	m := NewMultiShaped(MultiShapedOptions{
+		ShapedShardedOptions: ShapedShardedOptions{
+			Shards: 4, ShaperBuckets: 1000, HorizonNs: 2000,
+			SchedBuckets: 512, RankSpan: 1024,
+		},
+		Groups: 2,
+	})
+	pool := pkt.NewPool(64)
+	// Find one flow per group.
+	flowIn := func(g int) uint64 {
+		for f := uint64(0); ; f++ {
+			if m.GroupFor(f) == g {
+				return f
+			}
+		}
+	}
+	f0, f1 := flowIn(0), flowIn(1)
+
+	// Group 0: a due packet still in its ring. Group 1: a future packet.
+	m.Enqueue(mkShaped(pool, f0, 100, 3), 0)
+	m.Enqueue(mkShaped(pool, f1, 900, 5), 0)
+	now := int64(200)
+	if next, ok := m.GroupNextTimer(0, now); !ok || next != now {
+		t.Fatalf("group 0 NextTimer = (%d,%v) with a due ring packet, want now", next, ok)
+	}
+	if next, ok := m.GroupNextTimer(1, now); !ok || next != 900 {
+		t.Fatalf("group 1 NextTimer = (%d,%v), want its own shaper deadline 900", next, ok)
+	}
+
+	out := make([]*pkt.Packet, 8)
+	if k := m.GroupDequeueBatch(0, now, out); k != 1 {
+		t.Fatalf("group 0 drained %d, want its 1 due packet", k)
+	}
+	if _, ok := m.GroupNextTimer(0, now); ok {
+		t.Fatal("group 0 NextTimer ok after draining its only packet")
+	}
+	if k := m.GroupDequeueBatch(1, 900, out); k != 1 {
+		t.Fatalf("group 1 drained %d at its deadline, want 1", k)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after both groups drained", m.Len())
+	}
+}
+
+// TestMultiShapedGroupFidelity drains a shaped workload with concurrent
+// group workers and checks the parallel contract: the flow→group
+// partition holds and priority order within each group's output is exact
+// to scheduler-bucket granularity.
+func TestMultiShapedGroupFidelity(t *testing.T) {
+	const rankSpan = uint64(1) << 20
+	m := NewMultiShaped(MultiShapedOptions{
+		ShapedShardedOptions: ShapedShardedOptions{
+			Shards: 8, ShaperBuckets: 2048, HorizonNs: horizon,
+			SchedBuckets: 256, RankSpan: rankSpan, RingBits: 10,
+		},
+		Groups: 4,
+	})
+	packets := ShapedPackets(4, 3000, rankSpan)
+	var wg sync.WaitGroup
+	for w := range packets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			produce(m, packets[w], ContentionOptions{ProducerBatch: 128})
+		}(w)
+	}
+	wg.Wait()
+
+	gran := m.RankGranularity()
+	G := m.NumGroups()
+	released := make([]int, G)
+	var cwg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		cwg.Add(1)
+		go func(g int) {
+			defer cwg.Done()
+			out := make([]*pkt.Packet, 256)
+			var last uint64
+			for {
+				k := m.GroupDequeueBatch(g, horizon, out)
+				if k == 0 {
+					return
+				}
+				for _, p := range out[:k] {
+					if m.GroupFor(p.Flow) != g {
+						panic("packet released by a group that does not own its flow")
+					}
+					qr := p.Rank / gran
+					if released[g] > 0 && qr < last {
+						panic("priority inversion beyond bucket granularity inside a group")
+					}
+					last = qr
+					released[g]++
+				}
+			}
+		}(g)
+	}
+	cwg.Wait()
+	total := 0
+	for _, n := range released {
+		total += n
+	}
+	if total != 4*3000 {
+		t.Fatalf("released %d of %d", total, 4*3000)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", m.Len())
+	}
+}

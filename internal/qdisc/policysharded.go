@@ -279,6 +279,15 @@ func compileProgram(spec, leafName string) (*compiledProgram, error) {
 	return cp, nil
 }
 
+// policyGroup is one consumer group's qdisc-side drain state: the group's
+// last-propagated clock and its node→packet conversion scratch. Padded so
+// concurrent group workers never false-share.
+type policyGroup struct {
+	lastNow int64
+	scratch []*shardq.Node
+	_       [64]byte
+}
+
 // PolicySharded runs an extended-PIFO policy program on the sharded
 // multi-producer runtime: flows hash to one of N shards, each owning a
 // private compiled pifo.Tree behind a lock-free MPSC ring, so pFabric,
@@ -289,8 +298,12 @@ func compileProgram(spec, leafName string) (*compiledProgram, error) {
 // policysched experiment measures the residual fairness error.
 //
 // Concurrency contract matches Sharded: Enqueue/EnqueueBatch from any
-// number of goroutines; Dequeue, DequeueBatch, and NextTimer from a single
-// consumer goroutine.
+// number of goroutines. The single-consumer surface (Dequeue,
+// DequeueBatch, NextTimer) must be driven by one goroutine with exclusive
+// access to every consumer group; with Options.Groups > 1 the
+// group-worker surface (GroupDequeueBatch) may instead be driven by one
+// goroutine per group, distinct groups concurrently — do not mix the two
+// surfaces while group workers run.
 //
 // Rate limits inside the program apply PER SHARD (each shard runs its own
 // copy of the tree, shaper included), so a limited class's aggregate rate
@@ -300,7 +313,11 @@ type PolicySharded struct {
 	rt       *shardq.Q
 	backends []*treeSched
 	name     string
-	lastNow  int64
+
+	// groups holds per-consumer-group drain state; the single-consumer
+	// surface serves every group from the calling goroutine, the
+	// group-worker surface (GroupDequeueBatch) one group per goroutine.
+	groups []policyGroup
 
 	// direct mirrors the backends' fast-path selection and switches the
 	// publication format: (rank annotation, flow id) over the ring's
@@ -334,6 +351,12 @@ type PolicyShardedOptions struct {
 	Leaf string
 	// Shards is the shard count, rounded up to a power of two (default 8).
 	Shards int
+	// Groups is the consumer-group count (default 1), as in
+	// MultiShardedOptions: each group's GroupDequeueBatch may be driven by
+	// its own worker goroutine. Flow-hash confinement keeps every flow's
+	// backlog — and so its policy state — on one shard inside one group,
+	// so per-flow policy order stays EXACT under parallel egress.
+	Groups int
 	// RingBits sizes each shard's MPSC ring at 1<<RingBits slots
 	// (default 10).
 	RingBits uint
@@ -361,6 +384,7 @@ func NewPolicySharded(opt PolicyShardedOptions) (*PolicySharded, error) {
 	}
 	s.rt = shardq.New(shardq.Options{
 		NumShards: opt.Shards,
+		NumGroups: opt.Groups,
 		RingBits:  opt.RingBits,
 		Backend: func(int) shardq.Scheduler {
 			cp, err := compileProgram(opt.Policy, opt.Leaf)
@@ -372,6 +396,7 @@ func NewPolicySharded(opt PolicyShardedOptions) (*PolicySharded, error) {
 			return b
 		},
 	})
+	s.groups = make([]policyGroup, s.rt.NumGroups())
 	s.prodPool.New = func() any { return s.rt.NewProducer(0) }
 	return s, nil
 }
@@ -389,6 +414,37 @@ func (s *PolicySharded) Stats() shardq.Snapshot { return s.rt.Stats() }
 
 // NumShards returns the shard count.
 func (s *PolicySharded) NumShards() int { return s.rt.NumShards() }
+
+// NumGroups returns the consumer-group count.
+func (s *PolicySharded) NumGroups() int { return s.rt.NumGroups() }
+
+// GroupFor returns the consumer group that drains flow's shard — the only
+// group whose worker ever releases that flow's packets.
+func (s *PolicySharded) GroupFor(flow uint64) int { return s.rt.GroupFor(flow) }
+
+// GroupDequeueBatch pops up to len(out) packets from consumer group g's
+// shards in the group's merged policy order and returns how many it
+// wrote. Group-worker-side: distinct groups may be driven concurrently,
+// each worker passing its own clock; per-flow policy order (pFabric
+// remaining-size, LQF re-ranking, flow FIFO) is EXACT — identical to the
+// single-consumer qdisc — because a flow's whole backlog lives in one
+// shard of one group. Do not mix with the single-consumer surface
+// (Dequeue/DequeueBatch/NextTimer) while group workers run: that surface
+// assumes exclusive access to every group.
+func (s *PolicySharded) GroupDequeueBatch(g int, now int64, out []*pkt.Packet) int {
+	s.advanceGroupClock(g, now)
+	gs := &s.groups[g]
+	if cap(gs.scratch) < len(out) {
+		gs.scratch = make([]*shardq.Node, len(out))
+	}
+	nodes := gs.scratch[:len(out)]
+	k := s.rt.GroupDequeueBatch(g, ^uint64(0), nodes)
+	for i := 0; i < k; i++ {
+		out[i] = pkt.FromSchedNode(nodes[i])
+	}
+	clear(nodes[:k]) // drop the handles: scratch must not pin released packets
+	return k
+}
 
 // Enqueue implements Qdisc: the packet publishes on its flow's shard; the
 // shard's program runs the enqueue transactions when the element is
@@ -424,26 +480,38 @@ func (s *PolicySharded) EnqueueBatch(ps []*pkt.Packet, now int64) {
 	s.prodPool.Put(b)
 }
 
-// advanceClock propagates the consumer's clock into every shard backend so
-// dequeue-side transactions see it, waking trees stalled on shaper gates.
-// The clock and stall flags are atomics, so this costs one load-compare
-// (and, when the clock moved, a store pair) per shard — no shard locks,
-// even though producers whose rings filled read the same fields on their
-// fallback flush paths.
-func (s *PolicySharded) advanceClock(now int64) {
-	if now == s.lastNow {
+// advanceGroupClock propagates group g's worker clock into that group's
+// shard backends so dequeue-side transactions see it, waking trees
+// stalled on shaper gates. The clock and stall flags are atomics, so this
+// costs one load-compare (and, when the clock moved, a store pair) per
+// shard — no shard locks, even though producers whose rings filled read
+// the same fields on their fallback flush paths. Group-worker-side: each
+// group's clock advances independently, and a backend only ever belongs
+// to one group.
+func (s *PolicySharded) advanceGroupClock(g int, now int64) {
+	gs := &s.groups[g]
+	if now == gs.lastNow {
 		return
 	}
-	s.lastNow = now
+	gs.lastNow = now
+	lo, hi := s.rt.GroupShards(g)
 	stalled := false
-	for _, b := range s.backends {
+	for _, b := range s.backends[lo:hi] {
 		stalled = stalled || b.stalled.Load()
 		b.setNow(now)
 	}
 	if stalled {
 		// A stalled backend reported itself empty to the merge's head
 		// cache; force a re-peek now that the clock moved.
-		s.rt.Flush()
+		s.rt.GroupFlush(g)
+	}
+}
+
+// advanceClock propagates the consumer's clock into every group's
+// backends — the single-consumer surface's clock rule.
+func (s *PolicySharded) advanceClock(now int64) {
+	for g := range s.groups {
+		s.advanceGroupClock(g, now)
 	}
 }
 

@@ -1,0 +1,412 @@
+package shardq
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+func newGroupedQ(shards, groups int) *Q {
+	return New(Options{
+		NumShards: shards,
+		NumGroups: groups,
+		RingBits:  6,
+		Kind:      queue.KindCFFS,
+		Queue:     queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+	})
+}
+
+func TestGroupDefaultsAndRounding(t *testing.T) {
+	if got := New(Options{NumShards: 8}).NumGroups(); got != 1 {
+		t.Fatalf("default NumGroups = %d, want 1", got)
+	}
+	if got := New(Options{NumShards: 8, NumGroups: 3}).NumGroups(); got != 4 {
+		t.Fatalf("NumGroups(3) rounded to %d, want 4", got)
+	}
+	if got := New(Options{NumShards: 8, NumGroups: 64}).NumGroups(); got != 8 {
+		t.Fatalf("NumGroups(64) with 8 shards = %d, want clamp to 8", got)
+	}
+	q := New(Options{NumShards: 8, NumGroups: 4})
+	seen := make(map[int]bool)
+	for g := 0; g < q.NumGroups(); g++ {
+		lo, hi := q.GroupShards(g)
+		if hi-lo != 2 {
+			t.Fatalf("group %d owns [%d,%d), want 2 shards", g, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Fatalf("shard %d owned by two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("groups cover %d shards, want all 8", len(seen))
+	}
+	for flow := uint64(0); flow < 4096; flow++ {
+		g := q.GroupFor(flow)
+		lo, hi := q.GroupShards(g)
+		if s := q.ShardFor(flow); s < lo || s >= hi {
+			t.Fatalf("flow %d: shard %d outside GroupFor's range [%d,%d)", flow, s, lo, hi)
+		}
+	}
+}
+
+// TestGroupPartitionInvariant is the randomized group-partition property
+// test: many flows publish concurrently, four group workers drain
+// concurrently, and every element must come out of exactly the group its
+// flow hashes to — the invariant that makes parallel egress order-safe
+// with zero cross-worker synchronization.
+func TestGroupPartitionInvariant(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 3000
+		flows     = 257 // co-prime with everything in sight
+	)
+	q := newGroupedQ(8, 4)
+	flowOf := make(map[*bucket.Node]uint64)
+	var mu sync.Mutex // guards flowOf during the publish phase
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 99))
+			local := make(map[*bucket.Node]uint64, perProd)
+			for i := 0; i < perProd; i++ {
+				n := &bucket.Node{}
+				flow := uint64(w*flows + rng.Intn(flows))
+				local[n] = flow
+				q.Enqueue(flow, n, uint64(rng.Intn(1<<11)))
+			}
+			mu.Lock()
+			for n, f := range local {
+				flowOf[n] = f
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	G := q.NumGroups()
+	drained := make([][]*bucket.Node, G)
+	var cwg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		cwg.Add(1)
+		go func(g int) {
+			defer cwg.Done()
+			out := make([]*bucket.Node, 97)
+			for {
+				k := q.GroupDequeueBatch(g, ^uint64(0), out)
+				if k == 0 {
+					return // quiescent publish: empty pop == group drained
+				}
+				drained[g] = append(drained[g], out[:k]...)
+			}
+		}(g)
+	}
+	cwg.Wait()
+
+	total := 0
+	for g := range drained {
+		for _, n := range drained[g] {
+			flow, ok := flowOf[n]
+			if !ok {
+				t.Fatalf("group %d drained an unknown node", g)
+			}
+			if want := q.GroupFor(flow); want != g {
+				t.Fatalf("flow %d drained by group %d, owned by group %d", flow, g, want)
+			}
+			total++
+		}
+	}
+	if total != producers*perProd {
+		t.Fatalf("drained %d, want %d", total, producers*perProd)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", q.Len())
+	}
+}
+
+// TestGroupDrainMatchesSingleConsumerPerFlow publishes one identical
+// element stream into a single-group runtime and a four-group runtime,
+// then drains the first with one consumer and the second with four
+// concurrent group workers: every flow's dequeue order must be IDENTICAL.
+// This is the ordering half of the parallel-egress contract — groups
+// relax only the interleaving across flows that hash to different groups.
+func TestGroupDrainMatchesSingleConsumerPerFlow(t *testing.T) {
+	const n = 12000
+	const flows = 173
+	rng := rand.New(rand.NewSource(5))
+	type ev struct {
+		flow, rank uint64
+	}
+	evs := make([]ev, n)
+	for i := range evs {
+		evs[i] = ev{flow: uint64(rng.Intn(flows)), rank: uint64(rng.Intn(1 << 11))}
+	}
+
+	perFlow := func(q *Q, groups int) map[uint64][]int {
+		ids := make(map[*bucket.Node]int, n)
+		for i, e := range evs {
+			nd := &bucket.Node{}
+			ids[nd] = i
+			q.Enqueue(e.flow, nd, e.rank)
+		}
+		seq := make(map[uint64][]int)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for g := 0; g < groups; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				out := make([]*bucket.Node, 64)
+				local := make(map[uint64][]int)
+				for {
+					k := q.GroupDequeueBatch(g, ^uint64(0), out)
+					if k == 0 {
+						break
+					}
+					for _, nd := range out[:k] {
+						f := evs[ids[nd]].flow
+						local[f] = append(local[f], ids[nd])
+					}
+				}
+				mu.Lock()
+				for f, s := range local {
+					if len(seq[f]) > 0 {
+						mu.Unlock()
+						panic("flow drained by two groups")
+					}
+					seq[f] = s
+				}
+				mu.Unlock()
+			}(g)
+		}
+		wg.Wait()
+		return seq
+	}
+
+	single := perFlow(newGroupedQ(8, 1), 1)
+	grouped := perFlow(newGroupedQ(8, 4), 4)
+	if len(single) != len(grouped) {
+		t.Fatalf("flow sets differ: %d vs %d", len(single), len(grouped))
+	}
+	for f, want := range single {
+		got := grouped[f]
+		if len(got) != len(want) {
+			t.Fatalf("flow %d: %d elements under groups, %d under single consumer", f, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("flow %d position %d: element %d under groups, %d under single consumer",
+					f, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestDequeueMinAcrossGroups pins the group-less DequeueMin contract on a
+// multi-group runtime: the global minimum must come out first even when a
+// LATER group holds it — a naive first-non-empty-group pop would return
+// group 0's head instead.
+func TestDequeueMinAcrossGroups(t *testing.T) {
+	q := newGroupedQ(8, 4)
+	flowIn := func(g int) uint64 {
+		for f := uint64(0); ; f++ {
+			if q.GroupFor(f) == g {
+				return f
+			}
+		}
+	}
+	q.Enqueue(flowIn(0), &bucket.Node{}, 100)
+	q.Enqueue(flowIn(q.NumGroups()-1), &bucket.Node{}, 5)
+	q.Enqueue(flowIn(1), &bucket.Node{}, 50)
+	for i, want := range []uint64{5, 50, 100} {
+		n := q.DequeueMin()
+		if n == nil || n.Rank() != want {
+			t.Fatalf("DequeueMin %d = %v, want rank %d", i, n, want)
+		}
+	}
+	if q.DequeueMin() != nil {
+		t.Fatal("DequeueMin non-nil on an empty runtime")
+	}
+
+	sq := NewShaped(ShapedOptions{
+		NumShards: 8,
+		NumGroups: 4,
+		RingBits:  6,
+		Shaper:    queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+		Sched:     queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+		Pair:      pairElem,
+	})
+	a := newElem(10, 100)
+	b := newElem(10, 5)
+	sq.Enqueue(flowIn(0), &a.timer, a.sendAt, a.rank) // same hash → same group layout
+	sq.Enqueue(flowIn(3), &b.timer, b.sendAt, b.rank)
+	if n := sq.DequeueMin(20); n != &b.sched {
+		t.Fatalf("shaped DequeueMin returned %v, want the rank-5 element from the last group", n)
+	}
+	if n := sq.DequeueMin(20); n != &a.sched {
+		t.Fatalf("shaped DequeueMin second pop returned %v, want the rank-100 element", n)
+	}
+	if sq.DequeueMin(20) != nil {
+		t.Fatal("shaped DequeueMin non-nil on an empty runtime")
+	}
+}
+
+// TestLenNeverNegativeDuringChurn is the qlen/occupancy regression test:
+// producers squeezed through a tiny ring hammer the fallback-flush path
+// while a consumer drains and a reader samples Len the whole time. Len
+// must never go negative (the ring occupancy subtraction once loaded the
+// cursors in an order that let a racing drain-publish-refill wrap it
+// negative) and must return exactly to zero at quiescence — the mirror
+// may transiently over-count, but never under-count or stick.
+func TestLenNeverNegativeDuringChurn(t *testing.T) {
+	const producers = 2
+	const perProd = 30000
+	q := New(Options{
+		NumShards: 2,
+		RingBits:  2, // 4 slots: constant fallback + drain races
+		Kind:      queue.KindCFFS,
+		Queue:     queue.Config{NumBuckets: 1 << 10, Granularity: 1},
+	})
+
+	var stopRead atomic.Bool
+	var negative atomic.Int64
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for !stopRead.Load() {
+			if l := q.Len(); l < 0 {
+				negative.Store(int64(l))
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				q.Enqueue(uint64(w*perProd+i), &bucket.Node{}, uint64(i&1023))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	out := make([]*bucket.Node, 128)
+	consumed := 0
+	producersDone := false
+	deadline := time.Now().Add(20 * time.Second)
+	for consumed < producers*perProd {
+		k := q.DequeueBatch(^uint64(0), out)
+		consumed += k
+		if k > 0 {
+			continue
+		}
+		if producersDone {
+			t.Fatalf("consumed %d of %d with producers done", consumed, producers*perProd)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("churn run wedged")
+		}
+		select {
+		case <-done:
+			producersDone = true
+		default:
+		}
+		runtime.Gosched()
+	}
+	stopRead.Store(true)
+	rwg.Wait()
+	if n := negative.Load(); n != 0 {
+		t.Fatalf("Len went negative during churn: %d", n)
+	}
+	if l := q.Len(); l != 0 {
+		t.Fatalf("Len = %d at quiescence, want exactly 0", l)
+	}
+}
+
+// TestShapedGroupPartitionAndOrder is the shaped runtime's group test:
+// elements with release times and priorities publish across two groups,
+// each group's worker migrates and drains on its own clock, and the
+// output must keep (a) the flow→group partition, (b) release gating
+// (nothing before its sendAt bucket), and (c) priority order within each
+// group's drain.
+func TestShapedGroupPartitionAndOrder(t *testing.T) {
+	const n = 6000
+	q := NewShaped(ShapedOptions{
+		NumShards: 4,
+		NumGroups: 2,
+		RingBits:  6,
+		Shaper:    queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+		Sched:     queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+		Pair:      pairElem,
+	})
+	rng := rand.New(rand.NewSource(11))
+	elems := make(map[*bucket.Node]*elem, n) // keyed by SCHED handle (drains return it)
+	flowOfSched := make(map[*bucket.Node]uint64, n)
+	for i := 0; i < n; i++ {
+		e := newElem(uint64(rng.Intn(1<<10)), uint64(rng.Intn(1<<11)))
+		flow := uint64(rng.Intn(211))
+		elems[&e.sched] = e
+		flowOfSched[&e.sched] = flow
+		q.Enqueue(flow, &e.timer, e.sendAt, e.rank)
+	}
+
+	now := uint64(1 << 10) // everything due
+	var wg sync.WaitGroup
+	drained := make([][]*bucket.Node, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]*bucket.Node, 128)
+			for {
+				k := q.GroupDequeueBatch(g, now, ^uint64(0), out)
+				if k == 0 {
+					return
+				}
+				drained[g] = append(drained[g], out[:k]...)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for g := range drained {
+		last := uint64(0)
+		for i, nd := range drained[g] {
+			e, ok := elems[nd]
+			if !ok {
+				t.Fatalf("group %d drained an unknown handle", g)
+			}
+			if want := q.GroupFor(flowOfSched[nd]); want != g {
+				t.Fatalf("flow %d drained by group %d, owned by group %d", flowOfSched[nd], g, want)
+			}
+			if i > 0 && e.rank < last {
+				t.Fatalf("group %d: priority inversion %d after %d", g, e.rank, last)
+			}
+			last = e.rank
+			total++
+		}
+	}
+	if total != n {
+		t.Fatalf("drained %d, want %d", total, n)
+	}
+	if q.Len() != 0 || q.SchedLen() != 0 {
+		t.Fatalf("Len=%d SchedLen=%d after full drain", q.Len(), q.SchedLen())
+	}
+}

@@ -172,7 +172,17 @@ func (r *ring) publish() { r.consumed.Store(r.head) }
 
 // occupancy returns how many claimed slots are not yet known-consumed.
 // Safe from any goroutine; transiently overcounts by up to one drain.
-func (r *ring) occupancy() int64 { return int64(r.tail.Load() - r.consumed.Load()) }
+//
+// consumed is loaded BEFORE the tail, mirroring push: both cursors only
+// grow, so a consumed value read first can never exceed a tail value read
+// second and the difference is never negative. Loading tail first let a
+// concurrent drain-publish-refill between the two loads push consumed past
+// the stale tail, wrapping the subtraction into a negative occupancy that
+// Len briefly reported as a negative queue length.
+func (r *ring) occupancy() int64 {
+	cons := r.consumed.Load()
+	return int64(r.tail.Load() - cons)
+}
 
 // pushes returns how many elements were ever claimed into the ring. Safe
 // from any goroutine.

@@ -1,6 +1,7 @@
 package shardq
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -138,6 +139,102 @@ func TestRingPushNStaleConsumedGuard(t *testing.T) {
 			t.Fatalf("pop %d after stale-view probe = (%p, %d, %v), want (%p, %d, true)",
 				i, n, rank, ok, pubs[i].n, pubs[i].rank)
 		}
+	}
+}
+
+// TestRingPushNWraparoundProperty is the randomized wraparound property
+// test for the multi-slot claim contract, pinning the audit of pushN's
+// partial-claim behavior when a claim wraps the ring near-full against a
+// LAGGING consumed cursor. The free-slot count is computed from a
+// consumed value loaded BEFORE the tail, so a stale view only ever
+// undercounts and a partial claim of k slots can never overlap a slot the
+// consumer has not both popped AND published; the first slot's release
+// store publishes the interior plain stores before the consumer can poll
+// past it. To make the claims constantly wrap near the full mark, the
+// ring is tiny, producers push random-length runs, and the consumer pops
+// random amounts but republishes its cursor only every few drains — so
+// producers measure fullness against a cursor that lags the true head by
+// several pops, exactly the window the audited hole would live in. The
+// property: nothing lost, nothing duplicated, per-producer FIFO intact.
+func TestRingPushNWraparoundProperty(t *testing.T) {
+	const producers = 4
+	const perProducer = 8192
+	r := newRing(3) // 8 slots: every few claims wrap the array
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			pubs := make([]pub, 11) // > ring size: claims are usually partial
+			for i := 0; i < perProducer; {
+				k := 1 + rng.Intn(len(pubs))
+				if i+k > perProducer {
+					k = perProducer - i
+				}
+				for j := 0; j < k; j++ {
+					pubs[j] = pub{n: &bucket.Node{}, rank: uint64(w)<<32 | uint64(i+j)}
+				}
+				done := 0
+				for done < k {
+					pushed := r.pushN(pubs[done:k])
+					if pushed == 0 {
+						runtime.Gosched()
+						continue
+					}
+					done += pushed
+				}
+				i += k
+			}
+		}(w)
+	}
+
+	rng := rand.New(rand.NewSource(424242))
+	seen := make(map[uint64]bool, producers*perProducer)
+	nextPerProducer := make([]uint64, producers)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	producersDone := false
+	for len(seen) < producers*perProducer {
+		// Pop a random run, then lag the publication: only every third
+		// drain (on average) frees the consumed slots for the next lap.
+		popped := 0
+		for burst := 1 + rng.Intn(8); popped < burst; popped++ {
+			_, rank, _, ok := r.pop()
+			if !ok {
+				break
+			}
+			if seen[rank] {
+				t.Fatalf("duplicate element %x", rank)
+			}
+			seen[rank] = true
+			w, i := rank>>32, rank&0xffffffff
+			if i != nextPerProducer[w] {
+				t.Fatalf("producer %d out of order: got %d, want %d", w, i, nextPerProducer[w])
+			}
+			nextPerProducer[w]++
+		}
+		if rng.Intn(3) == 0 || popped == 0 {
+			r.publish()
+		}
+		if popped == 0 {
+			if producersDone {
+				t.Fatalf("producers done, ring empty, but only %d of %d consumed",
+					len(seen), producers*perProducer)
+			}
+			select {
+			case <-done:
+				producersDone = true
+			default:
+			}
+			runtime.Gosched()
+		}
+	}
+	r.publish()
+	wg.Wait()
+	if !r.empty() {
+		t.Fatal("ring not empty after all elements consumed and published")
 	}
 }
 

@@ -34,6 +34,11 @@ type ShapedOptions struct {
 	// config spans 2*NumBuckets*Granularity of rank space from Start, the
 	// cFFS convention.
 	Sched queue.Config
+	// NumGroups partitions the shards into independent consumer groups
+	// (default 1), exactly as Options.NumGroups does for the plain
+	// runtime: each group's drain surface may be driven by its own worker
+	// goroutine, and flows never span groups.
+	NumGroups int
 	// SchedMoving selects a circular cFFS for the scheduler side, for
 	// priority domains that move forward without bound (virtual finish
 	// times). The default is a fixed-range FFS-indexed vector-bucket store
@@ -47,8 +52,8 @@ type ShapedOptions struct {
 }
 
 func (o ShapedOptions) withDefaults() ShapedOptions {
-	base := Options{NumShards: o.NumShards, RingBits: o.RingBits}.withDefaults()
-	o.NumShards, o.RingBits = base.NumShards, base.RingBits
+	base := Options{NumShards: o.NumShards, RingBits: o.RingBits, NumGroups: o.NumGroups}.withDefaults()
+	o.NumShards, o.RingBits, o.NumGroups = base.NumShards, base.RingBits, base.NumGroups
 	return o
 }
 
@@ -203,25 +208,23 @@ func (s *shapedShard) flushDueLocked(pair PairFunc, due uint64) (drained, direct
 // granularity — the combination hardware PIFOs cannot express.
 //
 // Concurrency contract matches Q: Enqueue from any number of goroutines;
-// DequeueBatch, DequeueMin, NextRelease, SchedLen, Flush from a single
-// consumer goroutine.
+// each consumer group's drain surface (GroupDequeueBatch, GroupNextRelease,
+// GroupFlush) from one goroutine per group, distinct groups concurrently;
+// the group-less surface (DequeueBatch, DequeueMin, NextRelease, Flush)
+// requires exclusive access to every group. Each group worker passes its
+// own clock value — groups migrate and drain on independent clocks, and
+// because flows never span groups, per-flow shaping and priority order
+// stay exactly the single-consumer order regardless of clock skew between
+// workers.
 type Shaped struct {
 	shards    []shapedShard
 	shardBits uint
 	pair      PairFunc
 
-	// shaperHeads caches each shard's soonest release time; schedHeads
-	// caches each shard's minimum priority. Consumer-owned scratch.
-	shaperHeads []headState
-	schedHeads  []headState
-
-	// schedN counts elements currently sitting in scheduler queues
-	// (migrated but not yet drained), readable from any goroutine.
-	schedN atomic.Int64
-
-	migScratch []*bucket.Node // migration conversion space
-	migNs      []*bucket.Node // paired-handle staging for batched migration
-	migRanks   []uint64
+	// groups holds each consumer group's private drain state (cached
+	// heads, migration scratch); groupShift maps shard→group.
+	groups     []shapedGroup
+	groupShift uint
 
 	// prodPool recycles staging ShapedProducers for the one-shot
 	// EnqueueBatch surface (see Q.prodPool).
@@ -237,6 +240,31 @@ type Shaped struct {
 	bulkClaimed stats.Counter
 }
 
+// shapedGroup is one consumer group's private drain state for the shaped
+// runtime: cached shaper/scheduler heads for its shards, the group's own
+// migration scratch (group workers migrate concurrently, so the scratch
+// cannot be shared), and the group's count of scheduler-resident
+// elements. Padded like groupState.
+type shapedGroup struct {
+	lo, hi int
+
+	// shaperHeads caches each owned shard's soonest release time;
+	// schedHeads caches each owned shard's minimum priority. Both indexed
+	// by shard-lo.
+	shaperHeads []headState
+	schedHeads  []headState
+
+	migScratch []*bucket.Node // migration conversion space
+	migNs      []*bucket.Node // paired-handle staging for batched migration
+	migRanks   []uint64
+
+	// schedN counts this group's elements currently sitting in scheduler
+	// queues (migrated but not yet drained), readable from any goroutine.
+	schedN atomic.Int64
+
+	_ [64]byte
+}
+
 // NewShaped returns a shaped-and-scheduled runtime whose shards each own a
 // shaper and a scheduler built from opt.
 func NewShaped(opt ShapedOptions) *Shaped {
@@ -245,14 +273,22 @@ func NewShaped(opt ShapedOptions) *Shaped {
 	}
 	opt = opt.withDefaults()
 	q := &Shaped{
-		shards:      make([]shapedShard, opt.NumShards),
-		shardBits:   uint(bits.TrailingZeros(uint(opt.NumShards))),
-		pair:        opt.Pair,
-		shaperHeads: make([]headState, opt.NumShards),
-		schedHeads:  make([]headState, opt.NumShards),
-		migScratch:  make([]*bucket.Node, flushChunk),
-		migNs:       make([]*bucket.Node, flushChunk),
-		migRanks:    make([]uint64, flushChunk),
+		shards:    make([]shapedShard, opt.NumShards),
+		shardBits: uint(bits.TrailingZeros(uint(opt.NumShards))),
+		pair:      opt.Pair,
+	}
+	per := opt.NumShards / opt.NumGroups
+	q.groupShift = uint(bits.TrailingZeros(uint(per)))
+	q.groups = make([]shapedGroup, opt.NumGroups)
+	for g := range q.groups {
+		q.groups[g] = shapedGroup{
+			lo: g * per, hi: (g + 1) * per,
+			shaperHeads: make([]headState, per),
+			schedHeads:  make([]headState, per),
+			migScratch:  make([]*bucket.Node, flushChunk),
+			migNs:       make([]*bucket.Node, flushChunk),
+			migRanks:    make([]uint64, flushChunk),
+		}
 	}
 	for i := range q.shards {
 		s := &q.shards[i]
@@ -275,6 +311,16 @@ func NewShaped(opt ShapedOptions) *Shaped {
 // NumShards returns the shard count.
 func (q *Shaped) NumShards() int { return len(q.shards) }
 
+// NumGroups returns the consumer-group count.
+func (q *Shaped) NumGroups() int { return len(q.groups) }
+
+// GroupShards returns the half-open shard index range consumer group g
+// owns.
+func (q *Shaped) GroupShards(g int) (lo, hi int) { return q.groups[g].lo, q.groups[g].hi }
+
+// GroupFor returns the consumer group that drains flow's shard.
+func (q *Shaped) GroupFor(flow uint64) int { return q.ShardFor(flow) >> q.groupShift }
+
 // Len returns the number of queued elements (published but not yet
 // dequeued), wherever they sit: ring, shaper, or scheduler. Safe from any
 // goroutine; while producers and the consumer run it may transiently
@@ -291,7 +337,17 @@ func (q *Shaped) Len() int {
 // SchedLen returns how many elements have migrated into scheduler queues
 // but not yet been drained — i.e. elements that are release-eligible right
 // now. Safe from any goroutine, same transient-overcount caveat as Len.
-func (q *Shaped) SchedLen() int { return int(q.schedN.Load()) }
+func (q *Shaped) SchedLen() int {
+	var n int64
+	for g := range q.groups {
+		n += q.groups[g].schedN.Load()
+	}
+	return int(n)
+}
+
+// GroupSchedLen is SchedLen restricted to consumer group g's shards. Safe
+// from any goroutine.
+func (q *Shaped) GroupSchedLen(g int) int { return int(q.groups[g].schedN.Load()) }
 
 // Stats returns a snapshot of the operational counters.
 func (q *Shaped) Stats() Snapshot {
@@ -358,11 +414,12 @@ func (q *Shaped) EnqueueBatch(flows []uint64, ns []*Node, sendAts, ranks []uint6
 
 // migrate flushes shard i's ring and moves every element whose release
 // time is at or below now from the shaper into the scheduler, refreshing
-// both cached heads. Consumer-side. The whole move runs under one lock
-// acquisition and uses whole-bucket batch pops on the shaper side.
-func (q *Shaped) migrate(i int, now uint64) {
+// both cached heads in gr (shard i's owning group). Group-worker-side.
+// The whole move runs under one lock acquisition and uses whole-bucket
+// batch pops on the shaper side.
+func (q *Shaped) migrate(gr *shapedGroup, i int, now uint64) {
 	s := &q.shards[i]
-	sh, sc := &q.shaperHeads[i], &q.schedHeads[i]
+	sh, sc := &gr.shaperHeads[i-gr.lo], &gr.schedHeads[i-gr.lo]
 	// Idle fast path: nothing new in the ring, no fallback since the last
 	// look, and the cached shaper head is not yet due — the shard cannot
 	// contribute anything, so skip the lock entirely.
@@ -373,18 +430,18 @@ func (q *Shaped) migrate(i int, now uint64) {
 	s.mu.Lock()
 	drained, moved := s.flushDueLocked(q.pair, now)
 	for {
-		k := s.shaper.DequeueBatch(now, q.migScratch)
+		k := s.shaper.DequeueBatch(now, gr.migScratch)
 		if k == 0 {
 			break
 		}
 		// Convert to the paired scheduler handles and hand the whole run
 		// over in one backend call.
 		for j := 0; j < k; j++ {
-			sn := q.pair(q.migScratch[j])
-			q.migNs[j], q.migRanks[j] = sn, sn.Rank()
-			q.migScratch[j] = nil // do not pin migrated elements against GC
+			sn := q.pair(gr.migScratch[j])
+			gr.migNs[j], gr.migRanks[j] = sn, sn.Rank()
+			gr.migScratch[j] = nil // do not pin migrated elements against GC
 		}
-		s.sched.EnqueueBatch(q.migNs[:k], q.migRanks[:k])
+		s.sched.EnqueueBatch(gr.migNs[:k], gr.migRanks[:k])
 		moved += k
 	}
 	sh.rank, sh.ok = s.shaper.Min()
@@ -394,7 +451,7 @@ func (q *Shaped) migrate(i int, now uint64) {
 	sc.valid = true
 	s.mu.Unlock()
 	if moved > 0 {
-		q.schedN.Add(int64(moved))
+		gr.schedN.Add(int64(moved))
 		q.migrated.Add(uint64(moved))
 	}
 	if drained > 0 {
@@ -403,77 +460,151 @@ func (q *Shaped) migrate(i int, now uint64) {
 	}
 }
 
-// Flush drains every shard's ring into its shaper and migrates everything
-// due at now, refreshing the consumer's cached heads. Consumer-side.
-func (q *Shaped) Flush(now uint64) {
-	for i := range q.shards {
-		q.migrate(i, now)
+// GroupFlush drains every ring in group g into its shaper and migrates
+// everything due at now, refreshing the group's cached heads.
+// Group-worker-side.
+func (q *Shaped) GroupFlush(g int, now uint64) {
+	gr := &q.groups[g]
+	for i := gr.lo; i < gr.hi; i++ {
+		q.migrate(gr, i, now)
 	}
 }
 
-// NextRelease flushes pending rings and returns the minimum
-// bucket-quantized release time across every shard's shaper, or ok=false
-// if no element is waiting on time. Elements already migrated into
-// scheduler queues are release-eligible immediately and are NOT covered
-// here — check SchedLen first. Consumer-side; this is the aggregate
-// SoonestDeadline for arming the host timer.
-func (q *Shaped) NextRelease(now uint64) (uint64, bool) {
+// Flush drains every shard's ring into its shaper and migrates everything
+// due at now, refreshing every group's cached heads. Single-consumer
+// surface.
+func (q *Shaped) Flush(now uint64) {
+	for g := range q.groups {
+		q.GroupFlush(g, now)
+	}
+}
+
+// GroupNextRelease flushes group g's pending rings and returns the
+// minimum bucket-quantized release time across the group's shapers, or
+// ok=false if none of them holds an element waiting on time. Elements
+// already migrated into scheduler queues are release-eligible immediately
+// and are NOT covered here — check GroupSchedLen first (the migration
+// pass this call runs may itself have made elements eligible NOW).
+// Group-worker-side; this is the group's SoonestDeadline for arming its
+// worker's timer.
+func (q *Shaped) GroupNextRelease(g int, now uint64) (uint64, bool) {
+	gr := &q.groups[g]
 	min, ok := uint64(0), false
-	for i := range q.shards {
-		q.migrate(i, now)
-		if h := &q.shaperHeads[i]; h.ok && (!ok || h.rank < min) {
+	for i := gr.lo; i < gr.hi; i++ {
+		q.migrate(gr, i, now)
+		if h := &gr.shaperHeads[i-gr.lo]; h.ok && (!ok || h.rank < min) {
 			min, ok = h.rank, true
 		}
 	}
 	return min, ok
 }
 
-// DequeueBatch migrates every element due at now shaper→scheduler, then
-// pops up to len(out) elements whose bucket-quantized priority is at most
-// maxRank from the schedulers, merged across shards in global priority
-// order exactly as Q.DequeueBatch merges (minimum-head runs bounded by the
-// runner-up head). It returns how many nodes it wrote to out. A returned
-// node is always the element's PAIRED scheduler handle (elements reach a
-// scheduler only through Pair — at migration, or directly when flushed
-// already due); recover the element through Data, which both handles
-// share, or by the handle's owner offset when the pairing is an embedded
-// field. Consumer-side.
-func (q *Shaped) DequeueBatch(now, maxRank uint64, out []*bucket.Node) int {
+// NextRelease flushes pending rings and returns the minimum
+// bucket-quantized release time across every shard's shaper, or ok=false
+// if no element is waiting on time. Elements already migrated into
+// scheduler queues are release-eligible immediately and are NOT covered
+// here — check SchedLen first. Single-consumer surface; this is the
+// aggregate SoonestDeadline for arming the host timer.
+func (q *Shaped) NextRelease(now uint64) (uint64, bool) {
+	min, ok := uint64(0), false
+	for g := range q.groups {
+		if r, rok := q.GroupNextRelease(g, now); rok && (!ok || r < min) {
+			min, ok = r, true
+		}
+	}
+	return min, ok
+}
+
+// GroupDequeueBatch migrates every element due at now shaper→scheduler
+// within consumer group g, then pops up to len(out) elements whose
+// bucket-quantized priority is at most maxRank from the group's
+// schedulers, merged across the group's shards exactly as
+// Q.GroupDequeueBatch merges (minimum-head runs bounded by the runner-up
+// head). It returns how many nodes it wrote to out; a returned node is
+// always the element's PAIRED scheduler handle (see DequeueBatch).
+//
+// Group-worker-side: distinct groups may call this concurrently, each
+// with its own clock value. Flows never span groups, so per-flow release
+// gating and priority order are exactly the single-consumer order.
+func (q *Shaped) GroupDequeueBatch(g int, now, maxRank uint64, out []*bucket.Node) int {
 	if len(out) == 0 {
 		return 0
 	}
-	for i := range q.shards {
-		q.migrate(i, now)
+	gr := &q.groups[g]
+	for i := gr.lo; i < gr.hi; i++ {
+		q.migrate(gr, i, now)
 	}
 
 	// Producers cannot disturb the merge — they only ever publish into
 	// shapers, and this batch's migration pass is done — so the cached
 	// scheduler heads are exact for the whole drain.
-	total := mergeRuns(q.schedHeads, maxRank, out, func(best int, limit uint64, out []*bucket.Node) int {
-		s := &q.shards[best]
+	total := mergeRuns(gr.schedHeads, maxRank, out, func(best int, limit uint64, out []*bucket.Node) int {
+		s := &q.shards[gr.lo+best]
 		s.mu.Lock()
 		popped := s.sched.DequeueBatch(limit, out)
 		s.qlen.Add(int64(-popped))
 		r, ok := s.sched.Min()
-		q.schedHeads[best].rank, q.schedHeads[best].ok = r, ok
+		gr.schedHeads[best].rank, gr.schedHeads[best].ok = r, ok
 		s.mu.Unlock()
 		return popped
 	})
 	if total > 0 {
-		q.schedN.Add(int64(-total))
+		gr.schedN.Add(int64(-total))
 		q.batches.Inc()
 		q.batched.Add(uint64(total))
 	}
 	return total
 }
 
+// DequeueBatch migrates every element due at now shaper→scheduler, then
+// pops up to len(out) elements whose bucket-quantized priority is at most
+// maxRank from the schedulers, serving every consumer group from the
+// calling goroutine. With the default single group the merge spans all
+// shards in global priority order exactly as before groups existed; with
+// more groups the cross-group concatenation relaxes global order to group
+// granularity. A returned node is always the element's PAIRED scheduler
+// handle (elements reach a scheduler only through Pair — at migration, or
+// directly when flushed already due); recover the element through Data,
+// which both handles share, or by the handle's owner offset when the
+// pairing is an embedded field. Single-consumer surface.
+func (q *Shaped) DequeueBatch(now, maxRank uint64, out []*bucket.Node) int {
+	total := 0
+	for g := range q.groups {
+		total += q.GroupDequeueBatch(g, now, maxRank, out[total:])
+		if total == len(out) {
+			break
+		}
+	}
+	return total
+}
+
 // DequeueMin migrates due elements and pops the single highest-priority
 // release-eligible element (its scheduler handle), or nil if nothing is
-// eligible at now. Consumer-side; batch callers should prefer
-// DequeueBatch.
+// eligible at now. With multiple consumer groups it migrates every group
+// first and serves the group whose scheduler head has the minimum
+// priority, so the answer stays global. Single-consumer surface; batch
+// callers should prefer DequeueBatch.
 func (q *Shaped) DequeueMin(now uint64) *bucket.Node {
+	g := 0
+	if len(q.groups) > 1 {
+		bestRank, ok := uint64(0), false
+		for gi := range q.groups {
+			gr := &q.groups[gi]
+			for i := gr.lo; i < gr.hi; i++ {
+				q.migrate(gr, i, now)
+			}
+			for i := range gr.schedHeads {
+				if h := &gr.schedHeads[i]; h.ok && (!ok || h.rank < bestRank) {
+					g, bestRank, ok = gi, h.rank, true
+				}
+			}
+		}
+		if !ok {
+			return nil
+		}
+	}
 	var one [1]*bucket.Node
-	if q.DequeueBatch(now, ^uint64(0), one[:]) == 0 {
+	if q.GroupDequeueBatch(g, now, ^uint64(0), one[:]) == 0 {
 		return nil
 	}
 	return one[0]

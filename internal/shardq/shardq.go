@@ -34,6 +34,17 @@ type Options struct {
 	Kind queue.Kind
 	// Queue sizes each shard's backend; see queue.Config.
 	Queue queue.Config
+	// NumGroups partitions the shards into independent consumer groups,
+	// rounded up to a power of two and clamped to NumShards (default 1).
+	// Group g owns the contiguous shard range [g*NumShards/NumGroups,
+	// (g+1)*NumShards/NumGroups); each group's drain surface
+	// (GroupDequeueBatch, GroupMinRank, GroupFlush) may be driven by its
+	// own goroutine concurrently with every other group's — the parallel-
+	// egress topology, one drain worker per NIC TX queue. Flow-hash
+	// confinement means no flow ever spans shards, hence never spans
+	// groups, so per-flow dequeue order is exactly the single-consumer
+	// order; only the cross-group interleaving is relaxed.
+	NumGroups int
 	// Backend, when non-nil, supplies shard i's Scheduler backend directly
 	// and overrides Kind/Queue. This is the programmable-policy hook: the
 	// factory runs once per shard at construction, so each shard owns a
@@ -62,6 +73,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RingBits == 0 {
 		o.RingBits = 10
+	}
+	if o.NumGroups <= 0 {
+		o.NumGroups = 1
+	}
+	if o.NumGroups&(o.NumGroups-1) != 0 {
+		o.NumGroups = 1 << bits.Len(uint(o.NumGroups))
+	}
+	if o.NumGroups > o.NumShards {
+		o.NumGroups = o.NumShards
 	}
 	return o
 }
@@ -220,20 +240,27 @@ func (s Snapshot) String() string {
 }
 
 // Q is the sharded multi-producer runtime. Enqueue is safe from any number
-// of goroutines concurrently; the consuming side (DequeueBatch, DequeueMin,
-// MinRank, Flush) must be driven by a single goroutine at a time, exactly
-// like a kernel qdisc's dequeue path runs on one softirq.
+// of goroutines concurrently. The consuming side is partitioned into
+// consumer groups (Options.NumGroups, default 1): each group owns a
+// disjoint contiguous slice of the shards, and each group's drain surface
+// (GroupDequeueBatch, GroupMinRank, GroupFlush) must be driven by a single
+// goroutine at a time — one drain worker per group, exactly like one NIC
+// TX queue's softirq. Distinct groups may be driven concurrently with no
+// synchronization between their workers beyond the per-shard state they
+// never share. The group-less surface (DequeueBatch, DequeueMin, MinRank,
+// Flush) serves every group from the calling goroutine and requires
+// exclusive access to ALL of them — the single-consumer deployment,
+// unchanged (and with the default single group, byte-for-byte the same
+// drain behavior as before groups existed).
 type Q struct {
 	shards    []shard
 	shardBits uint
 	directDue bool
 
-	// heads caches each shard's bucket-quantized head rank between batch
-	// scans (consumer-owned scratch).
-	heads []headState
-
-	// rr rotates the DirectDue drain's starting shard (consumer-owned).
-	rr int
+	// groups holds each consumer group's private drain state; groupShift
+	// maps a shard index to its owning group (shard >> groupShift).
+	groups     []groupState
+	groupShift uint
 
 	// prodPool recycles staging Producers for the one-shot EnqueueBatch
 	// surface, so batch admission stays allocation-free in steady state
@@ -259,6 +286,19 @@ type headState struct {
 	ok    bool
 	gen   uint32
 	valid bool
+}
+
+// groupState is one consumer group's private drain state: the cached head
+// ranks for the shards it owns and the DirectDue rotation cursor. Each
+// group is driven by (at most) one worker goroutine, and workers for
+// distinct groups run concurrently, so the struct is padded to keep one
+// worker's cache traffic off its neighbors' lines.
+type groupState struct {
+	lo, hi int         // the half-open shard index range this group owns
+	heads  []headState // heads[i-lo] caches shard i's head rank
+	rr     int         // DirectDue rotation cursor, relative to lo
+
+	_ [64]byte
 }
 
 // mergeRuns is the cross-shard priority merge both runtimes share: it
@@ -309,7 +349,12 @@ func New(opt Options) *Q {
 		shards:    make([]shard, opt.NumShards),
 		shardBits: uint(bits.TrailingZeros(uint(opt.NumShards))),
 		directDue: opt.DirectDue,
-		heads:     make([]headState, opt.NumShards),
+	}
+	per := opt.NumShards / opt.NumGroups
+	q.groupShift = uint(bits.TrailingZeros(uint(per)))
+	q.groups = make([]groupState, opt.NumGroups)
+	for g := range q.groups {
+		q.groups[g] = groupState{lo: g * per, hi: (g + 1) * per, heads: make([]headState, per)}
 	}
 	for i := range q.shards {
 		q.shards[i].ring = newRing(opt.RingBits)
@@ -331,6 +376,18 @@ func New(opt Options) *Q {
 
 // NumShards returns the shard count.
 func (q *Q) NumShards() int { return len(q.shards) }
+
+// NumGroups returns the consumer-group count.
+func (q *Q) NumGroups() int { return len(q.groups) }
+
+// GroupShards returns the half-open shard index range consumer group g
+// owns. Groups partition the shards contiguously and evenly.
+func (q *Q) GroupShards(g int) (lo, hi int) { return q.groups[g].lo, q.groups[g].hi }
+
+// GroupFor returns the consumer group that drains flow's shard. Flows
+// never span shards, so a flow's packets are only ever drained by this
+// one group's worker.
+func (q *Q) GroupFor(flow uint64) int { return q.ShardFor(flow) >> q.groupShift }
 
 // WithShardLocked runs fn on shard i's backend under that shard's lock —
 // the synchronization context every backend method normally runs in.
@@ -437,11 +494,12 @@ func (q *Q) EnqueueBatch(flows []uint64, ns []*Node, ranks []uint64) {
 	q.prodPool.Put(p)
 }
 
-// refreshHead re-peeks shard i's head rank if anything could have changed
-// since the cached value: a non-empty ring, a producer fallback flush, or
-// an invalidation by the consumer's own pops. Consumer-side.
-func (q *Q) refreshHead(i int) {
-	s, h := &q.shards[i], &q.heads[i]
+// refreshHead re-peeks shard i's head rank into h (the owning group's
+// cache slot) if anything could have changed since the cached value: a
+// non-empty ring, a producer fallback flush, or an invalidation by the
+// consumer's own pops. Group-worker-side.
+func (q *Q) refreshHead(h *headState, i int) {
+	s := &q.shards[i]
 	if h.valid && s.ring.empty() && h.gen == s.fallbackGen.Load() {
 		return
 	}
@@ -461,9 +519,10 @@ func (q *Q) refreshHead(i int) {
 // below maxRank straight to out (the DirectDue virtual bucket) and
 // spilling not-yet-due elements into the bucketed queue. It stops as soon
 // as out is full — due elements beyond the batch stay in the ring for the
-// next batch rather than taking the slow path. Consumer-side; returns how
-// many elements it wrote to out.
-func (q *Q) drainRingDirect(i int, maxRank uint64, out []*bucket.Node) int {
+// next batch rather than taking the slow path. Group-worker-side (h is
+// the owning group's cache slot for shard i); returns how many elements
+// it wrote to out.
+func (q *Q) drainRingDirect(h *headState, i int, maxRank uint64, out []*bucket.Node) int {
 	s := &q.shards[i]
 	if s.ring.empty() {
 		return 0
@@ -497,7 +556,7 @@ func (q *Q) drainRingDirect(i int, maxRank uint64, out []*bucket.Node) int {
 	s.mu.Unlock()
 	if spilled > 0 {
 		// Spilled elements may sit ahead of the cached queue head.
-		q.heads[i].valid = false
+		h.valid = false
 		q.flushes.Inc()
 		q.flushed.Add(uint64(spilled))
 	}
@@ -507,43 +566,77 @@ func (q *Q) drainRingDirect(i int, maxRank uint64, out []*bucket.Node) int {
 	return wrote
 }
 
-// Flush drains every shard's ring into its bucketed queue and refreshes
-// the consumer's cached head ranks. Consumer-side.
-func (q *Q) Flush() {
-	for i := range q.shards {
-		q.heads[i].valid = false
-		q.refreshHead(i)
+// GroupFlush drains every ring in group g into its bucketed queue and
+// refreshes the group's cached head ranks. Group-worker-side: safe
+// concurrently with other groups' workers.
+func (q *Q) GroupFlush(g int) {
+	gr := &q.groups[g]
+	for i := gr.lo; i < gr.hi; i++ {
+		gr.heads[i-gr.lo].valid = false
+		q.refreshHead(&gr.heads[i-gr.lo], i)
 	}
 }
 
-// MinRank flushes any pending rings and returns the minimum
-// bucket-quantized head rank across shards, or ok=false if nothing is
-// queued in the bucketed queues. Consumer-side; this is the aggregate
-// NextTimer for shaped traffic (the soonest deadline any shard holds).
-func (q *Q) MinRank() (uint64, bool) {
+// Flush drains every shard's ring into its bucketed queue and refreshes
+// every group's cached head ranks. Single-consumer surface: requires
+// exclusive access to every group.
+func (q *Q) Flush() {
+	for g := range q.groups {
+		q.GroupFlush(g)
+	}
+}
+
+// GroupMinRank flushes group g's pending rings and returns the minimum
+// bucket-quantized head rank across the group's shards, or ok=false if
+// nothing is queued in its bucketed queues. Group-worker-side; this is
+// the group's aggregate NextTimer (the soonest deadline any of its shards
+// holds).
+func (q *Q) GroupMinRank(g int) (uint64, bool) {
+	gr := &q.groups[g]
 	min, ok := uint64(0), false
-	for i := range q.shards {
-		q.refreshHead(i)
-		if h := &q.heads[i]; h.ok && (!ok || h.rank < min) {
+	for i := gr.lo; i < gr.hi; i++ {
+		h := &gr.heads[i-gr.lo]
+		q.refreshHead(h, i)
+		if h.ok && (!ok || h.rank < min) {
 			min, ok = h.rank, true
 		}
 	}
 	return min, ok
 }
 
-// DequeueBatch pops up to len(out) elements whose bucket-quantized rank is
-// <= maxRank and returns how many it wrote. In the default (exact) mode it
-// flushes every ring first, then repeatedly serves a run from the shard
-// with the minimum head rank — the run ends when that shard's head climbs
-// past the runner-up shard's head, so the merged sequence preserves the
-// global priority order to bucket granularity. In DirectDue mode, due
-// elements coming off the rings are delivered first, in ring order (see
+// MinRank flushes any pending rings and returns the minimum
+// bucket-quantized head rank across every shard, or ok=false if nothing
+// is queued in the bucketed queues. Single-consumer surface.
+func (q *Q) MinRank() (uint64, bool) {
+	min, ok := uint64(0), false
+	for g := range q.groups {
+		if r, rok := q.GroupMinRank(g); rok && (!ok || r < min) {
+			min, ok = r, true
+		}
+	}
+	return min, ok
+}
+
+// GroupDequeueBatch pops up to len(out) elements whose bucket-quantized
+// rank is <= maxRank from consumer group g's shards and returns how many
+// it wrote. In the default (exact) mode it flushes the group's rings
+// first, then repeatedly serves a run from the group shard with the
+// minimum head rank — the run ends when that shard's head climbs past the
+// runner-up shard's head, so the merged sequence preserves the group's
+// priority order to bucket granularity. In DirectDue mode, due elements
+// coming off the group's rings are delivered first, in ring order (see
 // Options.DirectDue); the bucketed queues are then merged exactly as in
-// the default mode. Consumer-side.
-func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+// the default mode.
+//
+// Group-worker-side: distinct groups may call this concurrently. Because
+// a flow's shard belongs to exactly one group, the per-flow dequeue order
+// each worker observes is identical to the single-consumer runtime's;
+// only the interleaving ACROSS groups is scheduling-dependent.
+func (q *Q) GroupDequeueBatch(g int, maxRank uint64, out []*bucket.Node) int {
 	if len(out) == 0 {
 		return 0
 	}
+	gr := &q.groups[g]
 	total := 0
 	if q.directDue {
 		// Cap the direct fill below the full batch whenever a bucketed
@@ -555,7 +648,7 @@ func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 		// wait at a few batches.
 		limit := len(out)
 		if reserve := len(out) / 4; reserve > 0 {
-			for i := range q.shards {
+			for i := gr.lo; i < gr.hi; i++ {
 				if q.shards[i].qlen.Load() > 0 {
 					limit = len(out) - reserve
 					break
@@ -564,27 +657,28 @@ func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 		}
 		// Rotate the starting shard so no producer's shard gets standing
 		// priority when every batch fills before the scan completes.
-		n := len(q.shards)
+		n := gr.hi - gr.lo
 		for k := 0; k < n && total < limit; k++ {
-			total += q.drainRingDirect((q.rr+k)&(n-1), maxRank, out[total:limit])
+			rel := (gr.rr + k) & (n - 1)
+			total += q.drainRingDirect(&gr.heads[rel], gr.lo+rel, maxRank, out[total:limit])
 		}
-		q.rr = (q.rr + 1) & (n - 1)
+		gr.rr = (gr.rr + 1) & (n - 1)
 		if total == len(out) {
 			q.batches.Inc()
 			q.batched.Add(uint64(total))
 			return total
 		}
 	}
-	for i := range q.shards {
-		q.refreshHead(i)
+	for i := gr.lo; i < gr.hi; i++ {
+		q.refreshHead(&gr.heads[i-gr.lo], i)
 	}
-	total += mergeRuns(q.heads, maxRank, out[total:], func(best int, limit uint64, out []*bucket.Node) int {
-		s := &q.shards[best]
+	total += mergeRuns(gr.heads, maxRank, out[total:], func(best int, limit uint64, out []*bucket.Node) int {
+		s := &q.shards[gr.lo+best]
 		s.mu.Lock()
 		popped := s.q.DequeueBatch(limit, out)
 		s.qlen.Add(int64(-popped))
 		r, ok := s.q.Min()
-		q.heads[best].rank, q.heads[best].ok = r, ok
+		gr.heads[best].rank, gr.heads[best].ok = r, ok
 		s.mu.Unlock()
 		return popped
 	})
@@ -595,14 +689,50 @@ func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 	return total
 }
 
-// DequeueMin pops the single globally minimum element, or nil if nothing
-// is queued after a flush. Consumer-side; batch callers should prefer
-// DequeueBatch, which amortizes the shard scan. In DirectDue mode the
-// returned element is the ring-order head of the due set, not necessarily
-// the global minimum (see Options.DirectDue).
+// DequeueBatch pops up to len(out) elements whose bucket-quantized rank is
+// <= maxRank and returns how many it wrote, serving every consumer group
+// from the calling goroutine (group by group, each group merged exactly as
+// GroupDequeueBatch merges). With the default single group this IS the
+// global cross-shard priority merge; with more groups the cross-group
+// concatenation relaxes global order to group granularity, exactly as
+// parallel group workers would. Single-consumer surface: requires
+// exclusive access to every group.
+func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	total := 0
+	for g := range q.groups {
+		total += q.GroupDequeueBatch(g, maxRank, out[total:])
+		if total == len(out) {
+			break
+		}
+	}
+	return total
+}
+
+// DequeueMin pops the single globally minimum element (to bucket
+// granularity), or nil if nothing is queued after a flush. With multiple
+// consumer groups it first compares every group's flushed head rank and
+// serves the winning group — the one place the group-less surface still
+// pays for a true global answer. Single-consumer surface; batch callers
+// should prefer DequeueBatch, which amortizes the shard scan. In
+// DirectDue mode (single group) the returned element is the ring-order
+// head of the due set, not necessarily the global minimum (see
+// Options.DirectDue); with multiple groups the min scan has already
+// flushed the rings, so the bucketed-queue head wins.
 func (q *Q) DequeueMin() *bucket.Node {
+	g := 0
+	if len(q.groups) > 1 {
+		bestRank, ok := uint64(0), false
+		for gi := range q.groups {
+			if r, rok := q.GroupMinRank(gi); rok && (!ok || r < bestRank) {
+				g, bestRank, ok = gi, r, true
+			}
+		}
+		if !ok {
+			return nil
+		}
+	}
 	var one [1]*bucket.Node
-	if q.DequeueBatch(^uint64(0), one[:]) == 0 {
+	if q.GroupDequeueBatch(g, ^uint64(0), one[:]) == 0 {
 		return nil
 	}
 	return one[0]

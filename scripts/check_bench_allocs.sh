@@ -3,6 +3,9 @@
 # nonzero allocs/op. The BenchmarkHotPath* targets each run one full
 # publish->drain lap per op against pre-warmed runtimes, so any allocation
 # is a regression on the enqueue/dequeue hot paths (bench_alloc_test.go).
+# The set covers both consumer topologies: the single-consumer drains and
+# the parallel consumer-group drain (BenchmarkHotPathGroupDrain, four
+# persistent workers), so neither side of the egress split may regress.
 set -eu
 cd "$(dirname "$0")/.."
 out="$(go test -run '^$' -bench 'BenchmarkHotPath' -benchtime 100x -benchmem .)"
