@@ -191,3 +191,65 @@ func BenchmarkHotPathPolicyBatched(b *testing.B) {
 		b.Fatalf("packet pool allocated beyond its pre-population: %d", pool.Allocs())
 	}
 }
+
+// BenchmarkHotPathChurnAdmit holds the bounded-admission path to the
+// zero-allocs/op bar: each lap offers a burst through EnqueueBatchAdmit
+// against a shard bound tight enough that a slice of every burst is
+// REFUSED (so the refusal bookkeeping — the runtime's reject buffer, the
+// qdisc's returned slice, the per-tenant drop counters — is on the
+// measured path, not just the happy path), then drains the admitted
+// backlog. After the warming lap grows both reusable reject buffers to
+// their steady-state capacity, allocs/op must be zero.
+func BenchmarkHotPathChurnAdmit(b *testing.B) {
+	q, err := eiffel.NewPolicySharded(eiffel.PolicyShardedOptions{
+		Policy: `
+			root ranker=strict
+			leaf pf parent=root kind=flow policy=pfabric buckets=4096 gran=64
+		`,
+		Shards:     8,
+		ShardBound: 96, // 1024-packet bursts over 8 shards: ~128 offered per shard
+		Admit:      eiffel.AdmitDropTail,
+		Tenants:    4,
+		EvictAfter: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := eiffel.NewPool(hotBurst)
+	ps := make([]*eiffel.Packet, hotBurst)
+	for i := range ps {
+		p := pool.Get()
+		p.Flow = uint64(i % 64)
+		p.Size = 1500
+		p.Class = int32(i % 4)
+		p.Rank = uint64((hotBurst - i) * 1500 % (1 << 19))
+		ps[i] = p
+	}
+	rej := make([]*eiffel.Packet, 0, hotBurst)
+	out := make([]*eiffel.Packet, 256)
+	lap := func() {
+		var admitted int
+		admitted, rej = q.EnqueueBatchAdmit(ps, 0, rej[:0])
+		if admitted+len(rej) != hotBurst {
+			b.Fatalf("admitted %d + rejected %d != offered %d", admitted, len(rej), hotBurst)
+		}
+		if len(rej) == 0 {
+			b.Fatal("bound never triggered; the refusal path is unmeasured")
+		}
+		for q.Len() > 0 {
+			if q.DequeueBatch(0, out) == 0 {
+				b.Fatal("drain stalled with packets queued")
+			}
+		}
+	}
+	lap() // warm rings, flow tables, and both reject buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+	b.StopTimer()
+	if pool.Allocs() != hotBurst {
+		b.Fatalf("packet pool allocated beyond its pre-population: %d", pool.Allocs())
+	}
+}

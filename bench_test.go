@@ -201,3 +201,16 @@ func BenchmarkAblationBackends(b *testing.B) { runExp(b, "ablation-backends") }
 
 // BenchmarkAblationShaperBackend swaps the Eiffel qdisc's shaper backend.
 func BenchmarkAblationShaperBackend(b *testing.B) { runExp(b, "ablation-shaper") }
+
+// BenchmarkChurn runs the millions-of-flows survival experiment in quick
+// mode (internal/exp/churn.go): short-lived Zipf flow churn through the
+// pFabric policy shards with idle-flow eviction and a drop-tail shard
+// bound. The reported metrics are the verified evicting row's throughput
+// and drop percentage; order exactness, exact accounting, and the heap
+// ceiling are asserted by the experiment itself and by TestChurn* in
+// internal/qdisc.
+func BenchmarkChurn(b *testing.B) {
+	res := runExp(b, "churn")
+	metric(b, res, 0, 1, 2, "evict-mpps")
+	metric(b, res, 0, 1, 3, "drop-pct")
+}

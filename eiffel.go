@@ -282,6 +282,18 @@ type (
 	PolicyTree = qdisc.PolicyTree
 )
 
+// Canonical policy programs in the Compile grammar — the same definitions
+// the experiments and examples replay, so external callers can run the
+// paper's showcases without re-typing the program text.
+const (
+	// PolicySpecPFabric is shortest-remaining-first per-flow ranking.
+	PolicySpecPFabric = qdisc.PolicySpecPFabric
+	// PolicySpecLQF is Longest Queue First.
+	PolicySpecLQF = qdisc.PolicySpecLQF
+	// PolicySpecHWFQ is a two-class 3:1 weighted hierarchy.
+	PolicySpecHWFQ = qdisc.PolicySpecHWFQ
+)
+
 // NewPolicySharded compiles a policy program (one private Tree per shard)
 // onto the sharded multi-producer runtime.
 func NewPolicySharded(opt PolicyShardedOptions) (*PolicySharded, error) {
@@ -303,4 +315,50 @@ func NewShapedShardedQueue(opt ShapedShardedQueueOptions) *ShapedShardedQueue {
 // pkt.Packet's TimerNode/SchedNode pair.
 func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
 	return qdisc.NewShapedSharded(opt)
+}
+
+// Flow lifecycle under open-world churn: bounded admission (per-shard
+// occupancy caps with per-packet pushback instead of the legacy unbounded
+// spill) and idle-flow eviction on the direct policy path, the pair that
+// keeps a qdisc's memory proportional to its LIVE flow window while
+// millions of short-lived flows come and go — the regime the paper
+// indicts kernel FQ's flow garbage collection for (§5.1).
+type (
+	// AdmitPolicy selects what a qdisc does with packets its shard bound
+	// refuses: drop-tail (count and discard) or backpressure (hand back).
+	AdmitPolicy = qdisc.AdmitPolicy
+	// AdmitQdisc is the bounded-admission qdisc surface implemented by
+	// Sharded, ShapedSharded, and PolicySharded.
+	AdmitQdisc = qdisc.AdmitQdisc
+	// Admit is the runtime-level outcome of one bounded flush.
+	Admit = shardq.Admit
+	// PushReason classifies why bounded admission refused elements.
+	PushReason = shardq.PushReason
+	// FlowEvicter is the idle-flow eviction surface of a qdisc
+	// (PolicySharded on the direct ranked-service path).
+	FlowEvicter = qdisc.FlowEvicter
+	// ChurnOptions tunes a ReplayChurn run.
+	ChurnOptions = qdisc.ChurnOptions
+	// ChurnResult is what a churn replay observed.
+	ChurnResult = qdisc.ChurnResult
+)
+
+// Admission policies and refusal reasons.
+const (
+	// AdmitDropTail discards refused packets, counting them aggregate and
+	// per-tenant.
+	AdmitDropTail = qdisc.AdmitDropTail
+	// AdmitBackpressure hands refused packets back to the caller uncounted.
+	AdmitBackpressure = qdisc.AdmitBackpressure
+	// PushNone reports nothing refused.
+	PushNone = shardq.PushNone
+	// PushShardFull reports refusals from a shard at its occupancy bound.
+	PushShardFull = shardq.PushShardFull
+)
+
+// ReplayChurn drives a bounded-admission qdisc with open-world short-lived
+// flow churn and reports throughput, drop accounting, per-flow order
+// verdicts, and heap behavior; see qdisc.ReplayChurn.
+func ReplayChurn(q AdmitQdisc, opt ChurnOptions) ChurnResult {
+	return qdisc.ReplayChurn(q, opt)
 }

@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+
+	"eiffel/internal/qdisc"
+	"eiffel/internal/stats"
+)
+
+// Churn is the millions-of-flows survival experiment: the open-world
+// regime the paper indicts kernel FQ's flow garbage collection for
+// (§5.1 — throughput collapses past ~40k flows as the GC walks ever
+// more dead flow state). The workload is short-lived Zipf fan-out
+// traffic (workload.ChurnGen) through the pFabric direct-service
+// policy qdisc, and the contrast is the flow-lifecycle layer itself:
+//
+//   - retain-all: the legacy configuration — no shard bound, no idle
+//     flow eviction. The retained-flow table grows with CUMULATIVE
+//     flows, so its heap scales with how long the qdisc has lived.
+//   - evict+bound: idle-flow eviction (epoch-stamped slots, reclaimed
+//     lazily on probe) plus a per-shard occupancy bound with drop-tail
+//     admission. Heap tracks the LIVE flow window — flat no matter how
+//     many flows have ever existed — which the harness asserts with a
+//     hard ceiling over the pre-replay baseline.
+//
+// Verified rows run the exact per-flow oracle: zero misorders and zero
+// lost packets among admitted traffic, with offered == admitted +
+// dropped exact (cross-checked against the qdisc's own Admission
+// block). The perf row turns the oracle off and measures pure Mpps.
+func Churn(o Options) *Result {
+	res := &Result{ID: "churn"}
+
+	const (
+		streams    = 4
+		liveFlows  = 1024
+		maxPkts    = 8
+		zipfS      = 1.2
+		shards     = 8
+		shardBound = 384 // tight enough to exercise drop-tail against DrainTo backlog
+		evictAfter = 2
+		epochEvery = 4
+		ceiling    = 64 << 20 // heap may exceed baseline by at most 64 MiB
+	)
+	verifyFlows := uint64(1_200_000) // acceptance: >=1M cumulative flows, zero misorders
+	retainFlows := uint64(300_000)   // retain-all demonstrator (heap grows with this)
+	perfFlows := uint64(1_000_000)
+	if o.Quick {
+		verifyFlows, retainFlows, perfFlows = 80_000, 40_000, 120_000
+		res.Notes = append(res.Notes,
+			"quick mode: 80k/40k/120k cumulative flows instead of 1.2M/300k/1M")
+	}
+
+	mk := func(bound, evict int) *qdisc.PolicySharded {
+		q, err := qdisc.NewPolicySharded(qdisc.PolicyShardedOptions{
+			Policy:     qdisc.PolicySpecPFabric,
+			Shards:     shards,
+			ShardBound: bound,
+			Admit:      qdisc.AdmitDropTail,
+			Tenants:    streams,
+			EvictAfter: evict,
+		})
+		if err != nil {
+			panic("exp: " + err.Error())
+		}
+		return q
+	}
+	rows := []struct {
+		mode   string
+		bound  int
+		evict  int
+		flows  uint64
+		verify bool
+	}{
+		{"retain-all (legacy)", 0, 0, retainFlows, true},
+		{"evict+bound drop-tail", shardBound, evictAfter, verifyFlows, true},
+		{"evict+bound (perf)", shardBound, evictAfter, perfFlows, false},
+	}
+
+	t := &stats.Table{
+		Title: "Flow churn — short-lived Zipf flows through pFabric policy shards",
+		Headers: []string{"mode", "flows", "Mpps", "drop%", "misord", "lost",
+			"live", "retained", "evicted", "peak-heap-MiB", "len-end"},
+	}
+	payload := &ChurnJSON{
+		Experiment: "churn", Quick: o.Quick, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Streams: streams, LiveFlows: liveFlows, MaxFlowPkts: maxPkts,
+		ZipfS: zipfS, Shards: shards, ShardBound: shardBound,
+		EvictAfter: evictAfter, EpochEvery: epochEvery, HeapCeiling: ceiling,
+	}
+	for _, row := range rows {
+		q := mk(row.bound, row.evict)
+		opt := qdisc.ChurnOptions{
+			Streams:     streams,
+			LiveFlows:   liveFlows,
+			MaxFlowPkts: maxPkts,
+			ZipfS:       zipfS,
+			Flows:       row.flows,
+			EpochEvery:  epochEvery,
+			Seed:        o.Seed,
+			VerifyOrder: row.verify,
+		}
+		if row.evict > 0 {
+			opt.HeapCeiling = ceiling // retain-all is EXPECTED to grow; only assert the evicting rows
+		}
+		r := qdisc.ReplayChurn(q, opt)
+
+		// Exact-accounting cross-check: harness counts vs the qdisc's own
+		// admission block, and conservation end to end.
+		adm := q.Admission()
+		if r.Offered != r.Admitted+r.Dropped ||
+			adm.Offered() != r.Offered || adm.Admitted() != r.Admitted || adm.Dropped() != r.Dropped {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s: ACCOUNTING MISMATCH harness %d=%d+%d vs qdisc %d=%d+%d",
+				row.mode, r.Offered, r.Admitted, r.Dropped,
+				adm.Offered(), adm.Admitted(), adm.Dropped()))
+		}
+		if r.Released != r.Admitted || r.LenEnd != 0 {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s: DRAIN MISMATCH released %d of %d admitted, len-end %d",
+				row.mode, r.Released, r.Admitted, r.LenEnd))
+		}
+		if r.CeilingExceeded {
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"%s: HEAP CEILING EXCEEDED peak %d base %d ceiling %d",
+				row.mode, r.PeakHeap, r.BaseHeap, uint64(ceiling)))
+		}
+
+		misord, lost := "-", "-"
+		if row.verify {
+			misord, lost = fmt.Sprintf("%d", r.Misorders), fmt.Sprintf("%d", r.Lost)
+		}
+		t.AddRow(row.mode,
+			fmt.Sprintf("%d", r.CumulativeFlows),
+			fmt.Sprintf("%.2f", r.Mpps()),
+			fmt.Sprintf("%.2f", 100*r.DropRatio()),
+			misord, lost,
+			fmt.Sprintf("%d", r.LiveEnd),
+			fmt.Sprintf("%d", r.RetainedEnd),
+			fmt.Sprintf("%d", r.Evicted),
+			fmt.Sprintf("%.1f", float64(r.PeakHeap-r.BaseHeap)/(1<<20)),
+			fmt.Sprintf("%d", r.LenEnd))
+		payload.Rows = append(payload.Rows, ChurnRowJSON{
+			Mode:            row.mode,
+			CumulativeFlows: r.CumulativeFlows,
+			Offered:         r.Offered,
+			Admitted:        r.Admitted,
+			Dropped:         r.Dropped,
+			DropRatio:       r.DropRatio(),
+			Mpps:            r.Mpps(),
+			Misorders:       r.Misorders,
+			Lost:            r.Lost,
+			LiveEnd:         r.LiveEnd,
+			RetainedEnd:     r.RetainedEnd,
+			Evicted:         r.Evicted,
+			BaseHeapBytes:   r.BaseHeap,
+			PeakHeapBytes:   r.PeakHeap,
+			CeilingExceeded: r.CeilingExceeded,
+			LenEnd:          r.LenEnd,
+			Verified:        row.verify,
+		})
+	}
+	res.Tables = append(res.Tables, t)
+	res.JSON = payload
+	res.Notes = append(res.Notes,
+		"misord/lost: per-flow sequence violations / admitted-but-never-released packets among ADMITTED traffic (must be 0)",
+		"retained: flow objects held in shard flow tables at quiescence — the retain-all row grows with cumulative flows, the evicting rows track the live window",
+		"peak-heap-MiB: max sampled HeapAlloc minus pre-replay baseline; evicting rows assert it under the 64 MiB ceiling")
+	return res
+}
+
+// ChurnJSON is the churn experiment's machine-readable payload
+// (cmd/eiffel-bench -json writes it to BENCH_churn.json): the fixed
+// parameters and one row per configuration.
+type ChurnJSON struct {
+	Experiment  string         `json:"experiment"`
+	Quick       bool           `json:"quick"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Streams     int            `json:"streams"`
+	LiveFlows   int            `json:"live_flows_per_stream"`
+	MaxFlowPkts int            `json:"max_flow_pkts"`
+	ZipfS       float64        `json:"zipf_s"`
+	Shards      int            `json:"shards"`
+	ShardBound  int            `json:"shard_bound"`
+	EvictAfter  int            `json:"evict_after"`
+	EpochEvery  int            `json:"epoch_every"`
+	HeapCeiling uint64         `json:"heap_ceiling_bytes"`
+	Rows        []ChurnRowJSON `json:"rows"`
+}
+
+// ChurnRowJSON is one churn configuration's observed outcome.
+type ChurnRowJSON struct {
+	Mode            string  `json:"mode"`
+	CumulativeFlows uint64  `json:"cumulative_flows"`
+	Offered         uint64  `json:"offered"`
+	Admitted        uint64  `json:"admitted"`
+	Dropped         uint64  `json:"dropped"`
+	DropRatio       float64 `json:"drop_ratio"`
+	Mpps            float64 `json:"mpps"`
+	Misorders       uint64  `json:"misorders"`
+	Lost            uint64  `json:"lost"`
+	LiveEnd         int     `json:"live_end"`
+	RetainedEnd     int     `json:"retained_end"`
+	Evicted         uint64  `json:"evicted"`
+	BaseHeapBytes   uint64  `json:"base_heap_bytes"`
+	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
+	CeilingExceeded bool    `json:"ceiling_exceeded"`
+	LenEnd          int     `json:"len_end"`
+	Verified        bool    `json:"verified"`
+}

@@ -38,6 +38,10 @@ type Result struct {
 	Tables []*stats.Table
 	// Notes records scaling substitutions applied.
 	Notes []string
+	// JSON, when non-nil, is the experiment's machine-readable payload:
+	// cmd/eiffel-bench -json writes it to BENCH_<ID>.json, the per-PR
+	// perf-trajectory artifact the ROADMAP asks for.
+	JSON any
 }
 
 // String renders all tables.

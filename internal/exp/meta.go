@@ -78,6 +78,7 @@ var Registry = map[string]Runner{
 	"ablation-alpha":        AblationAlpha,
 	"ablation-backends":     AblationComparisonQueues,
 	"ablation-shaper":       AblationShaperBackend,
+	"churn":                 Churn,
 	"contention":            Contention,
 	"egress":                Egress,
 	"shapedsched":           ShapedSched,

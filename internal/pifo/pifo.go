@@ -97,7 +97,8 @@ type Class struct {
 
 	backlog int // packets in this subtree
 
-	directCache *directState // direct ranked-service plumbing (direct.go)
+	directCache      *directState // direct ranked-service plumbing (direct.go)
+	directEvictAfter uint32       // idle epochs before a direct flow is reclaimable (0 = retain forever)
 }
 
 // Backlog returns the number of packets queued under this class.

@@ -1,0 +1,336 @@
+package qdisc
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"eiffel/internal/pkt"
+	"eiffel/internal/workload"
+)
+
+// This file is the open-world churn harness: where the contention harness
+// replays closed, pre-built packet sets, ReplayChurn generates millions of
+// SHORT-LIVED flows on the fly (workload.ChurnGen) and drives them through
+// a bounded-admission qdisc — arrive, drain, expire, repeat — while
+// tracking the three things the flow-lifecycle layer must deliver under
+// that regime: exact drop accounting (offered == admitted + dropped),
+// exact per-flow order among admitted packets, and a heap that does not
+// grow with cumulative flows. It is the experiment the paper's kernel-FQ
+// indictment implies but closed replays cannot run.
+
+// FlowEvicter is the optional eviction surface of a qdisc: the churn
+// harness advances the epoch clock through it and reads flow-table
+// occupancy for its report. PolicySharded implements it.
+type FlowEvicter interface {
+	AdvanceFlowEpoch()
+	FlowStats() (live, retained int, evicted uint64)
+}
+
+// ChurnOptions tunes a churn replay.
+type ChurnOptions struct {
+	// Streams is the number of logical producer streams, each with its own
+	// churn generator and disjoint flow-id space (default 4). Streams are
+	// interleaved round-robin from the driving goroutine, so the replay is
+	// deterministic and the order oracle is exact.
+	Streams int
+	// LiveFlows is the concurrent flow-window size per stream (default 1024).
+	LiveFlows int
+	// MaxFlowPkts is the per-flow packet budget upper bound (default 8;
+	// budgets draw uniformly from [1, MaxFlowPkts]).
+	MaxFlowPkts int
+	// ZipfS is the slot-popularity Zipf skew (default 1.2; must be > 1).
+	ZipfS float64
+	// Flows is the cumulative flow target across all streams: the replay
+	// runs until this many flows have been started (default 100_000).
+	Flows uint64
+	// Batch is the per-stream admit batch size (default 256).
+	Batch int
+	// DrainTo is the backlog the inter-cycle drain reduces the qdisc to
+	// (default Streams*Batch): big enough to keep the consumer batched,
+	// small enough that the backlog never masks a leak.
+	DrainTo int
+	// EpochEvery advances the qdisc's flow-eviction epoch every EpochEvery
+	// produce cycles, when the qdisc is a FlowEvicter (0 = never).
+	EpochEvery int
+	// PacketSize is the simulated packet size driving pFabric-style
+	// remaining-size ranks (default 1500).
+	PacketSize uint32
+	// Seed seeds the generators; equal seeds replay identical traffic.
+	Seed int64
+	// IDBase offsets every stream's flow-id space, so repeated replays
+	// against one qdisc instance can use fresh ids (default 0).
+	IDBase uint64
+	// VerifyOrder tracks per-flow sequence order and packet loss among
+	// admitted packets (a map of in-flight flows; modest overhead, exact
+	// verdicts). Off, the replay measures pure throughput.
+	VerifyOrder bool
+	// HeapCeiling, when non-zero, is the harness's memory assertion: the
+	// replay fails (CeilingExceeded) if sampled heap use ever exceeds the
+	// pre-replay baseline by more than this many bytes.
+	HeapCeiling uint64
+}
+
+func (o ChurnOptions) withDefaults() ChurnOptions {
+	if o.Streams <= 0 {
+		o.Streams = 4
+	}
+	if o.LiveFlows <= 0 {
+		o.LiveFlows = 1024
+	}
+	if o.MaxFlowPkts <= 0 {
+		o.MaxFlowPkts = 8
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.Flows == 0 {
+		o.Flows = 100_000
+	}
+	if o.Batch <= 0 {
+		o.Batch = 256
+	}
+	if o.DrainTo <= 0 {
+		o.DrainTo = o.Streams * o.Batch
+	}
+	if o.PacketSize == 0 {
+		o.PacketSize = 1500
+	}
+	return o
+}
+
+// ChurnResult is what a churn replay observed.
+type ChurnResult struct {
+	// Offered/Admitted/Dropped/Released are exact packet counts as seen by
+	// the driving goroutine; Offered == Admitted + Dropped always, and
+	// Released == Admitted once the final drain empties the qdisc.
+	Offered, Admitted, Dropped, Released uint64
+	// Misorders counts released packets whose per-flow sequence ran
+	// backwards; Lost counts admitted packets never released. Both are
+	// only tracked with VerifyOrder.
+	Misorders, Lost uint64
+	// CumulativeFlows is how many distinct flows the replay started.
+	CumulativeFlows uint64
+	// Elapsed is the wall-clock replay duration.
+	Elapsed time.Duration
+	// BaseHeap/PeakHeap are runtime.ReadMemStats HeapAlloc at the start
+	// and the maximum sampled during the replay.
+	BaseHeap, PeakHeap uint64
+	// CeilingExceeded reports the HeapCeiling assertion tripping.
+	CeilingExceeded bool
+	// LiveEnd/RetainedEnd/Evicted are the qdisc's final FlowStats (zero
+	// for qdiscs without the surface).
+	LiveEnd, RetainedEnd int
+	Evicted              uint64
+	// LenEnd is the qdisc's Len after the final drain (0 at quiescence).
+	LenEnd int
+}
+
+// Mpps returns million packets per second offered through the qdisc.
+func (r ChurnResult) Mpps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Offered) / r.Elapsed.Seconds() / 1e6
+}
+
+// DropRatio returns dropped/offered.
+func (r ChurnResult) DropRatio() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Offered)
+}
+
+// churnRejFlag marks a packet refused by the current admit call while the
+// oracle splits the burst; pkt.Pool.Put zeroes Flags, so the bit never
+// survives the packet's return to the pool.
+const churnRejFlag uint32 = 1 << 31
+
+// churnTrack is the per-flow order/loss oracle entry: the sequence stamp
+// the next release must not precede, the admitted/released packet counts,
+// and whether the generator has expired the flow. Entries are deleted as
+// soon as a flow is expired and fully released, so the map is sized by
+// in-flight flows, not cumulative ones.
+type churnTrack struct {
+	relFloor uint32 // next released seq must be >= this
+	admitted uint32
+	released uint32
+	done     bool
+}
+
+// ReplayChurn drives q with open-world churn traffic from a single
+// goroutine: each cycle offers one admit batch per stream (drop-tail on
+// refusal — refused packets return to the pool), then drains the qdisc
+// back to the low-water backlog, with the eviction epoch advanced on its
+// own cadence; a final drain runs the qdisc to empty. Deterministic for a
+// given options value.
+func ReplayChurn(q AdmitQdisc, opt ChurnOptions) ChurnResult {
+	opt = opt.withDefaults()
+	gens := make([]*workload.ChurnGen, opt.Streams)
+	for w := range gens {
+		rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+		gens[w] = workload.NewChurnGen(rng, opt.LiveFlows, opt.MaxFlowPkts, opt.ZipfS, opt.IDBase+uint64(w)+1)
+	}
+	pool := pkt.NewPool(opt.DrainTo + 2*opt.Streams*opt.Batch)
+	burst := make([]*pkt.Packet, opt.Batch)
+	rej := make([]*pkt.Packet, 0, opt.Batch)
+	out := make([]*pkt.Packet, 256)
+	var tracks map[uint64]churnTrack
+	if opt.VerifyOrder {
+		tracks = make(map[uint64]churnTrack, 4*opt.Streams*opt.LiveFlows)
+	}
+	var res ChurnResult
+	evicter, _ := q.(FlowEvicter)
+
+	// Two GC cycles: sync.Pool contents (a prior qdisc's pooled producers,
+	// and through them its whole flow table) survive one collection in the
+	// victim cache, and a baseline taken over that garbage would forgive a
+	// real leak of the same size.
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.BaseHeap, res.PeakHeap = ms.HeapAlloc, ms.HeapAlloc
+
+	// finish marks a flow expired and drops its oracle entry once fully
+	// released (admitted == released already holds when the expiring
+	// packet itself was refused).
+	finish := func(flow uint64) {
+		t, ok := tracks[flow]
+		if !ok {
+			return // every packet of the flow was refused
+		}
+		if t.released == t.admitted {
+			delete(tracks, flow)
+			return
+		}
+		t.done = true
+		tracks[flow] = t
+	}
+
+	drain := func(to int) {
+		for q.Len() > to {
+			k := q.DequeueBatch(0, out)
+			if k == 0 {
+				break
+			}
+			res.Released += uint64(k)
+			for i := 0; i < k; i++ {
+				p := out[i]
+				if opt.VerifyOrder {
+					t := tracks[p.Flow]
+					if p.Seq < t.relFloor {
+						res.Misorders++
+					}
+					t.relFloor = p.Seq + 1
+					t.released++
+					if t.done && t.released == t.admitted {
+						delete(tracks, p.Flow)
+					} else {
+						tracks[p.Flow] = t
+					}
+				}
+				out[i] = nil
+				pool.Put(p)
+			}
+		}
+	}
+
+	target := opt.Flows
+	cycle := 0
+	expiring := make([]uint64, 0, opt.Batch)
+	start := time.Now()
+	for {
+		var cum uint64
+		for _, g := range gens {
+			cum += g.CumulativeFlows()
+		}
+		if cum >= target {
+			break
+		}
+		for w, g := range gens {
+			expiring = expiring[:0]
+			for i := range burst {
+				flow, seq, remaining := g.Next()
+				p := pool.Get()
+				p.Flow, p.Seq, p.Size = flow, seq, opt.PacketSize
+				p.Class = int32(w) // stream as tenant, for per-tenant drop buckets
+				// pFabric-style rank: remaining flow bytes, this packet
+				// included.
+				p.Rank = uint64(remaining+1) * uint64(opt.PacketSize)
+				p.SendAt = 0 // due immediately for time-indexed qdiscs
+				burst[i] = p
+				if remaining == 0 && opt.VerifyOrder {
+					expiring = append(expiring, flow)
+				}
+			}
+			var admitted int
+			admitted, rej = q.EnqueueBatchAdmit(burst, 0, rej[:0])
+			res.Offered += uint64(len(burst))
+			res.Admitted += uint64(admitted)
+			res.Dropped += uint64(len(rej))
+			if opt.VerifyOrder {
+				// Refusals come back in per-shard flush order, not offer
+				// order, so split the burst by flag-marking the rejects (the
+				// pool zeroes Flags on Put, so the bit cannot leak).
+				for _, p := range rej {
+					p.Flags |= churnRejFlag
+				}
+				for _, p := range burst {
+					if p.Flags&churnRejFlag != 0 {
+						continue
+					}
+					t := tracks[p.Flow]
+					t.admitted++
+					tracks[p.Flow] = t
+				}
+			}
+			for i, p := range rej {
+				rej[i] = nil
+				pool.Put(p)
+			}
+			if opt.VerifyOrder {
+				for _, flow := range expiring {
+					finish(flow)
+				}
+			}
+		}
+		drain(opt.DrainTo)
+		cycle++
+		if opt.EpochEvery > 0 && evicter != nil && cycle%opt.EpochEvery == 0 {
+			evicter.AdvanceFlowEpoch()
+		}
+		if cycle%32 == 0 {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > res.PeakHeap {
+				res.PeakHeap = ms.HeapAlloc
+			}
+			if opt.HeapCeiling > 0 && ms.HeapAlloc > res.BaseHeap+opt.HeapCeiling {
+				res.CeilingExceeded = true
+			}
+		}
+	}
+	drain(0)
+	res.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > res.PeakHeap {
+		res.PeakHeap = ms.HeapAlloc
+	}
+	if opt.HeapCeiling > 0 && res.PeakHeap > res.BaseHeap+opt.HeapCeiling {
+		res.CeilingExceeded = true
+	}
+	res.LenEnd = q.Len()
+	if opt.VerifyOrder {
+		for _, t := range tracks {
+			res.Lost += uint64(t.admitted - t.released)
+		}
+	}
+	for _, g := range gens {
+		res.CumulativeFlows += g.CumulativeFlows()
+	}
+	if evicter != nil {
+		res.LiveEnd, res.RetainedEnd, res.Evicted = evicter.FlowStats()
+	}
+	return res
+}

@@ -97,6 +97,30 @@ func (b *treeSched) leafFor(p *pkt.Packet) *pifo.Class {
 	return b.leaves[int(uint32(p.Class))%len(b.leaves)]
 }
 
+// advanceEpoch bumps the direct leaf's eviction epoch clock. Callers hold
+// the shard lock (the synchronization every Direct call runs under).
+func (b *treeSched) advanceEpoch() {
+	if b.direct {
+		b.fixed.DirectAdvanceEpoch()
+	}
+}
+
+// flowStats reports this shard's flow-table occupancy. On the direct path
+// idle flows are retained until evicted, so live and retained diverge; on
+// the tree path the flow maps recycle drained flows immediately, so both
+// equal the backlogged-flow count. Callers hold the shard lock.
+func (b *treeSched) flowStats() (live, retained int, evicted uint64) {
+	if b.direct {
+		return b.fixed.DirectFlowStats()
+	}
+	for _, leaf := range b.leaves {
+		n := leaf.NumFlows()
+		live += n
+		retained += n
+	}
+	return live, retained, 0
+}
+
 // Enqueue implements shardq.Scheduler: rank is the enqueue timestamp —
 // except in direct mode, where PolicySharded publishes the packet's rank
 // annotation instead (the keys are re-derived from the packet here, the
@@ -337,6 +361,8 @@ type PolicySharded struct {
 	// prodPool recycles runtime staging handles for EnqueueBatch, as in
 	// Sharded.
 	prodPool sync.Pool
+
+	admitState
 }
 
 // PolicyShardedOptions configures a PolicySharded qdisc.
@@ -362,6 +388,20 @@ type PolicyShardedOptions struct {
 	RingBits uint
 	// Batch is the consumer-side batch size (default 64).
 	Batch int
+	// ShardBound caps each shard's occupancy for EnqueueBatchAdmit; 0
+	// keeps the legacy unbounded spill (see shardq.Options.ShardBound).
+	ShardBound int
+	// Admit selects what EnqueueBatchAdmit does with refused packets
+	// (default AdmitDropTail).
+	Admit AdmitPolicy
+	// Tenants sizes the per-tenant drop buckets (default 1).
+	Tenants int
+	// EvictAfter arms idle-flow eviction on the direct service path: a
+	// drained flow untouched for EvictAfter AdvanceFlowEpoch calls
+	// becomes reclaimable (see pifo.Class.SetDirectEviction). 0 keeps
+	// the retain-forever default; ignored by non-direct programs, whose
+	// flow maps already recycle drained flows.
+	EvictAfter int
 }
 
 // NewPolicySharded compiles opt.Policy once per shard and returns the
@@ -378,20 +418,25 @@ func NewPolicySharded(opt PolicyShardedOptions) (*PolicySharded, error) {
 		return nil, err
 	}
 	s := &PolicySharded{
-		name:   "Eiffel+policy-shards",
-		direct: probe.direct,
-		buf:    make([]*shardq.Node, opt.Batch),
+		name:       "Eiffel+policy-shards",
+		direct:     probe.direct,
+		buf:        make([]*shardq.Node, opt.Batch),
+		admitState: newAdmitState(opt.Admit, opt.Tenants),
 	}
 	s.rt = shardq.New(shardq.Options{
-		NumShards: opt.Shards,
-		NumGroups: opt.Groups,
-		RingBits:  opt.RingBits,
+		NumShards:  opt.Shards,
+		NumGroups:  opt.Groups,
+		RingBits:   opt.RingBits,
+		ShardBound: opt.ShardBound,
 		Backend: func(int) shardq.Scheduler {
 			cp, err := compileProgram(opt.Policy, opt.Leaf)
 			if err != nil {
 				panic("qdisc: policy program compiled at validation but not per shard: " + err.Error())
 			}
 			b := &treeSched{tree: cp.tree, leaves: cp.leaves, fixed: cp.fixed, head: cp.head, direct: cp.direct}
+			if b.direct && opt.EvictAfter > 0 {
+				b.fixed.SetDirectEviction(opt.EvictAfter)
+			}
 			s.backends = append(s.backends, b)
 			return b
 		},
@@ -478,6 +523,51 @@ func (s *PolicySharded) EnqueueBatch(ps []*pkt.Packet, now int64) {
 	}
 	b.Flush()
 	s.prodPool.Put(b)
+}
+
+// EnqueueBatchAdmit implements AdmitQdisc: EnqueueBatch under the
+// configured shard bound, reporting refused packets instead of spilling.
+func (s *PolicySharded) EnqueueBatchAdmit(ps []*pkt.Packet, now int64, rej []*pkt.Packet) (int, []*pkt.Packet) {
+	b := s.prodPool.Get().(*shardq.Producer)
+	if s.direct {
+		for _, p := range ps {
+			b.EnqueueAux(p.Flow, &p.SchedNode, p.Rank, p.Flow)
+		}
+	} else {
+		for _, p := range ps {
+			b.Enqueue(p.Flow, &p.SchedNode, uint64(now))
+		}
+	}
+	res := b.FlushAdmit()
+	admitted, rej := s.settle(res, len(ps), pkt.FromSchedNode, rej)
+	s.prodPool.Put(b)
+	return admitted, rej
+}
+
+// AdvanceFlowEpoch advances every shard's direct-leaf eviction epoch (a
+// no-op for non-direct programs or with EvictAfter unset). Cadence is the
+// caller's idleness definition: a drained flow untouched for EvictAfter
+// advances becomes reclaimable. Takes each shard's lock; call it off the
+// per-packet path — every N batches, or on a timer.
+func (s *PolicySharded) AdvanceFlowEpoch() {
+	for i, b := range s.backends {
+		s.rt.WithShardLocked(i, func(shardq.Scheduler) { b.advanceEpoch() })
+	}
+}
+
+// FlowStats sums per-shard flow-table occupancy: live backlogged flows,
+// retained flow objects (live plus idle-not-yet-reclaimed on the direct
+// path), and slots reclaimed by eviction. Takes each shard's lock.
+func (s *PolicySharded) FlowStats() (live, retained int, evicted uint64) {
+	for i, b := range s.backends {
+		s.rt.WithShardLocked(i, func(shardq.Scheduler) {
+			l, r, e := b.flowStats()
+			live += l
+			retained += r
+			evicted += e
+		})
+	}
+	return live, retained, evicted
 }
 
 // advanceGroupClock propagates group g's worker clock into that group's

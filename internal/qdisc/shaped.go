@@ -42,6 +42,8 @@ type ShapedSharded struct {
 	// prodPool recycles runtime staging handles for EnqueueBatch, as in
 	// Sharded.
 	prodPool sync.Pool
+
+	admitState
 }
 
 // ShapedShardedOptions sizes a ShapedSharded qdisc.
@@ -66,6 +68,14 @@ type ShapedShardedOptions struct {
 	// RingBits sizes each shard's MPSC ring at 1<<RingBits slots
 	// (default 10).
 	RingBits uint
+	// ShardBound caps each shard's occupancy for EnqueueBatchAdmit; 0
+	// keeps the legacy unbounded spill (see shardq.Options.ShardBound).
+	ShardBound int
+	// Admit selects what EnqueueBatchAdmit does with refused packets
+	// (default AdmitDropTail).
+	Admit AdmitPolicy
+	// Tenants sizes the per-tenant drop buckets (default 1).
+	Tenants int
 }
 
 // withDefaults fills the queue-geometry defaults shared by the sharded
@@ -107,10 +117,12 @@ func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
 			Pair: func(n *shardq.Node) *shardq.Node {
 				return &pkt.FromTimerNode(n).SchedNode
 			},
+			ShardBound: opt.ShardBound,
 		}),
-		name:     "Eiffel+shaped-shards",
-		rankGran: schedGran,
-		buf:      make([]*shardq.Node, opt.Batch),
+		name:       "Eiffel+shaped-shards",
+		rankGran:   schedGran,
+		buf:        make([]*shardq.Node, opt.Batch),
+		admitState: newAdmitState(opt.Admit, opt.Tenants),
 	}
 	s.prodPool.New = func() any { return s.rt.NewProducer(0) }
 	return s
@@ -154,6 +166,19 @@ func (s *ShapedSharded) EnqueueBatch(ps []*pkt.Packet, _ int64) {
 	}
 	b.Flush()
 	s.prodPool.Put(b)
+}
+
+// EnqueueBatchAdmit implements AdmitQdisc: EnqueueBatch under the
+// configured shard bound, reporting refused packets instead of spilling.
+func (s *ShapedSharded) EnqueueBatchAdmit(ps []*pkt.Packet, _ int64, rej []*pkt.Packet) (int, []*pkt.Packet) {
+	b := s.prodPool.Get().(*shardq.ShapedProducer)
+	for _, p := range ps {
+		b.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
+	}
+	res := b.FlushAdmit()
+	admitted, rej := s.settle(res, len(ps), pkt.FromTimerNode, rej)
+	s.prodPool.Put(b)
+	return admitted, rej
 }
 
 // Dequeue implements Qdisc: the highest-priority packet whose release time

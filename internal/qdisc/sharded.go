@@ -37,6 +37,8 @@ type Sharded struct {
 	// steady state without threading per-goroutine handles through the
 	// Qdisc surface.
 	prodPool sync.Pool
+
+	admitState
 }
 
 // ShardedOptions sizes a Sharded qdisc.
@@ -63,6 +65,16 @@ type ShardedOptions struct {
 	// at bucket-start granularity (up to one granule early), matching
 	// the Locked Eiffel baseline's quantized behavior.
 	DirectDue bool
+	// ShardBound caps each shard's occupancy for the bounded-admission
+	// surface (EnqueueBatchAdmit); 0 keeps the legacy unbounded spill.
+	// See shardq.Options.ShardBound.
+	ShardBound int
+	// Admit selects what EnqueueBatchAdmit does with refused packets
+	// (default AdmitDropTail); irrelevant with ShardBound 0.
+	Admit AdmitPolicy
+	// Tenants sizes the per-tenant drop buckets (packets map to buckets
+	// by Class; default 1).
+	Tenants int
 }
 
 // NewSharded returns a Sharded qdisc whose shards each run an Eiffel cFFS
@@ -76,14 +88,16 @@ func NewSharded(opt ShardedOptions) *Sharded {
 	}
 	s := &Sharded{
 		rt: shardq.New(shardq.Options{
-			NumShards: opt.Shards,
-			RingBits:  opt.RingBits,
-			Kind:      queue.KindCFFS,
-			Queue:     eiffelCfg(opt.Buckets, opt.HorizonNs, opt.Start),
-			DirectDue: opt.DirectDue,
+			NumShards:  opt.Shards,
+			RingBits:   opt.RingBits,
+			Kind:       queue.KindCFFS,
+			Queue:      eiffelCfg(opt.Buckets, opt.HorizonNs, opt.Start),
+			DirectDue:  opt.DirectDue,
+			ShardBound: opt.ShardBound,
 		}),
-		name: "Eiffel+shards",
-		buf:  make([]*shardq.Node, opt.Batch),
+		name:       "Eiffel+shards",
+		buf:        make([]*shardq.Node, opt.Batch),
+		admitState: newAdmitState(opt.Admit, opt.Tenants),
 	}
 	s.prodPool.New = func() any { return s.rt.NewProducer(0) }
 	return s
@@ -126,6 +140,19 @@ func (s *Sharded) EnqueueBatch(ps []*pkt.Packet, _ int64) {
 	}
 	b.Flush()
 	s.prodPool.Put(b)
+}
+
+// EnqueueBatchAdmit implements AdmitQdisc: EnqueueBatch under the
+// configured shard bound, reporting refused packets instead of spilling.
+func (s *Sharded) EnqueueBatchAdmit(ps []*pkt.Packet, _ int64, rej []*pkt.Packet) (int, []*pkt.Packet) {
+	b := s.prodPool.Get().(*shardq.Producer)
+	for _, p := range ps {
+		b.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt))
+	}
+	res := b.FlushAdmit()
+	admitted, rej := s.settle(res, len(ps), pkt.FromTimerNode, rej)
+	s.prodPool.Put(b)
+	return admitted, rej
 }
 
 // Dequeue implements Qdisc: one packet whose release time has arrived, or

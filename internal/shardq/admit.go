@@ -1,0 +1,124 @@
+package shardq
+
+// This file is the bounded-admission surface of both runtimes. The default
+// overload behavior of the sharded pipeline is to ADMIT EVERYTHING: a full
+// ring spills into the bucketed queue under the shard lock, and the
+// backend grows without bound. That is the right default for a closed
+// replay, and exactly the wrong one for open-world traffic — the paper's
+// indictment of kernel FQ is precisely that unbounded per-flow state
+// (and the GC that tries to claw it back) falls over past a few tens of
+// thousands of flows. Options.ShardBound arms the alternative: each
+// shard's published occupancy (ring + bucketed queue) is capped, and the
+// admission paths report refused elements back to the caller instead of
+// spilling, so the layer above can choose drop-tail or backpressure.
+//
+// The bound is enforced against the shard's published occupancy and is
+// exact for a single admitting goroutine; concurrent admitters can
+// overshoot by their in-flight claims (each checks the bound before
+// claiming, without reserving), which is the usual drop-tail tolerance —
+// the cap bounds state to within one in-flight batch per producer, and
+// accounting (admitted + refused == offered) is exact regardless.
+
+// PushReason classifies why bounded admission refused elements.
+type PushReason uint8
+
+const (
+	// PushNone: nothing was refused.
+	PushNone PushReason = iota
+	// PushShardFull: the element's shard was at its occupancy bound.
+	PushShardFull
+)
+
+// String renders the reason for logs and tables.
+func (r PushReason) String() string {
+	if r == PushShardFull {
+		return "shard-full"
+	}
+	return "none"
+}
+
+// Admit is the outcome of one bounded-admission flush: how many staged
+// elements were published and, in refusal order, the ones that were not.
+// Rejected aliases the producer's reusable refusal buffer — it stays
+// valid until the next flush (explicit or automatic) on the same handle,
+// so callers must consume or copy it before reusing the producer.
+type Admit struct {
+	// Admitted counts elements published since the last FlushAdmit.
+	Admitted int
+	// Rejected holds the refused elements in refusal order: grouped by the
+	// shard that refused them (flush order), oldest first within a shard —
+	// NOT the caller's offer order.
+	Rejected []*Node
+	// Reason classifies the refusals (PushNone when Rejected is empty).
+	Reason PushReason
+}
+
+// admitState is the per-producer refusal bookkeeping shared by Producer
+// and ShapedProducer. The rej buffer is reused across flush cycles: it is
+// reset lazily on the first refusal after a FlushAdmit handed it out, so
+// the returned Admit stays readable until the handle is used again.
+type admitState struct {
+	adm      int
+	rej      []*Node
+	rejTaken bool
+}
+
+func (a *admitState) refuse(pubs []pub) {
+	if a.rejTaken {
+		a.rej = a.rej[:0]
+		a.rejTaken = false
+	}
+	for i := range pubs {
+		a.rej = append(a.rej, pubs[i].n)
+	}
+}
+
+func (a *admitState) take() Admit {
+	res := Admit{Admitted: a.adm}
+	// A cycle with no refusals leaves rej untouched since the last take —
+	// still holding the PREVIOUS cycle's refusals. Hand out the buffer only
+	// when this cycle's refuse() actually rebuilt it.
+	if !a.rejTaken && len(a.rej) > 0 {
+		res.Rejected = a.rej
+		res.Reason = PushShardFull
+	}
+	a.adm = 0
+	a.rejTaken = true
+	return res
+}
+
+// TryEnqueue is Enqueue under the configured shard bound: it publishes n
+// unless flow's shard is at its occupancy cap, and reports whether the
+// element was admitted. With no bound configured it never refuses.
+func (q *Q) TryEnqueue(flow uint64, n *Node, rank uint64) bool {
+	return q.TryEnqueueAux(flow, n, rank, 0)
+}
+
+// TryEnqueueAux is TryEnqueue carrying the ring's second payload word.
+func (q *Q) TryEnqueueAux(flow uint64, n *Node, rank, aux uint64) bool {
+	s := &q.shards[q.ShardFor(flow)]
+	if q.bound > 0 && s.qlen.Load()+s.ring.occupancy() >= q.bound {
+		q.rejected.Inc()
+		return false
+	}
+	q.enqueueShard(s, n, rank, aux)
+	return true
+}
+
+// TryEnqueue is Shaped.Enqueue under the configured shard bound; see
+// Q.TryEnqueue.
+func (q *Shaped) TryEnqueue(flow uint64, n *Node, sendAt, rank uint64) bool {
+	s := &q.shards[q.ShardFor(flow)]
+	if q.bound > 0 && s.qlen.Load()+s.ring.occupancy() >= q.bound {
+		q.rejected.Inc()
+		return false
+	}
+	q.enqueueShard(s, n, sendAt, rank)
+	return true
+}
+
+// Bound returns the per-shard occupancy bound (0 = unbounded).
+func (q *Q) Bound() int { return int(q.bound) }
+
+// Bound returns the per-shard occupancy bound (0 = unbounded).
+func (q *Shaped) Bound() int { return int(q.bound) }

@@ -1,0 +1,186 @@
+package shardq
+
+import (
+	"math/rand"
+	"testing"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+func newBoundedQ(shards int, ringBits uint, bound int) *Q {
+	return New(Options{
+		NumShards:  shards,
+		RingBits:   ringBits,
+		ShardBound: bound,
+		Queue:      queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+	})
+}
+
+// TestTryEnqueueBound checks the single-element bounded path: admits up to
+// the bound, refuses past it, counts refusals, and resumes after a drain.
+func TestTryEnqueueBound(t *testing.T) {
+	const bound = 8
+	q := newBoundedQ(1, 10, bound)
+	nodes := make([]bucket.Node, 2*bound)
+	for i := 0; i < bound; i++ {
+		if !q.TryEnqueue(0, &nodes[i], uint64(i)) {
+			t.Fatalf("TryEnqueue %d refused below the bound", i)
+		}
+	}
+	for i := bound; i < 2*bound; i++ {
+		if q.TryEnqueue(0, &nodes[i], uint64(i)) {
+			t.Fatalf("TryEnqueue %d admitted past the bound", i)
+		}
+	}
+	if got := q.Stats().Rejected; got != bound {
+		t.Fatalf("Snapshot.Rejected = %d, want %d", got, bound)
+	}
+	if got := q.Len(); got != bound {
+		t.Fatalf("Len = %d, want %d", got, bound)
+	}
+	out := make([]*bucket.Node, bound)
+	if got := q.DequeueBatch(^uint64(0), out); got != bound {
+		t.Fatalf("DequeueBatch = %d, want %d", got, bound)
+	}
+	if !q.TryEnqueue(0, &nodes[bound], 0) {
+		t.Fatal("TryEnqueue refused after the shard drained")
+	}
+}
+
+// TestTryEnqueueUnbounded checks that without a bound TryEnqueue never
+// refuses, even far past any ring capacity.
+func TestTryEnqueueUnbounded(t *testing.T) {
+	q := newBoundedQ(1, 4, 0) // 16-slot ring, no bound: spills via fallback
+	nodes := make([]bucket.Node, 256)
+	for i := range nodes {
+		if !q.TryEnqueue(0, &nodes[i], uint64(i)) {
+			t.Fatalf("unbounded TryEnqueue refused element %d", i)
+		}
+	}
+	if got := q.Stats().Rejected; got != 0 {
+		t.Fatalf("Snapshot.Rejected = %d without a bound, want 0", got)
+	}
+}
+
+// TestFlushAdmitAccounting drives randomized skewed bursts through a
+// bounded producer and checks, per flush cycle: admitted + rejected ==
+// offered, no duplicate nodes among the rejects, and every reject staged
+// in THIS cycle — the regression case being a refusal-free cycle handing
+// back the previous cycle's refusal buffer.
+func TestFlushAdmitAccounting(t *testing.T) {
+	const bound = 48
+	q := newBoundedQ(8, 4, bound)
+	p := q.NewProducer(0)
+	rng := rand.New(rand.NewSource(7))
+	out := make([]*bucket.Node, 64)
+	var totalAdm, totalRej uint64
+	for round := 0; round < 300; round++ {
+		batch := 1 + rng.Intn(256)
+		staged := make(map[*Node]bool, batch)
+		for i := 0; i < batch; i++ {
+			n := &bucket.Node{}
+			staged[n] = true
+			// Heavy skew: a few hot flows so single shards hit their bound.
+			p.Enqueue(uint64(rng.Intn(5)), n, uint64(i))
+		}
+		res := p.FlushAdmit()
+		if res.Admitted+len(res.Rejected) != batch {
+			t.Fatalf("round %d: admitted %d + rejected %d != offered %d",
+				round, res.Admitted, len(res.Rejected), batch)
+		}
+		if (len(res.Rejected) > 0) != (res.Reason == PushShardFull) {
+			t.Fatalf("round %d: %d rejects with reason %v", round, len(res.Rejected), res.Reason)
+		}
+		seen := make(map[*Node]bool, len(res.Rejected))
+		for _, n := range res.Rejected {
+			if seen[n] {
+				t.Fatalf("round %d: node rejected twice", round)
+			}
+			seen[n] = true
+			if !staged[n] {
+				t.Fatalf("round %d: rejected node was not staged this cycle", round)
+			}
+		}
+		totalAdm += uint64(res.Admitted)
+		totalRej += uint64(len(res.Rejected))
+		// Partial drain so later rounds admit again.
+		for j := 0; j < 2; j++ {
+			q.DequeueBatch(^uint64(0), out)
+		}
+	}
+	if totalRej == 0 {
+		t.Fatal("bound never triggered; test exercised nothing")
+	}
+	if got := q.Stats().Rejected; got != totalRej {
+		t.Fatalf("Snapshot.Rejected = %d, want %d", got, totalRej)
+	}
+}
+
+// TestFlushAdmitStaleBufferRegression pins the exact bug class: a flush
+// cycle with refusals followed by one without must return an EMPTY
+// Rejected slice the second time, not the previous cycle's buffer.
+func TestFlushAdmitStaleBufferRegression(t *testing.T) {
+	const bound = 4
+	q := newBoundedQ(1, 10, bound)
+	p := q.NewProducer(0)
+	nodes := make([]bucket.Node, 2*bound)
+	for i := range nodes {
+		p.Enqueue(0, &nodes[i], uint64(i))
+	}
+	res := p.FlushAdmit()
+	if res.Admitted != bound || len(res.Rejected) != bound {
+		t.Fatalf("first flush: admitted %d rejected %d, want %d/%d",
+			res.Admitted, len(res.Rejected), bound, bound)
+	}
+	// Drain fully, then a refusal-free cycle.
+	out := make([]*bucket.Node, 2*bound)
+	q.DequeueBatch(^uint64(0), out)
+	var more [2]bucket.Node
+	p.Enqueue(0, &more[0], 0)
+	p.Enqueue(0, &more[1], 1)
+	res = p.FlushAdmit()
+	if res.Admitted != 2 || len(res.Rejected) != 0 || res.Reason != PushNone {
+		t.Fatalf("refusal-free flush returned admitted %d rejected %d reason %v, want 2/0/none (stale buffer?)",
+			res.Admitted, len(res.Rejected), res.Reason)
+	}
+}
+
+// TestShapedBoundedAdmission runs the bound contract on the shaped
+// runtime: TryEnqueue refuses at the cap and the shaped producer's
+// FlushAdmit accounting stays exact.
+func TestShapedBoundedAdmission(t *testing.T) {
+	const bound = 8
+	q := NewShaped(ShapedOptions{
+		NumShards:  1,
+		RingBits:   10,
+		ShardBound: bound,
+		Shaper:     queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+		Sched:      queue.Config{NumBuckets: 1 << 12, Granularity: 1},
+		Pair:       pairElem,
+	})
+	elems := make([]*elem, 2*bound+1)
+	for i := range elems {
+		elems[i] = newElem(0, uint64(i))
+	}
+	for i := 0; i < bound; i++ {
+		if !q.TryEnqueue(0, &elems[i].timer, 0, uint64(i)) {
+			t.Fatalf("shaped TryEnqueue %d refused below the bound", i)
+		}
+	}
+	if q.TryEnqueue(0, &elems[2*bound].timer, 0, 0) {
+		t.Fatal("shaped TryEnqueue admitted past the bound")
+	}
+	p := q.NewProducer(0)
+	for i := 0; i < bound; i++ {
+		p.Enqueue(0, &elems[bound+i].timer, 0, uint64(i))
+	}
+	res := p.FlushAdmit()
+	if res.Admitted != 0 || len(res.Rejected) != bound {
+		t.Fatalf("shaped FlushAdmit at cap: admitted %d rejected %d, want 0/%d",
+			res.Admitted, len(res.Rejected), bound)
+	}
+	if got := q.Stats().Rejected; got != uint64(bound)+1 {
+		t.Fatalf("shaped Snapshot.Rejected = %d, want %d", got, bound+1)
+	}
+}

@@ -44,6 +44,7 @@ func newStage(shards, per int) stage {
 type Producer struct {
 	q  *Q
 	st stage
+	ad admitState
 }
 
 // NewProducer returns a staging handle whose per-shard buffers hold batch
@@ -78,27 +79,59 @@ func (p *Producer) EnqueueAux(flow uint64, n *Node, rank, aux uint64) {
 
 // Flush publishes every staged element. Call it when the producer's burst
 // ends — after it, everything previously enqueued is visible to the
-// consumer, exactly as if published through Q.Enqueue.
+// consumer, exactly as if published through Q.Enqueue. Under a shard
+// bound (Options.ShardBound), elements a full shard refuses are counted
+// in Snapshot.Rejected and dropped; callers that want them back use
+// FlushAdmit.
 func (p *Producer) Flush() {
-	if p.st.staged == 0 {
+	if p.st.staged == 0 && p.ad.adm == 0 {
 		return
 	}
+	p.FlushAdmit()
+}
+
+// FlushAdmit publishes every staged element under the configured shard
+// bound and reports the outcome: how many elements were admitted since
+// the last FlushAdmit (automatic shard flushes included) and, in order,
+// the ones whose shard was at its occupancy cap. Admit.Rejected aliases
+// the producer's reusable refusal buffer — consume it before the next
+// operation on this handle. With no bound configured nothing is ever
+// refused and this is Flush with accounting.
+func (p *Producer) FlushAdmit() Admit {
 	for i, c := range p.st.cnt {
 		if c > 0 {
 			p.flushShard(i)
 		}
 	}
+	return p.ad.take()
 }
 
 // flushShard publishes shard i's staged run: multi-slot ring claims while
-// the ring has room, then the locked queue fallback for any remainder.
+// the ring has room, then the locked queue fallback for any remainder —
+// bounded by the shard occupancy cap when one is configured.
 func (p *Producer) flushShard(i int) {
 	c := int(p.st.cnt[i])
 	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]
 	s := &p.q.shards[i]
-	done := 0
+	done, refused := 0, 0
 	for done < c {
-		k := s.ring.pushN(pubs[done:])
+		lim := c
+		if p.q.bound > 0 {
+			// Budget against published occupancy; refused elements are
+			// recorded for FlushAdmit and counted runtime-wide.
+			budget := p.q.bound - (s.qlen.Load() + s.ring.occupancy())
+			if budget <= 0 {
+				p.ad.refuse(pubs[done:])
+				p.q.rejected.Add(uint64(c - done))
+				refused += c - done
+				done = c
+				break
+			}
+			if int64(c-done) > budget {
+				lim = done + int(budget)
+			}
+		}
+		k := s.ring.pushN(pubs[done:lim])
 		if k > 0 {
 			p.q.bulkClaims.Inc()
 			p.q.bulkClaimed.Add(uint64(k))
@@ -106,11 +139,22 @@ func (p *Producer) flushShard(i int) {
 			continue
 		}
 		// Ring full: drain it and move the rest of the run straight into
-		// the bucketed queue, all under one lock acquisition.
+		// the bucketed queue, all under one lock acquisition. Under a
+		// bound, admit only up to the remaining budget (re-checked under
+		// the lock, after the drain settled qlen).
 		s.mu.Lock()
 		drained := s.flushLocked()
-		s.enqueuePubsLocked(pubs[done:])
-		s.qlen.Add(int64(c - done))
+		take := c - done
+		if p.q.bound > 0 {
+			budget := p.q.bound - (s.qlen.Load() + s.ring.occupancy())
+			if budget < int64(take) {
+				take = int(max(budget, 0))
+			}
+		}
+		if take > 0 {
+			s.enqueuePubsLocked(pubs[done : done+take])
+			s.qlen.Add(int64(take))
+		}
 		s.fallbackGen.Add(1) // tell the consumer its cached head is stale
 		s.mu.Unlock()
 		p.q.ringFull.Inc()
@@ -118,8 +162,15 @@ func (p *Producer) flushShard(i int) {
 			p.q.flushes.Inc()
 			p.q.flushed.Add(uint64(drained))
 		}
-		done = c
+		done += take
+		if done < c {
+			p.ad.refuse(pubs[done:])
+			p.q.rejected.Add(uint64(c - done))
+			refused += c - done
+			done = c
+		}
 	}
+	p.ad.adm += c - refused
 	p.st.cnt[i] = 0
 	p.st.staged -= c
 }
@@ -132,6 +183,7 @@ func (p *Producer) flushShard(i int) {
 type ShapedProducer struct {
 	q  *Shaped
 	st stage
+	ad admitState
 }
 
 // NewProducer returns a staging handle for the shaped runtime whose
@@ -157,25 +209,48 @@ func (p *ShapedProducer) Enqueue(flow uint64, n *Node, sendAt, rank uint64) {
 	}
 }
 
-// Flush publishes every staged element.
+// Flush publishes every staged element. Under a shard bound, refused
+// elements are counted and dropped; use FlushAdmit to get them back.
 func (p *ShapedProducer) Flush() {
-	if p.st.staged == 0 {
+	if p.st.staged == 0 && p.ad.adm == 0 {
 		return
 	}
+	p.FlushAdmit()
+}
+
+// FlushAdmit publishes every staged element under the configured shard
+// bound and reports the outcome; see Producer.FlushAdmit for the buffer-
+// reuse contract.
+func (p *ShapedProducer) FlushAdmit() Admit {
 	for i, c := range p.st.cnt {
 		if c > 0 {
 			p.flushShard(i)
 		}
 	}
+	return p.ad.take()
 }
 
 func (p *ShapedProducer) flushShard(i int) {
 	c := int(p.st.cnt[i])
 	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]
 	s := &p.q.shards[i]
-	done := 0
+	done, refused := 0, 0
 	for done < c {
-		k := s.ring.pushN(pubs[done:])
+		lim := c
+		if p.q.bound > 0 {
+			budget := p.q.bound - (s.qlen.Load() + s.ring.occupancy())
+			if budget <= 0 {
+				p.ad.refuse(pubs[done:])
+				p.q.rejected.Add(uint64(c - done))
+				refused += c - done
+				done = c
+				break
+			}
+			if int64(c-done) > budget {
+				lim = done + int(budget)
+			}
+		}
+		k := s.ring.pushN(pubs[done:lim])
 		if k > 0 {
 			p.q.bulkClaims.Inc()
 			p.q.bulkClaimed.Add(uint64(k))
@@ -184,11 +259,21 @@ func (p *ShapedProducer) flushShard(i int) {
 		}
 		// Ring full: park the rest of the run in the shaper directly,
 		// stashing each element's priority on its scheduler handle as the
-		// per-element fallback does.
+		// per-element fallback does — bounded by the remaining budget when
+		// a cap is configured.
 		s.mu.Lock()
 		drained := s.flushLocked(p.q.pair)
-		s.enqueuePubsLocked(p.q.pair, pubs[done:])
-		s.qlen.Add(int64(c - done))
+		take := c - done
+		if p.q.bound > 0 {
+			budget := p.q.bound - (s.qlen.Load() + s.ring.occupancy())
+			if budget < int64(take) {
+				take = int(max(budget, 0))
+			}
+		}
+		if take > 0 {
+			s.enqueuePubsLocked(p.q.pair, pubs[done:done+take])
+			s.qlen.Add(int64(take))
+		}
 		s.fallbackGen.Add(1)
 		s.mu.Unlock()
 		p.q.ringFull.Inc()
@@ -196,8 +281,15 @@ func (p *ShapedProducer) flushShard(i int) {
 			p.q.flushes.Inc()
 			p.q.flushed.Add(uint64(drained))
 		}
-		done = c
+		done += take
+		if done < c {
+			p.ad.refuse(pubs[done:])
+			p.q.rejected.Add(uint64(c - done))
+			refused += c - done
+			done = c
+		}
 	}
+	p.ad.adm += c - refused
 	p.st.cnt[i] = 0
 	p.st.staged -= c
 }

@@ -39,6 +39,10 @@ type ShapedOptions struct {
 	// runtime: each group's drain surface may be driven by its own worker
 	// goroutine, and flows never span groups.
 	NumGroups int
+	// ShardBound caps each shard's published occupancy for the bounded-
+	// admission paths (TryEnqueue, ShapedProducer.FlushAdmit); 0 keeps
+	// the legacy unbounded spill. See Options.ShardBound and admit.go.
+	ShardBound int
 	// SchedMoving selects a circular cFFS for the scheduler side, for
 	// priority domains that move forward without bound (virtual finish
 	// times). The default is a fixed-range FFS-indexed vector-bucket store
@@ -221,6 +225,11 @@ type Shaped struct {
 	shardBits uint
 	pair      PairFunc
 
+	// bound is ShapedOptions.ShardBound (0 = unbounded); rejected counts
+	// bounded-admission refusals.
+	bound    int64
+	rejected stats.Counter
+
 	// groups holds each consumer group's private drain state (cached
 	// heads, migration scratch); groupShift maps shard→group.
 	groups     []shapedGroup
@@ -276,6 +285,7 @@ func NewShaped(opt ShapedOptions) *Shaped {
 		shards:    make([]shapedShard, opt.NumShards),
 		shardBits: uint(bits.TrailingZeros(uint(opt.NumShards))),
 		pair:      opt.Pair,
+		bound:     int64(opt.ShardBound),
 	}
 	per := opt.NumShards / opt.NumGroups
 	q.groupShift = uint(bits.TrailingZeros(uint(per)))
@@ -365,6 +375,7 @@ func (q *Shaped) Stats() Snapshot {
 		Migrated:    q.migrated.Load(),
 		Batches:     q.batches.Load(),
 		Batched:     q.batched.Load(),
+		Rejected:    q.rejected.Load(),
 	}
 }
 
@@ -379,7 +390,12 @@ func (q *Shaped) ShardFor(flow uint64) int {
 // push; a full ring falls back to flushing under the shard lock, exactly
 // as in Q.Enqueue.
 func (q *Shaped) Enqueue(flow uint64, n *bucket.Node, sendAt, rank uint64) {
-	s := &q.shards[q.ShardFor(flow)]
+	q.enqueueShard(&q.shards[q.ShardFor(flow)], n, sendAt, rank)
+}
+
+// enqueueShard is the shard-resolved body of Enqueue, shared with the
+// bounded TryEnqueue path.
+func (q *Shaped) enqueueShard(s *shapedShard, n *bucket.Node, sendAt, rank uint64) {
 	if s.ring.push(n, sendAt, rank) {
 		return
 	}

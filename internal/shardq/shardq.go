@@ -52,6 +52,13 @@ type Options struct {
 	// program) and the flow-hash sharding keeps every flow's backlog
 	// confined to that instance.
 	Backend func(shard int) Scheduler
+	// ShardBound caps each shard's published occupancy (ring plus
+	// bucketed queue) for the bounded-admission paths (TryEnqueue,
+	// Producer.FlushAdmit): elements that would push a shard past the
+	// bound are refused and reported back instead of spilling into the
+	// locked fallback queue. 0 (the default) keeps the legacy unbounded
+	// spill behavior. See admit.go for the exactness contract.
+	ShardBound int
 	// DirectDue coalesces every already-due element (rank <= the drain
 	// bound) into one virtual FIFO bucket: the consumer delivers such
 	// elements straight off the rings, skipping the bucketed queue
@@ -219,6 +226,9 @@ type Snapshot struct {
 	Batches uint64
 	// Batched counts nodes returned by DequeueBatch.
 	Batched uint64
+	// Rejected counts elements refused by the bounded-admission paths
+	// (zero unless Options.ShardBound is set).
+	Rejected uint64
 }
 
 // String renders the counters compactly for experiment tables.
@@ -235,6 +245,9 @@ func (s Snapshot) String() string {
 	}
 	if s.Migrated > 0 {
 		out += fmt.Sprintf(" migrated=%d", s.Migrated)
+	}
+	if s.Rejected > 0 {
+		out += fmt.Sprintf(" rejected=%d", s.Rejected)
 	}
 	return out
 }
@@ -256,6 +269,11 @@ type Q struct {
 	shards    []shard
 	shardBits uint
 	directDue bool
+
+	// bound is Options.ShardBound (0 = unbounded); rejected counts
+	// refusals runtime-wide. Both are dead weight unless a bound is set.
+	bound    int64
+	rejected stats.Counter
 
 	// groups holds each consumer group's private drain state; groupShift
 	// maps a shard index to its owning group (shard >> groupShift).
@@ -349,6 +367,7 @@ func New(opt Options) *Q {
 		shards:    make([]shard, opt.NumShards),
 		shardBits: uint(bits.TrailingZeros(uint(opt.NumShards))),
 		directDue: opt.DirectDue,
+		bound:     int64(opt.ShardBound),
 	}
 	per := opt.NumShards / opt.NumGroups
 	q.groupShift = uint(bits.TrailingZeros(uint(per)))
@@ -431,6 +450,7 @@ func (q *Q) Stats() Snapshot {
 		Direct:      q.direct.Load(),
 		Batches:     q.batches.Load(),
 		Batched:     q.batched.Load(),
+		Rejected:    q.rejected.Load(),
 	}
 }
 
@@ -456,7 +476,12 @@ func (q *Q) Enqueue(flow uint64, n *bucket.Node, rank uint64) {
 // resolves both keys while the element is cache-hot and the consumer
 // never has to.
 func (q *Q) EnqueueAux(flow uint64, n *bucket.Node, rank, aux uint64) {
-	s := &q.shards[q.ShardFor(flow)]
+	q.enqueueShard(&q.shards[q.ShardFor(flow)], n, rank, aux)
+}
+
+// enqueueShard is the shard-resolved body of EnqueueAux, shared with the
+// bounded TryEnqueue path so the bound check does not hash twice.
+func (q *Q) enqueueShard(s *shard, n *bucket.Node, rank, aux uint64) {
 	if s.ring.push(n, rank, aux) {
 		return
 	}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAdmissionAccounting(t *testing.T) {
+	a := NewAdmission(4)
+	a.Account(100, 90, 10)
+	a.Account(50, 50, 0)
+	if a.Offered() != 150 || a.Admitted() != 140 || a.Dropped() != 10 {
+		t.Fatalf("got %d/%d/%d, want 150/140/10", a.Offered(), a.Admitted(), a.Dropped())
+	}
+	if a.Offered() != a.Admitted()+a.Dropped() {
+		t.Fatal("conservation broken: offered != admitted + dropped")
+	}
+	if got, want := a.DropRatio(), 10.0/150.0; got != want {
+		t.Fatalf("DropRatio = %v, want %v", got, want)
+	}
+}
+
+func TestAdmissionDropRatioEmpty(t *testing.T) {
+	if got := NewAdmission(1).DropRatio(); got != 0 {
+		t.Fatalf("DropRatio on empty block = %v, want 0", got)
+	}
+}
+
+func TestAdmissionTenantBuckets(t *testing.T) {
+	a := NewAdmission(3) // rounds up to 4
+	for i := 0; i < 5; i++ {
+		a.DropTenant(1)
+	}
+	a.DropTenant(2)
+	// Tenants hash by low bits: 5 lands in 1's bucket with 4 buckets.
+	a.DropTenant(5)
+	if got := a.TenantDrops(1); got != 6 {
+		t.Fatalf("TenantDrops(1) = %d, want 6 (5 direct + 1 aliased from tenant 5)", got)
+	}
+	if got := a.TenantDrops(2); got != 1 {
+		t.Fatalf("TenantDrops(2) = %d, want 1", got)
+	}
+	// Negative tenants must index safely, not panic.
+	a.DropTenant(-1)
+	if got := a.TenantDrops(-1); got != 1 {
+		t.Fatalf("TenantDrops(-1) = %d, want 1", got)
+	}
+}
+
+func TestAdmissionString(t *testing.T) {
+	a := NewAdmission(2)
+	a.Account(10, 8, 2)
+	a.DropTenant(0)
+	a.DropTenant(0)
+	s := a.String()
+	for _, want := range []string{"offered=10", "admitted=8", "dropped=2", "t0=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+// TestAdmissionConcurrent checks the counters under concurrent batch
+// accounting — the qdisc contract is per-call atomicity of each counter,
+// with exact totals once all writers are done.
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(8)
+	const workers, rounds = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				a.Account(10, 9, 1)
+				a.DropTenant(int32(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.Offered() != workers*rounds*10 || a.Admitted() != workers*rounds*9 || a.Dropped() != workers*rounds {
+		t.Fatalf("totals %d/%d/%d, want %d/%d/%d", a.Offered(), a.Admitted(), a.Dropped(),
+			workers*rounds*10, workers*rounds*9, workers*rounds)
+	}
+	for w := int32(0); w < workers; w++ {
+		if got := a.TenantDrops(w); got != rounds {
+			t.Fatalf("TenantDrops(%d) = %d, want %d", w, got, rounds)
+		}
+	}
+}

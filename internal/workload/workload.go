@@ -159,6 +159,83 @@ func (r *RateLimitedFlows) PacketGapNs() int64 {
 	return int64(uint64(r.PacketSize) * 8 * 1e9 / r.PerFlowBps)
 }
 
+// ChurnGen drives the flow-churn experiments: an open world of short-
+// lived flows, the regime the paper indicts kernel FQ's flow garbage
+// collection for (§5.1, past ~40k flows). A window of live flow slots is
+// concurrently active; each packet draw picks a slot by Zipf popularity
+// (a few hot slots, a long tail — datacenter fan-out), and a flow expires
+// once its drawn packet budget is spent, its slot re-seeded with a fresh,
+// never-reused id. Globally unique ids keep per-flow order checks valid
+// across expiry, and the cumulative-flow counter is the experiment's
+// x-axis.
+type ChurnGen struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	slots   []churnSlot
+	base    uint64
+	nextID  uint64
+	cum     uint64
+	maxPkts int
+}
+
+// churnSlot is one live flow: its id, its remaining packet budget, and
+// the per-flow sequence stamp of its next packet.
+type churnSlot struct {
+	id   uint64
+	left int
+	seq  uint32
+}
+
+// NewChurnGen returns a churn generator with live concurrent flow slots.
+// Each flow's packet budget is uniform in [1, maxPkts]; slot popularity is
+// Zipf with skew s (must be > 1; ~1.2 is a typical fan-out skew). idBase
+// tags this generator's id space so several generators (one per producer
+// stream) never collide: ids are idBase<<40 | counter.
+func NewChurnGen(rng *rand.Rand, live, maxPkts int, s float64, idBase uint64) *ChurnGen {
+	if live <= 0 || maxPkts <= 0 {
+		panic("workload: churn needs live flow slots and a packet budget")
+	}
+	g := &ChurnGen{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, s, 1, uint64(live-1)),
+		slots:   make([]churnSlot, live),
+		base:    idBase << 40,
+		maxPkts: maxPkts,
+	}
+	for i := range g.slots {
+		g.reseed(&g.slots[i])
+	}
+	return g
+}
+
+// Next draws one packet: the flow it belongs to, its 0-based position in
+// that flow, and the flow's remaining packet budget after it (0 = this
+// packet expires the flow; the slot has already been re-seeded on return).
+func (g *ChurnGen) Next() (flow uint64, seq uint32, remaining int) {
+	sl := &g.slots[g.zipf.Uint64()]
+	flow, seq = sl.id, sl.seq
+	sl.seq++
+	sl.left--
+	remaining = sl.left
+	if remaining == 0 {
+		g.reseed(sl)
+	}
+	return flow, seq, remaining
+}
+
+func (g *ChurnGen) reseed(sl *churnSlot) {
+	g.cum++
+	g.nextID++
+	*sl = churnSlot{id: g.base | g.nextID, left: 1 + g.rng.Intn(g.maxPkts)}
+}
+
+// CumulativeFlows returns how many flows were ever started (live slots
+// included).
+func (g *ChurnGen) CumulativeFlows() uint64 { return g.cum }
+
+// LiveFlows returns the concurrent flow-window size.
+func (g *ChurnGen) LiveFlows() int { return len(g.slots) }
+
 // RankDist names a synthetic rank distribution for queue microbenchmarks.
 type RankDist int
 
