@@ -1,0 +1,111 @@
+// Command eiffel-vet machine-checks the runtime's concurrency and
+// hot-path invariants. It loads the requested packages from source,
+// extracts the //eiffel: annotations, and runs the four analyzers in
+// internal/analysis over every package:
+//
+//	lockcheck    //eiffel:locked callees reached only under their mutex,
+//	             //eiffel:guarded fields never mixed locked/unlocked
+//	atomicfield  sync/atomic-managed fields never accessed plainly, and
+//	             64-bit aligned under 32-bit layout
+//	hotpath      //eiffel:hotpath call graphs free of allocating constructs
+//	publication  slot-memory stores confined to their publish helpers
+//
+// Usage:
+//
+//	go run ./cmd/eiffel-vet ./...
+//	go run ./cmd/eiffel-vet ./internal/shardq ./internal/qdisc
+//	go run ./cmd/eiffel-vet -hotpaths ./...   # inventory of annotated hot functions
+//
+// Diagnostics print as file:line:col: analyzer: message; any diagnostic
+// makes the command exit 1, which is how CI gates on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"eiffel/internal/analysis"
+	"eiffel/internal/analysis/atomicfield"
+	"eiffel/internal/analysis/hotpath"
+	"eiffel/internal/analysis/lockcheck"
+	"eiffel/internal/analysis/publication"
+)
+
+var analyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	atomicfield.Analyzer,
+	hotpath.Analyzer,
+	publication.Analyzer,
+}
+
+func main() {
+	hotpaths := flag.Bool("hotpaths", false, "list every //eiffel:hotpath function instead of running the analyzers")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: eiffel-vet [-hotpaths] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eiffel-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eiffel-vet:", err)
+		os.Exit(2)
+	}
+
+	if *hotpaths {
+		listHotpaths(pkgs)
+		return
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers, loader.Annotations)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eiffel-vet:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			failed = true
+			fmt.Printf("%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// listHotpaths prints every annotated hotpath function as
+// "<import path> <display name> <position>", sorted, for
+// scripts/check_bench_allocs.sh to cross-reference failing benchmarks
+// against the statically-checked function set.
+func listHotpaths(pkgs []*analysis.Package) {
+	var lines []string
+	for _, pkg := range pkgs {
+		for fn, fa := range pkg.Annot.Funcs {
+			if !fa.Hotpath {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s %s %s",
+				pkg.Path, analysis.FuncDisplayName(fn), pkg.Fset.Position(fa.Decl.Pos())))
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}

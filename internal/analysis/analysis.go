@@ -1,0 +1,138 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the golang.org/x/tools/go/analysis surface this repository needs: typed
+// packages in, positioned diagnostics out. It exists because the runtime's
+// concurrency and hot-path contracts — release-store publication, atomic
+// clock fields, zero-allocation drain paths, locked backend access — lived
+// only in doc comments and after-the-fact regression tests; the analyzers
+// built on this package (lockcheck, atomicfield, hotpath, publication)
+// turn those comments into machine-checked annotations enforced by
+// cmd/eiffel-vet on every PR.
+//
+// The deliberate differences from x/tools are small: passes receive a
+// whole-module annotation index instead of serialized facts (the module is
+// tiny enough to load source-first), and suppression is explicit — a
+// `//eiffel:allow(<analyzer>)` comment on or immediately above a line
+// disables that analyzer there, so every intentional exception to a rule
+// is visible and greppable at the exception site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one invariant checker: a name (used in diagnostics and in
+// //eiffel:allow suppressions), a doc string, and a Run function applied
+// to one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, positioned at the offending syntax.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package is one loaded, typechecked package plus everything the
+// analyzers need: syntax with comments, type info, and the extracted
+// annotation index.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Annot *Annotations
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Annot is the package's own annotation index.
+	Annot *Annotations
+	// DepAnnot returns the annotation index of another module-local
+	// package loaded in the same run (nil for stdlib or unloaded paths).
+	// This is how cross-package contracts propagate: a hotpath function in
+	// internal/qdisc may call an annotated hotpath function in
+	// internal/shardq, and lockcheck resolves //eiffel:acquires wrappers
+	// across the same boundary.
+	DepAnnot func(path string) *Annotations
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// annotFor resolves fn's annotation wherever its package was loaded: the
+// current package's index first, then the cross-package index.
+func (p *Pass) annotFor(fn *types.Func) *FuncAnnot {
+	if fn == nil {
+		return nil
+	}
+	if a := p.Annot.Funcs[fn]; a != nil {
+		return a
+	}
+	if fn.Pkg() == nil || p.DepAnnot == nil {
+		return nil
+	}
+	if dep := p.DepAnnot(fn.Pkg().Path()); dep != nil {
+		return dep.Funcs[fn]
+	}
+	return nil
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the surviving
+// diagnostics — findings on lines carrying (or immediately following) an
+// `//eiffel:allow(<analyzer>)` comment are dropped — sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, depAnnot func(path string) *Annotations) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Annot:    pkg.Annot,
+			DepAnnot: depAnnot,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !pkg.Annot.Allowed(pkg.Fset, d.Pos, d.Analyzer) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// compares its diagnostics against `// want` comments in the fixture
+// source — the same convention as golang.org/x/tools/go/analysis/analysistest,
+// reimplemented over this repository's stdlib-only framework.
+//
+// A fixture line that should be reported carries a trailing comment
+//
+//	x.count++ // want `plain write of atomic-managed field`
+//
+// where the backquoted (or double-quoted) text is a regular expression
+// matched against the diagnostic message. Several expectations may share a
+// line (`// want "re1" "re2"`). Lines with no want comment must produce no
+// diagnostic; the test fails on both unexpected and missing findings, with
+// positions.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/ and are loaded with a
+// rootless fixture loader: only standard-library imports resolve, which
+// keeps every fixture self-contained.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"eiffel/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> relative to dir and checks analyzer a's
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader()
+	fixdir := filepath.Join(dir, "testdata", "src", pkg)
+	p, err := loader.LoadDir(fixdir, pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixdir, err)
+	}
+	diags, err := analysis.RunAnalyzers(p, []*analysis.Analyzer{a}, loader.Annotations)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+	check(t, p.Fset, p.Files, diags)
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+// wantRE pulls the quoted regexps out of a want comment: backquoted or
+// double-quoted strings after the word "want".
+var wantRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text, -1) {
+					pat := q[1 : len(q)-1]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+
+	var errs []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.met || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.met, matched = true, true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Sprintf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			errs = append(errs, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text))
+		}
+	}
+	sort.Strings(errs)
+	for _, e := range errs {
+		t.Error(e)
+	}
+}

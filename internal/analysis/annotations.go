@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The machine-readable annotation language. Annotations are ordinary
+// comments of the form `//eiffel:<verb>` or `//eiffel:<verb>(<args>)`,
+// attached to the declaration they govern:
+//
+//	//eiffel:locked(mu)       (func)  callers must hold <recv>.mu — or, when
+//	                                  mu is not a field of the receiver, the
+//	                                  abstract lock named mu (see acquires)
+//	//eiffel:acquires(shard)  (func)  the function acquires the abstract
+//	                                  lock for the duration of any function-
+//	                                  literal argument it is passed (the
+//	                                  WithShardLocked callback pattern)
+//	//eiffel:hotpath          (func)  the body must be free of allocation-
+//	                                  inducing constructs, and every static
+//	                                  module-local callee must be hotpath too
+//	//eiffel:guarded(mu)      (field) every access to the field must hold
+//	                                  the sibling mutex field mu
+//	//eiffel:atomic           (field) the field may only be touched through
+//	                                  sync/atomic calls (plain loads/stores
+//	                                  are reported even if the package also
+//	                                  contains atomic accesses)
+//	//eiffel:publishedBy(f,g) (field) stores through the field (slot memory)
+//	                                  are legal only inside functions f, g
+//
+// Suppression: `//eiffel:allow(<analyzer>[,<analyzer>...])  <rationale>`
+// on the offending line, or on the line immediately above it, drops that
+// analyzer's findings there. Every allow site is a documented exception —
+// the rationale is part of the comment on purpose.
+
+// FuncAnnot is the parsed annotation set of one function declaration.
+type FuncAnnot struct {
+	// Locked lists lock names the function requires held on entry. A name
+	// that resolves to a mutex-typed field of the receiver's struct is a
+	// receiver-field lock; anything else is an abstract lock name.
+	Locked []string
+	// Acquires lists abstract locks the function holds around calls of its
+	// function-literal arguments.
+	Acquires []string
+	// Hotpath marks the function as part of the zero-allocation call graph.
+	Hotpath bool
+
+	// Decl is the annotated declaration.
+	Decl *ast.FuncDecl
+}
+
+// FieldAnnot is the parsed annotation set of one struct field.
+type FieldAnnot struct {
+	// Guarded names the sibling mutex field that must be held.
+	Guarded string
+	// Atomic requires all access to go through sync/atomic.
+	Atomic bool
+	// PublishedBy lists the only functions allowed to store through the
+	// field's memory.
+	PublishedBy []string
+}
+
+type allowSite struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+// Annotations is one package's extracted annotation index.
+type Annotations struct {
+	Funcs  map[*types.Func]*FuncAnnot
+	Fields map[*types.Var]*FieldAnnot
+
+	allows []allowSite
+}
+
+// Allowed reports whether an `//eiffel:allow` comment suppresses the
+// named analyzer at pos (same line or the line immediately above).
+func (a *Annotations) Allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	if len(a.allows) == 0 || !pos.IsValid() {
+		return false
+	}
+	p := fset.Position(pos)
+	for _, s := range a.allows {
+		if s.file != p.Filename || (s.line != p.Line && s.line != p.Line-1) {
+			continue
+		}
+		for _, name := range s.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseDirective splits one comment line into an eiffel directive verb and
+// its argument list; ok is false for ordinary comments.
+func parseDirective(text string) (verb string, args []string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	if !strings.HasPrefix(text, "eiffel:") {
+		return "", nil, false
+	}
+	text = strings.TrimPrefix(text, "eiffel:")
+	if i := strings.IndexByte(text, '('); i >= 0 {
+		j := strings.IndexByte(text[i:], ')')
+		if j < 0 {
+			return "", nil, false
+		}
+		verb = text[:i]
+		for _, arg := range strings.Split(text[i+1:i+j], ",") {
+			if arg = strings.TrimSpace(arg); arg != "" {
+				args = append(args, arg)
+			}
+		}
+		return verb, args, true
+	}
+	// Bare verb: strip any trailing prose.
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		text = text[:i]
+	}
+	return text, nil, true
+}
+
+func funcAnnotFromDoc(doc *ast.CommentGroup, decl *ast.FuncDecl) *FuncAnnot {
+	if doc == nil {
+		return nil
+	}
+	var fa *FuncAnnot
+	for _, c := range doc.List {
+		verb, args, ok := parseDirective(c.Text)
+		if !ok {
+			continue
+		}
+		if fa == nil {
+			fa = &FuncAnnot{Decl: decl}
+		}
+		switch verb {
+		case "locked":
+			fa.Locked = append(fa.Locked, args...)
+		case "acquires":
+			fa.Acquires = append(fa.Acquires, args...)
+		case "hotpath":
+			fa.Hotpath = true
+		}
+	}
+	if fa != nil && len(fa.Locked) == 0 && len(fa.Acquires) == 0 && !fa.Hotpath {
+		return nil
+	}
+	return fa
+}
+
+func fieldAnnotFromComments(groups ...*ast.CommentGroup) *FieldAnnot {
+	var fa *FieldAnnot
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			verb, args, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			if fa == nil {
+				fa = &FieldAnnot{}
+			}
+			switch verb {
+			case "guarded":
+				if len(args) == 1 {
+					fa.Guarded = args[0]
+				}
+			case "atomic":
+				fa.Atomic = true
+			case "publishedBy":
+				fa.PublishedBy = append(fa.PublishedBy, args...)
+			}
+		}
+	}
+	if fa != nil && fa.Guarded == "" && !fa.Atomic && len(fa.PublishedBy) == 0 {
+		return nil
+	}
+	return fa
+}
+
+// ExtractAnnotations builds the annotation index for one typechecked
+// package: function annotations from declaration doc comments, field
+// annotations from field doc or trailing comments, and every allow site in
+// any comment group.
+func ExtractAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *Annotations {
+	a := &Annotations{
+		Funcs:  make(map[*types.Func]*FuncAnnot),
+		Fields: make(map[*types.Var]*FieldAnnot),
+	}
+	for _, f := range files {
+		// Allow sites come from the raw comment stream so they work on any
+		// line, not just documented declarations.
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				verb, args, ok := parseDirective(c.Text)
+				if !ok || verb != "allow" || len(args) == 0 {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				a.allows = append(a.allows, allowSite{file: p.Filename, line: p.Line, analyzers: args})
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fa := funcAnnotFromDoc(fn.Doc, fn)
+			if fa == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fn.Name].(*types.Func); ok {
+				a.Funcs[obj] = fa
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				fa := fieldAnnotFromComments(field.Doc, field.Comment)
+				if fa == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := info.Defs[name].(*types.Var); ok {
+						a.Fields[obj] = fa
+					}
+				}
+			}
+			return true
+		})
+	}
+	return a
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		in   string
+		verb string
+		args []string
+		ok   bool
+	}{
+		{"//eiffel:hotpath", "hotpath", nil, true},
+		{"//eiffel:locked(mu)", "locked", []string{"mu"}, true},
+		{"//eiffel:publishedBy(push, pushN)", "publishedBy", []string{"push", "pushN"}, true},
+		{"//eiffel:allow(lockcheck) snapshot read is tolerated", "allow", []string{"lockcheck"}, true},
+		{"//eiffel:hotpath trailing prose is ignored", "hotpath", nil, true},
+		{"// ordinary comment", "", nil, false},
+		{"//eiffel:locked(unclosed", "", nil, false},
+	}
+	for _, c := range cases {
+		verb, args, ok := parseDirective(c.in)
+		if verb != c.verb || ok != c.ok || !reflect.DeepEqual(args, c.args) {
+			t.Errorf("parseDirective(%q) = %q, %v, %v; want %q, %v, %v",
+				c.in, verb, args, ok, c.verb, c.args, c.ok)
+		}
+	}
+}
+
+func TestAllowedMatchesSameAndPreviousLine(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //eiffel:allow(lockcheck) same-line suppression
+	//eiffel:allow(hotpath) next-line suppression
+	_ = 2
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ExtractAnnotations(fset, []*ast.File{file}, &types.Info{})
+	body := file.Decls[0].(*ast.FuncDecl).Body.List
+	stmt1, stmt2, stmt3 := body[0].Pos(), body[1].Pos(), body[2].Pos()
+
+	if !a.Allowed(fset, stmt1, "lockcheck") {
+		t.Error("same-line allow(lockcheck) not honored")
+	}
+	if a.Allowed(fset, stmt1, "hotpath") {
+		t.Error("allow(lockcheck) must not suppress hotpath")
+	}
+	if !a.Allowed(fset, stmt2, "hotpath") {
+		t.Error("previous-line allow(hotpath) not honored")
+	}
+	if a.Allowed(fset, stmt3, "hotpath") {
+		t.Error("allow must not leak past the following line")
+	}
+}

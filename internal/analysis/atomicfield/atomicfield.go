@@ -1,0 +1,201 @@
+// Package atomicfield enforces the runtime's atomic-field contract: a
+// struct field that is managed through sync/atomic calls anywhere in the
+// package — or explicitly annotated `//eiffel:atomic` — must never be read
+// or written with plain loads or stores. Mixing the two is exactly the
+// PR-4 treeSched clock race: the consumer advanced a plain int64 clock
+// while producers read it on the ring-full fallback path, and only a
+// review under -race caught it. This analyzer catches the pattern at
+// compile time, with the position of the plain access.
+//
+// Fields of the atomic.Int64/Uint64/... wrapper types are safe by
+// construction (no plain access is expressible) and are not tracked.
+//
+// The analyzer additionally checks 64-bit alignment for the fields it
+// tracks: a uint64/int64 field passed to sync/atomic must be 64-bit
+// aligned on 32-bit platforms, so its offset within its struct is computed
+// under GOARCH=386 layout and flagged when misaligned (move the field
+// first, pad it to an 8-byte boundary, or switch to atomic.Uint64, whose
+// alignment the runtime guarantees).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eiffel/internal/analysis"
+)
+
+// Analyzer is the atomicfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields managed via sync/atomic (or annotated //eiffel:atomic) must not be accessed with plain loads/stores, and must be 64-bit aligned on 32-bit layouts",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find every field whose address is taken into a sync/atomic
+	// call, remembering the sanctioned &x.f operand nodes, plus every
+	// field annotated //eiffel:atomic.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic-use pos (annotation: NoPos)
+	sanctioned := make(map[*ast.SelectorExpr]bool) // selector nodes inside &x.f atomic-call args
+	wide := make(map[*types.Var]bool)              // fields used with 64-bit atomic ops
+
+	for f, fa := range pass.Annot.Fields {
+		if fa.Atomic {
+			atomicFields[f] = token.NoPos
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.StaticCallee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fv := analysis.FieldOf(pass.Info, sel)
+				if fv == nil {
+					continue
+				}
+				if _, seen := atomicFields[fv]; !seen {
+					atomicFields[fv] = sel.Pos()
+				}
+				sanctioned[sel] = true
+				if sz := basicSize(fv.Type()); sz == 8 {
+					wide[fv] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector touching one of those fields is a plain
+	// access. Distinguish writes (assignment LHS, ++/--, address-taken for
+	// non-atomic use) from reads for the message.
+	for _, file := range pass.Files {
+		writes := collectWrites(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := analysis.FieldOf(pass.Info, sel)
+			if fv == nil {
+				return true
+			}
+			if _, tracked := atomicFields[fv]; !tracked || sanctioned[sel] {
+				return true
+			}
+			kind := "read"
+			if writes[sel] {
+				kind = "write"
+			}
+			pass.Reportf(sel.Pos(),
+				"plain %s of atomic-managed field %s (all access must go through sync/atomic; this is the treeSched-clock race class)",
+				kind, fv.Name())
+			return true
+		})
+	}
+
+	// Pass 3: 32-bit alignment of 64-bit atomic fields, under 386 layout.
+	sizes386 := types.SizesFor("gc", "386")
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[st]
+			if !ok {
+				return true
+			}
+			stt, ok := tv.Type.(*types.Struct)
+			if !ok {
+				return true
+			}
+			fields := make([]*types.Var, stt.NumFields())
+			for i := range fields {
+				fields[i] = stt.Field(i)
+			}
+			offsets := sizes386.Offsetsof(fields)
+			for i, fv := range fields {
+				if _, tracked := atomicFields[fv]; !tracked {
+					continue
+				}
+				if !wide[fv] && basicSize(fv.Type()) != 8 {
+					continue
+				}
+				if offsets[i]%8 != 0 {
+					pass.Reportf(fv.Pos(),
+						"64-bit atomic field %s is at offset %d under 32-bit layout (not 8-aligned): move it first, pad it, or use atomic.%s",
+						fv.Name(), offsets[i], wrapperFor(fv.Type()))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectWrites marks selector nodes used as assignment targets or ++/--.
+func collectWrites(file *ast.File) map[*ast.SelectorExpr]bool {
+	writes := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			writes[sel] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X) // address escaping to non-atomic use
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// basicSize returns the size in bytes of a basic integer type, or 0.
+func basicSize(t types.Type) int64 {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return 8
+	case types.Int32, types.Uint32:
+		return 4
+	}
+	return 0
+}
+
+func wrapperFor(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Int64 {
+		return "Int64"
+	}
+	return "Uint64"
+}

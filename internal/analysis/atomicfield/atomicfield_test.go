@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"eiffel/internal/analysis/analysistest"
+	"eiffel/internal/analysis/atomicfield"
+)
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, ".", atomicfield.Analyzer, "a")
+}

@@ -1,0 +1,64 @@
+// Package a is the atomicfield golden fixture. The clock struct below is
+// the PR-4 treeSched clock race reduced to its skeleton: one goroutine
+// advanced a plain int64 field the package elsewhere manages with
+// sync/atomic, and only a -race run against the ring-full fallback path
+// caught it. The analyzer flags the plain accesses at compile time.
+package a
+
+import "sync/atomic"
+
+type clock struct {
+	now int64
+}
+
+func (c *clock) advance() {
+	atomic.AddInt64(&c.now, 1)
+}
+
+func (c *clock) goodRead() int64 {
+	return atomic.LoadInt64(&c.now)
+}
+
+func (c *clock) badRead() int64 {
+	return c.now // want `plain read of atomic-managed field now`
+}
+
+func (c *clock) badWrite() {
+	c.now = 0 // want `plain write of atomic-managed field now`
+}
+
+func (c *clock) allowedReset() {
+	//eiffel:allow(atomicfield) pre-publication: the clock has no readers yet
+	c.now = 0
+}
+
+type annotated struct {
+	//eiffel:atomic
+	flag uint32
+}
+
+func set(a *annotated) {
+	atomic.StoreUint32(&a.flag, 1)
+}
+
+func bump(a *annotated) {
+	a.flag++ // want `plain write of atomic-managed field flag`
+}
+
+type misaligned struct {
+	b     byte
+	ticks int64 // want `64-bit atomic field ticks is at offset 4 under 32-bit layout`
+}
+
+func tick(m *misaligned) {
+	atomic.AddInt64(&m.ticks, 1)
+}
+
+type aligned struct {
+	ticks int64
+	b     byte
+}
+
+func tickAligned(m *aligned) {
+	atomic.AddInt64(&m.ticks, 1)
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"eiffel/internal/analysis/analysistest"
+	"eiffel/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, ".", hotpath.Analyzer, "a")
+}

@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader typechecks module-local packages from source (so the analyzers
+// see syntax, comments, and annotations) and resolves standard-library
+// imports through the compiler's export data. No network, no external
+// tooling: everything the suite needs ships with the Go toolchain.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleRoot is the directory holding go.mod; ModulePath its module
+	// line. Empty ModulePath means a rootless load (analysistest fixtures),
+	// where only stdlib imports resolve.
+	ModuleRoot string
+	ModulePath string
+
+	std  types.Importer
+	pkgs map[string]*Package // keyed by import path
+}
+
+// NewLoader returns a loader rooted at the module containing dir (the
+// nearest enclosing go.mod). dir may be any directory inside the module.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	l := newBareLoader()
+	l.ModuleRoot, l.ModulePath = root, module
+	return l, nil
+}
+
+// NewFixtureLoader returns a rootless loader for self-contained test
+// fixture packages: only standard-library imports resolve.
+func NewFixtureLoader() *Loader { return newBareLoader() }
+
+func newBareLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		std:  importer.ForCompiler(fset, "gc", nil),
+		pkgs: make(map[string]*Package),
+	}
+}
+
+// Package returns an already-loaded package by import path, or nil.
+func (l *Loader) Package(path string) *Package { return l.pkgs[path] }
+
+// Annotations returns the annotation index of a loaded package, or nil —
+// the DepAnnot hook RunAnalyzers threads into passes.
+func (l *Loader) Annotations(path string) *Annotations {
+	if p := l.pkgs[path]; p != nil {
+		return p.Annot
+	}
+	return nil
+}
+
+// Load resolves each pattern — an import path inside the module, a
+// ./relative directory, or either form suffixed /... — and returns the
+// matched packages in a stable order, loading (and typechecking) anything
+// not yet cached, dependencies included.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec, pat = true, strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "." || pat == "./" {
+			pat = ""
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		if strings.HasPrefix(pat, l.ModulePath) {
+			pat = strings.TrimPrefix(strings.TrimPrefix(pat, l.ModulePath), "/")
+		}
+		dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(pat))
+		if !rec {
+			ip := l.ModulePath
+			if pat != "" {
+				ip += "/" + pat
+			}
+			add(ip)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if !hasGoFiles(path) {
+				return nil
+			}
+			rel, err := filepath.Rel(l.ModuleRoot, path)
+			if err != nil {
+				return err
+			}
+			ip := l.ModulePath
+			if rel != "." {
+				ip += "/" + filepath.ToSlash(rel)
+			}
+			add(ip)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, ip := range paths {
+		pkg, err := l.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load typechecks the module-local package at importPath, memoized.
+func (l *Loader) load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	dir := filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+	return l.LoadDir(dir, importPath)
+}
+
+// LoadDir typechecks the single package in dir under the given import
+// path. Test files are excluded: annotations govern shipped code, and the
+// race/bench gates already cover the test surface.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) { return l.importPkg(path) }),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
+	}
+	p := &Package{
+		Path:  importPath,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Annot: ExtractAnnotations(l.Fset, files, info),
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// importPkg resolves one import: unsafe specially, module-local paths from
+// source (recursively, so their annotations are indexed too), everything
+// else through the compiler's export data.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.ModulePath != "" && (path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/")) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

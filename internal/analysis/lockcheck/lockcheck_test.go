@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"eiffel/internal/analysis/analysistest"
+	"eiffel/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, ".", lockcheck.Analyzer, "a")
+}

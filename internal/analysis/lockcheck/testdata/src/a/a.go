@@ -1,0 +1,104 @@
+// Package a is the lockcheck golden fixture: locked callees, guarded
+// fields, deferred unlocks, conditional acquisition, and the acquires
+// callback pattern, in both conforming and violating forms.
+package a
+
+import "sync"
+
+type q struct {
+	mu sync.Mutex
+	// pending is drained by flushLocked.
+	//eiffel:guarded(mu)
+	pending []int
+}
+
+// flushLocked drains pending.
+//
+//eiffel:locked(mu)
+func (s *q) flushLocked() {
+	s.pending = s.pending[:0]
+}
+
+// withLocked runs fn under mu, holding the abstract state lock.
+//
+//eiffel:acquires(state)
+func (s *q) withLocked(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
+
+// advance mutates backend state owned by the state lock.
+//
+//eiffel:locked(state)
+func advance() {}
+
+func (s *q) good() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.pending = append(s.pending, 1)
+	s.mu.Unlock()
+}
+
+func (s *q) goodDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+func (s *q) goodCallback() {
+	s.withLocked(func() {
+		advance()
+	})
+}
+
+func (s *q) bad() {
+	s.flushLocked() // want `call to a\.q\.flushLocked without holding s\.mu`
+}
+
+func (s *q) badAfterUnlock() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+	s.pending = nil // want `access to s\.pending without holding s\.mu`
+}
+
+func (s *q) badConditional(c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	s.flushLocked() // want `call to a\.q\.flushLocked without holding s\.mu`
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+func (s *q) goodEarlyReturn(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+		return
+	}
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+func (s *q) badMaybeUnlocked(c bool) {
+	s.mu.Lock()
+	if c {
+		s.mu.Unlock()
+	}
+	s.flushLocked() // want `call to a\.q\.flushLocked without holding s\.mu`
+	if !c {
+		s.mu.Unlock()
+	}
+}
+
+func badAbstract() {
+	advance() // want `call to advance without holding the state lock`
+}
+
+func (s *q) allowedPeek() int {
+	//eiffel:allow(lockcheck) snapshot read: callers tolerate a stale length
+	return len(s.pending)
+}

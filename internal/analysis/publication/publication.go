@@ -1,0 +1,193 @@
+// Package publication enforces the ring-buffer publication protocol: a
+// field annotated `//eiffel:publishedBy(f, g)` names slot memory whose
+// plain stores are only correct inside the listed publish helpers, where
+// the subsequent atomic sequence-number store orders them for consumers
+// (release-store publication). A plain store to that memory anywhere else
+// is unordered with respect to the seq protocol and is exactly the class
+// of bug -race only catches when a consumer happens to observe the torn
+// window.
+//
+// The analyzer tracks stores through the annotated field directly
+// (r.entries[i].n = v, including via an enclosing struct: q.ring.entries…)
+// and through one level of aliasing — `e := &r.entries[pos&mask]` followed
+// by stores through e, the idiom the publish helpers actually use. Deeper
+// alias chains are out of scope; keep publish helpers simple enough that
+// one level suffices.
+//
+// Reads are not restricted: consumers read slot memory after an acquire
+// load of seq, and the pop/peek paths do so from many functions.
+package publication
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eiffel/internal/analysis"
+)
+
+// Analyzer is the publication pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "publication",
+	Doc:  "plain stores to //eiffel:publishedBy slot memory must stay inside the named publish helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Collect the published fields declared in this package.
+	published := make(map[*types.Var][]string)
+	for f, fa := range pass.Annot.Fields {
+		if len(fa.PublishedBy) > 0 {
+			published[f] = fa.PublishedBy
+		}
+	}
+	if len(published) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			(&checker{pass: pass, fn: fn, published: published}).check()
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	fn        *ast.FuncDecl
+	published map[*types.Var][]string
+
+	// aliases maps local variables bound to &<published-field>[...] (or an
+	// element pointer into it) to the published field they alias.
+	aliases map[types.Object]*types.Var
+}
+
+func (c *checker) check() {
+	c.aliases = make(map[types.Object]*types.Var)
+	// First pass: record one-level aliases e := &r.entries[i].
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			fv := c.elementPointerOf(rhs)
+			if fv == nil {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := c.pass.Info.Defs[id]; obj != nil {
+				c.aliases[obj] = fv
+			} else if obj := c.pass.Info.Uses[id]; obj != nil {
+				c.aliases[obj] = fv
+			}
+		}
+		return true
+	})
+
+	// Second pass: find plain stores into published memory.
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkStore(lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			c.checkStore(n.X, n.Pos())
+		}
+		return true
+	})
+}
+
+// elementPointerOf reports the published field fv when e has the shape
+// &<path>.fv[...]... (an address into the field's backing memory), else nil.
+func (c *checker) elementPointerOf(e ast.Expr) *types.Var {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	return c.publishedBase(un.X)
+}
+
+// publishedBase walks an lvalue expression down its base chain and returns
+// the published field it stores into, or nil. It resolves one level of
+// aliasing through variables recorded in c.aliases.
+func (c *checker) publishedBase(e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if fv := analysis.FieldOf(c.pass.Info, x); fv != nil {
+				if _, ok := c.published[fv]; ok {
+					return fv
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := c.pass.Info.Uses[x]; obj != nil {
+				if fv, ok := c.aliases[obj]; ok {
+					return fv
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *checker) checkStore(lhs ast.Expr, pos token.Pos) {
+	// A bare identifier store (e = ...) rebinds the alias, it does not
+	// write slot memory; publishedBase is only consulted for compound
+	// lvalues and explicit dereferences.
+	switch ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		return
+	}
+	fv := c.publishedBase(lhs)
+	if fv == nil {
+		return
+	}
+	if c.inPublisher(fv) {
+		return
+	}
+	c.pass.Reportf(pos,
+		"plain store to published slot memory %s outside its publish helpers (%s): unordered with the seq release-store",
+		fv.Name(), joinNames(c.published[fv]))
+}
+
+// inPublisher reports whether the enclosing function is one of the
+// publish helpers named by the field's annotation.
+func (c *checker) inPublisher(fv *types.Var) bool {
+	for _, name := range c.published[fv] {
+		if c.fn.Name.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package publication_test
+
+import (
+	"testing"
+
+	"eiffel/internal/analysis/analysistest"
+	"eiffel/internal/analysis/publication"
+)
+
+func TestPublication(t *testing.T) {
+	analysistest.Run(t, ".", publication.Analyzer, "a")
+}

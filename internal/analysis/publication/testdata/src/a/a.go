@@ -1,0 +1,52 @@
+// Package a is the publication golden fixture: a miniature seq-published
+// ring whose slot memory may only be stored to inside its publish helpers.
+package a
+
+import "sync/atomic"
+
+type entry struct {
+	seq uint64
+	val uint64
+}
+
+type ring struct {
+	mask uint64
+	// entries is slot memory: plain stores are ordered for consumers by
+	// the atomic seq store at the end of the publish helpers only.
+	//eiffel:publishedBy(push, pushN)
+	entries []entry
+}
+
+// push publishes one value.
+func (r *ring) push(pos, v uint64) {
+	e := &r.entries[pos&r.mask]
+	e.val = v
+	atomic.StoreUint64(&e.seq, pos+1)
+}
+
+// pushN publishes a run of values under one claim.
+func (r *ring) pushN(pos uint64, vs []uint64) {
+	for i, v := range vs {
+		e := &r.entries[(pos+uint64(i))&r.mask]
+		e.val = v
+		e.seq = pos + uint64(i) + 1
+	}
+}
+
+func (r *ring) read(pos uint64) uint64 {
+	return r.entries[pos&r.mask].val
+}
+
+func (r *ring) steal(pos, v uint64) {
+	r.entries[pos&r.mask].val = v // want `plain store to published slot memory entries`
+}
+
+func (r *ring) stealAliased(pos, v uint64) {
+	e := &r.entries[pos&r.mask]
+	e.val = v // want `plain store to published slot memory entries`
+}
+
+func (r *ring) allowedRecycle(pos uint64) {
+	//eiffel:allow(publication) recycle path: slot already consumed, no reader can hold it
+	r.entries[pos&r.mask].val = 0
+}

@@ -31,19 +31,29 @@ type Node struct {
 // Rank returns the rank recorded when the node was last enqueued. Bucketed
 // queues keep the true (un-quantized) rank here so circular queues can
 // re-distribute overflowed elements correctly.
+//
+//eiffel:hotpath
 func (n *Node) Rank() uint64 { return n.rank }
 
 // SetRank records r on a detached node. Queues overwrite it on enqueue; it
 // exists so comparison-based backends can share the same handle.
+//
+//eiffel:hotpath
 func (n *Node) SetRank(r uint64) { n.rank = r }
 
 // Queued reports whether the node currently sits in a bucket Array.
+//
+//eiffel:hotpath
 func (n *Node) Queued() bool { return n.owner != nil }
 
 // InArray reports whether the node currently sits in a.
+//
+//eiffel:hotpath
 func (n *Node) InArray(a *Array) bool { return n.owner == a }
 
 // BucketIndex returns the bucket the node sits in, or -1 if detached.
+//
+//eiffel:hotpath
 func (n *Node) BucketIndex() int {
 	if n.owner == nil {
 		return -1
@@ -86,11 +96,15 @@ func (a *Array) Len() int { return a.count }
 func (a *Array) BucketLen(i int) int { return int(a.lens[i]) }
 
 // BucketEmpty reports whether bucket i holds no nodes.
+//
+//eiffel:hotpath
 func (a *Array) BucketEmpty(i int) bool { return a.buckets[i].head == nil }
 
 // Push appends n to the FIFO tail of bucket i recording rank, and reports
 // whether the bucket transitioned from empty to non-empty. n must be
 // detached.
+//
+//eiffel:hotpath
 func (a *Array) Push(i int, n *Node, rank uint64) (becameNonEmpty bool) {
 	if n.owner != nil {
 		panic("bucket: Push of a node that is already queued")
@@ -113,10 +127,14 @@ func (a *Array) Push(i int, n *Node, rank uint64) (becameNonEmpty bool) {
 }
 
 // Front returns the FIFO head of bucket i without removing it, or nil.
+//
+//eiffel:hotpath
 func (a *Array) Front(i int) *Node { return a.buckets[i].head }
 
 // PopFront removes and returns the FIFO head of bucket i, reporting whether
 // the bucket became empty. It returns (nil, false) on an empty bucket.
+//
+//eiffel:hotpath
 func (a *Array) PopFront(i int) (n *Node, becameEmpty bool) {
 	l := &a.buckets[i]
 	n = l.head
@@ -133,6 +151,8 @@ func (a *Array) PopFront(i int) (n *Node, becameEmpty bool) {
 // callers fall back to per-node PopFront. The bulk path walks the list
 // once and settles the bucket's count bookkeeping in O(1) instead of
 // per-node, which is what makes whole-bucket batch dequeues cheap.
+//
+//eiffel:hotpath
 func (a *Array) DrainBucket(i int, out []*Node) (n int, ok bool) {
 	cnt := int(a.lens[i])
 	if cnt == 0 || cnt > len(out) {
@@ -156,6 +176,8 @@ func (a *Array) DrainBucket(i int, out []*Node) (n int, ok bool) {
 
 // Remove detaches n from whatever bucket it is in, reporting whether that
 // bucket became empty. n must currently be in this array.
+//
+//eiffel:hotpath
 func (a *Array) Remove(n *Node) (becameEmpty bool) {
 	if n.owner != a {
 		panic("bucket: Remove of a node that is not in this array")
@@ -163,6 +185,7 @@ func (a *Array) Remove(n *Node) (becameEmpty bool) {
 	return a.unlink(n)
 }
 
+//eiffel:hotpath
 func (a *Array) unlink(n *Node) (becameEmpty bool) {
 	l := &a.buckets[n.bucket]
 	if n.prev != nil {

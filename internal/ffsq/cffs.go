@@ -91,12 +91,16 @@ func NewCFFS(opt CFFSOptions) *CFFS {
 }
 
 // Len returns the number of queued elements.
+//
+//eiffel:hotpath
 func (c *CFFS) Len() int { return c.count }
 
 // NumBuckets returns the per-half bucket count.
 func (c *CFFS) NumBuckets() int { return int(c.nb) }
 
 // Granularity returns the rank width of one bucket.
+//
+//eiffel:hotpath
 func (c *CFFS) Granularity() uint64 { return c.gran }
 
 // Horizon returns the rank span covered without overflow: 2*nb*gran.
@@ -111,6 +115,8 @@ func (c *CFFS) Stats() (rotations, overflows, fastForwards, clampedLow uint64) {
 
 // Enqueue inserts n with the given rank. O(1) plus the constant-depth index
 // update.
+//
+//eiffel:hotpath
 func (c *CFFS) Enqueue(n *bucket.Node, rank uint64) {
 	b := rank / c.gran
 	if c.count == 0 {
@@ -144,12 +150,15 @@ func (c *CFFS) Enqueue(n *bucket.Node, rank uint64) {
 // locked ring flushes) insert it through ONE call instead of one interface
 // dispatch per element. Exactly equivalent to that sequence of Enqueue
 // calls, including the empty-queue re-anchoring on the first element.
+//
+//eiffel:hotpath
 func (c *CFFS) EnqueueBatch(ns []*bucket.Node, ranks []uint64) {
 	for i, n := range ns {
 		c.Enqueue(n, ranks[i])
 	}
 }
 
+//eiffel:hotpath
 func (c *CFFS) place(n *bucket.Node, rank, b uint64) {
 	var h *half
 	var i uint64
@@ -177,6 +186,8 @@ func (c *CFFS) place(n *bucket.Node, rank, b uint64) {
 
 // DequeueMin removes and returns the FIFO head of the lowest non-empty
 // bucket, rotating the window as needed, or nil if empty.
+//
+//eiffel:hotpath
 func (c *CFFS) DequeueMin() *bucket.Node {
 	if c.count == 0 {
 		return nil
@@ -197,6 +208,8 @@ func (c *CFFS) DequeueMin() *bucket.Node {
 // bucket costs one index descent plus one clear, so batch drains skip the
 // per-element find-min work DequeueMin pays — the sharded runtime's
 // consumer leans on this.
+//
+//eiffel:hotpath
 func (c *CFFS) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 	total := 0
 	for total < len(out) && c.count > 0 {
@@ -234,6 +247,8 @@ func (c *CFFS) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 // PeekMin returns the start rank of the lowest non-empty bucket (quantized
 // to the queue granularity). For a time-indexed shaper this is the
 // SoonestDeadline() the Eiffel qdisc uses to arm its timer exactly (§4).
+//
+//eiffel:hotpath
 func (c *CFFS) PeekMin() (rank uint64, ok bool) {
 	if c.count == 0 {
 		return 0, false
@@ -245,10 +260,14 @@ func (c *CFFS) PeekMin() (rank uint64, ok bool) {
 
 // Min is PeekMin under the shardq.Scheduler backend contract, letting a
 // cFFS serve as a per-shard backend without an adapter.
+//
+//eiffel:hotpath
 func (c *CFFS) Min() (uint64, bool) { return c.PeekMin() }
 
 // FrontMin returns the FIFO head of the lowest non-empty bucket without
 // removing it, or nil.
+//
+//eiffel:hotpath
 func (c *CFFS) FrontMin() *bucket.Node {
 	if c.count == 0 {
 		return nil
@@ -258,6 +277,8 @@ func (c *CFFS) FrontMin() *bucket.Node {
 }
 
 // Remove detaches n, which must be queued here, in O(1).
+//
+//eiffel:hotpath
 func (c *CFFS) Remove(n *bucket.Node) {
 	var h *half
 	switch {
@@ -284,6 +305,8 @@ func (c *CFFS) Contains(n *bucket.Node) bool {
 // count > 0. Runs at most two iterations: a rotation either exposes
 // in-window elements in the new primary, or the fast-forward path re-anchors
 // the window at the smallest overflowed rank.
+//
+//eiffel:hotpath
 func (c *CFFS) advance() {
 	for c.prim.idx.Empty() {
 		if c.sec.idx.Empty() {
@@ -303,6 +326,7 @@ func (c *CFFS) advance() {
 	}
 }
 
+//eiffel:hotpath
 func (c *CFFS) rotate() {
 	c.prim, c.sec = c.sec, c.prim
 	c.hIndex += c.nb
@@ -314,6 +338,7 @@ func (c *CFFS) rotate() {
 	}
 }
 
+//eiffel:hotpath
 func (c *CFFS) fastForward() {
 	last := int(c.nb - 1)
 	c.drainInto(c.sec, last)
@@ -330,6 +355,8 @@ func (c *CFFS) fastForward() {
 
 // replaceBucket drains bucket i of h and re-enqueues every element by its
 // true rank against the current window.
+//
+//eiffel:hotpath
 func (c *CFFS) replaceBucket(h *half, i int) {
 	if h.arr.BucketEmpty(i) {
 		return
@@ -338,6 +365,7 @@ func (c *CFFS) replaceBucket(h *half, i int) {
 	c.flushScratch()
 }
 
+//eiffel:hotpath
 func (c *CFFS) drainInto(h *half, i int) {
 	for {
 		n, empty := h.arr.PopFront(i)
@@ -360,6 +388,7 @@ func (c *CFFS) drainInto(h *half, i int) {
 // than this, so the common path never re-allocates.
 const scratchRetainCap = 1024
 
+//eiffel:hotpath
 func (c *CFFS) flushScratch() {
 	for _, n := range c.scratch {
 		c.place(n, n.Rank(), n.Rank()/c.gran)

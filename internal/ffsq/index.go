@@ -158,15 +158,21 @@ func NewHier(n int) *Hier {
 func (h *Hier) Size() int { return h.n }
 
 // Empty reports whether no bucket is marked.
+//
+//eiffel:hotpath
 func (h *Hier) Empty() bool { return h.count == 0 }
 
 // Count returns the number of marked buckets.
 func (h *Hier) Count() int { return h.count }
 
 // Test reports whether bucket i is marked.
+//
+//eiffel:hotpath
 func (h *Hier) Test(i int) bool { return h.levels[0][i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // Set marks bucket i, updating summary levels.
+//
+//eiffel:hotpath
 func (h *Hier) Set(i int) {
 	if h.Test(i) {
 		return
@@ -184,6 +190,8 @@ func (h *Hier) Set(i int) {
 }
 
 // Clear unmarks bucket i, updating summary levels.
+//
+//eiffel:hotpath
 func (h *Hier) Clear(i int) {
 	if !h.Test(i) {
 		return
@@ -200,6 +208,8 @@ func (h *Hier) Clear(i int) {
 }
 
 // Min returns the smallest marked bucket, or -1.
+//
+//eiffel:hotpath
 func (h *Hier) Min() int {
 	if h.count == 0 {
 		return -1

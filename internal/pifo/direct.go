@@ -120,13 +120,16 @@ type flowSlot struct {
 // and degrade linear probing to long chains.
 const fibMult = 0xD6E8FEB86659FD93
 
+//eiffel:hotpath
 func (c *Class) direct() *directState {
 	if c.directCache == nil {
 		cffs := c.pq.(*ffsq.CFFS)
+		//eiffel:allow(hotpath) one-time lazy init; every later call returns the cache
 		c.directCache = &directState{
-			pol:        c.flowPol.(RankFlowPolicy),
-			pq:         cffs,
-			gran:       cffs.Granularity(),
+			pol:  c.flowPol.(RankFlowPolicy),
+			pq:   cffs,
+			gran: cffs.Granularity(),
+			//eiffel:allow(hotpath) one-time lazy init; every later call returns the cache
 			tab:        make([]flowSlot, 1<<8),
 			shift:      64 - 8,
 			evictAfter: c.directEvictAfter,
@@ -166,6 +169,8 @@ func (c *Class) DirectFlowStats() (live, retained int, evicted uint64) {
 // evictable reports whether a slot may be reclaimed: its flow holds no
 // packets, sits in no queue, and has not seen an enqueue for evictAfter
 // epochs. Callers check d.evictAfter > 0 first.
+//
+//eiffel:hotpath
 func (d *directState) evictable(s *flowSlot) bool {
 	return s.f.n == 0 && !s.f.Node.Queued() && d.epoch-s.epoch >= d.evictAfter
 }
@@ -175,6 +180,8 @@ func (d *directState) evictable(s *flowSlot) bool {
 // past; if id is absent, that slot's flow is recycled in place — the new
 // id lies on every probe chain that passed through the slot, and the slot
 // stays occupied, so other chains are undisturbed.
+//
+//eiffel:hotpath
 func (d *directState) flow(id uint64) *Flow {
 	mask := uint64(len(d.tab) - 1)
 	reuse := -1
@@ -185,9 +192,11 @@ func (d *directState) flow(id uint64) *Flow {
 				return d.reuseSlot(reuse, id)
 			}
 			if d.n >= len(d.tab)/2 {
+				//eiffel:allow(hotpath) amortized table rebuild: O(1) per insert (see grow)
 				d.grow()
 				return d.flow(id)
 			}
+			//eiffel:allow(hotpath) first sight of a flow id; slots recycle via eviction
 			f := &Flow{ID: id}
 			f.Node.Data = f
 			*s = flowSlot{id: id, f: f, epoch: d.epoch}
@@ -209,6 +218,8 @@ func (d *directState) flow(id uint64) *Flow {
 // its capacity, and the slot is re-stamped. Per-flow semantics match a
 // fresh flow — every packet-free policy already treats a flow whose Len
 // just became 1 as freshly started (see the file comment).
+//
+//eiffel:hotpath
 func (d *directState) reuseSlot(i int, id uint64) *Flow {
 	s := &d.tab[i]
 	f := s.f
@@ -274,6 +285,8 @@ func (d *directState) grow() {
 // driven directly must be driven directly for its whole life — never
 // mixed with Tree.Enqueue/Dequeue on the same tree — and DirectRanked
 // must hold.
+//
+//eiffel:hotpath
 func (c *Class) DirectEnqueue(p *pkt.Packet, flow, rank uint64, now int64) {
 	d := c.direct()
 	f := d.flow(flow)
@@ -301,6 +314,8 @@ func (c *Class) DirectEnqueue(p *pkt.Packet, flow, rank uint64, now int64) {
 // common case for pFabric (the running minimum rarely moves buckets) and
 // for coarse-grained LQF — the flow stays in place and the queue is not
 // touched at all.
+//
+//eiffel:hotpath
 func (c *Class) DirectDequeue(now int64) *pkt.Packet {
 	d := c.direct()
 	n := d.pq.FrontMin()

@@ -42,9 +42,13 @@ type rankedSlot struct {
 }
 
 // Len returns the number of queued packets.
+//
+//eiffel:hotpath
 func (f *Flow) Len() int { return f.n }
 
 // Front returns the head packet without removing it, or nil.
+//
+//eiffel:hotpath
 func (f *Flow) Front() *pkt.Packet {
 	if f.n == 0 {
 		return nil
@@ -52,8 +56,10 @@ func (f *Flow) Front() *pkt.Packet {
 	return f.ring[f.head]
 }
 
+//eiffel:hotpath
 func (f *Flow) push(p *pkt.Packet) {
 	if f.n == len(f.ring) {
+		//eiffel:allow(hotpath) amortized ring doubling; capacity is retained across the flow's life
 		f.grow()
 	}
 	f.ring[(f.head+f.n)%len(f.ring)] = p
@@ -61,6 +67,7 @@ func (f *Flow) push(p *pkt.Packet) {
 	f.Bytes += int64(p.Size)
 }
 
+//eiffel:hotpath
 func (f *Flow) pop() *pkt.Packet {
 	if f.n == 0 {
 		return nil
@@ -90,8 +97,11 @@ func (f *Flow) grow() {
 // rank annotation is cached beside the pointer. Bytes is NOT maintained
 // here — reading p.Size would be the exact cold-packet load the ranked
 // path exists to avoid, and no packet-free policy consumes Bytes.
+//
+//eiffel:hotpath
 func (f *Flow) pushRanked(p *pkt.Packet, rank uint64) {
 	if f.n == len(f.rring) {
+		//eiffel:allow(hotpath) amortized ring doubling; capacity is retained across the flow's life
 		f.growRanked()
 	}
 	f.rring[(f.head+f.n)%len(f.rring)] = rankedSlot{p: p, rank: rank}
@@ -100,6 +110,8 @@ func (f *Flow) pushRanked(p *pkt.Packet, rank uint64) {
 
 // popRanked removes the head packet and returns it with its cached rank.
 // It performs no load through the packet pointer (see pushRanked).
+//
+//eiffel:hotpath
 func (f *Flow) popRanked() (*pkt.Packet, uint64) {
 	s := f.rring[f.head]
 	f.rring[f.head].p = nil
@@ -110,6 +122,8 @@ func (f *Flow) popRanked() (*pkt.Packet, uint64) {
 
 // frontRank returns the head packet's cached rank; only valid when
 // f.Len() > 0 on a ranked-driven flow.
+//
+//eiffel:hotpath
 func (f *Flow) frontRank() uint64 { return f.rring[f.head].rank }
 
 func (f *Flow) growRanked() {
@@ -128,6 +142,8 @@ func (f *Flow) growRanked() {
 // flow returns the Flow for id, creating (or recycling) one as needed.
 // Flow state does not persist across idle periods: once a flow drains it is
 // recycled and a later packet with the same ID starts fresh.
+//
+//eiffel:hotpath
 func (c *Class) flow(id uint64) *Flow {
 	if f, ok := c.flows[id]; ok {
 		return f
@@ -137,6 +153,7 @@ func (c *Class) flow(id uint64) *Flow {
 		f = c.flowFree[n-1]
 		c.flowFree = c.flowFree[:n-1]
 	} else {
+		//eiffel:allow(hotpath) first sight of a flow; drained flows recycle through flowFree
 		f = &Flow{}
 		f.Node.Data = f
 	}
@@ -145,6 +162,7 @@ func (c *Class) flow(id uint64) *Flow {
 	return f
 }
 
+//eiffel:hotpath
 func (c *Class) releaseFlow(f *Flow) {
 	delete(c.flows, f.ID)
 	f.ID, f.Bytes, f.Rank, f.U0, f.U1 = 0, 0, 0, 0, 0

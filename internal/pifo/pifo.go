@@ -102,6 +102,8 @@ type Class struct {
 }
 
 // Backlog returns the number of packets queued under this class.
+//
+//eiffel:hotpath
 func (c *Class) Backlog() int { return c.backlog }
 
 // IsLeaf reports whether the class is a leaf (packet, flow, or time-gated)
@@ -116,6 +118,8 @@ func (c *Class) Limited() bool { return c.rateBps > 0 }
 // best flow for a flow leaf, the best packet for a packet leaf — or
 // ok=false when the queue is empty. Shard-confined policy backends use it
 // as the merge key the cross-shard drain compares (shardq.Scheduler.Min).
+//
+//eiffel:hotpath
 func (c *Class) HeadRank() (uint64, bool) { return c.pq.PeekMin() }
 
 // Parent returns the parent class (nil for the root).
@@ -206,6 +210,8 @@ func (t *Tree) Classes() []*Class {
 }
 
 // Len returns the total number of queued packets.
+//
+//eiffel:hotpath
 func (t *Tree) Len() int { return t.root.backlog }
 
 func (t *Tree) newClass(name string, parent *Class, kind classKind, qk queue.Kind, qc queue.Config) *Class {
@@ -322,6 +328,8 @@ func (t *Tree) NewFlowLeaf(parent *Class, policy FlowPolicy, opt ClassOptions) *
 }
 
 // Enqueue inserts p at the given leaf class using the supplied clock.
+//
+//eiffel:hotpath
 func (t *Tree) Enqueue(leaf *Class, p *pkt.Packet, now int64) {
 	switch leaf.kind {
 	case packetLeaf:
@@ -342,6 +350,7 @@ func (t *Tree) Enqueue(leaf *Class, p *pkt.Packet, now int64) {
 			leaf.pq.Enqueue(&f.Node, r)
 		}
 	default:
+		//eiffel:allow(hotpath) misuse panic: formatting runs only on the way down
 		panic(fmt.Sprintf("pifo: Enqueue into internal class %q", leaf.Name))
 	}
 	for c := leaf; c != nil; c = c.parent {
@@ -360,6 +369,8 @@ func (t *Tree) Enqueue(leaf *Class, p *pkt.Packet, now int64) {
 
 // activate inserts c (and, transitively, newly non-empty ancestors) into
 // the parent queues, parking any class whose rate gate is still closed.
+//
+//eiffel:hotpath
 func (t *Tree) activate(c *Class, now int64) {
 	for c.parent != nil {
 		if c.waiting || c.node.Queued() || !c.hasDemand() {
@@ -376,6 +387,8 @@ func (t *Tree) activate(c *Class, now int64) {
 
 // deactivate removes c from its parent's queue, cascading upward through
 // ancestors whose queues empty out.
+//
+//eiffel:hotpath
 func (t *Tree) deactivate(c *Class) {
 	for c.parent != nil && c.node.Queued() {
 		parent := c.parent
@@ -387,6 +400,7 @@ func (t *Tree) deactivate(c *Class) {
 	}
 }
 
+//eiffel:hotpath
 func (c *Class) hasDemand() bool { return c.pq.Len() > 0 }
 
 // suspend parks c in the shaper until the given time, removing it from the
@@ -395,6 +409,8 @@ func (c *Class) hasDemand() bool { return c.pq.Len() > 0 }
 // entries in already-elapsed buckets would re-fire in the same
 // processShaper pass and spin. Shaping precision is therefore exactly the
 // shaper granularity, the paper's stated contract for bucketed shaping.
+//
+//eiffel:hotpath
 func (t *Tree) suspend(c *Class, until, now int64) {
 	g := int64(t.shaper.Granularity())
 	if until/g <= now/g {
@@ -412,6 +428,8 @@ func (t *Tree) suspend(c *Class, until, now int64) {
 }
 
 // processShaper releases every class whose shaper timestamp has arrived.
+//
+//eiffel:hotpath
 func (t *Tree) processShaper(now int64) {
 	for {
 		r, ok := t.shaper.PeekMin()
@@ -440,6 +458,8 @@ func (t *Tree) processShaper(now int64) {
 
 // Dequeue returns the next transmittable packet, or nil if none is
 // eligible at the given time (use NextEvent to arm a timer).
+//
+//eiffel:hotpath
 func (t *Tree) Dequeue(now int64) *pkt.Packet {
 	t.processShaper(now)
 	if t.root.waiting || t.root.backlog == 0 {
@@ -456,6 +476,8 @@ func (t *Tree) Dequeue(now int64) *pkt.Packet {
 
 // pull extracts the next packet from c's subtree, recording visited classes
 // and re-inserting children that remain backlogged.
+//
+//eiffel:hotpath
 func (t *Tree) pull(c *Class, now int64) *pkt.Packet {
 	t.path = append(t.path, c)
 	switch c.kind {
@@ -501,6 +523,8 @@ func (t *Tree) pull(c *Class, now int64) *pkt.Packet {
 // limits (token-less timestamp shaping, as Carousel showed beats token
 // buckets), and re-parks time-gated leaves whose next head is in the
 // future.
+//
+//eiffel:hotpath
 func (t *Tree) afterDequeue(p *pkt.Packet, now int64) {
 	for _, c := range t.path {
 		c.backlog--
@@ -529,6 +553,8 @@ func (t *Tree) afterDequeue(p *pkt.Packet, now int64) {
 // shaper granularity. ok is false when no release is pending. This is the
 // SoonestDeadline() operation the kernel deployment uses to arm its timer
 // exactly (§4).
+//
+//eiffel:hotpath
 func (t *Tree) NextEvent() (int64, bool) {
 	r, ok := t.shaper.PeekMin()
 	return int64(r), ok

@@ -61,12 +61,16 @@ const (
 // the batch release path where the handle pointer is hot (it just came off
 // a ring or bucket) but the packet's cache lines were last touched by the
 // producer.
+//
+//eiffel:hotpath
 func FromSchedNode(n *bucket.Node) *Packet {
 	return (*Packet)(unsafe.Pointer(uintptr(unsafe.Pointer(n)) - unsafe.Offsetof(Packet{}.SchedNode)))
 }
 
 // FromTimerNode recovers the packet owning a timer node (container_of, as
 // FromSchedNode).
+//
+//eiffel:hotpath
 func FromTimerNode(n *bucket.Node) *Packet {
 	return (*Packet)(unsafe.Pointer(uintptr(unsafe.Pointer(n)) - unsafe.Offsetof(Packet{}.TimerNode)))
 }
@@ -75,6 +79,8 @@ func FromTimerNode(n *bucket.Node) *Packet {
 // like the shaped sharded runtime, whose consumer may hand back whichever
 // handle a packet last traveled on. Only this variant must consult the
 // node's Data backpointer, since the handle's identity is unknown.
+//
+//eiffel:hotpath
 func FromNode(n *bucket.Node) *Packet { return n.Data.(*Packet) }
 
 // Pool is a non-concurrent free list of packets. Get returns a zeroed
@@ -103,12 +109,15 @@ func (pl *Pool) fresh() *Packet {
 }
 
 // Get returns a packet with a fresh ID and zeroed metadata.
+//
+//eiffel:hotpath
 func (pl *Pool) Get() *Packet {
 	var p *Packet
 	if n := len(pl.free); n > 0 {
 		p = pl.free[n-1]
 		pl.free = pl.free[:n-1]
 	} else {
+		//eiffel:allow(hotpath) pool miss; NewPool pre-populates so steady state stays on the free list
 		p = pl.fresh()
 	}
 	pl.nextID++
@@ -117,6 +126,8 @@ func (pl *Pool) Get() *Packet {
 }
 
 // Put recycles a packet. The packet must be detached from all queues.
+//
+//eiffel:hotpath
 func (pl *Pool) Put(p *Packet) {
 	if p.SchedNode.Queued() || p.TimerNode.Queued() {
 		panic("pkt: Put of a packet still queued")

@@ -79,6 +79,8 @@ func (a *admitState) AdmitPolicy() AdmitPolicy { return a.pol }
 // refused nodes become packets appended to rej (via fromNode — SchedNode
 // or TimerNode depending on which handle the qdisc publishes), and the
 // batch is accounted under the configured policy.
+//
+//eiffel:hotpath
 func (a *admitState) settle(res shardq.Admit, offered int,
 	fromNode func(*shardq.Node) *pkt.Packet, rej []*pkt.Packet) (int, []*pkt.Packet) {
 	nrej := len(res.Rejected)

@@ -88,6 +88,7 @@ type treeSched struct {
 	stalled atomic.Bool
 }
 
+//eiffel:hotpath
 func (b *treeSched) leafFor(p *pkt.Packet) *pifo.Class {
 	if b.fixed != nil {
 		return b.fixed
@@ -99,6 +100,8 @@ func (b *treeSched) leafFor(p *pkt.Packet) *pifo.Class {
 
 // advanceEpoch bumps the direct leaf's eviction epoch clock. Callers hold
 // the shard lock (the synchronization every Direct call runs under).
+//
+//eiffel:locked(shard)
 func (b *treeSched) advanceEpoch() {
 	if b.direct {
 		b.fixed.DirectAdvanceEpoch()
@@ -109,6 +112,8 @@ func (b *treeSched) advanceEpoch() {
 // idle flows are retained until evicted, so live and retained diverge; on
 // the tree path the flow maps recycle drained flows immediately, so both
 // equal the backlogged-flow count. Callers hold the shard lock.
+//
+//eiffel:locked(shard)
 func (b *treeSched) flowStats() (live, retained int, evicted uint64) {
 	if b.direct {
 		return b.fixed.DirectFlowStats()
@@ -125,6 +130,8 @@ func (b *treeSched) flowStats() (live, retained int, evicted uint64) {
 // except in direct mode, where PolicySharded publishes the packet's rank
 // annotation instead (the keys are re-derived from the packet here, the
 // slow-but-correct form of the aux path below).
+//
+//eiffel:hotpath
 func (b *treeSched) Enqueue(n *shardq.Node, rank uint64) {
 	p := pkt.FromSchedNode(n)
 	if b.direct {
@@ -136,6 +143,8 @@ func (b *treeSched) Enqueue(n *shardq.Node, rank uint64) {
 }
 
 // EnqueueBatch implements shardq.Scheduler.
+//
+//eiffel:hotpath
 func (b *treeSched) EnqueueBatch(ns []*shardq.Node, ranks []uint64) {
 	if b.direct {
 		leaf, now := b.fixed, b.now.Load()
@@ -156,6 +165,8 @@ func (b *treeSched) EnqueueBatch(ns []*shardq.Node, ranks []uint64) {
 // publishes (rank annotation, flow id) over the ring, so the insert runs
 // packet-free — the producer resolved both keys while the packet was
 // cache-hot, and this side never loads it.
+//
+//eiffel:hotpath
 func (b *treeSched) EnqueueAux(n *shardq.Node, rank, aux uint64) {
 	if !b.direct {
 		b.Enqueue(n, rank)
@@ -165,6 +176,8 @@ func (b *treeSched) EnqueueAux(n *shardq.Node, rank, aux uint64) {
 }
 
 // EnqueueBatchAux implements shardq.AuxScheduler.
+//
+//eiffel:hotpath
 func (b *treeSched) EnqueueBatchAux(ns []*shardq.Node, ranks, auxes []uint64) {
 	if !b.direct {
 		b.EnqueueBatch(ns, ranks)
@@ -179,6 +192,8 @@ func (b *treeSched) EnqueueBatchAux(ns []*shardq.Node, ranks, auxes []uint64) {
 // DequeueBatch implements shardq.Scheduler: serve the program while its
 // head rank stays within maxRank. Each pop runs the program's on-dequeue
 // transactions, so the head is re-read every iteration.
+//
+//eiffel:hotpath
 func (b *treeSched) DequeueBatch(maxRank uint64, out []*shardq.Node) int {
 	popped := 0
 	now := b.now.Load()
@@ -218,6 +233,8 @@ func (b *treeSched) DequeueBatch(maxRank uint64, out []*shardq.Node) int {
 }
 
 // Min implements shardq.Scheduler.
+//
+//eiffel:hotpath
 func (b *treeSched) Min() (uint64, bool) {
 	if b.stalled.Load() {
 		return 0, false
@@ -226,6 +243,8 @@ func (b *treeSched) Min() (uint64, bool) {
 }
 
 // Len implements shardq.Scheduler.
+//
+//eiffel:hotpath
 func (b *treeSched) Len() int {
 	if b.direct {
 		return b.fixed.Backlog()
@@ -235,6 +254,8 @@ func (b *treeSched) Len() int {
 
 // setNow advances the backend's dequeue-side clock, waking a stalled
 // tree. Safe from the consumer without the shard lock (atomics).
+//
+//eiffel:hotpath
 func (b *treeSched) setNow(now int64) {
 	if now != b.now.Load() {
 		b.now.Store(now)
@@ -243,6 +264,8 @@ func (b *treeSched) setNow(now int64) {
 }
 
 // nextEvent returns the tree's earliest pending shaper release.
+//
+//eiffel:locked(shard)
 func (b *treeSched) nextEvent() (int64, bool) { return b.tree.NextEvent() }
 
 // compiledProgram is one compiled instance of a policy program plus the
@@ -452,6 +475,8 @@ func (s *PolicySharded) Name() string { return s.name }
 // Len implements Qdisc: packets published but not yet handed out,
 // including the consumer's release buffer. Same transient-overcount
 // contract as Sharded.Len.
+//
+//eiffel:hotpath
 func (s *PolicySharded) Len() int { return s.rt.Len() + int(s.bufN.Load()) }
 
 // Stats returns the runtime's shard/batch counters.
@@ -476,10 +501,13 @@ func (s *PolicySharded) GroupFor(flow uint64) int { return s.rt.GroupFor(flow) }
 // shard of one group. Do not mix with the single-consumer surface
 // (Dequeue/DequeueBatch/NextTimer) while group workers run: that surface
 // assumes exclusive access to every group.
+//
+//eiffel:hotpath
 func (s *PolicySharded) GroupDequeueBatch(g int, now int64, out []*pkt.Packet) int {
 	s.advanceGroupClock(g, now)
 	gs := &s.groups[g]
 	if cap(gs.scratch) < len(out) {
+		//eiffel:allow(hotpath) scratch sized to the widest out seen, then reused
 		gs.scratch = make([]*shardq.Node, len(out))
 	}
 	nodes := gs.scratch[:len(out)]
@@ -499,6 +527,8 @@ func (s *PolicySharded) GroupDequeueBatch(g int, now int64, out []*pkt.Packet) i
 // the consumer side never loads the packet; otherwise it carries the
 // enqueue timestamp for the tree's transactions. Safe for concurrent
 // producers. now must be non-negative.
+//
+//eiffel:hotpath
 func (s *PolicySharded) Enqueue(p *pkt.Packet, now int64) {
 	if s.direct {
 		s.rt.EnqueueAux(p.Flow, &p.SchedNode, p.Rank, p.Flow)
@@ -510,6 +540,8 @@ func (s *PolicySharded) Enqueue(p *pkt.Packet, now int64) {
 // EnqueueBatch admits a whole run of packets at once, staging per shard
 // and publishing each shard's run as one multi-slot ring claim. Safe for
 // concurrent producers; everything is published on return.
+//
+//eiffel:hotpath
 func (s *PolicySharded) EnqueueBatch(ps []*pkt.Packet, now int64) {
 	b := s.prodPool.Get().(*shardq.Producer)
 	if s.direct {
@@ -527,6 +559,8 @@ func (s *PolicySharded) EnqueueBatch(ps []*pkt.Packet, now int64) {
 
 // EnqueueBatchAdmit implements AdmitQdisc: EnqueueBatch under the
 // configured shard bound, reporting refused packets instead of spilling.
+//
+//eiffel:hotpath
 func (s *PolicySharded) EnqueueBatchAdmit(ps []*pkt.Packet, now int64, rej []*pkt.Packet) (int, []*pkt.Packet) {
 	b := s.prodPool.Get().(*shardq.Producer)
 	if s.direct {
@@ -578,6 +612,8 @@ func (s *PolicySharded) FlowStats() (live, retained int, evicted uint64) {
 // the same fields on their fallback flush paths. Group-worker-side: each
 // group's clock advances independently, and a backend only ever belongs
 // to one group.
+//
+//eiffel:hotpath
 func (s *PolicySharded) advanceGroupClock(g int, now int64) {
 	gs := &s.groups[g]
 	if now == gs.lastNow {
@@ -599,6 +635,8 @@ func (s *PolicySharded) advanceGroupClock(g int, now int64) {
 
 // advanceClock propagates the consumer's clock into every group's
 // backends — the single-consumer surface's clock rule.
+//
+//eiffel:hotpath
 func (s *PolicySharded) advanceClock(now int64) {
 	for g := range s.groups {
 		s.advanceGroupClock(g, now)
@@ -608,6 +646,8 @@ func (s *PolicySharded) advanceClock(now int64) {
 // Dequeue implements Qdisc: the packet the policy program serves next, or
 // nil when every shard is empty (or gated). Refills the release buffer
 // with a cross-shard batch when empty.
+//
+//eiffel:hotpath
 func (s *PolicySharded) Dequeue(now int64) *pkt.Packet {
 	if s.bufHead == s.bufLen {
 		s.advanceClock(now)
@@ -628,6 +668,8 @@ func (s *PolicySharded) Dequeue(now int64) *pkt.Packet {
 // DequeueBatch pops up to len(out) packets in merged cross-shard policy
 // order, draining the internal buffer first. It returns how many packets
 // it wrote.
+//
+//eiffel:hotpath
 func (s *PolicySharded) DequeueBatch(now int64, out []*pkt.Packet) int {
 	k := 0
 	for s.bufHead < s.bufLen && k < len(out) {
@@ -642,6 +684,7 @@ func (s *PolicySharded) DequeueBatch(now int64, out []*pkt.Packet) int {
 	}
 	s.advanceClock(now)
 	if cap(s.scratch) < len(out)-k {
+		//eiffel:allow(hotpath) scratch sized to the widest out seen, then reused
 		s.scratch = make([]*shardq.Node, len(out)-k)
 	}
 	nodes := s.scratch[:len(out)-k]

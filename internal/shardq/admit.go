@@ -63,6 +63,7 @@ type admitState struct {
 	rejTaken bool
 }
 
+//eiffel:hotpath
 func (a *admitState) refuse(pubs []pub) {
 	if a.rejTaken {
 		a.rej = a.rej[:0]
@@ -73,6 +74,7 @@ func (a *admitState) refuse(pubs []pub) {
 	}
 }
 
+//eiffel:hotpath
 func (a *admitState) take() Admit {
 	res := Admit{Admitted: a.adm}
 	// A cycle with no refusals leaves rej untouched since the last take —
@@ -90,11 +92,15 @@ func (a *admitState) take() Admit {
 // TryEnqueue is Enqueue under the configured shard bound: it publishes n
 // unless flow's shard is at its occupancy cap, and reports whether the
 // element was admitted. With no bound configured it never refuses.
+//
+//eiffel:hotpath
 func (q *Q) TryEnqueue(flow uint64, n *Node, rank uint64) bool {
 	return q.TryEnqueueAux(flow, n, rank, 0)
 }
 
 // TryEnqueueAux is TryEnqueue carrying the ring's second payload word.
+//
+//eiffel:hotpath
 func (q *Q) TryEnqueueAux(flow uint64, n *Node, rank, aux uint64) bool {
 	s := &q.shards[q.ShardFor(flow)]
 	if q.bound > 0 && s.qlen.Load()+s.ring.occupancy() >= q.bound {
@@ -107,6 +113,8 @@ func (q *Q) TryEnqueueAux(flow uint64, n *Node, rank, aux uint64) bool {
 
 // TryEnqueue is Shaped.Enqueue under the configured shard bound; see
 // Q.TryEnqueue.
+//
+//eiffel:hotpath
 func (q *Shaped) TryEnqueue(flow uint64, n *Node, sendAt, rank uint64) bool {
 	s := &q.shards[q.ShardFor(flow)]
 	if q.bound > 0 && s.qlen.Load()+s.ring.occupancy() >= q.bound {

@@ -60,12 +60,16 @@ func (p *Producer) Staged() int { return p.st.staged }
 // Enqueue stages n with the given rank on flow's shard, flushing the shard
 // if its staging buffer is full. The hot path is a hash and a handful of
 // plain stores — no shared-memory traffic at all until the flush.
+//
+//eiffel:hotpath
 func (p *Producer) Enqueue(flow uint64, n *Node, rank uint64) {
 	p.EnqueueAux(flow, n, rank, 0)
 }
 
 // EnqueueAux is Enqueue carrying the ring's second payload word for
 // AuxScheduler backends (see Q.EnqueueAux).
+//
+//eiffel:hotpath
 func (p *Producer) EnqueueAux(flow uint64, n *Node, rank, aux uint64) {
 	i := p.q.ShardFor(flow)
 	c := p.st.cnt[i]
@@ -83,6 +87,8 @@ func (p *Producer) EnqueueAux(flow uint64, n *Node, rank, aux uint64) {
 // bound (Options.ShardBound), elements a full shard refuses are counted
 // in Snapshot.Rejected and dropped; callers that want them back use
 // FlushAdmit.
+//
+//eiffel:hotpath
 func (p *Producer) Flush() {
 	if p.st.staged == 0 && p.ad.adm == 0 {
 		return
@@ -97,6 +103,8 @@ func (p *Producer) Flush() {
 // the producer's reusable refusal buffer — consume it before the next
 // operation on this handle. With no bound configured nothing is ever
 // refused and this is Flush with accounting.
+//
+//eiffel:hotpath
 func (p *Producer) FlushAdmit() Admit {
 	for i, c := range p.st.cnt {
 		if c > 0 {
@@ -109,6 +117,8 @@ func (p *Producer) FlushAdmit() Admit {
 // flushShard publishes shard i's staged run: multi-slot ring claims while
 // the ring has room, then the locked queue fallback for any remainder —
 // bounded by the shard occupancy cap when one is configured.
+//
+//eiffel:hotpath
 func (p *Producer) flushShard(i int) {
 	c := int(p.st.cnt[i])
 	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]
@@ -198,6 +208,8 @@ func (p *ShapedProducer) Staged() int { return p.st.staged }
 // Enqueue stages n (the element's shaper handle) with the given release
 // time and priority on flow's shard, flushing the shard if its staging
 // buffer is full.
+//
+//eiffel:hotpath
 func (p *ShapedProducer) Enqueue(flow uint64, n *Node, sendAt, rank uint64) {
 	i := p.q.ShardFor(flow)
 	c := p.st.cnt[i]
@@ -211,6 +223,8 @@ func (p *ShapedProducer) Enqueue(flow uint64, n *Node, sendAt, rank uint64) {
 
 // Flush publishes every staged element. Under a shard bound, refused
 // elements are counted and dropped; use FlushAdmit to get them back.
+//
+//eiffel:hotpath
 func (p *ShapedProducer) Flush() {
 	if p.st.staged == 0 && p.ad.adm == 0 {
 		return
@@ -221,6 +235,8 @@ func (p *ShapedProducer) Flush() {
 // FlushAdmit publishes every staged element under the configured shard
 // bound and reports the outcome; see Producer.FlushAdmit for the buffer-
 // reuse contract.
+//
+//eiffel:hotpath
 func (p *ShapedProducer) FlushAdmit() Admit {
 	for i, c := range p.st.cnt {
 		if c > 0 {
@@ -230,6 +246,7 @@ func (p *ShapedProducer) FlushAdmit() Admit {
 	return p.ad.take()
 }
 
+//eiffel:hotpath
 func (p *ShapedProducer) flushShard(i int) {
 	c := int(p.st.cnt[i])
 	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]

@@ -43,7 +43,10 @@ type ringEntry struct {
 // blocking; the caller (shard enqueue) falls back to flushing under the
 // shard lock, which doubles as backpressure toward the bucketed queue.
 type ring struct {
-	mask    uint64
+	mask uint64
+	// entries is slot memory under the seq release-store protocol: plain
+	// stores are only ordered for the consumer inside the publish helpers.
+	//eiffel:publishedBy(push, pushN)
 	entries []ringEntry
 
 	_    [64]byte // keep the producer cursor off the entries' cache lines
@@ -75,6 +78,8 @@ func newRing(bits uint) *ring {
 //
 // consumed is loaded BEFORE the tail so that cons <= pos: the consumed
 // cursor only grows, and it can never pass a tail that was read after it.
+//
+//eiffel:hotpath
 func (r *ring) push(n *bucket.Node, rank, aux uint64) bool {
 	for {
 		cons := r.consumed.Load()
@@ -118,6 +123,8 @@ type pub struct {
 // loading a consumed value proving the previous lap's element was popped
 // and published, which orders the consumer's reads before the producer's
 // overwrites.
+//
+//eiffel:hotpath
 func (r *ring) pushN(pubs []pub) int {
 	want := uint64(len(pubs))
 	if want == 0 {
@@ -145,6 +152,7 @@ func (r *ring) pushN(pubs []pub) int {
 		for i := uint64(1); i < k; i++ {
 			e := &r.entries[(pos+i)&r.mask]
 			e.n, e.rank, e.aux = pubs[i].n, pubs[i].rank, pubs[i].aux
+			//eiffel:allow(atomicfield) interior slots of a claim: unreachable until the first slot's atomic seq store publishes the run
 			e.seq = pos + i + 1
 		}
 		e := &r.entries[pos&r.mask]
@@ -161,6 +169,8 @@ func (r *ring) pushN(pubs []pub) int {
 // whenever no drain is in progress, which is the only time the lock-free
 // fast paths call this. A false result may include a slot that is claimed
 // but not yet published.
+//
+//eiffel:hotpath
 func (r *ring) empty() bool { return r.tail.Load() == r.consumed.Load() }
 
 // publish makes the consumer's progress visible to Len readers and frees
@@ -168,6 +178,8 @@ func (r *ring) empty() bool { return r.tail.Load() == r.consumed.Load() }
 // once per drain, not per element — and REQUIRED after any sequence of
 // pops, or the slots stay unusable and producers eventually see a
 // permanently full ring.
+//
+//eiffel:hotpath
 func (r *ring) publish() { r.consumed.Store(r.head) }
 
 // occupancy returns how many claimed slots are not yet known-consumed.
@@ -179,6 +191,8 @@ func (r *ring) publish() { r.consumed.Store(r.head) }
 // concurrent drain-publish-refill between the two loads push consumed past
 // the stale tail, wrapping the subtraction into a negative occupancy that
 // Len briefly reported as a negative queue length.
+//
+//eiffel:hotpath
 func (r *ring) occupancy() int64 {
 	cons := r.consumed.Load()
 	return int64(r.tail.Load() - cons)
@@ -186,6 +200,8 @@ func (r *ring) occupancy() int64 {
 
 // pushes returns how many elements were ever claimed into the ring. Safe
 // from any goroutine.
+//
+//eiffel:hotpath
 func (r *ring) pushes() uint64 { return r.tail.Load() }
 
 // pop removes the oldest published element. Consumer-only. ok=false means
@@ -193,6 +209,8 @@ func (r *ring) pushes() uint64 { return r.tail.Load() }
 // (the producer was preempted mid-publish); either way there is nothing
 // consumable right now. pop itself performs no atomic read-modify-write:
 // slots are recycled wholesale by publish.
+//
+//eiffel:hotpath
 func (r *ring) pop() (n *bucket.Node, rank, aux uint64, ok bool) {
 	e := &r.entries[r.head&r.mask]
 	if atomic.LoadUint64(&e.seq) != r.head+1 {

@@ -79,9 +79,14 @@ type shapedShard struct {
 	// one backend EnqueueBatch call instead of one interface dispatch per
 	// element. Retains its last run of node pointers until overwritten,
 	// like the ring — bounded, and the nodes are live in the queues.
-	dueNs       []*bucket.Node // scheduler-bound (already due)
-	dueRanks    []uint64
-	parkNs      []*bucket.Node // shaper-bound (still shaped)
+	//
+	//eiffel:guarded(mu)
+	dueNs []*bucket.Node // scheduler-bound (already due)
+	//eiffel:guarded(mu)
+	dueRanks []uint64
+	//eiffel:guarded(mu)
+	parkNs []*bucket.Node // shaper-bound (still shaped)
+	//eiffel:guarded(mu)
 	parkSendAts []uint64
 
 	// qlen mirrors shaper.Len()+sched.Len() so Len readers need no lock;
@@ -99,6 +104,9 @@ type shapedShard struct {
 // element's priority on its paired handle and converting through the flush
 // scratch so the backend still sees whole runs. Callers hold mu and settle
 // qlen themselves.
+//
+//eiffel:locked(mu)
+//eiffel:hotpath
 func (s *shapedShard) enqueuePubsLocked(pair PairFunc, pubs []pub) {
 	for len(pubs) > 0 {
 		k := len(s.parkNs)
@@ -119,6 +127,9 @@ func (s *shapedShard) enqueuePubsLocked(pair PairFunc, pubs []pub) {
 // Producer-side fallback path: producers know no drain bound and must
 // never touch the scheduler (the consumer's merge caches scheduler heads).
 // Callers hold mu.
+//
+//eiffel:locked(mu)
+//eiffel:hotpath
 func (s *shapedShard) flushLocked(pair PairFunc) (drained int) {
 	for {
 		k := 0
@@ -161,6 +172,9 @@ func (s *shapedShard) flushLocked(pair PairFunc) (drained int) {
 // migration. Not-yet-due elements park in the shaper as usual. Each
 // destination receives whole staged runs, FIFO order within each
 // preserved. Callers hold mu; consumer-side only.
+//
+//eiffel:locked(mu)
+//eiffel:hotpath
 func (s *shapedShard) flushDueLocked(pair PairFunc, due uint64) (drained, direct int) {
 	for {
 		dd, pp := 0, 0
@@ -309,9 +323,13 @@ func NewShaped(opt ShapedOptions) *Shaped {
 		} else {
 			s.sched = newVecSched(opt.Sched)
 		}
+		//eiffel:allow(lockcheck) construction: the shard is not shared until NewShaped returns
 		s.dueNs = make([]*bucket.Node, flushChunk)
+		//eiffel:allow(lockcheck) construction: the shard is not shared until NewShaped returns
 		s.dueRanks = make([]uint64, flushChunk)
+		//eiffel:allow(lockcheck) construction: the shard is not shared until NewShaped returns
 		s.parkNs = make([]*bucket.Node, flushChunk)
+		//eiffel:allow(lockcheck) construction: the shard is not shared until NewShaped returns
 		s.parkSendAts = make([]uint64, flushChunk)
 	}
 	q.prodPool.New = func() any { return q.NewProducer(0) }
@@ -381,6 +399,8 @@ func (q *Shaped) Stats() Snapshot {
 
 // ShardFor returns the shard index flow hashes to (same Fibonacci hash as
 // the plain runtime, so a flow lands on the same shard under either).
+//
+//eiffel:hotpath
 func (q *Shaped) ShardFor(flow uint64) int {
 	return int((flow * 0x9E3779B97F4A7C15) >> (64 - q.shardBits))
 }
@@ -389,12 +409,16 @@ func (q *Shaped) ShardFor(flow uint64) int {
 // time and priority on flow's shard. The fast path is one lock-free ring
 // push; a full ring falls back to flushing under the shard lock, exactly
 // as in Q.Enqueue.
+//
+//eiffel:hotpath
 func (q *Shaped) Enqueue(flow uint64, n *bucket.Node, sendAt, rank uint64) {
 	q.enqueueShard(&q.shards[q.ShardFor(flow)], n, sendAt, rank)
 }
 
 // enqueueShard is the shard-resolved body of Enqueue, shared with the
 // bounded TryEnqueue path.
+//
+//eiffel:hotpath
 func (q *Shaped) enqueueShard(s *shapedShard, n *bucket.Node, sendAt, rank uint64) {
 	if s.ring.push(n, sendAt, rank) {
 		return
@@ -419,6 +443,8 @@ func (q *Shaped) enqueueShard(s *shapedShard, n *bucket.Node, sendAt, rank uint6
 // Safe from any number of goroutines concurrently and allocation-free in
 // steady state; everything is published by the time it returns. Producers
 // with a batch stream of their own should hold a NewProducer handle.
+//
+//eiffel:hotpath
 func (q *Shaped) EnqueueBatch(flows []uint64, ns []*Node, sendAts, ranks []uint64) {
 	p := q.prodPool.Get().(*ShapedProducer)
 	for i, n := range ns {
@@ -433,6 +459,8 @@ func (q *Shaped) EnqueueBatch(flows []uint64, ns []*Node, sendAts, ranks []uint6
 // both cached heads in gr (shard i's owning group). Group-worker-side.
 // The whole move runs under one lock acquisition and uses whole-bucket
 // batch pops on the shaper side.
+//
+//eiffel:hotpath
 func (q *Shaped) migrate(gr *shapedGroup, i int, now uint64) {
 	s := &q.shards[i]
 	sh, sc := &gr.shaperHeads[i-gr.lo], &gr.schedHeads[i-gr.lo]
@@ -479,6 +507,8 @@ func (q *Shaped) migrate(gr *shapedGroup, i int, now uint64) {
 // GroupFlush drains every ring in group g into its shaper and migrates
 // everything due at now, refreshing the group's cached heads.
 // Group-worker-side.
+//
+//eiffel:hotpath
 func (q *Shaped) GroupFlush(g int, now uint64) {
 	gr := &q.groups[g]
 	for i := gr.lo; i < gr.hi; i++ {
@@ -489,6 +519,8 @@ func (q *Shaped) GroupFlush(g int, now uint64) {
 // Flush drains every shard's ring into its shaper and migrates everything
 // due at now, refreshing every group's cached heads. Single-consumer
 // surface.
+//
+//eiffel:hotpath
 func (q *Shaped) Flush(now uint64) {
 	for g := range q.groups {
 		q.GroupFlush(g, now)
@@ -503,6 +535,8 @@ func (q *Shaped) Flush(now uint64) {
 // pass this call runs may itself have made elements eligible NOW).
 // Group-worker-side; this is the group's SoonestDeadline for arming its
 // worker's timer.
+//
+//eiffel:hotpath
 func (q *Shaped) GroupNextRelease(g int, now uint64) (uint64, bool) {
 	gr := &q.groups[g]
 	min, ok := uint64(0), false
@@ -521,6 +555,8 @@ func (q *Shaped) GroupNextRelease(g int, now uint64) (uint64, bool) {
 // scheduler queues are release-eligible immediately and are NOT covered
 // here — check SchedLen first. Single-consumer surface; this is the
 // aggregate SoonestDeadline for arming the host timer.
+//
+//eiffel:hotpath
 func (q *Shaped) NextRelease(now uint64) (uint64, bool) {
 	min, ok := uint64(0), false
 	for g := range q.groups {
@@ -542,6 +578,8 @@ func (q *Shaped) NextRelease(now uint64) (uint64, bool) {
 // Group-worker-side: distinct groups may call this concurrently, each
 // with its own clock value. Flows never span groups, so per-flow release
 // gating and priority order are exactly the single-consumer order.
+//
+//eiffel:hotpath
 func (q *Shaped) GroupDequeueBatch(g int, now, maxRank uint64, out []*bucket.Node) int {
 	if len(out) == 0 {
 		return 0
@@ -583,6 +621,8 @@ func (q *Shaped) GroupDequeueBatch(g int, now, maxRank uint64, out []*bucket.Nod
 // directly when flushed already due); recover the element through Data,
 // which both handles share, or by the handle's owner offset when the
 // pairing is an embedded field. Single-consumer surface.
+//
+//eiffel:hotpath
 func (q *Shaped) DequeueBatch(now, maxRank uint64, out []*bucket.Node) int {
 	total := 0
 	for g := range q.groups {

@@ -117,9 +117,13 @@ type shard struct {
 	// interface dispatch per element. Guarded by mu. Like the ring, the
 	// staging retains its last run of node pointers until overwritten —
 	// bounded, and the nodes live on in the bucketed queue anyway.
-	flushNs    []*bucket.Node
+	//
+	//eiffel:guarded(mu)
+	flushNs []*bucket.Node
+	//eiffel:guarded(mu)
 	flushRanks []uint64
-	flushAux   []uint64 // staged only for AuxScheduler backends
+	//eiffel:guarded(mu)
+	flushAux []uint64 // staged only for AuxScheduler backends
 
 	_ [64]byte // one shard's lock traffic must not false-share the next's
 }
@@ -127,6 +131,9 @@ type shard struct {
 // flushLocked drains the ring into the bucketed queue in staged runs.
 // Aux-aware backends receive the full (rank, aux) payload. Callers hold
 // mu.
+//
+//eiffel:locked(mu)
+//eiffel:hotpath
 func (s *shard) flushLocked() (drained int) {
 	for {
 		k := 0
@@ -167,6 +174,9 @@ func (s *shard) flushLocked() (drained int) {
 
 // enqueueRunLocked hands the first k staged elements to the backend in
 // one call. Callers hold mu.
+//
+//eiffel:locked(mu)
+//eiffel:hotpath
 func (s *shard) enqueueRunLocked(k int) {
 	if s.qa != nil {
 		s.qa.EnqueueBatchAux(s.flushNs[:k], s.flushRanks[:k], s.flushAux[:k])
@@ -179,6 +189,9 @@ func (s *shard) enqueueRunLocked(k int) {
 // (a Producer's ring-full fallback) into the backend, converting through
 // the flush scratch so the backend still sees whole runs. Callers hold mu
 // and settle qlen themselves.
+//
+//eiffel:locked(mu)
+//eiffel:hotpath
 func (s *shard) enqueuePubsLocked(pubs []pub) {
 	for len(pubs) > 0 {
 		k := len(s.flushNs)
@@ -329,6 +342,8 @@ type groupState struct {
 // into out, returns how many it popped, and MUST refresh heads[i] before
 // returning — the loop's progress argument: a run that pops nothing still
 // raises the shard's cached head past limit.
+//
+//eiffel:hotpath
 func mergeRuns(heads []headState, maxRank uint64, out []*bucket.Node,
 	serve func(i int, limit uint64, out []*bucket.Node) int) int {
 	total := 0
@@ -383,9 +398,12 @@ func New(opt Options) *Q {
 		} else {
 			q.shards[i].q = wrapPQ(queue.New(opt.Kind, opt.Queue))
 		}
+		//eiffel:allow(lockcheck) construction: the shard is not shared until New returns
 		q.shards[i].flushNs = make([]*bucket.Node, flushChunk)
+		//eiffel:allow(lockcheck) construction: the shard is not shared until New returns
 		q.shards[i].flushRanks = make([]uint64, flushChunk)
 		if q.shards[i].qa != nil {
+			//eiffel:allow(lockcheck) construction: the shard is not shared until New returns
 			q.shards[i].flushAux = make([]uint64, flushChunk)
 		}
 	}
@@ -401,6 +419,8 @@ func (q *Q) NumGroups() int { return len(q.groups) }
 
 // GroupShards returns the half-open shard index range consumer group g
 // owns. Groups partition the shards contiguously and evenly.
+//
+//eiffel:hotpath
 func (q *Q) GroupShards(g int) (lo, hi int) { return q.groups[g].lo, q.groups[g].hi }
 
 // GroupFor returns the consumer group that drains flow's shard. Flows
@@ -414,6 +434,8 @@ func (q *Q) GroupFor(flow uint64) int { return q.ShardFor(flow) >> q.groupShift 
 // the runtime's own locked paths (clock propagation, timer peeks), which
 // would otherwise race a producer's ring-full fallback flush into the
 // same backend. fn must not call back into q.
+//
+//eiffel:acquires(shard)
 func (q *Q) WithShardLocked(i int, fn func(Scheduler)) {
 	s := &q.shards[i]
 	s.mu.Lock()
@@ -425,6 +447,8 @@ func (q *Q) WithShardLocked(i int, fn func(Scheduler)) {
 // dequeued). Safe from any goroutine; while producers and the consumer
 // are running it may transiently overcount by up to one in-flight batch,
 // and it is exact whenever the runtime is quiescent.
+//
+//eiffel:hotpath
 func (q *Q) Len() int {
 	var n int64
 	for i := range q.shards {
@@ -455,6 +479,8 @@ func (q *Q) Stats() Snapshot {
 }
 
 // ShardFor returns the shard index flow hashes to.
+//
+//eiffel:hotpath
 func (q *Q) ShardFor(flow uint64) int {
 	// Fibonacci hashing spreads clustered flow ids (sequential allocation
 	// is the common case) uniformly over the shard bits.
@@ -466,6 +492,8 @@ func (q *Q) ShardFor(flow uint64) int {
 // shard's ring is full the producer drains it into the bucketed queue
 // itself — backpressure that keeps the ring bounded without dropping or
 // blocking.
+//
+//eiffel:hotpath
 func (q *Q) Enqueue(flow uint64, n *bucket.Node, rank uint64) {
 	q.EnqueueAux(flow, n, rank, 0)
 }
@@ -475,12 +503,16 @@ func (q *Q) Enqueue(flow uint64, n *bucket.Node, rank uint64) {
 // the producer half of the packet-free policy pipeline — the producer
 // resolves both keys while the element is cache-hot and the consumer
 // never has to.
+//
+//eiffel:hotpath
 func (q *Q) EnqueueAux(flow uint64, n *bucket.Node, rank, aux uint64) {
 	q.enqueueShard(&q.shards[q.ShardFor(flow)], n, rank, aux)
 }
 
 // enqueueShard is the shard-resolved body of EnqueueAux, shared with the
 // bounded TryEnqueue path so the bound check does not hash twice.
+//
+//eiffel:hotpath
 func (q *Q) enqueueShard(s *shard, n *bucket.Node, rank, aux uint64) {
 	if s.ring.push(n, rank, aux) {
 		return
@@ -510,6 +542,8 @@ func (q *Q) enqueueShard(s *shard, n *bucket.Node, rank, aux uint64) {
 // published by the time it returns — the post-condition matches a loop of
 // Enqueue calls. Producers with a batch stream of their own should hold a
 // NewProducer handle instead and flush on their own schedule.
+//
+//eiffel:hotpath
 func (q *Q) EnqueueBatch(flows []uint64, ns []*Node, ranks []uint64) {
 	p := q.prodPool.Get().(*Producer)
 	for i, n := range ns {
@@ -523,6 +557,8 @@ func (q *Q) EnqueueBatch(flows []uint64, ns []*Node, ranks []uint64) {
 // cache slot) if anything could have changed since the cached value: a
 // non-empty ring, a producer fallback flush, or an invalidation by the
 // consumer's own pops. Group-worker-side.
+//
+//eiffel:hotpath
 func (q *Q) refreshHead(h *headState, i int) {
 	s := &q.shards[i]
 	if h.valid && s.ring.empty() && h.gen == s.fallbackGen.Load() {
@@ -547,6 +583,8 @@ func (q *Q) refreshHead(h *headState, i int) {
 // next batch rather than taking the slow path. Group-worker-side (h is
 // the owning group's cache slot for shard i); returns how many elements
 // it wrote to out.
+//
+//eiffel:hotpath
 func (q *Q) drainRingDirect(h *headState, i int, maxRank uint64, out []*bucket.Node) int {
 	s := &q.shards[i]
 	if s.ring.empty() {
@@ -594,6 +632,8 @@ func (q *Q) drainRingDirect(h *headState, i int, maxRank uint64, out []*bucket.N
 // GroupFlush drains every ring in group g into its bucketed queue and
 // refreshes the group's cached head ranks. Group-worker-side: safe
 // concurrently with other groups' workers.
+//
+//eiffel:hotpath
 func (q *Q) GroupFlush(g int) {
 	gr := &q.groups[g]
 	for i := gr.lo; i < gr.hi; i++ {
@@ -605,6 +645,8 @@ func (q *Q) GroupFlush(g int) {
 // Flush drains every shard's ring into its bucketed queue and refreshes
 // every group's cached head ranks. Single-consumer surface: requires
 // exclusive access to every group.
+//
+//eiffel:hotpath
 func (q *Q) Flush() {
 	for g := range q.groups {
 		q.GroupFlush(g)
@@ -616,6 +658,8 @@ func (q *Q) Flush() {
 // nothing is queued in its bucketed queues. Group-worker-side; this is
 // the group's aggregate NextTimer (the soonest deadline any of its shards
 // holds).
+//
+//eiffel:hotpath
 func (q *Q) GroupMinRank(g int) (uint64, bool) {
 	gr := &q.groups[g]
 	min, ok := uint64(0), false
@@ -632,6 +676,8 @@ func (q *Q) GroupMinRank(g int) (uint64, bool) {
 // MinRank flushes any pending rings and returns the minimum
 // bucket-quantized head rank across every shard, or ok=false if nothing
 // is queued in the bucketed queues. Single-consumer surface.
+//
+//eiffel:hotpath
 func (q *Q) MinRank() (uint64, bool) {
 	min, ok := uint64(0), false
 	for g := range q.groups {
@@ -657,6 +703,8 @@ func (q *Q) MinRank() (uint64, bool) {
 // a flow's shard belongs to exactly one group, the per-flow dequeue order
 // each worker observes is identical to the single-consumer runtime's;
 // only the interleaving ACROSS groups is scheduling-dependent.
+//
+//eiffel:hotpath
 func (q *Q) GroupDequeueBatch(g int, maxRank uint64, out []*bucket.Node) int {
 	if len(out) == 0 {
 		return 0
@@ -722,6 +770,8 @@ func (q *Q) GroupDequeueBatch(g int, maxRank uint64, out []*bucket.Node) int {
 // concatenation relaxes global order to group granularity, exactly as
 // parallel group workers would. Single-consumer surface: requires
 // exclusive access to every group.
+//
+//eiffel:hotpath
 func (q *Q) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
 	total := 0
 	for g := range q.groups {

@@ -39,6 +39,8 @@ func NewAdmission(tenants int) *Admission {
 // were published and dropped were refused and discarded. Backpressured
 // refusals (returned to the caller for retry) are accounted as neither
 // admitted nor dropped — the caller re-offers them.
+//
+//eiffel:hotpath
 func (a *Admission) Account(offered, admitted, dropped uint64) {
 	if offered > 0 {
 		a.offered.Add(offered)
@@ -53,6 +55,8 @@ func (a *Admission) Account(offered, admitted, dropped uint64) {
 
 // DropTenant attributes one dropped packet to tenant's bucket. The
 // aggregate drop count is maintained by Account; this only classifies.
+//
+//eiffel:hotpath
 func (a *Admission) DropTenant(tenant int32) {
 	a.tenants[int(uint32(tenant))&(len(a.tenants)-1)].Inc()
 }

@@ -9,10 +9,16 @@ import "sync/atomic"
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//eiffel:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//eiffel:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Load returns the current count.
+//
+//eiffel:hotpath
 func (c *Counter) Load() uint64 { return c.v.Load() }

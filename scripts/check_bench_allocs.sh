@@ -6,17 +6,50 @@
 # The set covers both consumer topologies: the single-consumer drains and
 # the parallel consumer-group drain (BenchmarkHotPathGroupDrain, four
 # persistent workers), so neither side of the egress split may regress.
+#
+# On failure, the //eiffel:hotpath inventory (cmd/eiffel-vet -hotpaths)
+# is printed for the packages each failing lap drives. eiffel-vet's
+# hotpath analyzer statically proves those functions free of
+# allocation-inducing constructs, so a nonzero allocs/op pins the
+# regression to one of two places: an //eiffel:allow'd amortized site
+# that stopped amortizing (a scratch buffer re-growing every lap), or a
+# function on the lap that is missing its annotation entirely.
 set -eu
 cd "$(dirname "$0")/.."
 out="$(go test -run '^$' -bench 'BenchmarkHotPath' -benchtime 100x -benchmem .)"
 printf '%s\n' "$out"
-printf '%s\n' "$out" | awk '
+failed="$(printf '%s\n' "$out" | awk '
 	/^BenchmarkHotPath/ {
 		allocs = $(NF-1)
 		if (allocs + 0 != 0) {
-			bad = 1
-			print "FAIL: nonzero allocs/op on a hot path: " $0 > "/dev/stderr"
+			name = $1
+			sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+			print name
 		}
 	}
-	END { exit bad }
-'
+')"
+if [ -z "$failed" ]; then
+	exit 0
+fi
+echo "FAIL: nonzero allocs/op on a hot path:" >&2
+inventory="$(go run ./cmd/eiffel-vet -hotpaths ./...)"
+for bench in $failed; do
+	# Map each benchmark to the import paths its lap drives; the
+	# substrate packages (bucket, ffsq) sit under every lap.
+	case "$bench" in
+	BenchmarkHotPathShapedEnqueueBatched)
+		pkgs="internal/shardq internal/bucket internal/ffsq" ;;
+	BenchmarkHotPathEnqueue* | BenchmarkHotPathGroupDrain)
+		pkgs="internal/shardq internal/bucket internal/ffsq" ;;
+	BenchmarkHotPathPolicyBatched | BenchmarkHotPathChurnAdmit)
+		pkgs="internal/qdisc internal/pifo internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
+	*)
+		pkgs="internal" ;;
+	esac
+	echo "" >&2
+	echo "$bench: //eiffel:hotpath functions on this lap:" >&2
+	for p in $pkgs; do
+		printf '%s\n' "$inventory" | grep "^eiffel/$p " >&2 || true
+	done
+done
+exit 1
