@@ -192,6 +192,76 @@ func BenchmarkHotPathPolicyBatched(b *testing.B) {
 	}
 }
 
+// tryCountSink is a FallibleSink that always accepts everything — the
+// fault-free path BenchmarkHotPathEgressTx measures.
+type tryCountSink struct{ n int }
+
+func (s *tryCountSink) TryTx(ps []*eiffel.Packet) (int, error) {
+	s.n += len(ps)
+	return len(ps), nil
+}
+
+// BenchmarkHotPathEgressTx holds the RESILIENT egress path to the
+// zero-allocs/op bar on its fault-free fast path: each lap admits a
+// burst through the parallel front's refusable TryEnqueue and drains it
+// group by group through a ResilientSink whose underlying TryTx accepts
+// every batch first try — so the lap covers the full retry machinery's
+// entry (progress cursor, egress accounting: two atomic adds per batch)
+// without ever touching the failure path (no clock reads, no backoff,
+// no drops). Any allocation is a regression in the admission path, the
+// group drain, or the retry wrapper itself.
+func BenchmarkHotPathEgressTx(b *testing.B) {
+	var opt eiffel.MultiShardedOptions
+	opt.Shards = 8
+	opt.HorizonNs = 1 << 20
+	opt.Groups = 2
+	q := eiffel.NewMultiSharded(opt)
+	inner := &tryCountSink{}
+	sink := eiffel.NewResilientSink(inner, eiffel.RetryPolicy{}, nil)
+	pool := eiffel.NewPool(hotBurst)
+	ps := make([]*eiffel.Packet, hotBurst)
+	for i := range ps {
+		p := pool.Get()
+		p.Flow = uint64(i)
+		p.SendAt = int64(i % (1 << 18))
+		ps[i] = p
+	}
+	out := make([]*eiffel.Packet, 256)
+	now := int64(1 << 19)
+	lap := func() {
+		for _, p := range ps {
+			if !q.TryEnqueue(p, now) {
+				b.Fatal("TryEnqueue refused on an open unbounded front")
+			}
+		}
+		for g := 0; g < q.NumGroups(); g++ {
+			for {
+				k := q.GroupDequeueBatch(g, 1<<20, out)
+				if k == 0 {
+					break
+				}
+				sink.Tx(out[:k])
+			}
+		}
+		if q.Len() != 0 {
+			b.Fatal("drain left packets queued")
+		}
+	}
+	lap() // warm rings, buckets, and the drain scratch to steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+	b.StopTimer()
+	if got := sink.Egress().Txd(); got != uint64((b.N+1)*hotBurst) {
+		b.Fatalf("egress accounting txd=%d, want %d", got, (b.N+1)*hotBurst)
+	}
+	if inner.n != (b.N+1)*hotBurst {
+		b.Fatalf("sink saw %d packets, want %d", inner.n, (b.N+1)*hotBurst)
+	}
+}
+
 // BenchmarkHotPathChurnAdmit holds the bounded-admission path to the
 // zero-allocs/op bar: each lap offers a burst through EnqueueBatchAdmit
 // against a shard bound tight enough that a slice of every burst is

@@ -214,3 +214,23 @@ func BenchmarkChurn(b *testing.B) {
 	metric(b, res, 0, 1, 2, "evict-mpps")
 	metric(b, res, 0, 1, 3, "drop-pct")
 }
+
+// BenchmarkChaos runs the egress fault-injection suite in quick mode
+// (internal/exp/chaos.go): supervised Serve workers draining into
+// seed-driven fault.Sink TX queues, one misbehavior profile per row.
+// The experiment itself asserts exactly-once egress (zero lost, zero
+// duplicated), exact per-reason drop attribution, and a bounded
+// graceful-drain recovery time; any violation surfaces as a note that
+// fails this benchmark. The reported metrics are the deadline row's
+// drop count (must be > 0 — the profile exists to force that reason)
+// and its recovery time.
+func BenchmarkChaos(b *testing.B) {
+	res := runExp(b, "chaos")
+	for _, n := range res.Notes {
+		if strings.Contains(n, "CHAOS VIOLATION") {
+			b.Fatal(n)
+		}
+	}
+	metric(b, res, 0, 6, 3, "deadline-drops")
+	metric(b, res, 0, 6, 12, "deadline-recovery-ms")
+}

@@ -45,6 +45,7 @@ import (
 	"eiffel/internal/qdisc"
 	"eiffel/internal/queue"
 	"eiffel/internal/shardq"
+	"eiffel/internal/stats"
 )
 
 // Core re-exported types. Node is the intrusive queue handle; embed or own
@@ -354,7 +355,70 @@ const (
 	PushNone = shardq.PushNone
 	// PushShardFull reports refusals from a shard at its occupancy bound.
 	PushShardFull = shardq.PushShardFull
+	// PushClosed reports refusals from a closed (draining) runtime.
+	PushClosed = shardq.PushClosed
 )
+
+// Fault-tolerant egress and graceful lifecycle: sinks that can refuse
+// work (FallibleSink) are driven with bounded retries, capped
+// exponential backoff, and a per-packet deadline (RetryPolicy), with
+// every disposal accounted by reason; the parallel-egress fronts close
+// through a running → draining → closed state machine whose quiescence
+// obeys admitted == tx'd + dropped + released exactly; and Serve worker
+// fleets are supervised — panic recovery with a bounded restart budget,
+// a stall watchdog, and per-group health. See ARCHITECTURE.md ("Egress
+// fault tolerance and lifecycle") and internal/fault for the chaos
+// harness that asserts the exactly-once contract under injected faults.
+type (
+	// FallibleSink is an egress transmit queue that can refuse work:
+	// TryTx accepts a prefix of the batch and says why it stopped.
+	FallibleSink = qdisc.FallibleSink
+	// RetryPolicy bounds how hard egress fights a refusing sink.
+	RetryPolicy = qdisc.RetryPolicy
+	// DropReason classifies why resilient egress dropped a packet.
+	DropReason = qdisc.DropReason
+	// ResilientSink adapts a FallibleSink to the infallible EgressSink
+	// contract by retrying under a RetryPolicy.
+	ResilientSink = qdisc.ResilientSink
+	// ServeOptions tunes a supervised Serve fleet and the lifecycle
+	// drain.
+	ServeOptions = qdisc.ServeOptions
+	// Server is a running supervised egress fleet (ServeWith).
+	Server = qdisc.Server
+	// GroupHealth is one consumer group's supervision snapshot.
+	GroupHealth = qdisc.GroupHealth
+	// DrainReport is the conservation accounting a Drain/CloseForce
+	// returns at quiescence.
+	DrainReport = qdisc.DrainReport
+	// LifecycleState is a front's position in the close protocol.
+	LifecycleState = qdisc.LifecycleState
+	// EgressStats aggregates resilient-egress disposal accounting.
+	EgressStats = stats.Egress
+	// EgressStatsSnapshot is a point-in-time copy of an EgressStats.
+	EgressStatsSnapshot = stats.EgressSnapshot
+)
+
+// Drop reasons and lifecycle states.
+const (
+	// DropDeadline: the packet's retry deadline expired.
+	DropDeadline = qdisc.DropDeadline
+	// DropRetryBudget: the packet's retry budget was exhausted.
+	DropRetryBudget = qdisc.DropRetryBudget
+	// DropSinkFailed: the group's sink exhausted its panic budget.
+	DropSinkFailed = qdisc.DropSinkFailed
+	// StateRunning: admission open.
+	StateRunning = qdisc.StateRunning
+	// StateDraining: Close called; refusable admission refuses.
+	StateDraining = qdisc.StateDraining
+	// StateClosed: exact quiescence reached.
+	StateClosed = qdisc.StateClosed
+)
+
+// NewResilientSink wraps a FallibleSink with retry/backoff/deadline
+// handling; onDrop (optional) observes every packet given up on.
+func NewResilientSink(sink FallibleSink, pol RetryPolicy, onDrop func(*Packet, DropReason)) *ResilientSink {
+	return qdisc.NewResilientSink(sink, pol, onDrop)
+}
 
 // ReplayChurn drives a bounded-admission qdisc with open-world short-lived
 // flow churn and reports throughput, drop accounting, per-flow order

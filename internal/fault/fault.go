@@ -1,0 +1,168 @@
+// Package fault is the chaos-injection harness for the egress path: a
+// deterministic, seed-driven sink that misbehaves on a schedule —
+// transient errors, partial accepts, stalls, slowdowns, and panics —
+// while keeping an exact ledger of every packet it accepted, so the
+// chaos experiment can assert zero lost and zero duplicated packets no
+// matter which faults fired.
+//
+// The package deliberately imports only pkt (and stdlib): it satisfies
+// qdisc.FallibleSink structurally, so qdisc's own tests can use it
+// without an import cycle.
+package fault
+
+import (
+	"errors"
+	"time"
+
+	"eiffel/internal/pkt"
+)
+
+// ErrTransient is the error a faulting TryTx returns: the refusal is
+// retryable by contract.
+var ErrTransient = errors.New("fault: transient tx error")
+
+// Profile is one fault schedule. Rates are per-TryTx-call probabilities
+// in [0, 1], drawn from a deterministic splitmix64 stream seeded by
+// Seed: the same profile over the same call sequence misbehaves
+// identically. At most one fault fires per call, checked in the order
+// panic, stall, error, partial, slow.
+type Profile struct {
+	// Name labels the profile in tables.
+	Name string
+	// Seed drives the fault schedule (same seed, same schedule).
+	Seed uint64
+	// PanicRate is the probability a call panics BEFORE accepting
+	// anything — the recoverable worst case (no packet is in limbo, so
+	// supervision can re-offer the whole batch).
+	PanicRate float64
+	// StallRate is the probability a call sleeps StallFor before
+	// accepting — the wedged-TX-queue case the watchdog exists for.
+	StallRate float64
+	// ErrRate is the probability a call accepts nothing and returns
+	// ErrTransient.
+	ErrRate float64
+	// PartialRate is the probability a call accepts a strict non-zero
+	// prefix (a uniform 1..len-1 cut) of the batch.
+	PartialRate float64
+	// SlowRate is the probability a call sleeps SlowFor and then accepts
+	// everything — degraded but not refusing.
+	SlowRate float64
+	// StallFor and SlowFor size the two sleeps.
+	StallFor time.Duration
+	SlowFor  time.Duration
+}
+
+// Counts reports how often each fault fired.
+type Counts struct {
+	Calls    uint64
+	Panics   uint64
+	Stalls   uint64
+	Errors   uint64
+	Partials uint64
+	Slows    uint64
+}
+
+// Sink is the fault-injecting egress sink. It implements TryTx (and so
+// satisfies qdisc.FallibleSink); like every sink it is driven by one
+// worker goroutine at a time, and its ledger is read after the workers
+// are joined.
+type Sink struct {
+	prof Profile
+	rng  uint64
+
+	seen   map[uint64]uint32 // packet ID → accept count
+	acc    uint64            // total accepts (sum of seen)
+	dups   uint64            // accepts beyond the first per ID
+	counts Counts
+}
+
+// NewSink returns a sink misbehaving per prof.
+func NewSink(prof Profile) *Sink {
+	return &Sink{prof: prof, rng: prof.Seed, seen: make(map[uint64]uint32)}
+}
+
+// next is splitmix64: deterministic, seed-driven, stdlib-free.
+func (s *Sink) next() uint64 {
+	s.rng += 0x9E3779B97F4A7C15
+	z := s.rng
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// chance draws one uniform [0,1) variate against p.
+func (s *Sink) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(s.next()>>11)/(1<<53) < p
+}
+
+// accept records n accepted packets in the ledger.
+func (s *Sink) accept(ps []*pkt.Packet) {
+	for _, p := range ps {
+		s.seen[p.ID]++
+		if s.seen[p.ID] > 1 {
+			s.dups++
+		}
+	}
+	s.acc += uint64(len(ps))
+}
+
+// TryTx implements the fallible egress contract, injecting at most one
+// fault per call on the profile's schedule. A panicking call accepts
+// nothing first, so a supervised worker that recovers re-offers the
+// exact batch and the ledger never sees a limbo packet.
+func (s *Sink) TryTx(ps []*pkt.Packet) (int, error) {
+	s.counts.Calls++
+	if s.chance(s.prof.PanicRate) {
+		s.counts.Panics++
+		panic("fault: injected sink panic")
+	}
+	if s.chance(s.prof.StallRate) {
+		s.counts.Stalls++
+		time.Sleep(s.prof.StallFor)
+		s.accept(ps)
+		return len(ps), nil
+	}
+	if s.chance(s.prof.ErrRate) {
+		s.counts.Errors++
+		return 0, ErrTransient
+	}
+	if len(ps) > 1 && s.chance(s.prof.PartialRate) {
+		s.counts.Partials++
+		n := 1 + int(s.next()%uint64(len(ps)-1)) // strict non-zero prefix
+		s.accept(ps[:n])
+		return n, nil
+	}
+	if s.chance(s.prof.SlowRate) {
+		s.counts.Slows++
+		time.Sleep(s.prof.SlowFor)
+	}
+	s.accept(ps)
+	return len(ps), nil
+}
+
+// Tx is the infallible surface: accept everything (no faults) — present
+// so a Sink can also stand in where a plain EgressSink is expected.
+func (s *Sink) Tx(ps []*pkt.Packet) { s.accept(ps) }
+
+// Accepted returns how many packets the sink accepted in total
+// (duplicates included).
+func (s *Sink) Accepted() uint64 { return s.acc }
+
+// Unique returns how many distinct packet IDs the sink accepted.
+func (s *Sink) Unique() uint64 { return uint64(len(s.seen)) }
+
+// Dups returns how many accepts were duplicates (same packet ID accepted
+// more than once) — must be zero under exactly-once egress.
+func (s *Sink) Dups() uint64 { return s.dups }
+
+// Counts returns the fault-fire tallies.
+func (s *Sink) Counts() Counts { return s.counts }
+
+// SawID reports whether the sink ever accepted packet id.
+func (s *Sink) SawID(id uint64) bool { return s.seen[id] > 0 }

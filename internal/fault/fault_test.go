@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"testing"
+
+	"eiffel/internal/pkt"
+)
+
+func batch(pool *pkt.Pool, n int) []*pkt.Packet {
+	ps := make([]*pkt.Packet, n)
+	for i := range ps {
+		ps[i] = pool.Get()
+	}
+	return ps
+}
+
+// TestSinkDeterministic pins the seed contract: two sinks with the same
+// profile fed the same call sequence misbehave identically.
+func TestSinkDeterministic(t *testing.T) {
+	prof := Profile{Name: "t", Seed: 42, ErrRate: 0.3, PartialRate: 0.3}
+	a, b := NewSink(prof), NewSink(prof)
+	pool := pkt.NewPool(64)
+	ps := batch(pool, 8)
+	for i := 0; i < 200; i++ {
+		an, aerr := a.TryTx(ps)
+		bn, berr := b.TryTx(ps)
+		if an != bn || (aerr == nil) != (berr == nil) {
+			t.Fatalf("call %d diverged: (%d,%v) vs (%d,%v)", i, an, aerr, bn, berr)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("fault tallies diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+	if a.Counts().Errors == 0 || a.Counts().Partials == 0 {
+		t.Fatalf("profile never fired: %+v", a.Counts())
+	}
+}
+
+// TestSinkLedger covers the exactly-once bookkeeping: unique vs
+// duplicate accepts, and the prefix contract of partial accepts.
+func TestSinkLedger(t *testing.T) {
+	s := NewSink(Profile{Name: "clean"})
+	pool := pkt.NewPool(8)
+	ps := batch(pool, 4)
+	if n, err := s.TryTx(ps); n != 4 || err != nil {
+		t.Fatalf("clean TryTx = (%d, %v), want full accept", n, err)
+	}
+	if s.Accepted() != 4 || s.Unique() != 4 || s.Dups() != 0 {
+		t.Fatalf("ledger %d/%d/%d after one accept, want 4/4/0", s.Accepted(), s.Unique(), s.Dups())
+	}
+	if !s.SawID(ps[0].ID) {
+		t.Fatal("SawID false for an accepted packet")
+	}
+	s.Tx(ps[:2]) // re-offer: the ledger must count the duplicates
+	if s.Accepted() != 6 || s.Unique() != 4 || s.Dups() != 2 {
+		t.Fatalf("ledger %d/%d/%d after re-offer, want 6/4/2", s.Accepted(), s.Unique(), s.Dups())
+	}
+}
+
+// TestSinkPartialIsStrictPrefix: a partial accept takes a non-empty,
+// non-total prefix, so retry progress is always possible.
+func TestSinkPartialIsStrictPrefix(t *testing.T) {
+	s := NewSink(Profile{Name: "p", Seed: 7, PartialRate: 1})
+	pool := pkt.NewPool(64)
+	for i := 0; i < 100; i++ {
+		ps := batch(pool, 6)
+		n, err := s.TryTx(ps)
+		if err != nil {
+			t.Fatalf("partial profile returned error %v", err)
+		}
+		if n < 1 || n >= len(ps) {
+			t.Fatalf("partial accept n=%d of %d, want a strict non-zero prefix", n, len(ps))
+		}
+	}
+	if s.Counts().Partials != 100 {
+		t.Fatalf("partials = %d, want every call", s.Counts().Partials)
+	}
+}

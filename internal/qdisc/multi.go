@@ -80,6 +80,10 @@ type MultiSharded struct {
 	// prodPool recycles runtime staging handles for EnqueueBatch, as in
 	// Sharded.
 	prodPool sync.Pool
+
+	// Lifecycle and conservation accounting (State/Egress/Admitted/
+	// Released promote from here); see lifecycle.go.
+	egressState
 }
 
 // NewMultiSharded returns a MultiSharded qdisc whose shards each run an
@@ -115,6 +119,10 @@ func (m *MultiSharded) Name() string { return m.name }
 // overcount contract as Sharded.Len. Safe from any goroutine.
 func (m *MultiSharded) Len() int { return m.rt.Len() }
 
+// AdmitIdle reports no refusable admission in flight (see
+// shardq.Q.AdmitIdle); the lifecycle drains gate quiescence on it.
+func (m *MultiSharded) AdmitIdle() bool { return m.rt.AdmitIdle() }
+
 // Stats returns the runtime's shard/batch counters.
 func (m *MultiSharded) Stats() shardq.Snapshot { return m.rt.Stats() }
 
@@ -128,20 +136,43 @@ func (m *MultiSharded) NumGroups() int { return m.rt.NumGroups() }
 // group whose worker ever releases it.
 func (m *MultiSharded) GroupFor(flow uint64) int { return m.rt.GroupFor(flow) }
 
-// Enqueue admits one packet. Safe for concurrent producers.
+// GroupLen returns consumer group g's queued-but-undrained packet count
+// (the watchdog's backlog signal). Safe from any goroutine, same
+// transient-overcount contract as Len.
+func (m *MultiSharded) GroupLen(g int) int { return m.rt.GroupLen(g) }
+
+// Enqueue admits one packet. Safe for concurrent producers. Infallible —
+// it cannot refuse, so it must not be called after Close (use TryEnqueue
+// for producers that race the lifecycle).
 func (m *MultiSharded) Enqueue(p *pkt.Packet, _ int64) {
 	m.rt.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt))
+	m.admit(1)
+}
+
+// TryEnqueue admits one packet unless the front is closed (or its shard
+// is at a configured occupancy bound) and reports the outcome. Safe for
+// concurrent producers; the refusal path is how producers observe Close.
+func (m *MultiSharded) TryEnqueue(p *pkt.Packet, _ int64) bool {
+	if !m.rt.TryEnqueue(p.Flow, &p.TimerNode, uint64(p.SendAt)) {
+		return false
+	}
+	m.admit(1)
+	return true
 }
 
 // EnqueueBatch admits a whole run of packets at once, staging per shard
 // and publishing each shard's run as one multi-slot ring claim. Safe for
-// concurrent producers; everything is published on return.
+// concurrent producers; everything is published on return. Infallible,
+// like Enqueue: not for use after Close.
 func (m *MultiSharded) EnqueueBatch(ps []*pkt.Packet, _ int64) {
 	b := m.prodPool.Get().(*shardq.Producer)
 	for _, p := range ps {
 		b.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt))
 	}
-	b.Flush()
+	// FlushAdmit instead of Flush for the admitted count alone: with no
+	// bound and the front open nothing is ever refused, and a post-Close
+	// misuse at least keeps the conservation identity honest.
+	m.admit(b.FlushAdmit().Admitted)
 	m.prodPool.Put(b)
 }
 
@@ -186,12 +217,19 @@ func (m *MultiSharded) GroupNextTimer(g int, now int64) (int64, bool) {
 // microseconds.
 const serveIdleNap = 50 * time.Microsecond
 
-// Serve starts one drain worker per consumer group: worker g loops
-// GroupDequeueBatch at clock()'s current value and hands every non-empty
-// batch to sinks[g] (len(sinks) must equal NumGroups; batch sizes each
-// worker's scratch, default 64). It returns a stop function that halts
-// the workers and waits for them to exit; packets still queued when stop
-// is called remain queued.
+// Serve starts one supervised drain worker per consumer group: worker g
+// loops GroupDequeueBatch at clock()'s current value and disposes every
+// non-empty batch through sinks[g] (len(sinks) must equal NumGroups;
+// batch sizes each worker's scratch, default 64). Sinks that implement
+// FallibleSink get the full retry/backoff/deadline treatment under the
+// default RetryPolicy; use ServeWith to tune it. It returns a stop
+// function that halts the workers, waits for them to exit, and then
+// DRAINS the remaining backlog to the same sinks through the graceful
+// lifecycle (Close + Drain) — a stopped Serve leaves the front closed
+// and exactly conserved, never with abandoned packets (the historical
+// behavior, which stranded whatever was still queued with no
+// accounting). Use ServeWith and Server.StopForce for the fast shutdown
+// that releases the backlog instead of transmitting it.
 //
 // Serve is a POLLING front, the BESS/DPDK deployment style: an idle
 // worker naps serveIdleNap between polls rather than arming a timer, so
@@ -201,26 +239,41 @@ const serveIdleNap = 50 * time.Microsecond
 // wakeups should drive GroupDequeueBatch themselves, arming real timers
 // from GroupNextTimer — which is exactly what that method exists for.
 func (m *MultiSharded) Serve(clock func() int64, sinks []EgressSink, batch int) (stop func()) {
-	if batch <= 0 {
-		batch = 64
-	}
-	var halt atomic.Bool
-	var wg sync.WaitGroup
-	for g := 0; g < m.NumGroups(); g++ {
-		wg.Add(1)
-		go func(g int, sink EgressSink) {
-			defer wg.Done()
-			out := make([]*pkt.Packet, batch)
-			for !halt.Load() {
-				if k := m.GroupDequeueBatch(g, clock(), out); k > 0 {
-					sink.Tx(out[:k])
-					continue
-				}
-				time.Sleep(serveIdleNap)
-			}
-		}(g, sinks[g])
-	}
-	return func() { halt.Store(true); wg.Wait() }
+	srv := m.ServeWith(clock, sinks, ServeOptions{Batch: batch})
+	return func() { srv.Stop() }
+}
+
+// ServeWith is Serve with the full supervision surface exposed: the
+// returned Server reports per-group health (panic restarts, stall
+// flags, backlog) and owns the stop protocol (Stop drains gracefully,
+// StopForce releases). See ServeOptions for the retry, restart, and
+// watchdog knobs.
+func (m *MultiSharded) ServeWith(clock func() int64, sinks []EgressSink, opt ServeOptions) *Server {
+	return startServer(m, &m.egressState, m.rt.Close, clock, sinks, opt)
+}
+
+// Close quiesces admission: every subsequent TryEnqueue (and runtime-
+// level FlushAdmit) refuses with shardq.PushClosed, so producers drain
+// to a stop while the queued backlog stays intact for Drain or
+// CloseForce. Idempotent; safe from any goroutine.
+func (m *MultiSharded) Close() { lifecycleClose(&m.egressState, m.rt.Close) }
+
+// Drain closes the front and runs the entire remaining backlog to the
+// sinks (one per group, same contract as Serve), retrying fallible
+// sinks under opt.Retry and degrading by counted drops, then marks the
+// front closed and reports the conservation terms at quiescence.
+// Requires exclusive access to every group — stop Serve workers first
+// (Server.Stop does exactly this, in order).
+func (m *MultiSharded) Drain(sinks []EgressSink, opt ServeOptions) DrainReport {
+	return lifecycleDrain(m, &m.egressState, m.rt.Close, sinks, opt)
+}
+
+// CloseForce closes the front and releases the remaining backlog to the
+// caller instead of the sinks: release (when non-nil) sees every queued
+// packet, e.g. pool.Put. It runs on the calling goroutine only, so a
+// non-concurrent pkt.Pool is safe. Same exclusivity contract as Drain.
+func (m *MultiSharded) CloseForce(release func(*pkt.Packet)) DrainReport {
+	return lifecycleCloseForce(m, &m.egressState, m.rt.Close, release)
 }
 
 // MultiShapedOptions sizes a MultiShaped qdisc.
@@ -244,6 +297,9 @@ type MultiShaped struct {
 	groups   []multiGroup
 
 	prodPool sync.Pool
+
+	// Lifecycle and conservation accounting; see lifecycle.go.
+	egressState
 }
 
 // NewMultiShaped returns a MultiShaped qdisc with the given geometry,
@@ -278,6 +334,10 @@ func (m *MultiShaped) Name() string { return m.name }
 // ShapedSharded.Len.
 func (m *MultiShaped) Len() int { return m.rt.Len() }
 
+// AdmitIdle reports no refusable admission in flight (see
+// shardq.Shaped.AdmitIdle); the lifecycle drains gate quiescence on it.
+func (m *MultiShaped) AdmitIdle() bool { return m.rt.AdmitIdle() }
+
 // Stats returns the runtime's shard/migration/batch counters.
 func (m *MultiShaped) Stats() shardq.Snapshot { return m.rt.Stats() }
 
@@ -291,20 +351,39 @@ func (m *MultiShaped) GroupFor(flow uint64) int { return m.rt.GroupFor(flow) }
 // ShapedSharded.RankGranularity).
 func (m *MultiShaped) RankGranularity() uint64 { return m.rankGran }
 
+// GroupLen returns consumer group g's queued-but-undrained packet count
+// wherever it sits — ring, shaper, or scheduler. Safe from any
+// goroutine, same transient-overcount contract as Len.
+func (m *MultiShaped) GroupLen(g int) int { return m.rt.GroupLen(g) }
+
 // Enqueue admits one packet carrying both keys. Safe for concurrent
-// producers.
+// producers. Infallible: not for use after Close (see
+// MultiSharded.Enqueue).
 func (m *MultiShaped) Enqueue(p *pkt.Packet, _ int64) {
 	m.rt.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
+	m.admit(1)
+}
+
+// TryEnqueue admits one packet unless the front is closed (or its shard
+// is at a configured occupancy bound) and reports the outcome. Safe for
+// concurrent producers.
+func (m *MultiShaped) TryEnqueue(p *pkt.Packet, _ int64) bool {
+	if !m.rt.TryEnqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank) {
+		return false
+	}
+	m.admit(1)
+	return true
 }
 
 // EnqueueBatch admits a whole run of packets at once. Safe for concurrent
-// producers; everything is published on return.
+// producers; everything is published on return. Infallible: not for use
+// after Close.
 func (m *MultiShaped) EnqueueBatch(ps []*pkt.Packet, _ int64) {
 	b := m.prodPool.Get().(*shardq.ShapedProducer)
 	for _, p := range ps {
 		b.Enqueue(p.Flow, &p.TimerNode, uint64(p.SendAt), p.Rank)
 	}
-	b.Flush()
+	m.admit(b.FlushAdmit().Admitted)
 	m.prodPool.Put(b)
 }
 
@@ -364,6 +443,37 @@ func (m *MultiShaped) GroupNextTimer(g int, now int64) (int64, bool) {
 		t = now
 	}
 	return t, true
+}
+
+// Serve starts one supervised drain worker per consumer group; identical
+// contract to MultiSharded.Serve (each worker passes its own clock value
+// to the migration pass, so shaping precision follows the poll cadence).
+func (m *MultiShaped) Serve(clock func() int64, sinks []EgressSink, batch int) (stop func()) {
+	srv := m.ServeWith(clock, sinks, ServeOptions{Batch: batch})
+	return func() { srv.Stop() }
+}
+
+// ServeWith is Serve with the full supervision surface; see
+// MultiSharded.ServeWith.
+func (m *MultiShaped) ServeWith(clock func() int64, sinks []EgressSink, opt ServeOptions) *Server {
+	return startServer(m, &m.egressState, m.rt.Close, clock, sinks, opt)
+}
+
+// Close quiesces admission; see MultiSharded.Close.
+func (m *MultiShaped) Close() { lifecycleClose(&m.egressState, m.rt.Close) }
+
+// Drain closes the front and runs the remaining backlog to the sinks —
+// shaper gates open for the drain (everything still queued transmits
+// immediately, release times notwithstanding: a closing front prefers
+// delivery over pacing). See MultiSharded.Drain for the contract.
+func (m *MultiShaped) Drain(sinks []EgressSink, opt ServeOptions) DrainReport {
+	return lifecycleDrain(m, &m.egressState, m.rt.Close, sinks, opt)
+}
+
+// CloseForce closes the front and releases the remaining backlog to the
+// caller; see MultiSharded.CloseForce.
+func (m *MultiShaped) CloseForce(release func(*pkt.Packet)) DrainReport {
+	return lifecycleCloseForce(m, &m.egressState, m.rt.Close, release)
 }
 
 // --- Parallel-egress contention replays (the egress experiment substrate) ---

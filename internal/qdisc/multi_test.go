@@ -1,7 +1,11 @@
 package qdisc
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -198,6 +202,36 @@ leaf ff parent=root kind=flow policy=fifo buckets=4096 gran=64
 	}
 }
 
+// waitUntil polls cond until it holds, yielding between polls and
+// bounding the wait by wall clock — never by iteration count, which a
+// single-CPU machine can exhaust inside one scheduler quantum. On
+// timeout it fails the test with diag's dump, so a wedged drain reports
+// its sink and group counters instead of a bare deadline.
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool, diag func() string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v\n%s", timeout, diag())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// serveDiag renders the drain-side state waitUntil dumps on timeout.
+func serveDiag(m *MultiSharded, sinks []*CountingSink) func() string {
+	return func() string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "front: len=%d admitted=%d egress=[%s]",
+			m.Len(), m.Admitted(), m.Egress().Snapshot())
+		for g := 0; g < m.NumGroups(); g++ {
+			fmt.Fprintf(&b, "\ngroup %d: backlog=%d sink=%d", g, m.GroupLen(g), sinks[g].Count())
+		}
+		return b.String()
+	}
+}
+
 // TestMultiShardedServe exercises the worker-spawning front: Serve drains
 // every group into its sink until stopped.
 func TestMultiShardedServe(t *testing.T) {
@@ -209,20 +243,79 @@ func TestMultiShardedServe(t *testing.T) {
 	sinks := []*CountingSink{{}, {}}
 	stop := m.Serve(func() int64 { return horizon }, []EgressSink{sinks[0], sinks[1]}, 64)
 	m.EnqueueBatch(packets[0], 0)
-	deadline := time.Now().Add(20 * time.Second)
-	for sinks[0].Count()+sinks[1].Count() < int64(len(packets[0])) {
-		if time.Now().After(deadline) {
-			stop()
-			t.Fatalf("served %d of %d before deadline", sinks[0].Count()+sinks[1].Count(), len(packets[0]))
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitUntil(t, 20*time.Second, func() bool {
+		return sinks[0].Count()+sinks[1].Count() >= int64(len(packets[0]))
+	}, serveDiag(m, sinks))
 	stop()
 	if m.Len() != 0 {
 		t.Fatalf("Len = %d after serving everything", m.Len())
 	}
 	if sinks[0].Count() == 0 || sinks[1].Count() == 0 {
 		t.Fatalf("a group's sink saw no traffic: %d/%d", sinks[0].Count(), sinks[1].Count())
+	}
+}
+
+// TestMultiShardedServeStopMidTraffic is the stop-semantics regression
+// test: stopping a Serve fleet in the middle of a replay must not
+// abandon the backlog (the pre-lifecycle Serve simply killed its
+// workers, leaving queued packets stranded). stop() now routes through
+// the graceful drain, so at quiescence every admitted packet is
+// accounted: admitted == tx'd + dropped + released, with nothing
+// dropped on the infallible sinks used here.
+func TestMultiShardedServeStopMidTraffic(t *testing.T) {
+	m := NewMultiSharded(MultiShardedOptions{
+		ShardedOptions: ShardedOptions{Shards: 8, Buckets: 2048, HorizonNs: horizon, RingBits: 10},
+		Groups:         2,
+	})
+	packets := EgressPackets(2, 8000, 200)
+	sinks := []*CountingSink{{}, {}}
+	srv := m.ServeWith(func() int64 { return horizon }, []EgressSink{sinks[0], sinks[1]}, ServeOptions{})
+
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for w := range packets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, p := range packets[w] {
+				if m.TryEnqueue(p, 0) {
+					admitted.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Stop mid-traffic: the producers are still pushing. Their remaining
+	// TryEnqueues must refuse (the front is closed), and everything
+	// admitted before the close must still reach the sinks.
+	waitUntil(t, 20*time.Second, func() bool {
+		return sinks[0].Count()+sinks[1].Count() >= 100
+	}, serveDiag(m, sinks))
+	rep := srv.Stop()
+	wg.Wait()
+
+	if m.State() != StateClosed {
+		t.Fatalf("state = %v after Stop", m.State())
+	}
+	if !rep.Conserved() {
+		t.Fatalf("mid-traffic stop broke conservation: %s", rep)
+	}
+	if rep.Admitted != uint64(admitted.Load()) {
+		t.Fatalf("front admitted %d, producers counted %d", rep.Admitted, admitted.Load())
+	}
+	if rep.Dropped != 0 || rep.Released != 0 {
+		t.Fatalf("infallible stop must not drop or release: %s", rep)
+	}
+	// The sinks' own ledgers close the loop: tx'd per the report is what
+	// the sinks actually saw, and post-close producers were refused, so a
+	// late retry of one refused packet must also refuse.
+	if got := uint64(sinks[0].Count() + sinks[1].Count()); got != rep.Txd {
+		t.Fatalf("sinks saw %d, report says txd=%d", got, rep.Txd)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d at quiescence", m.Len())
+	}
+	if rep2 := srv.Stop(); rep2 != rep {
+		t.Fatalf("Stop not idempotent: %s vs %s", rep2, rep)
 	}
 }
 

@@ -386,6 +386,9 @@ type PolicySharded struct {
 	prodPool sync.Pool
 
 	admitState
+
+	// Lifecycle and conservation accounting; see lifecycle.go.
+	egressState
 }
 
 // PolicyShardedOptions configures a PolicySharded qdisc.
@@ -479,6 +482,10 @@ func (s *PolicySharded) Name() string { return s.name }
 //eiffel:hotpath
 func (s *PolicySharded) Len() int { return s.rt.Len() + int(s.bufN.Load()) }
 
+// AdmitIdle reports no refusable admission in flight (see
+// shardq.Q.AdmitIdle); the lifecycle drains gate quiescence on it.
+func (s *PolicySharded) AdmitIdle() bool { return s.rt.AdmitIdle() }
+
 // Stats returns the runtime's shard/batch counters.
 func (s *PolicySharded) Stats() shardq.Snapshot { return s.rt.Stats() }
 
@@ -491,6 +498,12 @@ func (s *PolicySharded) NumGroups() int { return s.rt.NumGroups() }
 // GroupFor returns the consumer group that drains flow's shard — the only
 // group whose worker ever releases that flow's packets.
 func (s *PolicySharded) GroupFor(flow uint64) int { return s.rt.GroupFor(flow) }
+
+// GroupLen returns consumer group g's queued-but-undrained packet count
+// (excluding the single-consumer release buffer, which group workers
+// never touch). Safe from any goroutine, same transient-overcount
+// contract as Len.
+func (s *PolicySharded) GroupLen(g int) int { return s.rt.GroupLen(g) }
 
 // GroupDequeueBatch pops up to len(out) packets from consumer group g's
 // shards in the group's merged policy order and returns how many it
@@ -532,9 +545,29 @@ func (s *PolicySharded) GroupDequeueBatch(g int, now int64, out []*pkt.Packet) i
 func (s *PolicySharded) Enqueue(p *pkt.Packet, now int64) {
 	if s.direct {
 		s.rt.EnqueueAux(p.Flow, &p.SchedNode, p.Rank, p.Flow)
+		s.admit(1)
 		return
 	}
 	s.rt.Enqueue(p.Flow, &p.SchedNode, uint64(now))
+	s.admit(1)
+}
+
+// TryEnqueue admits one packet unless the front is closed (or its shard
+// is at a configured occupancy bound) and reports the outcome. Safe for
+// concurrent producers.
+//
+//eiffel:hotpath
+func (s *PolicySharded) TryEnqueue(p *pkt.Packet, now int64) bool {
+	ok := false
+	if s.direct {
+		ok = s.rt.TryEnqueueAux(p.Flow, &p.SchedNode, p.Rank, p.Flow)
+	} else {
+		ok = s.rt.TryEnqueue(p.Flow, &p.SchedNode, uint64(now))
+	}
+	if ok {
+		s.admit(1)
+	}
+	return ok
 }
 
 // EnqueueBatch admits a whole run of packets at once, staging per shard
@@ -553,7 +586,7 @@ func (s *PolicySharded) EnqueueBatch(ps []*pkt.Packet, now int64) {
 			b.Enqueue(p.Flow, &p.SchedNode, uint64(now))
 		}
 	}
-	b.Flush()
+	s.admit(b.FlushAdmit().Admitted)
 	s.prodPool.Put(b)
 }
 
@@ -574,6 +607,7 @@ func (s *PolicySharded) EnqueueBatchAdmit(ps []*pkt.Packet, now int64, rej []*pk
 	}
 	res := b.FlushAdmit()
 	admitted, rej := s.settle(res, len(ps), pkt.FromSchedNode, rej)
+	s.admit(admitted)
 	s.prodPool.Put(b)
 	return admitted, rej
 }
@@ -729,6 +763,79 @@ func (s *PolicySharded) NextTimer(now int64) (int64, bool) {
 		min = now
 	}
 	return min, true
+}
+
+// Serve starts one supervised drain worker per consumer group; identical
+// contract to MultiSharded.Serve. Do not mix with the single-consumer
+// surface while the fleet runs.
+func (s *PolicySharded) Serve(clock func() int64, sinks []EgressSink, batch int) (stop func()) {
+	srv := s.ServeWith(clock, sinks, ServeOptions{Batch: batch})
+	return func() { srv.Stop() }
+}
+
+// ServeWith is Serve with the full supervision surface; see
+// MultiSharded.ServeWith.
+func (s *PolicySharded) ServeWith(clock func() int64, sinks []EgressSink, opt ServeOptions) *Server {
+	return startServer(s, &s.egressState, s.rt.Close, clock, sinks, opt)
+}
+
+// Close quiesces admission; see MultiSharded.Close. The infallible
+// Enqueue/EnqueueBatch paths are not gated; EnqueueBatchAdmit and
+// TryEnqueue refuse (PushClosed, accounted under the admission policy).
+func (s *PolicySharded) Close() { lifecycleClose(&s.egressState, s.rt.Close) }
+
+// Drain closes the front and runs the remaining backlog to the sinks —
+// shaper gates inside the program open for the drain. Packets sitting in
+// the single-consumer release buffer (if that surface was in use) are
+// disposed first, through sinks[0]. See MultiSharded.Drain for the
+// contract.
+func (s *PolicySharded) Drain(sinks []EgressSink, opt ServeOptions) DrainReport {
+	if len(sinks) == s.NumGroups() {
+		o := opt.withDefaults()
+		s.drainBuf(func(ps []*pkt.Packet) {
+			fs, _ := sinks[0].(FallibleSink)
+			idx, panics := 0, 0
+			for idx < len(ps) {
+				if txStep(sinks[0], fs, ps, &idx, &o.Retry, &s.eg, o.OnDrop) {
+					if panics++; o.MaxRestarts >= 0 && panics > o.MaxRestarts {
+						disposeFailed(ps[idx:], &s.eg, o.OnDrop)
+						idx = len(ps)
+					}
+				}
+			}
+		})
+	}
+	return lifecycleDrain(s, &s.egressState, s.rt.Close, sinks, opt)
+}
+
+// CloseForce closes the front and releases the remaining backlog —
+// release buffer included — to the caller; see MultiSharded.CloseForce.
+func (s *PolicySharded) CloseForce(release func(*pkt.Packet)) DrainReport {
+	s.drainBuf(func(ps []*pkt.Packet) {
+		if release != nil {
+			for _, p := range ps {
+				release(p)
+			}
+		}
+		s.released.Add(uint64(len(ps)))
+	})
+	return lifecycleCloseForce(s, &s.egressState, s.rt.Close, release)
+}
+
+// drainBuf empties the single-consumer release buffer through dispose.
+// Exclusive access required (the Drain/CloseForce contract).
+func (s *PolicySharded) drainBuf(dispose func([]*pkt.Packet)) {
+	if s.bufHead >= s.bufLen {
+		return
+	}
+	ps := make([]*pkt.Packet, 0, s.bufLen-s.bufHead)
+	for i := s.bufHead; i < s.bufLen; i++ {
+		ps = append(ps, pkt.FromSchedNode(s.buf[i]))
+		s.buf[i] = nil
+	}
+	s.bufN.Add(-int64(len(ps)))
+	s.bufHead = s.bufLen
+	dispose(ps)
 }
 
 // --- Single-threaded baseline: one locked tree, same program ---

@@ -27,12 +27,18 @@ const (
 	PushNone PushReason = iota
 	// PushShardFull: the element's shard was at its occupancy bound.
 	PushShardFull
+	// PushClosed: the runtime was closed (Close); admission is quiesced
+	// for the drain and nothing is accepted regardless of occupancy.
+	PushClosed
 )
 
 // String renders the reason for logs and tables.
 func (r PushReason) String() string {
-	if r == PushShardFull {
+	switch r {
+	case PushShardFull:
 		return "shard-full"
+	case PushClosed:
+		return "closed"
 	}
 	return "none"
 }
@@ -60,14 +66,23 @@ type Admit struct {
 type admitState struct {
 	adm      int
 	rej      []*Node
+	reason   PushReason
 	rejTaken bool
 }
 
 //eiffel:hotpath
-func (a *admitState) refuse(pubs []pub) {
+func (a *admitState) refuse(pubs []pub, reason PushReason) {
 	if a.rejTaken {
 		a.rej = a.rej[:0]
+		a.reason = PushNone
 		a.rejTaken = false
+	}
+	// PushClosed dominates: a cycle that saw both a full shard and a
+	// closed runtime reports closed — the terminal condition the producer
+	// must react to (a full shard might drain; a closed runtime will not
+	// reopen).
+	if a.reason != PushClosed {
+		a.reason = reason
 	}
 	for i := range pubs {
 		a.rej = append(a.rej, pubs[i].n)
@@ -82,7 +97,7 @@ func (a *admitState) take() Admit {
 	// when this cycle's refuse() actually rebuilt it.
 	if !a.rejTaken && len(a.rej) > 0 {
 		res.Rejected = a.rej
-		res.Reason = PushShardFull
+		res.Reason = a.reason
 	}
 	a.adm = 0
 	a.rejTaken = true
@@ -90,8 +105,9 @@ func (a *admitState) take() Admit {
 }
 
 // TryEnqueue is Enqueue under the configured shard bound: it publishes n
-// unless flow's shard is at its occupancy cap, and reports whether the
-// element was admitted. With no bound configured it never refuses.
+// unless flow's shard is at its occupancy cap — or the runtime is closed
+// (see Close) — and reports whether the element was admitted. With no
+// bound configured and the runtime open it never refuses.
 //
 //eiffel:hotpath
 func (q *Q) TryEnqueue(flow uint64, n *Node, rank uint64) bool {
@@ -102,12 +118,24 @@ func (q *Q) TryEnqueue(flow uint64, n *Node, rank uint64) bool {
 //
 //eiffel:hotpath
 func (q *Q) TryEnqueueAux(flow uint64, n *Node, rank, aux uint64) bool {
+	// The admitting increment must precede the closed load (both are
+	// sequentially consistent): either this producer observes Close, or
+	// the closing drain observes the in-flight admission and waits for
+	// the publication (AdmitIdle) — never neither.
+	q.admitting.Add(1)
+	if q.closed.Load() {
+		q.admitting.Add(-1)
+		q.rejected.Inc()
+		return false
+	}
 	s := &q.shards[q.ShardFor(flow)]
 	if q.bound > 0 && s.qlen.Load()+s.ring.occupancy() >= q.bound {
+		q.admitting.Add(-1)
 		q.rejected.Inc()
 		return false
 	}
 	q.enqueueShard(s, n, rank, aux)
+	q.admitting.Add(-1)
 	return true
 }
 
@@ -116,12 +144,20 @@ func (q *Q) TryEnqueueAux(flow uint64, n *Node, rank, aux uint64) bool {
 //
 //eiffel:hotpath
 func (q *Shaped) TryEnqueue(flow uint64, n *Node, sendAt, rank uint64) bool {
+	q.admitting.Add(1) // before the closed load; see Q.TryEnqueueAux
+	if q.closed.Load() {
+		q.admitting.Add(-1)
+		q.rejected.Inc()
+		return false
+	}
 	s := &q.shards[q.ShardFor(flow)]
 	if q.bound > 0 && s.qlen.Load()+s.ring.occupancy() >= q.bound {
+		q.admitting.Add(-1)
 		q.rejected.Inc()
 		return false
 	}
 	q.enqueueShard(s, n, sendAt, rank)
+	q.admitting.Add(-1)
 	return true
 }
 
@@ -130,3 +166,38 @@ func (q *Q) Bound() int { return int(q.bound) }
 
 // Bound returns the per-shard occupancy bound (0 = unbounded).
 func (q *Shaped) Bound() int { return int(q.bound) }
+
+// Close quiesces admission: every subsequent refusable enqueue
+// (TryEnqueue, TryEnqueueAux, Producer.FlushAdmit) refuses with
+// PushClosed, so producers driving those paths drain to a stop and the
+// consumer side can run the backlog down to exact quiescence. Close does
+// NOT gate the infallible paths (Enqueue, EnqueueBatch, Flush) — they
+// have no refusal channel; callers that keep using them after Close are
+// outside the lifecycle contract and own the consequences. Idempotent;
+// safe from any goroutine. A producer that raced Close may still publish
+// the claim it had already passed the closed check for — drains absorb
+// that window by re-passing until AdmitIdle reports the stragglers done.
+func (q *Q) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+//
+//eiffel:hotpath
+func (q *Q) Closed() bool { return q.closed.Load() }
+
+// AdmitIdle reports that no refusable admission is in flight between its
+// closed check and its publication. After Close, once AdmitIdle returns
+// true no straggler can still publish (new attempts refuse), so a drain
+// that THEN sees an empty runtime has reached true quiescence — checking
+// in the other order readmits the race this exists to close.
+func (q *Q) AdmitIdle() bool { return q.admitting.Load() == 0 }
+
+// Close quiesces admission for the shaped runtime; see Q.Close.
+func (q *Shaped) Close() { q.closed.Store(true) }
+
+// Closed reports whether Close has been called.
+//
+//eiffel:hotpath
+func (q *Shaped) Closed() bool { return q.closed.Load() }
+
+// AdmitIdle reports no in-flight refusable admission; see Q.AdmitIdle.
+func (q *Shaped) AdmitIdle() bool { return q.admitting.Load() == 0 }

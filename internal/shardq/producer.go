@@ -123,6 +123,17 @@ func (p *Producer) flushShard(i int) {
 	c := int(p.st.cnt[i])
 	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]
 	s := &p.q.shards[i]
+	p.q.admitting.Add(1) // before the closed load; see Q.TryEnqueueAux
+	if p.q.closed.Load() {
+		// Closed runtime: the whole staged run refuses, independent of the
+		// occupancy bound — admission is quiesced for the drain.
+		p.q.admitting.Add(-1)
+		p.ad.refuse(pubs, PushClosed)
+		p.q.rejected.Add(uint64(c))
+		p.st.cnt[i] = 0
+		p.st.staged -= c
+		return
+	}
 	done, refused := 0, 0
 	for done < c {
 		lim := c
@@ -131,7 +142,7 @@ func (p *Producer) flushShard(i int) {
 			// recorded for FlushAdmit and counted runtime-wide.
 			budget := p.q.bound - (s.qlen.Load() + s.ring.occupancy())
 			if budget <= 0 {
-				p.ad.refuse(pubs[done:])
+				p.ad.refuse(pubs[done:], PushShardFull)
 				p.q.rejected.Add(uint64(c - done))
 				refused += c - done
 				done = c
@@ -174,12 +185,13 @@ func (p *Producer) flushShard(i int) {
 		}
 		done += take
 		if done < c {
-			p.ad.refuse(pubs[done:])
+			p.ad.refuse(pubs[done:], PushShardFull)
 			p.q.rejected.Add(uint64(c - done))
 			refused += c - done
 			done = c
 		}
 	}
+	p.q.admitting.Add(-1)
 	p.ad.adm += c - refused
 	p.st.cnt[i] = 0
 	p.st.staged -= c
@@ -251,13 +263,24 @@ func (p *ShapedProducer) flushShard(i int) {
 	c := int(p.st.cnt[i])
 	pubs := p.st.pubs[i*p.st.per : i*p.st.per+c]
 	s := &p.q.shards[i]
+	p.q.admitting.Add(1) // before the closed load; see Q.TryEnqueueAux
+	if p.q.closed.Load() {
+		// Closed runtime: the whole staged run refuses (see
+		// Producer.flushShard).
+		p.q.admitting.Add(-1)
+		p.ad.refuse(pubs, PushClosed)
+		p.q.rejected.Add(uint64(c))
+		p.st.cnt[i] = 0
+		p.st.staged -= c
+		return
+	}
 	done, refused := 0, 0
 	for done < c {
 		lim := c
 		if p.q.bound > 0 {
 			budget := p.q.bound - (s.qlen.Load() + s.ring.occupancy())
 			if budget <= 0 {
-				p.ad.refuse(pubs[done:])
+				p.ad.refuse(pubs[done:], PushShardFull)
 				p.q.rejected.Add(uint64(c - done))
 				refused += c - done
 				done = c
@@ -300,12 +323,13 @@ func (p *ShapedProducer) flushShard(i int) {
 		}
 		done += take
 		if done < c {
-			p.ad.refuse(pubs[done:])
+			p.ad.refuse(pubs[done:], PushShardFull)
 			p.q.rejected.Add(uint64(c - done))
 			refused += c - done
 			done = c
 		}
 	}
+	p.q.admitting.Add(-1)
 	p.ad.adm += c - refused
 	p.st.cnt[i] = 0
 	p.st.staged -= c

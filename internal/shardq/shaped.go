@@ -244,6 +244,13 @@ type Shaped struct {
 	bound    int64
 	rejected stats.Counter
 
+	// closed quiesces the refusable admission paths (see Close).
+	closed atomic.Bool
+
+	// admitting counts refusable admissions in flight between their closed
+	// check and their publication; see Q.admitting.
+	admitting atomic.Int64
+
 	// groups holds each consumer group's private drain state (cached
 	// heads, migration scratch); groupShift maps shard→group.
 	groups     []shapedGroup
@@ -376,6 +383,22 @@ func (q *Shaped) SchedLen() int {
 // GroupSchedLen is SchedLen restricted to consumer group g's shards. Safe
 // from any goroutine.
 func (q *Shaped) GroupSchedLen(g int) int { return int(q.groups[g].schedN.Load()) }
+
+// GroupLen is Len restricted to consumer group g's shards: elements
+// published into the group but not yet dequeued, wherever they sit —
+// ring, shaper, or scheduler. Safe from any goroutine, same transient-
+// overcount contract as Len.
+//
+//eiffel:hotpath
+func (q *Shaped) GroupLen(g int) int {
+	gr := &q.groups[g]
+	var n int64
+	for i := gr.lo; i < gr.hi; i++ {
+		s := &q.shards[i]
+		n += s.ring.occupancy() + s.qlen.Load()
+	}
+	return int(n)
+}
 
 // Stats returns a snapshot of the operational counters.
 func (q *Shaped) Stats() Snapshot {

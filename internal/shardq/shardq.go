@@ -288,6 +288,18 @@ type Q struct {
 	bound    int64
 	rejected stats.Counter
 
+	// closed quiesces the refusable admission paths (see Close): once set,
+	// TryEnqueue and FlushAdmit refuse everything with PushClosed.
+	closed atomic.Bool
+
+	// admitting counts refusable admissions in flight between their closed
+	// check and their publication (or refusal). A closing drain waits for
+	// it to reach zero (AdmitIdle) before trusting Len: a producer that
+	// passed the closed check pre-Close may publish arbitrarily late, and
+	// a drain that exited on Len()==0 alone would strand that packet in a
+	// closed front.
+	admitting atomic.Int64
+
 	// groups holds each consumer group's private drain state; groupShift
 	// maps a shard index to its owning group (shard >> groupShift).
 	groups     []groupState
@@ -452,6 +464,22 @@ func (q *Q) WithShardLocked(i int, fn func(Scheduler)) {
 func (q *Q) Len() int {
 	var n int64
 	for i := range q.shards {
+		s := &q.shards[i]
+		n += s.ring.occupancy() + s.qlen.Load()
+	}
+	return int(n)
+}
+
+// GroupLen is Len restricted to consumer group g's shards: elements
+// published into the group but not yet dequeued, wherever they sit (ring
+// or bucketed queue). Safe from any goroutine, same transient-overcount
+// contract as Len; the stall watchdog reads it as the group's backlog.
+//
+//eiffel:hotpath
+func (q *Q) GroupLen(g int) int {
+	gr := &q.groups[g]
+	var n int64
+	for i := gr.lo; i < gr.hi; i++ {
 		s := &q.shards[i]
 		n += s.ring.occupancy() + s.qlen.Load()
 	}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Egress aggregates fault-tolerant egress accounting for a qdisc front:
+// what happened to every packet a drain worker handed its sink. The hot
+// (fault-free) path touches exactly two counters per batch — TxBatches
+// and Txd — so resilient egress costs two atomic adds over the legacy
+// infallible sink. Everything else (retries, backoff, drops) is bumped
+// on the failure path only, which is off the fast path by construction.
+//
+// The drop counters split by reason so attribution is exact:
+//
+//	DeadlineDrops — the head packet's retry deadline expired
+//	RetryDrops    — the head packet's retry budget was exhausted
+//	FailedDrops   — the group's sink was declared failed (panic budget
+//	                exhausted) and its backlog was disposed at drain
+//
+// Conservation at quiescence: admitted == Txd + Dropped() + released,
+// where admitted and released are tracked by the owning front's
+// lifecycle state (see qdisc).
+type Egress struct {
+	txBatches Counter // TryTx/Tx calls that disposed at least one packet
+	txd       Counter // packets accepted by the sink
+	errors    Counter // TryTx calls that returned an error
+	partials  Counter // TryTx calls that accepted a strict, non-zero prefix
+	retries   Counter // re-offers after an error or partial accept
+	backoffNs Counter // total nanoseconds slept backing off
+	deadline  Counter // packets dropped: per-packet retry deadline expired
+	retryDrop Counter // packets dropped: retry budget exhausted
+	failed    Counter // packets dropped: sink declared failed
+}
+
+// TxBatch records one sink call that accepted n packets.
+//
+//eiffel:hotpath
+func (e *Egress) TxBatch(n int) {
+	if n > 0 {
+		e.txBatches.Inc()
+		e.txd.Add(uint64(n))
+	}
+}
+
+// Error records one sink call that returned an error.
+//
+//eiffel:hotpath
+func (e *Egress) Error() { e.errors.Inc() }
+
+// Partial records one sink call that accepted a strict non-zero prefix.
+//
+//eiffel:hotpath
+func (e *Egress) Partial() { e.partials.Inc() }
+
+// Retry records one re-offer after a refusal, with the backoff slept
+// before it.
+//
+//eiffel:hotpath
+func (e *Egress) Retry(backoffNs int64) {
+	e.retries.Inc()
+	if backoffNs > 0 {
+		e.backoffNs.Add(uint64(backoffNs))
+	}
+}
+
+// DropDeadline records one packet dropped because its retry deadline
+// expired.
+//
+//eiffel:hotpath
+func (e *Egress) DropDeadline() { e.deadline.Inc() }
+
+// DropRetry records one packet dropped because its retry budget was
+// exhausted.
+//
+//eiffel:hotpath
+func (e *Egress) DropRetry() { e.retryDrop.Inc() }
+
+// DropFailed records n packets dropped because their group's sink was
+// declared failed.
+func (e *Egress) DropFailed(n int) {
+	if n > 0 {
+		e.failed.Add(uint64(n))
+	}
+}
+
+// Txd returns the total packets accepted by sinks.
+func (e *Egress) Txd() uint64 { return e.txd.Load() }
+
+// TxBatches returns the number of sink calls that disposed packets.
+func (e *Egress) TxBatches() uint64 { return e.txBatches.Load() }
+
+// Errors returns the number of sink calls that returned an error.
+func (e *Egress) Errors() uint64 { return e.errors.Load() }
+
+// Partials returns the number of partial accepts.
+func (e *Egress) Partials() uint64 { return e.partials.Load() }
+
+// Retries returns the number of re-offers.
+func (e *Egress) Retries() uint64 { return e.retries.Load() }
+
+// BackoffNs returns total nanoseconds slept backing off.
+func (e *Egress) BackoffNs() uint64 { return e.backoffNs.Load() }
+
+// DeadlineDrops returns packets dropped on retry-deadline expiry.
+func (e *Egress) DeadlineDrops() uint64 { return e.deadline.Load() }
+
+// RetryDrops returns packets dropped on retry-budget exhaustion.
+func (e *Egress) RetryDrops() uint64 { return e.retryDrop.Load() }
+
+// FailedDrops returns packets dropped because their sink failed.
+func (e *Egress) FailedDrops() uint64 { return e.failed.Load() }
+
+// Dropped returns total packets dropped by the egress path, all reasons.
+func (e *Egress) Dropped() uint64 {
+	return e.deadline.Load() + e.retryDrop.Load() + e.failed.Load()
+}
+
+// EgressSnapshot is a point-in-time copy of an Egress block.
+type EgressSnapshot struct {
+	TxBatches     uint64
+	Txd           uint64
+	Errors        uint64
+	Partials      uint64
+	Retries       uint64
+	BackoffNs     uint64
+	DeadlineDrops uint64
+	RetryDrops    uint64
+	FailedDrops   uint64
+}
+
+// Dropped returns the snapshot's total drops, all reasons.
+func (s EgressSnapshot) Dropped() uint64 {
+	return s.DeadlineDrops + s.RetryDrops + s.FailedDrops
+}
+
+// Snapshot copies the counters. Each counter is read atomically; the set
+// is not a consistent cut while workers run, and is exact at quiescence.
+func (e *Egress) Snapshot() EgressSnapshot {
+	return EgressSnapshot{
+		TxBatches:     e.txBatches.Load(),
+		Txd:           e.txd.Load(),
+		Errors:        e.errors.Load(),
+		Partials:      e.partials.Load(),
+		Retries:       e.retries.Load(),
+		BackoffNs:     e.backoffNs.Load(),
+		DeadlineDrops: e.deadline.Load(),
+		RetryDrops:    e.retryDrop.Load(),
+		FailedDrops:   e.failed.Load(),
+	}
+}
+
+// String renders the counters for experiment tables.
+func (s EgressSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txd=%d batches=%d", s.Txd, s.TxBatches)
+	if s.Errors > 0 || s.Partials > 0 || s.Retries > 0 {
+		fmt.Fprintf(&b, " errors=%d partials=%d retries=%d backoff=%dns",
+			s.Errors, s.Partials, s.Retries, s.BackoffNs)
+	}
+	if d := s.Dropped(); d > 0 {
+		fmt.Fprintf(&b, " dropped=%d(deadline=%d retry=%d failed=%d)",
+			d, s.DeadlineDrops, s.RetryDrops, s.FailedDrops)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEgressAccounting covers the counter semantics: per-reason drop
+// attribution, the Dropped sum, zero-filtered TxBatch, and snapshot
+// equality with the live block.
+func TestEgressAccounting(t *testing.T) {
+	var e Egress
+	e.TxBatch(3)
+	e.TxBatch(0) // empty disposals must not count a batch
+	e.TxBatch(2)
+	e.Error()
+	e.Partial()
+	e.Retry(100)
+	e.Retry(0) // zero backoff still counts the retry
+	e.DropDeadline()
+	e.DropRetry()
+	e.DropRetry()
+	e.DropFailed(4)
+	e.DropFailed(0)
+
+	if e.Txd() != 5 || e.TxBatches() != 2 {
+		t.Fatalf("txd=%d batches=%d, want 5/2", e.Txd(), e.TxBatches())
+	}
+	if e.Errors() != 1 || e.Partials() != 1 || e.Retries() != 2 || e.BackoffNs() != 100 {
+		t.Fatalf("errors=%d partials=%d retries=%d backoff=%d, want 1/1/2/100",
+			e.Errors(), e.Partials(), e.Retries(), e.BackoffNs())
+	}
+	if e.DeadlineDrops() != 1 || e.RetryDrops() != 2 || e.FailedDrops() != 4 {
+		t.Fatalf("drop attribution %d/%d/%d, want 1/2/4",
+			e.DeadlineDrops(), e.RetryDrops(), e.FailedDrops())
+	}
+	if e.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want the per-reason sum 7", e.Dropped())
+	}
+
+	s := e.Snapshot()
+	if s.Txd != 5 || s.Dropped() != 7 || s.DeadlineDrops != 1 || s.RetryDrops != 2 || s.FailedDrops != 4 {
+		t.Fatalf("snapshot diverged from live block: %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"txd=5", "retries=2", "dropped=7", "deadline=1", "retry=2", "failed=4"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+	if clean := (EgressSnapshot{Txd: 9, TxBatches: 1}).String(); strings.Contains(clean, "dropped") || strings.Contains(clean, "errors") {
+		t.Fatalf("fault-free String() renders failure fields: %q", clean)
+	}
+}
+
+// TestEgressConcurrent bangs the block from many goroutines — the
+// counters are independent atomics, so totals must be exact.
+func TestEgressConcurrent(t *testing.T) {
+	var e Egress
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e.TxBatch(2)
+				e.Retry(1)
+				e.DropDeadline()
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Txd() != 2*workers*per || e.Retries() != workers*per || e.Dropped() != workers*per {
+		t.Fatalf("lost updates: txd=%d retries=%d dropped=%d", e.Txd(), e.Retries(), e.Dropped())
+	}
+}

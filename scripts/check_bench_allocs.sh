@@ -5,7 +5,9 @@
 # is a regression on the enqueue/dequeue hot paths (bench_alloc_test.go).
 # The set covers both consumer topologies: the single-consumer drains and
 # the parallel consumer-group drain (BenchmarkHotPathGroupDrain, four
-# persistent workers), so neither side of the egress split may regress.
+# persistent workers), so neither side of the egress split may regress,
+# plus the fault-free lap of the resilient egress wrapper
+# (BenchmarkHotPathEgressTx): retry machinery on the path, never firing.
 #
 # On failure, the //eiffel:hotpath inventory (cmd/eiffel-vet -hotpaths)
 # is printed for the packages each failing lap drives. eiffel-vet's
@@ -43,6 +45,8 @@ for bench in $failed; do
 		pkgs="internal/shardq internal/bucket internal/ffsq" ;;
 	BenchmarkHotPathPolicyBatched | BenchmarkHotPathChurnAdmit)
 		pkgs="internal/qdisc internal/pifo internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
+	BenchmarkHotPathEgressTx)
+		pkgs="internal/qdisc internal/stats internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
 	*)
 		pkgs="internal" ;;
 	esac
