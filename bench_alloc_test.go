@@ -151,6 +151,63 @@ func BenchmarkHotPathShapedEnqueueBatched(b *testing.B) {
 	}
 }
 
+// hotPathShapedBackend is the shared body of the approximate-backend
+// hot-path laps: one publish→drain lap per op through a ShapedSharded
+// whose per-shard scheduler is the given backend kind. After the warming
+// lap grows every bucket/slot backing array, allocs/op must be zero — the
+// approximate backends ride the same //eiffel:hotpath contract as the
+// exact vector store.
+func hotPathShapedBackend(b *testing.B, kind eiffel.SchedBackendKind) {
+	b.Helper()
+	q := eiffel.NewShapedSharded(eiffel.ShapedShardedOptions{
+		Shards: 8, HorizonNs: 1 << 20, RankSpan: 1 << 20,
+		SchedBackend: kind,
+	})
+	pool := eiffel.NewPool(hotBurst)
+	ps := make([]*eiffel.Packet, hotBurst)
+	for i := range ps {
+		p := pool.Get()
+		p.Flow = uint64(i)
+		p.SendAt = int64(i % (1 << 18))
+		p.Rank = uint64((i * 131) % (1 << 20))
+		ps[i] = p
+	}
+	out := make([]*eiffel.Packet, 256)
+	now := int64(1 << 19)
+	lap := func() {
+		q.EnqueueBatch(ps, now)
+		for q.Len() > 0 {
+			if q.DequeueBatch(1<<20, out) == 0 {
+				b.Fatal("drain stalled with packets queued")
+			}
+		}
+	}
+	lap() // warm every internal buffer to its steady-state capacity
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+	b.StopTimer()
+	if pool.Allocs() != hotBurst {
+		b.Fatalf("packet pool allocated beyond its pre-population: %d", pool.Allocs())
+	}
+}
+
+// BenchmarkHotPathApproxGrad holds the gradient scheduler backend's
+// admission and drain paths to the zero-allocs/op bar (curvature index:
+// Kahan accumulators, estimate + bounded probe on every bucket pop).
+func BenchmarkHotPathApproxGrad(b *testing.B) {
+	hotPathShapedBackend(b, eiffel.SchedGrad)
+}
+
+// BenchmarkHotPathApproxRIFO holds the fixed-rank-window backend's
+// admission and drain paths to the zero-allocs/op bar (one shift per
+// enqueue, bitmap TZCNT per pop).
+func BenchmarkHotPathApproxRIFO(b *testing.B) {
+	hotPathShapedBackend(b, eiffel.SchedRIFO)
+}
+
 func BenchmarkHotPathPolicyBatched(b *testing.B) {
 	q, err := eiffel.NewPolicySharded(eiffel.PolicyShardedOptions{
 		Policy: `

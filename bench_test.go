@@ -185,6 +185,38 @@ func BenchmarkPolicySched(b *testing.B) {
 	b.ReportMetric(mis, "flow-misorders")
 }
 
+// BenchmarkApprox runs the approximate-scheduler-backend experiment in
+// quick mode (internal/exp/approx.go): the gradient and RIFO-style
+// fixed-window backends against the exact vecSched baseline, single-
+// threaded and through ShapedSharded, with rank-inversion accounting
+// against the exact oracle replay. The experiment flags any row whose
+// measured inversion magnitude escapes its analytic bound (the invariant
+// TestGradSchedInversionBound and TestRIFOSchedInversionBound prove over
+// random distributions); that note fails this benchmark. The reported
+// metrics are the RIFO row's throughput gain over exact vecSched on the
+// cache-hostile large geometry (the ≥1.3× acceptance figure) and its
+// measured max inversion magnitude there.
+func BenchmarkApprox(b *testing.B) {
+	res := runExp(b, "approx")
+	for _, n := range res.Notes {
+		if strings.Contains(n, "APPROX BOUND EXCEEDED") {
+			b.Fatal(n)
+		}
+	}
+	rows := res.Tables[0].Rows
+	last := rows[len(rows)-1] // large geometry, rifo-64
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64)
+	if err != nil {
+		b.Fatalf("approx ratio column %q not numeric: %v", last[4], err)
+	}
+	b.ReportMetric(ratio, "rifo-vs-exact-large")
+	mag, err := strconv.ParseFloat(last[6], 64)
+	if err != nil {
+		b.Fatalf("approx max-mag column %q not numeric: %v", last[6], err)
+	}
+	b.ReportMetric(mag, "rifo-max-inversion")
+}
+
 // Ablation benches for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationHierVsFlat compares hierarchical vs flat FFS indexes.

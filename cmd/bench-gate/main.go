@@ -1,0 +1,292 @@
+// Command bench-gate is the bench-trajectory regression gate: it diffs a
+// fresh quick-mode eiffel-bench JSON directory against the committed
+// baseline (bench/baseline/BENCH_*.json) and fails on throughput collapse
+// or hot-path allocation growth.
+//
+// Usage:
+//
+//	bench-gate -baseline bench/baseline -fresh /tmp/fresh
+//
+// Rows are matched structurally, not by position: every numeric leaf gets
+// a path built from the object's string/bool identity fields (qdisc name,
+// backend, policy, mode, ...), so reordering or appending rows never
+// misaligns the comparison, and rows present on only one side are
+// reported but do not fail the gate (experiments are allowed to grow).
+//
+// Two checks, applied to every matched leaf:
+//
+//   - *.mpps — fresh must stay above tolerance × baseline. The default
+//     tolerance (0.35) is deliberately loose: quick-mode runs on shared
+//     CI machines jitter by 2-3×, so this is a CATASTROPHIC-regression
+//     smoke (an accidentally serialized fast path, a lock on the wrong
+//     side), not a performance benchmark. Tighten with -mpps-tolerance
+//     on quiet hardware.
+//   - *.allocs_per_op — compared at integer resolution (round half up):
+//     any increase in whole allocations per packet fails. A real leak on
+//     a hot path costs ≥1 alloc/op and always trips; sub-0.5 noise from
+//     harness goroutines never does.
+//
+// Baselines should be conservative, not lucky: refresh them with
+//
+//	bench-gate -write-baseline run1,run2,...,runN -out bench/baseline
+//
+// which merges N independent quick runs element-wise, keeping the MINIMUM
+// mpps and MAXIMUM allocs_per_op seen per row (scripts/
+// refresh_bench_baseline.sh drives this). A baseline that records each
+// row's slowest observed run keeps the gate quiet under scheduler jitter
+// while still catching an order-of-magnitude collapse.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		baseDir = flag.String("baseline", "bench/baseline", "directory with committed BENCH_*.json baselines")
+		fresh   = flag.String("fresh", "", "directory with freshly generated BENCH_*.json payloads")
+		tol     = flag.Float64("mpps-tolerance", 0.35, "fresh mpps must be at least this fraction of baseline")
+		merge   = flag.String("write-baseline", "", "comma-separated run directories to merge into a conservative baseline")
+		outDir  = flag.String("out", "", "output directory for -write-baseline")
+	)
+	flag.Parse()
+	if *merge != "" {
+		if err := writeBaseline(strings.Split(*merge, ","), *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-gate: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "bench-gate: -fresh is required")
+		os.Exit(2)
+	}
+
+	baselines, err := filepath.Glob(filepath.Join(*baseDir, "BENCH_*.json"))
+	if err != nil || len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "bench-gate: no baselines under %s\n", *baseDir)
+		os.Exit(2)
+	}
+	sort.Strings(baselines)
+
+	failures := 0
+	for _, basePath := range baselines {
+		name := filepath.Base(basePath)
+		freshPath := filepath.Join(*fresh, name)
+		base, err := loadLeaves(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-gate: %s: %v\n", basePath, err)
+			os.Exit(2)
+		}
+		cur, err := loadLeaves(freshPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-gate: FAIL %s: fresh payload missing or unreadable: %v\n", name, err)
+			failures++
+			continue
+		}
+		keys := make([]string, 0, len(base))
+		for k := range base {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			bv := base[k]
+			cv, ok := cur[k]
+			if !ok {
+				// A renamed or retired row: surface it so baseline refreshes
+				// are deliberate, but growth/rename alone is not a regression.
+				fmt.Printf("bench-gate: note %s: %s present only in baseline\n", name, k)
+				continue
+			}
+			switch {
+			case strings.HasSuffix(k, ".mpps"):
+				if floor := bv * *tol; cv < floor {
+					fmt.Printf("bench-gate: FAIL %s: %s = %.3f Mpps, below %.0f%% of baseline %.3f\n",
+						name, k, cv, *tol*100, bv)
+					failures++
+				}
+			case strings.HasSuffix(k, ".allocs_per_op"):
+				if math.Round(cv) > math.Round(bv) {
+					fmt.Printf("bench-gate: FAIL %s: %s = %.3f allocs/op, baseline %.3f (whole-alloc increase)\n",
+						name, k, cv, bv)
+					failures++
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bench-gate: %d regression(s); refresh bench/baseline/ deliberately if intended\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("bench-gate: %d payload(s) within tolerance\n", len(baselines))
+}
+
+// loadLeaves parses a payload into numeric leaves keyed by identity path.
+func loadLeaves(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(buf, &v); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	flatten("", v, out)
+	return out, nil
+}
+
+// flatten walks the JSON tree collecting numeric leaves. Array elements
+// that are objects are keyed by their string/bool fields (sorted), so the
+// path identifies the row regardless of its position.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			m, ok := e.(map[string]any)
+			if !ok {
+				continue // scalar series carry no identity; skip
+			}
+			id := identity(m)
+			if id == "" {
+				id = fmt.Sprintf("#%d", i)
+			}
+			flatten(prefix+"["+id+"]", m, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+// writeBaseline merges the payloads of several independent runs into a
+// conservative baseline: element-wise minimum for mpps leaves, maximum
+// for allocs_per_op leaves, first run's value otherwise. Runs of the same
+// experiment produce structurally identical trees (fixed seeds, fixed row
+// sets), so the merge walks them by position.
+func writeBaseline(runs []string, out string) error {
+	if out == "" {
+		return fmt.Errorf("-write-baseline requires -out")
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	first, err := filepath.Glob(filepath.Join(runs[0], "BENCH_*.json"))
+	if err != nil || len(first) == 0 {
+		return fmt.Errorf("no BENCH_*.json under %s", runs[0])
+	}
+	sort.Strings(first)
+	for _, p := range first {
+		name := filepath.Base(p)
+		merged, err := loadTree(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		for _, run := range runs[1:] {
+			next, err := loadTree(filepath.Join(run, name))
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", run, name, err)
+			}
+			merged = mergeTrees("", merged, next)
+		}
+		buf, err := json.MarshalIndent(merged, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(out, name), append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench-gate: wrote %s (merged %d runs)\n", filepath.Join(out, name), len(runs))
+	}
+	return nil
+}
+
+func loadTree(path string) (any, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	err = json.Unmarshal(buf, &v)
+	return v, err
+}
+
+// mergeTrees folds b into a, keyed by structure; key is the JSON field
+// name of the current node, which selects the merge rule for leaves.
+func mergeTrees(key string, a, b any) any {
+	switch ta := a.(type) {
+	case map[string]any:
+		tb, ok := b.(map[string]any)
+		if !ok {
+			return a
+		}
+		for k, av := range ta {
+			if bv, ok := tb[k]; ok {
+				ta[k] = mergeTrees(k, av, bv)
+			}
+		}
+		return ta
+	case []any:
+		tb, ok := b.([]any)
+		if !ok {
+			return a
+		}
+		for i := range ta {
+			if i < len(tb) {
+				ta[i] = mergeTrees(key, ta[i], tb[i])
+			}
+		}
+		return ta
+	case float64:
+		fb, ok := b.(float64)
+		if !ok {
+			return a
+		}
+		switch key {
+		case "mpps":
+			return math.Min(ta, fb)
+		case "allocs_per_op":
+			return math.Max(ta, fb)
+		}
+		return ta
+	}
+	return a
+}
+
+// identity renders an object's string and bool fields as a stable row key.
+func identity(m map[string]any) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case string:
+			parts = append(parts, k+"="+v)
+		case bool:
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -318,6 +318,89 @@ func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
 	return qdisc.NewShapedSharded(opt)
 }
 
+// Approximate scheduler backends: the per-shard Scheduler slot accepts
+// cheaper-than-exact priority indexes that trade bounded rank inversion
+// for indexing cost — the paper's §3.1.2 gradient queue as a drop-in
+// backend, and a RIFO-style fixed-rank-window at the extreme-cheap end.
+// Select one per ShapedSharded via ShapedShardedOptions.SchedBackend, or
+// construct directly for a ShapedShardedQueue's SchedBackend hook. Each
+// backend's worst-case inversion magnitude is analytic (the *Bound
+// functions); ReplayInversions measures the realised count and magnitude
+// against an exact oracle replay.
+type (
+	// SchedBackendKind selects a ShapedSharded's per-shard scheduler
+	// backend family.
+	SchedBackendKind = qdisc.SchedBackendKind
+	// GradSchedOptions configures a gradient scheduler backend.
+	GradSchedOptions = shardq.GradSchedOptions
+	// InversionStats aggregates rank-inversion measurements from a
+	// ReplayInversions run.
+	InversionStats = qdisc.InversionStats
+	// Qdisc is the kernel queuing-discipline contract the replay
+	// harnesses drive.
+	Qdisc = qdisc.Qdisc
+	// ContentionOptions tunes how a contention replay drives a qdisc.
+	ContentionOptions = qdisc.ContentionOptions
+)
+
+// ReplayInversions pushes a contention workload through q and measures the
+// realised rank-inversion count and magnitude of the drain sequence
+// against an exact oracle replay; compare InversionStats.MaxMagnitude with
+// the backend's analytic *Bound.
+func ReplayInversions(q Qdisc, packets [][]*Packet, opt ContentionOptions) InversionStats {
+	return qdisc.ReplayInversions(q, packets, opt)
+}
+
+// ShapedPackets builds the shaped contention workload ReplayInversions
+// replays: per-producer packet sets with release times spread over the
+// shaping horizon and ranks uniform over rankSpan.
+func ShapedPackets(producers, perProducer int, rankSpan uint64) [][]*Packet {
+	return qdisc.ShapedPackets(producers, perProducer, rankSpan)
+}
+
+// Scheduler backend kinds for ShapedShardedOptions.SchedBackend.
+const (
+	// SchedVec is the exact vectorized hierarchical-FFS backend (default).
+	SchedVec = qdisc.SchedVec
+	// SchedGrad is the gradient curvature-estimate backend (approximate).
+	SchedGrad = qdisc.SchedGrad
+	// SchedGradExact is the Theorem-1 exact gradient hierarchy.
+	SchedGradExact = qdisc.SchedGradExact
+	// SchedRIFO is the fixed-rank-window backend (approximate).
+	SchedRIFO = qdisc.SchedRIFO
+)
+
+// NewVecSched constructs the exact vectorized Scheduler backend —
+// the default the approximate family is measured against.
+func NewVecSched(cfg QueueConfig) Scheduler { return shardq.NewVecSched(cfg) }
+
+// NewGradSched constructs a gradient-indexed Scheduler backend.
+func NewGradSched(cfg QueueConfig, opt GradSchedOptions) Scheduler {
+	return shardq.NewGradSched(cfg, opt)
+}
+
+// NewRIFOSched constructs a fixed-rank-window Scheduler backend with the
+// given number of window slots (0 selects the default, 64).
+func NewRIFOSched(cfg QueueConfig, slots int) Scheduler {
+	return shardq.NewRIFOSched(cfg, slots)
+}
+
+// VecSchedBound returns NewVecSched's worst-case rank-inversion magnitude
+// over cfg: bucket quantization only.
+func VecSchedBound(cfg QueueConfig) uint64 { return shardq.VecSchedBound(cfg) }
+
+// GradSchedBound returns NewGradSched's analytic worst-case rank-inversion
+// magnitude over cfg.
+func GradSchedBound(cfg QueueConfig, opt GradSchedOptions) uint64 {
+	return shardq.GradSchedBound(cfg, opt)
+}
+
+// RIFOSchedBound returns NewRIFOSched's analytic worst-case rank-inversion
+// magnitude over cfg: one window slot's width minus one.
+func RIFOSchedBound(cfg QueueConfig, slots int) uint64 {
+	return shardq.RIFOSchedBound(cfg, slots)
+}
+
 // Flow lifecycle under open-world churn: bounded admission (per-shard
 // occupancy caps with per-packet pushback instead of the legacy unbounded
 // spill) and idle-flow eviction on the direct policy path, the pair that

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"runtime"
+
+	"eiffel/internal/pkt"
+	"eiffel/internal/qdisc"
+)
+
+// measuredReplay replays packets through q reps times on ONE instance —
+// the steady-state methodology of the contention experiments (warm rings
+// and buckets after the first lap; the max filters scheduler/GC hiccups) —
+// and returns the best Mpps together with the steady-state allocation
+// rate: the Mallocs delta per packet over the replays AFTER the first.
+// The first replay grows every internal buffer to its steady-state
+// capacity, so the figure reports the amortized hot-path rate the alloc
+// benchmarks gate, not construction cost. reps must be at least 2 for the
+// allocation figure to be meaningful.
+func measuredReplay(q qdisc.Qdisc, packets [][]*pkt.Packet, reps int, opt qdisc.ContentionOptions) (mpps, allocsPerOp float64) {
+	var ms0, ms1 runtime.MemStats
+	var ops uint64
+	for rep := 0; rep < reps; rep++ {
+		if rep == 1 {
+			runtime.ReadMemStats(&ms0)
+		}
+		r := qdisc.ReplayContentionOpts(q, packets, opt)
+		if rep > 0 {
+			ops += uint64(r.Packets)
+		}
+		if m := r.Mpps(); m > mpps {
+			mpps = m
+		}
+	}
+	if ops > 0 {
+		runtime.ReadMemStats(&ms1)
+		allocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+	}
+	return mpps, allocsPerOp
+}
+
+// amortization returns the producer-side claim amortization factor of a
+// runtime snapshot: how many enqueues each tail CAS carried. 0 when the
+// batched path never ran.
+func amortization(bulkClaimed, bulkClaims uint64) float64 {
+	if bulkClaims == 0 {
+		return 0
+	}
+	return float64(bulkClaimed) / float64(bulkClaims)
+}

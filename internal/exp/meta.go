@@ -78,6 +78,7 @@ var Registry = map[string]Runner{
 	"ablation-alpha":        AblationAlpha,
 	"ablation-backends":     AblationComparisonQueues,
 	"ablation-shaper":       AblationShaperBackend,
+	"approx":                Approx,
 	"chaos":                 Chaos,
 	"churn":                 Churn,
 	"contention":            Contention,

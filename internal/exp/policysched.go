@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 
 	"eiffel/internal/pkt"
 	"eiffel/internal/qdisc"
@@ -50,7 +51,12 @@ func PolicySched(o Options) *Result {
 
 	t := &stats.Table{
 		Title:   "Programmable policies — 8 producers through shard-confined extended-PIFO trees",
-		Headers: []string{"policy", "qdisc", "packets", "Mpps", "vs lock", "misorders", "gold-share", "counters"},
+		Headers: []string{"policy", "qdisc", "packets", "Mpps", "vs lock", "misorders", "gold-share", "allocs/op", "counters"},
+	}
+	payload := &PolicySchedJSON{
+		Experiment: "policysched", Quick: o.Quick, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Producers: producers, PerProducer: perProducer, FlowsPerProducer: flowsPer,
+		ProducerBatch: producerBatch,
 	}
 	for _, pol := range policies {
 		mk := func(sharded bool) qdisc.Qdisc {
@@ -75,7 +81,7 @@ func PolicySched(o Options) *Result {
 		var lockedMpps float64
 		for _, e := range entries {
 			q := mk(e.sharded)
-			mpps := qdisc.BestOfReplays(q, packets, 3, e.opt)
+			mpps, allocs := measuredReplay(q, packets, 3, e.opt)
 			if lockedMpps == 0 {
 				lockedMpps = mpps
 			}
@@ -91,14 +97,19 @@ func PolicySched(o Options) *Result {
 			}
 
 			goldShare := "-"
+			goldShareVal := 0.0
 			if pol.name == "hwfq" {
-				goldShare = fmt.Sprintf("%.3f", measureGoldShare(mk(e.sharded), packets))
+				goldShareVal = measureGoldShare(mk(e.sharded), packets)
+				goldShare = fmt.Sprintf("%.3f", goldShareVal)
 			}
 			// Counters come from the TIMED instance, so the amortization
 			// figures beside a Mpps value describe that same run.
 			counters := "-"
+			var amort float64
 			if s, ok := q.(*qdisc.PolicySharded); ok {
-				counters = s.Stats().String()
+				snap := s.Stats()
+				counters = snap.String()
+				amort = amortization(snap.BulkClaimed, snap.BulkClaims)
 			}
 			t.AddRow(pol.name, e.name,
 				fmt.Sprintf("%d", producers*perProducer),
@@ -106,14 +117,55 @@ func PolicySched(o Options) *Result {
 				fmt.Sprintf("%.2fx", mpps/lockedMpps),
 				fmt.Sprintf("%d", misorders),
 				goldShare,
+				fmt.Sprintf("%.3f", allocs),
 				counters)
+			payload.Rows = append(payload.Rows, PolicySchedRowJSON{
+				Policy:       pol.name,
+				Qdisc:        e.name,
+				Batched:      e.opt.ProducerBatch > 1,
+				Packets:      producers * perProducer,
+				Mpps:         mpps,
+				VsLock:       mpps / lockedMpps,
+				AllocsPerOp:  allocs,
+				Amortization: amort,
+				Misorders:    misorders,
+				GoldShare:    goldShareVal,
+			})
 		}
 	}
 	res.Tables = append(res.Tables, t)
+	res.JSON = payload
 	res.Notes = append(res.Notes,
 		"misorders: packets released out of their flow's enqueue order (flow-local exactness requires 0)",
 		"gold-share: weight-3 class share after serving half the backlog (ideal 0.750)")
 	return res
+}
+
+// PolicySchedJSON is the policysched experiment's machine-readable payload
+// (cmd/eiffel-bench -json writes it to BENCH_policysched.json).
+type PolicySchedJSON struct {
+	Experiment       string               `json:"experiment"`
+	Quick            bool                 `json:"quick"`
+	GoMaxProcs       int                  `json:"gomaxprocs"`
+	Producers        int                  `json:"producers"`
+	PerProducer      int                  `json:"per_producer"`
+	FlowsPerProducer int                  `json:"flows_per_producer"`
+	ProducerBatch    int                  `json:"producer_batch"`
+	Rows             []PolicySchedRowJSON `json:"rows"`
+}
+
+// PolicySchedRowJSON is one policy × deployment observed outcome.
+type PolicySchedRowJSON struct {
+	Policy       string  `json:"policy"`
+	Qdisc        string  `json:"qdisc"`
+	Batched      bool    `json:"batched"`
+	Packets      int     `json:"packets"`
+	Mpps         float64 `json:"mpps"`
+	VsLock       float64 `json:"vs_lock"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Amortization float64 `json:"claim_amortization"`
+	Misorders    int     `json:"misorders"`
+	GoldShare    float64 `json:"gold_share"`
 }
 
 // measureGoldShare enqueues every set sequentially, serves half the

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 
 	"eiffel/internal/qdisc"
 	"eiffel/internal/stats"
@@ -60,14 +61,18 @@ func ShapedSched(o Options) *Result {
 	gran := rankSpan / (2 * uint64(geometry.SchedBuckets))
 	t := &stats.Table{
 		Title:   "Shaped+scheduled — 8 producers, per-packet (SendAt, Rank) through a decoupled qdisc",
-		Headers: []string{"qdisc", "producers", "packets", "Mpps", "vs lock", "inversions", "counters"},
+		Headers: []string{"qdisc", "producers", "packets", "Mpps", "vs lock", "inversions", "allocs/op", "counters"},
+	}
+	payload := &ShapedSchedJSON{
+		Experiment: "shapedsched", Quick: o.Quick, GoMaxProcs: runtime.GOMAXPROCS(0),
+		Producers: producers, PerProducer: perProducer, ProducerBatch: producerBatch,
+		RankSpan: rankSpan, GranRank: gran,
 	}
 	// One workload, replayed by every pass: packets come back detached, and
 	// sharing the set keeps allocation (and GC scan of dead sets) out of
 	// the timed regions — the ContentionPackets contract.
 	packets := qdisc.ShapedPackets(producers, perProducer, rankSpan)
 	var lockedMpps float64
-	var lastPackets int
 	for _, e := range entries {
 		// Best of three replays on ONE instance: a qdisc is empty after a
 		// full replay, so reuse measures the steady state (warm rings and
@@ -76,14 +81,7 @@ func ShapedSched(o Options) *Result {
 		// dominate a single run on small machines. Both rows get the same
 		// treatment, so the ratio stays honest.
 		q := e.mk()
-		var mpps float64
-		for rep := 0; rep < 3; rep++ {
-			r := qdisc.ReplayContentionOpts(q, packets, e.opt)
-			lastPackets = r.Packets
-			if m := r.Mpps(); m > mpps {
-				mpps = m
-			}
-		}
+		mpps, allocs := measuredReplay(q, packets, 3, e.opt)
 		if lockedMpps == 0 {
 			lockedMpps = mpps
 		}
@@ -100,20 +98,61 @@ func ShapedSched(o Options) *Result {
 		}
 
 		counters := "-"
+		var amort float64
 		if s, ok := fq.(*qdisc.ShapedSharded); ok {
 			counters = s.Stats().String()
+			tsnap := q.(*qdisc.ShapedSharded).Stats()
+			amort = amortization(tsnap.BulkClaimed, tsnap.BulkClaims)
 		}
 		t.AddRow(e.name,
 			fmt.Sprintf("%d", producers),
-			fmt.Sprintf("%d", lastPackets),
+			fmt.Sprintf("%d", producers*perProducer),
 			fmt.Sprintf("%.2f", mpps),
 			fmt.Sprintf("%.2fx", mpps/lockedMpps),
 			fmt.Sprintf("%d", inversions),
+			fmt.Sprintf("%.3f", allocs),
 			counters)
+		payload.Rows = append(payload.Rows, ShapedSchedRowJSON{
+			Qdisc:        e.name,
+			Batched:      e.opt.ProducerBatch > 1,
+			Packets:      producers * perProducer,
+			Mpps:         mpps,
+			VsLock:       mpps / lockedMpps,
+			AllocsPerOp:  allocs,
+			Amortization: amort,
+			Inversions:   inversions,
+		})
 	}
 	res.Tables = append(res.Tables, t)
+	res.JSON = payload
 	res.Notes = append(res.Notes,
 		"release times spread over the 2 s horizon, priorities uniform over 2^20; consumer drains at now = horizon",
 		fmt.Sprintf("inversions counted beyond the scheduler bucket granularity (%d rank units)", gran))
 	return res
+}
+
+// ShapedSchedJSON is the shapedsched experiment's machine-readable payload
+// (cmd/eiffel-bench -json writes it to BENCH_shapedsched.json).
+type ShapedSchedJSON struct {
+	Experiment    string               `json:"experiment"`
+	Quick         bool                 `json:"quick"`
+	GoMaxProcs    int                  `json:"gomaxprocs"`
+	Producers     int                  `json:"producers"`
+	PerProducer   int                  `json:"per_producer"`
+	ProducerBatch int                  `json:"producer_batch"`
+	RankSpan      uint64               `json:"rank_span"`
+	GranRank      uint64               `json:"gran_rank"`
+	Rows          []ShapedSchedRowJSON `json:"rows"`
+}
+
+// ShapedSchedRowJSON is one shapedsched configuration's observed outcome.
+type ShapedSchedRowJSON struct {
+	Qdisc        string  `json:"qdisc"`
+	Batched      bool    `json:"batched"`
+	Packets      int     `json:"packets"`
+	Mpps         float64 `json:"mpps"`
+	VsLock       float64 `json:"vs_lock"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	Amortization float64 `json:"claim_amortization"`
+	Inversions   int     `json:"inversions"`
 }

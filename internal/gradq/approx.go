@@ -50,18 +50,12 @@ func (o *ApproxOptions) defaults() {
 // rather than the minimum. Stats() exposes both costs.
 type Approx struct {
 	arr  *bucket.Array
-	pow  []float64 // pow[p] = 2^((p+i0)/alpha)
-	a, b ksum
-	u    float64
-	i0   int
+	grad *Grad // curvature index over physical buckets
 	base uint64
 	gran uint64
 	n    int
 
 	exact *ffsq.Hier // only when instrumented
-
-	peakA   float64
-	renorms uint64
 
 	lookups     uint64
 	searchSteps uint64
@@ -79,16 +73,15 @@ func NewApprox(opt ApproxOptions) *Approx {
 		panic("gradq: NewApprox needs a positive granularity")
 	}
 	opt.defaults()
-	i0 := indexOrigin(opt.Alpha)
 	q := &Approx{
 		arr:  bucket.NewArray(opt.NumBuckets),
-		pow:  weightTable(opt.NumBuckets, opt.Alpha, i0),
-		u:    1 / (1 - math.Pow(2, 1/opt.Alpha)),
-		i0:   i0,
 		base: opt.Base,
 		gran: opt.Granularity,
 		n:    opt.NumBuckets,
 	}
+	q.grad = NewGrad(NewGradWeights(opt.NumBuckets, opt.Alpha), func(p int) bool {
+		return !q.arr.BucketEmpty(p)
+	})
 	if opt.Instrument {
 		q.exact = ffsq.NewHier(opt.NumBuckets)
 	}
@@ -174,48 +167,17 @@ func (q *Approx) logicalFor(rank uint64) int {
 const renormRatio = 1 << 24
 
 func (q *Approx) addWeight(p int) {
-	q.a.add(q.pow[p])
-	q.b.add(float64(p+q.i0) * q.pow[p])
-	if v := q.a.value(); v > q.peakA {
-		q.peakA = v
-	}
+	q.grad.Mark(p)
 	if q.exact != nil {
 		q.exact.Set(p)
 	}
 }
 
 func (q *Approx) subWeight(p int) {
-	q.a.sub(q.pow[p])
-	q.b.sub(float64(p+q.i0) * q.pow[p])
+	q.grad.Unmark(p)
 	if q.exact != nil {
 		q.exact.Clear(p)
 	}
-	if q.arr.Len() == 0 {
-		// Reset accumulated floating-point drift whenever the queue
-		// empties; steady-state schedulers drain regularly.
-		q.a.reset()
-		q.b.reset()
-		q.peakA = 0
-	} else if v := q.a.value(); v <= 0 || v*renormRatio < q.peakA {
-		q.renormalize()
-	}
-}
-
-// renormalize recomputes the curvature coefficients from true occupancy,
-// discarding accumulated cancellation error. Amortized cost is O(1) per
-// operation: it can only fire again after the mass decays by another
-// renormRatio, which takes Omega(alpha * log2(renormRatio)) dequeues.
-func (q *Approx) renormalize() {
-	q.renorms++
-	q.a.reset()
-	q.b.reset()
-	for p := 0; p < q.n; p++ {
-		if !q.arr.BucketEmpty(p) {
-			q.a.add(q.pow[p])
-			q.b.add(float64(p+q.i0) * q.pow[p])
-		}
-	}
-	q.peakA = q.a.value()
 }
 
 // Enqueue inserts n with the given rank.
@@ -231,15 +193,7 @@ func (q *Approx) Enqueue(n *bucket.Node, rank uint64) {
 // resort). The queue must be non-empty.
 func (q *Approx) findMaxPhys() int {
 	q.lookups++
-	// The true value is maxIndex + eps with eps >= 0 (suffix-dense
-	// residual), so rounding the estimate toward +0.5 absorbs negative
-	// floating-point noise without disturbing the intended bucket.
-	est := int(math.Floor(q.b.value()/q.a.value()-q.u+0.5)) - q.i0
-	if est < 0 {
-		est = 0
-	} else if est >= q.n {
-		est = q.n - 1
-	}
+	est := q.grad.Estimate()
 	found := -1
 	if !q.arr.BucketEmpty(est) {
 		found = est

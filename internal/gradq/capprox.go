@@ -1,10 +1,6 @@
 package gradq
 
-import (
-	"math"
-
-	"eiffel/internal/bucket"
-)
+import "eiffel/internal/bucket"
 
 // CApprox is the circular variant of the approximate gradient queue (§3.1.2
 // closes with "for cases of a moving range, a circular approximate queue
@@ -23,10 +19,6 @@ type CApprox struct {
 	gran      uint64
 	count     int
 
-	pow []float64
-	u   float64
-	i0  int
-
 	scratch []*bucket.Node
 
 	rotations    uint64
@@ -38,9 +30,14 @@ type CApprox struct {
 }
 
 type approxHalf struct {
-	arr   *bucket.Array
-	a, b  ksum
-	peakA float64
+	arr *bucket.Array
+	g   *Grad // curvature accumulator; both halves share one GradWeights
+}
+
+func newApproxHalf(w *GradWeights, n int) *approxHalf {
+	h := &approxHalf{arr: bucket.NewArray(n)}
+	h.g = NewGrad(w, func(p int) bool { return !h.arr.BucketEmpty(p) })
+	return h
 }
 
 // CApproxOptions configures a circular approximate gradient queue.
@@ -63,18 +60,13 @@ func NewCApprox(opt CApproxOptions) *CApprox {
 	if opt.Granularity == 0 {
 		panic("gradq: NewCApprox needs a positive granularity")
 	}
-	o := ApproxOptions{NumBuckets: opt.NumBuckets, Alpha: opt.Alpha}
-	o.defaults()
-	i0 := indexOrigin(o.Alpha)
+	w := NewGradWeights(opt.NumBuckets, opt.Alpha)
 	return &CApprox{
-		prim:   &approxHalf{arr: bucket.NewArray(opt.NumBuckets)},
-		sec:    &approxHalf{arr: bucket.NewArray(opt.NumBuckets)},
+		prim:   newApproxHalf(w, opt.NumBuckets),
+		sec:    newApproxHalf(w, opt.NumBuckets),
 		hIndex: opt.Start / opt.Granularity,
 		nb:     uint64(opt.NumBuckets),
 		gran:   opt.Granularity,
-		pow:    weightTable(opt.NumBuckets, o.Alpha, i0),
-		u:      1 / (1 - math.Pow(2, 1/o.Alpha)),
-		i0:     i0,
 	}
 }
 
@@ -89,39 +81,9 @@ func (c *CApprox) Stats() (rotations, overflows, fastForwards, searchSteps uint6
 	return c.rotations, c.overflows, c.fastForwards, c.searchSteps
 }
 
-func (c *CApprox) addWeight(h *approxHalf, p int) {
-	h.a.add(c.pow[p])
-	h.b.add(float64(p+c.i0) * c.pow[p])
-	if v := h.a.value(); v > h.peakA {
-		h.peakA = v
-	}
-}
+func (c *CApprox) addWeight(h *approxHalf, p int) { h.g.Mark(p) }
 
-func (c *CApprox) subWeight(h *approxHalf, p int) {
-	h.a.sub(c.pow[p])
-	h.b.sub(float64(p+c.i0) * c.pow[p])
-	if h.arr.Len() == 0 {
-		h.a.reset()
-		h.b.reset()
-		h.peakA = 0
-	} else if v := h.a.value(); v <= 0 || v*renormRatio < h.peakA {
-		c.renormalize(h)
-	}
-}
-
-// renormalize recomputes a half's curvature coefficients from occupancy;
-// see Approx.renormalize for the rationale and amortization argument.
-func (c *CApprox) renormalize(h *approxHalf) {
-	h.a.reset()
-	h.b.reset()
-	for p := 0; p < int(c.nb); p++ {
-		if !h.arr.BucketEmpty(p) {
-			h.a.add(c.pow[p])
-			h.b.add(float64(p+c.i0) * c.pow[p])
-		}
-	}
-	h.peakA = h.a.value()
-}
+func (c *CApprox) subWeight(h *approxHalf, p int) { h.g.Unmark(p) }
 
 // Enqueue inserts n with the given rank.
 func (c *CApprox) Enqueue(n *bucket.Node, rank uint64) {
@@ -161,12 +123,7 @@ func (c *CApprox) place(n *bucket.Node, rank, b uint64) {
 // which must be non-empty.
 func (c *CApprox) findMaxPhys(h *approxHalf) int {
 	c.lookups++
-	est := int(math.Floor(h.b.value()/h.a.value()-c.u+0.5)) - c.i0
-	if est < 0 {
-		est = 0
-	} else if est >= int(c.nb) {
-		est = int(c.nb) - 1
-	}
+	est := h.g.Estimate()
 	if !h.arr.BucketEmpty(est) {
 		return est
 	}

@@ -20,6 +20,7 @@ type gnode struct {
 	a, b uint64
 }
 
+//eiffel:hotpath
 func (g *gnode) set(i int) (wasEmpty bool) {
 	m := uint64(1) << uint(i)
 	if g.a&m != 0 {
@@ -31,6 +32,7 @@ func (g *gnode) set(i int) (wasEmpty bool) {
 	return wasEmpty
 }
 
+//eiffel:hotpath
 func (g *gnode) clear(i int) (nowEmpty bool) {
 	m := uint64(1) << uint(i)
 	if g.a&m == 0 {
@@ -43,6 +45,8 @@ func (g *gnode) clear(i int) (nowEmpty bool) {
 
 // maxIdx returns the maximum set child index via Theorem 1. The node must
 // be non-empty.
+//
+//eiffel:hotpath
 func (g *gnode) maxIdx() int {
 	return int((g.b + g.a - 1) / g.a)
 }
@@ -71,11 +75,11 @@ func Theorem1(word uint64) int {
 // it as the stepping stone to the approximate queue, which is where the
 // algebraic form pays off).
 type Exact struct {
-	levels [][]gnode
-	arr    *bucket.Array
-	base   uint64
-	gran   uint64
-	n      int
+	idx  *ExactIndex
+	arr  *bucket.Array
+	base uint64
+	gran uint64
+	n    int
 }
 
 // NewExact returns an exact gradient max-queue with numBuckets buckets of
@@ -87,16 +91,13 @@ func NewExact(numBuckets int, gran, base uint64) *Exact {
 	if gran == 0 {
 		panic("gradq: NewExact needs a positive granularity")
 	}
-	e := &Exact{arr: bucket.NewArray(numBuckets), base: base, gran: gran, n: numBuckets}
-	for nodes := numBuckets; ; {
-		words := (nodes + exactWidth - 1) / exactWidth
-		e.levels = append(e.levels, make([]gnode, words))
-		if words == 1 {
-			break
-		}
-		nodes = words
+	return &Exact{
+		idx:  NewExactIndex(numBuckets),
+		arr:  bucket.NewArray(numBuckets),
+		base: base,
+		gran: gran,
+		n:    numBuckets,
 	}
-	return e
 }
 
 // Len returns the number of queued elements.
@@ -116,39 +117,13 @@ func (e *Exact) bucketFor(rank uint64) int {
 	return int(b)
 }
 
-func (e *Exact) setIndex(i int) {
-	for lvl := range e.levels {
-		w, c := i/exactWidth, i%exactWidth
-		if !e.levels[lvl][w].set(c) {
-			return
-		}
-		i = w
-	}
-}
+func (e *Exact) setIndex(i int) { e.idx.Set(i) }
 
-func (e *Exact) clearIndex(i int) {
-	for lvl := range e.levels {
-		w, c := i/exactWidth, i%exactWidth
-		if !e.levels[lvl][w].clear(c) {
-			return
-		}
-		i = w
-	}
-}
+func (e *Exact) clearIndex(i int) { e.idx.Clear(i) }
 
-// maxBucket returns the highest non-empty bucket, or -1, descending the
-// hierarchy with one Theorem 1 division per level.
-func (e *Exact) maxBucket() int {
-	top := len(e.levels) - 1
-	if e.levels[top][0].a == 0 {
-		return -1
-	}
-	j := e.levels[top][0].maxIdx()
-	for lvl := top - 1; lvl >= 0; lvl-- {
-		j = j*exactWidth + e.levels[lvl][j].maxIdx()
-	}
-	return j
-}
+// maxBucket returns the highest non-empty bucket, or -1 (see
+// ExactIndex.Max).
+func (e *Exact) maxBucket() int { return e.idx.Max() }
 
 // Enqueue inserts n with the given rank.
 func (e *Exact) Enqueue(n *bucket.Node, rank uint64) {

@@ -231,8 +231,8 @@ func TestApproxRemoveAndDrift(t *testing.T) {
 	if q.Len() != 0 {
 		t.Fatal("queue should be empty")
 	}
-	if q.a.value() != 0 || q.b.value() != 0 {
-		t.Fatalf("coefficients not reset on empty: a=%v b=%v", q.a.value(), q.b.value())
+	if a, b := q.grad.Coeffs(); a != 0 || b != 0 {
+		t.Fatalf("coefficients not reset on empty: a=%v b=%v", a, b)
 	}
 }
 

@@ -11,6 +11,7 @@ type ksum struct {
 	s, c float64
 }
 
+//eiffel:hotpath
 func (k *ksum) add(x float64) {
 	y := x - k.c
 	t := k.s + y
@@ -18,8 +19,11 @@ func (k *ksum) add(x float64) {
 	k.s = t
 }
 
+//eiffel:hotpath
 func (k *ksum) sub(x float64) { k.add(-x) }
 
+//eiffel:hotpath
 func (k *ksum) reset() { k.s, k.c = 0, 0 }
 
+//eiffel:hotpath
 func (k *ksum) value() float64 { return k.s }

@@ -291,6 +291,96 @@ func ReplayPriorityFidelityOpts(q Qdisc, packets [][]*pkt.Packet, gran uint64, o
 	return released, inversions
 }
 
+// InversionStats is the approximation column of the experiment tables:
+// rank-inversion accounting for one fully-eligible drain, measured against
+// the exact oracle order. With every packet release-eligible the oracle
+// replay is simply nondecreasing raw rank, so a running maximum over the
+// drain sequence finds every inversion without materialising the oracle:
+// a packet emerging with rank r below the running maximum M was overtaken
+// by at least one higher-rank packet, an inversion of magnitude M-r rank
+// units.
+type InversionStats struct {
+	// Released counts packets drained.
+	Released int
+	// Inversions counts packets that emerged below the running maximum.
+	Inversions int
+	// MaxMagnitude is the largest single inversion, in raw rank units —
+	// the number an approximate backend's analytic bound caps.
+	MaxMagnitude uint64
+	// SumMagnitude accumulates every inversion's magnitude.
+	SumMagnitude uint64
+}
+
+// AvgMagnitude returns the mean inversion magnitude, 0 when none.
+func (s InversionStats) AvgMagnitude() float64 {
+	if s.Inversions == 0 {
+		return 0
+	}
+	return float64(s.SumMagnitude) / float64(s.Inversions)
+}
+
+// Note folds one drained rank into the accounting. runMax carries the
+// running maximum between calls; feed ranks in drain order. Exported so
+// the experiment harness can run the same accounting over raw scheduler
+// backends, where there is no Qdisc to replay through.
+func (s *InversionStats) Note(runMax *uint64, rank uint64) {
+	if s.Released > 0 && rank < *runMax {
+		s.Inversions++
+		mag := *runMax - rank
+		s.SumMagnitude += mag
+		if mag > s.MaxMagnitude {
+			s.MaxMagnitude = mag
+		}
+	} else {
+		*runMax = rank
+	}
+	s.Released++
+}
+
+// ReplayInversions loads q from concurrent producers exactly as
+// ReplayPriorityFidelityOpts does, then drains it fully eligible and
+// returns the inversion accounting: count, maximum magnitude, and total
+// magnitude against the exact oracle replay. Exact backends stay within
+// bucket quantization; approximate backends must stay within their
+// analytic bound (shardq.GradSchedBound, shardq.RIFOSchedBound) — the
+// property tests assert both.
+func ReplayInversions(q Qdisc, packets [][]*pkt.Packet, opt ContentionOptions) InversionStats {
+	var wg sync.WaitGroup
+	for w := range packets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			produce(q, packets[w], opt)
+		}(w)
+	}
+	wg.Wait()
+
+	now := horizon
+	var st InversionStats
+	var runMax uint64
+	if bd, ok := q.(BatchDequeuer); ok {
+		out := make([]*pkt.Packet, 1024)
+		for {
+			k := bd.DequeueBatch(now, out)
+			if k == 0 {
+				break
+			}
+			for _, p := range out[:k] {
+				st.Note(&runMax, p.Rank)
+			}
+		}
+	} else {
+		for {
+			p := q.Dequeue(now)
+			if p == nil {
+				break
+			}
+			st.Note(&runMax, p.Rank)
+		}
+	}
+	return st
+}
+
 // RunContention builds a fresh workload and replays it; see
 // ReplayContention.
 func RunContention(q Qdisc, producers, perProducer int) ContentionResult {

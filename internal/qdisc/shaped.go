@@ -76,6 +76,97 @@ type ShapedShardedOptions struct {
 	Admit AdmitPolicy
 	// Tenants sizes the per-tenant drop buckets (default 1).
 	Tenants int
+	// SchedBackend selects the scheduler-side backend family (default
+	// SchedVec, the exact FFS vector store). The approximate kinds trade
+	// bounded rank inversions for cheaper index maintenance; see
+	// SchedInversionBound for what each kind guarantees.
+	SchedBackend SchedBackendKind
+	// GradAlpha is the gradient backend's weight-decay parameter for
+	// SchedGrad (0 selects the gradq default).
+	GradAlpha float64
+	// RIFOSlots is the fixed window width for SchedRIFO, rounded up to a
+	// power of two (0 selects 64).
+	RIFOSlots int
+}
+
+// SchedBackendKind names a scheduler-side backend family for the shaped
+// sharded qdisc: the PR-4 shardq backend hook surfaced as qdisc
+// configuration, so a deployment picks its throughput-versus-fidelity
+// point with one option.
+type SchedBackendKind int
+
+const (
+	// SchedVec is the exact FFS-indexed vector-bucket store — the
+	// default: priority order exact to the scheduler bucket width.
+	SchedVec SchedBackendKind = iota
+	// SchedGrad is the approximate gradient backend (shardq.NewGradSched):
+	// curvature-estimate min lookup, inversions bounded by the estimate's
+	// containment window.
+	SchedGrad
+	// SchedGradExact is the gradient backend with gradq's Theorem-1 exact
+	// index (the zero-width degeneracy): vecSched's exact order through
+	// the gradient structure.
+	SchedGradExact
+	// SchedRIFO is the fixed-rank-window backend (shardq.NewRIFOSched):
+	// O(1) enqueue into a small slot window, inversions bounded by one
+	// slot's width.
+	SchedRIFO
+)
+
+// String returns the short name used in experiment tables.
+func (k SchedBackendKind) String() string {
+	switch k {
+	case SchedGrad:
+		return "grad"
+	case SchedGradExact:
+		return "grad-exact"
+	case SchedRIFO:
+		return "rifo"
+	default:
+		return "vec"
+	}
+}
+
+// schedCfg is the scheduler-side queue geometry the options imply.
+func (o ShapedShardedOptions) schedCfg() queue.Config {
+	return queue.Config{NumBuckets: o.SchedBuckets, Granularity: o.schedGran()}
+}
+
+// schedFactory returns the shardq.SchedBackend factory for the configured
+// kind, or nil for the default vecSched selection.
+func (o ShapedShardedOptions) schedFactory() func(int) shardq.Scheduler {
+	cfg := o.schedCfg()
+	switch o.SchedBackend {
+	case SchedGrad:
+		return func(int) shardq.Scheduler {
+			return shardq.NewGradSched(cfg, shardq.GradSchedOptions{Alpha: o.GradAlpha})
+		}
+	case SchedGradExact:
+		return func(int) shardq.Scheduler {
+			return shardq.NewGradSched(cfg, shardq.GradSchedOptions{Alpha: o.GradAlpha, Exact: true})
+		}
+	case SchedRIFO:
+		return func(int) shardq.Scheduler { return shardq.NewRIFOSched(cfg, o.RIFOSlots) }
+	default:
+		return nil
+	}
+}
+
+// SchedInversionBound returns the analytic worst-case rank-inversion
+// magnitude of the configured scheduler backend, in rank units, for ranks
+// within RankSpan: the bound the approx experiment prints beside each
+// measured magnitude and the property tests assert. Options must already
+// carry their defaults (withDefaults is applied).
+func (o ShapedShardedOptions) SchedInversionBound() uint64 {
+	o = o.withDefaults()
+	switch o.SchedBackend {
+	case SchedGrad:
+		return shardq.GradSchedBound(o.schedCfg(), shardq.GradSchedOptions{Alpha: o.GradAlpha})
+	case SchedRIFO:
+		return shardq.RIFOSchedBound(o.schedCfg(), o.RIFOSlots)
+	default:
+		return shardq.VecSchedBound(o.schedCfg())
+	}
 }
 
 // withDefaults fills the queue-geometry defaults shared by the sharded
@@ -113,16 +204,20 @@ func NewShapedSharded(opt ShapedShardedOptions) *ShapedSharded {
 			NumShards: opt.Shards,
 			RingBits:  opt.RingBits,
 			Shaper:    eiffelCfg(opt.ShaperBuckets, opt.HorizonNs, opt.Start),
-			Sched:     queue.Config{NumBuckets: opt.SchedBuckets, Granularity: schedGran},
+			Sched:     opt.schedCfg(),
 			Pair: func(n *shardq.Node) *shardq.Node {
 				return &pkt.FromTimerNode(n).SchedNode
 			},
-			ShardBound: opt.ShardBound,
+			ShardBound:   opt.ShardBound,
+			SchedBackend: opt.schedFactory(),
 		}),
 		name:       "Eiffel+shaped-shards",
 		rankGran:   schedGran,
 		buf:        make([]*shardq.Node, opt.Batch),
 		admitState: newAdmitState(opt.Admit, opt.Tenants),
+	}
+	if opt.SchedBackend != SchedVec {
+		s.name += "/" + opt.SchedBackend.String()
 	}
 	s.prodPool.New = func() any { return s.rt.NewProducer(0) }
 	return s

@@ -1,0 +1,296 @@
+package shardq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+// TestGradSchedExactMatchesVecSched is the zero-width-gradient degeneracy
+// property: gradSched in Exact mode (Theorem-1 index over the same slice-
+// bucket store) must reproduce vecSched's pop sequence byte for byte —
+// same counts, same nodes, same order — across random interleaved
+// EnqueueBatch/DequeueBatch sequences, including partial pops, maxRank
+// cutoffs, and edge-clamped ranks.
+func TestGradSchedExactMatchesVecSched(t *testing.T) {
+	geometries := []queue.Config{
+		{NumBuckets: 8, Granularity: 10},
+		{NumBuckets: 64, Granularity: 1},
+		{NumBuckets: 256, Granularity: 2048, Start: 1 << 16},
+	}
+	for gi, cfg := range geometries {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("geo%d/seed%d", gi, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				vec := NewVecSched(cfg)
+				grad := NewGradSched(cfg, GradSchedOptions{Exact: true})
+
+				const n = 1 << 12
+				vnodes := make([]*bucket.Node, n)
+				gnodes := make([]*bucket.Node, n)
+				idx := make(map[*bucket.Node]int, 2*n)
+				for i := range vnodes {
+					vnodes[i], gnodes[i] = &bucket.Node{}, &bucket.Node{}
+					idx[vnodes[i]] = i
+					idx[gnodes[i]] = i
+				}
+				free := make([]int, n)
+				for i := range free {
+					free[i] = i
+				}
+
+				span := 2 * uint64(cfg.NumBuckets) * cfg.Granularity
+				vout := make([]*bucket.Node, 64)
+				gout := make([]*bucket.Node, 64)
+				vb := make([]*bucket.Node, 64)
+				gb := make([]*bucket.Node, 64)
+				ranks := make([]uint64, 64)
+				for op := 0; op < 4000; op++ {
+					if k := rng.Intn(64) + 1; rng.Intn(2) == 0 && k <= len(free) {
+						for j := 0; j < k; j++ {
+							i := free[len(free)-1]
+							free = free[:len(free)-1]
+							// Overshoot the span by half on both sides so edge
+							// clamping is on the tested path.
+							r := uint64(rng.Int63n(int64(2 * span)))
+							if r > span/2 {
+								r -= span / 2
+							}
+							ranks[j] = cfg.Start + r
+							vb[j], gb[j] = vnodes[i], gnodes[i]
+						}
+						vec.EnqueueBatch(vb[:k], ranks[:k])
+						grad.EnqueueBatch(gb[:k], ranks[:k])
+					} else {
+						maxRank := ^uint64(0)
+						if rng.Intn(4) > 0 {
+							maxRank = cfg.Start + uint64(rng.Int63n(int64(span+span/4)))
+						}
+						k := rng.Intn(64) + 1
+						vk := vec.DequeueBatch(maxRank, vout[:k])
+						gk := grad.DequeueBatch(maxRank, gout[:k])
+						if vk != gk {
+							t.Fatalf("op %d: DequeueBatch(max=%d) popped %d vs %d", op, maxRank, vk, gk)
+						}
+						for j := 0; j < vk; j++ {
+							if idx[vout[j]] != idx[gout[j]] {
+								t.Fatalf("op %d pos %d: vec popped node %d, grad-exact popped node %d",
+									op, j, idx[vout[j]], idx[gout[j]])
+							}
+							free = append(free, idx[vout[j]])
+						}
+					}
+					vm, vok := vec.Min()
+					gm, gok := grad.Min()
+					if vok != gok || (vok && vm != gm) {
+						t.Fatalf("op %d: Min = (%d,%v) vs (%d,%v)", op, vm, vok, gm, gok)
+					}
+					if vec.Len() != grad.Len() {
+						t.Fatalf("op %d: Len = %d vs %d", op, vec.Len(), grad.Len())
+					}
+				}
+			})
+		}
+	}
+}
+
+// rankDist is one random rank distribution over a configured span.
+type rankDist struct {
+	name string
+	gen  func(rng *rand.Rand, span uint64, round int) uint64
+}
+
+// rankDists are the distributions the inversion-bound properties sweep:
+// the bound must hold for ANY rank pattern, so the sweep includes the
+// dense/uniform case the estimator is calibrated for, sparse and skewed
+// occupancy where the curvature estimate degrades worst, a shifting
+// cluster (moving-range style), and heavy duplicates.
+var rankDists = []rankDist{
+	{"uniform", func(rng *rand.Rand, span uint64, _ int) uint64 {
+		return uint64(rng.Int63n(int64(span)))
+	}},
+	{"dense-low", func(rng *rand.Rand, span uint64, _ int) uint64 {
+		if rng.Intn(16) == 0 {
+			return span - 1 - uint64(rng.Int63n(int64(span/8+1)))
+		}
+		return uint64(rng.Int63n(int64(span/8 + 1)))
+	}},
+	{"bimodal", func(rng *rand.Rand, span uint64, _ int) uint64 {
+		r := uint64(rng.Int63n(int64(span/16 + 1)))
+		if rng.Intn(2) == 0 {
+			return r
+		}
+		return span - 1 - r
+	}},
+	{"cluster", func(rng *rand.Rand, span uint64, round int) uint64 {
+		width := span/32 + 1
+		base := (uint64(round) * span / 7) % (span - width)
+		return base + uint64(rng.Int63n(int64(width)))
+	}},
+	{"duplicates", func(rng *rand.Rand, span uint64, _ int) uint64 {
+		return (uint64(rng.Intn(5)) * span / 5) % span
+	}},
+}
+
+// drainInversionMax enqueues ranks, drains fully, and returns the largest
+// rank-inversion magnitude of the drain sequence against the exact oracle
+// (running-max accounting: every element is eligible, so exact order is
+// nondecreasing rank).
+func drainInversionMax(t *testing.T, s Scheduler, nodes []*bucket.Node, ranks []uint64, out []*bucket.Node) uint64 {
+	t.Helper()
+	s.EnqueueBatch(nodes, ranks)
+	if s.Len() != len(nodes) {
+		t.Fatalf("Len = %d after enqueueing %d", s.Len(), len(nodes))
+	}
+	var runMax, maxMag uint64
+	popped := 0
+	for {
+		k := s.DequeueBatch(^uint64(0), out)
+		if k == 0 {
+			break
+		}
+		for _, n := range out[:k] {
+			r := n.Rank()
+			if popped > 0 && r < runMax {
+				if mag := runMax - r; mag > maxMag {
+					maxMag = mag
+				}
+			} else {
+				runMax = r
+			}
+			popped++
+		}
+	}
+	if popped != len(nodes) || s.Len() != 0 {
+		t.Fatalf("drain popped %d of %d, Len = %d", popped, len(nodes), s.Len())
+	}
+	return maxMag
+}
+
+// TestGradSchedInversionBound is the analytic-containment property for the
+// approximate gradient backend: across random rank distributions, seeds,
+// geometries, and alphas, the measured inversion magnitude of a full
+// drain never exceeds GradSchedBound — the rigorous window of the
+// curvature estimate (gradq.GradWeights.Window) times the bucket width.
+func TestGradSchedInversionBound(t *testing.T) {
+	configs := []struct {
+		cfg queue.Config
+		opt GradSchedOptions
+	}{
+		{queue.Config{NumBuckets: 64, Granularity: 8}, GradSchedOptions{}},
+		{queue.Config{NumBuckets: 256, Granularity: 2048}, GradSchedOptions{}},
+		{queue.Config{NumBuckets: 256, Granularity: 2048}, GradSchedOptions{Alpha: 4}},
+		{queue.Config{NumBuckets: 1024, Granularity: 1, Start: 1 << 20}, GradSchedOptions{Alpha: 8}},
+		{queue.Config{NumBuckets: 64, Granularity: 8}, GradSchedOptions{Exact: true}},
+	}
+	for ci, c := range configs {
+		bound := GradSchedBound(c.cfg, c.opt)
+		span := 2 * uint64(c.cfg.NumBuckets) * c.cfg.Granularity
+		for _, dist := range rankDists {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("cfg%d/%s/seed%d", ci, dist.name, seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					s := NewGradSched(c.cfg, c.opt)
+					nodes := make([]*bucket.Node, 1<<11)
+					for i := range nodes {
+						nodes[i] = &bucket.Node{}
+					}
+					ranks := make([]uint64, len(nodes))
+					out := make([]*bucket.Node, 128)
+					for round := 0; round < 8; round++ {
+						for i := range ranks {
+							ranks[i] = c.cfg.Start + dist.gen(rng, span, round)
+						}
+						if got := drainInversionMax(t, s, nodes, ranks, out); got > bound {
+							t.Fatalf("round %d: inversion magnitude %d exceeds analytic bound %d", round, got, bound)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRIFOSchedInversionBound is the same property for the fixed-window
+// backend: inversions are pure slot quantization, so the measured
+// magnitude must stay under one slot's width (RIFOSchedBound) for every
+// distribution and window size.
+func TestRIFOSchedInversionBound(t *testing.T) {
+	configs := []struct {
+		cfg   queue.Config
+		slots int
+	}{
+		{queue.Config{NumBuckets: 256, Granularity: 2048}, 0},
+		{queue.Config{NumBuckets: 256, Granularity: 2048}, 16},
+		{queue.Config{NumBuckets: 64, Granularity: 8}, 256},
+		{queue.Config{NumBuckets: 1024, Granularity: 1, Start: 1 << 20}, 64},
+	}
+	for ci, c := range configs {
+		bound := RIFOSchedBound(c.cfg, c.slots)
+		span := 2 * uint64(c.cfg.NumBuckets) * c.cfg.Granularity
+		for _, dist := range rankDists {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("cfg%d/%s/seed%d", ci, dist.name, seed), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(seed))
+					s := NewRIFOSched(c.cfg, c.slots)
+					nodes := make([]*bucket.Node, 1<<11)
+					for i := range nodes {
+						nodes[i] = &bucket.Node{}
+					}
+					ranks := make([]uint64, len(nodes))
+					out := make([]*bucket.Node, 128)
+					for round := 0; round < 8; round++ {
+						for i := range ranks {
+							ranks[i] = c.cfg.Start + dist.gen(rng, span, round)
+						}
+						if got := drainInversionMax(t, s, nodes, ranks, out); got > bound {
+							t.Fatalf("round %d: inversion magnitude %d exceeds analytic bound %d", round, got, bound)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestApproxSchedProgressRule pins the contract mergeRuns depends on: a
+// DequeueBatch that returns 0 must leave the backend empty or with Min
+// above the maxRank it was called with — for both approximate backends,
+// whose Min is quantized and shares DequeueBatch's selection.
+func TestApproxSchedProgressRule(t *testing.T) {
+	cfg := queue.Config{NumBuckets: 256, Granularity: 2048}
+	backends := map[string]Scheduler{
+		"grad":       NewGradSched(cfg, GradSchedOptions{}),
+		"grad-exact": NewGradSched(cfg, GradSchedOptions{Exact: true}),
+		"rifo":       NewRIFOSched(cfg, 64),
+	}
+	span := 2 * uint64(cfg.NumBuckets) * cfg.Granularity
+	for name, s := range backends {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			nodes := make([]*bucket.Node, 512)
+			ranks := make([]uint64, len(nodes))
+			for i := range nodes {
+				nodes[i] = &bucket.Node{}
+				ranks[i] = uint64(rng.Int63n(int64(span)))
+			}
+			s.EnqueueBatch(nodes, ranks)
+			out := make([]*bucket.Node, 64)
+			for s.Len() > 0 {
+				maxRank := uint64(rng.Int63n(int64(span)))
+				if s.DequeueBatch(maxRank, out) == 0 {
+					m, ok := s.Min()
+					if !ok {
+						t.Fatal("Min empty with elements queued")
+					}
+					if m <= maxRank {
+						t.Fatalf("DequeueBatch(max=%d) returned 0 but Min=%d <= maxRank", maxRank, m)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,292 @@
+package shardq
+
+import (
+	"math/bits"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/gradq"
+	"eiffel/internal/queue"
+)
+
+// gradSched is the gradient-indexed scheduler backend: vecSched's slice-
+// bucket store (same slot math, same FIFO-within-bucket drain, same
+// consumed-prefix compaction) with the hierarchical FFS occupancy index
+// replaced by a gradq curvature index. Enqueue-side index maintenance is
+// two compensated float accumulations instead of a multi-level bitmap
+// walk, and the min lookup is a single algebraic estimate plus a bounded
+// probe instead of a hierarchy descent — the §3.1.2 trade: near-exact
+// ordering at a fraction of the indexing cost.
+//
+// Ordering contract: this backend is APPROXIMATE. Elements still leave
+// FIFO within a bucket, but the bucket served next may sit up to
+// probeDown+probeUp buckets above the true minimum (the rigorous
+// containment window of the estimate — see gradq.GradWeights.Window), so
+// a drain sequence may contain rank inversions of magnitude at most
+// GradSchedBound. The runtime's merge machinery does not depend on global
+// order, only on the progress rule — a DequeueBatch that returns 0 leaves
+// Min above the bound, which holds here because Min and DequeueBatch share
+// one deterministic selection — so the backend is a drop-in wherever that
+// fidelity trade is acceptable.
+//
+// With Exact set the curvature index is replaced by gradq's Theorem-1
+// hierarchy (the zero-width gradient degeneracy): selection is exact and
+// the pop sequence is byte-for-byte the vecSched order, at a higher
+// lookup cost (one integer division per level, versus TZCNT).
+type gradSched struct {
+	buckets [][]*bucket.Node
+	heads   []int // per-bucket consumed prefix (partial batch pops)
+
+	// Exactly one of grad/exact is non-nil. Both index PHYSICAL bucket
+	// p = nb-1-i (the gradient estimate finds the maximum, so logical
+	// minimum = physical maximum, as in gradq.Approx).
+	grad  *gradq.Grad
+	exact *gradq.ExactIndex
+
+	probeDown int // rigorous window below the estimate (approx mode)
+	probeUp   int // rigorous window above the estimate (approx mode)
+
+	gran      uint64
+	granShift int8   // log2(gran) when gran is a power of two, else -1
+	base      uint64 // bucket number of buckets[0]
+	count     int
+}
+
+// GradSchedOptions configures a gradient scheduler backend.
+type GradSchedOptions struct {
+	// Alpha is the weight-decay parameter (see gradq.ApproxOptions.Alpha);
+	// zero selects the gradq default.
+	Alpha float64
+	// Exact selects the Theorem-1 exact index instead of the curvature
+	// estimate: identical pop order to vecSched, no inversions beyond
+	// bucket quantization.
+	Exact bool
+}
+
+// NewGradSched returns a gradient-indexed Scheduler over cfg's rank range
+// (the vecSched convention: 2*cfg.NumBuckets buckets of cfg.Granularity
+// from cfg.Start).
+func NewGradSched(cfg queue.Config, opt GradSchedOptions) Scheduler {
+	nb, gran, shift, base := vecGeometry(cfg)
+	g := &gradSched{
+		buckets:   make([][]*bucket.Node, nb),
+		heads:     make([]int, nb),
+		gran:      gran,
+		granShift: shift,
+		base:      base,
+	}
+	if opt.Exact {
+		g.exact = gradq.NewExactIndex(nb)
+	} else {
+		w := gradq.NewGradWeights(nb, opt.Alpha)
+		g.grad = gradq.NewGrad(w, func(p int) bool {
+			i := len(g.buckets) - 1 - p
+			return g.heads[i] < len(g.buckets[i])
+		})
+		g.probeDown, g.probeUp = w.Window()
+	}
+	return g
+}
+
+// GradSchedBound returns the analytic worst-case rank-inversion magnitude
+// of a NewGradSched backend over cfg, in rank units, for ranks within the
+// configured span (clamped edge buckets excepted, as for vecSched). An
+// element is only ever served while its bucket is within the estimate's
+// containment window of the true minimum bucket, so a later-served element
+// can precede it by at most (probeDown+probeUp+1) buckets of rank:
+//
+//	magnitude <= (down+up+1)*gran - 1
+//
+// capped at the trivial span bound nb*gran - 1 (two in-range ranks cannot
+// differ by more). In exact mode selection is exact and only bucket
+// quantization remains.
+func GradSchedBound(cfg queue.Config, opt GradSchedOptions) uint64 {
+	nb, gran, _, _ := vecGeometry(cfg)
+	if opt.Exact {
+		return gran - 1
+	}
+	down, up := gradq.NewGradWeights(nb, opt.Alpha).Window()
+	bound := uint64(down+up+1)*gran - 1
+	if span := uint64(nb)*gran - 1; bound > span {
+		bound = span
+	}
+	return bound
+}
+
+// vecGeometry resolves a queue.Config into the fixed-range store geometry
+// shared by vecSched, gradSched, and rifoSched: bucket count (2*NumBuckets,
+// the cFFS half convention), granularity, its shift when a power of two,
+// and the base bucket number.
+func vecGeometry(cfg queue.Config) (nb int, gran uint64, granShift int8, base uint64) {
+	nb = 2 * cfg.NumBuckets
+	if nb <= 0 {
+		nb = 1 << 12
+	}
+	gran = cfg.Granularity
+	if gran == 0 {
+		gran = 1
+	}
+	granShift = int8(-1)
+	if gran&(gran-1) == 0 {
+		granShift = int8(bits.TrailingZeros64(gran))
+	}
+	return nb, gran, granShift, cfg.Start / gran
+}
+
+func (g *gradSched) Len() int { return g.count }
+
+// slot clamps rank's bucket into the fixed range, exactly as vecSched.
+//
+//eiffel:hotpath
+func (g *gradSched) slot(rank uint64) int {
+	var b uint64
+	if g.granShift >= 0 {
+		b = rank >> uint(g.granShift)
+	} else {
+		b = rank / g.gran
+	}
+	if b < g.base {
+		return 0
+	}
+	if off := b - g.base; off < uint64(len(g.buckets)) {
+		return int(off)
+	}
+	return len(g.buckets) - 1
+}
+
+//eiffel:hotpath
+func (g *gradSched) Enqueue(n *bucket.Node, rank uint64) {
+	n.SetRank(rank)
+	i := g.slot(rank)
+	if len(g.buckets[i]) == g.heads[i] {
+		if g.exact != nil {
+			g.exact.Set(len(g.buckets) - 1 - i)
+		} else {
+			g.grad.Mark(len(g.buckets) - 1 - i)
+		}
+	}
+	//eiffel:allow(hotpath) amortized: bucket backing arrays are retained across drains
+	g.buckets[i] = append(g.buckets[i], n)
+	g.count++
+}
+
+// EnqueueBatch inserts ns[i] with ranks[i] for every i, equivalent to that
+// sequence of Enqueue calls.
+//
+//eiffel:hotpath
+func (g *gradSched) EnqueueBatch(ns []*bucket.Node, ranks []uint64) {
+	for i, n := range ns {
+		g.Enqueue(n, ranks[i])
+	}
+}
+
+// occupiedPhys reports whether physical bucket p holds elements.
+//
+//eiffel:hotpath
+func (g *gradSched) occupiedPhys(p int) bool {
+	i := len(g.buckets) - 1 - p
+	return g.heads[i] < len(g.buckets[i])
+}
+
+// findMaxPhys locates the served physical bucket: the curvature estimate,
+// then a bounded probe over its rigorous containment window — downward
+// first (the common case: the true maximum sits at or just below the
+// estimate), then the window above, taking the LARGEST occupied bucket
+// there (if nothing at or below the estimate is occupied, the true
+// maximum provably lies in the window above, so that scan is exact). The
+// queue must be non-empty.
+//
+//eiffel:hotpath
+func (g *gradSched) findMaxPhys() int {
+	nb := len(g.buckets)
+	est := g.grad.Estimate()
+	if g.occupiedPhys(est) {
+		return est
+	}
+	lo := est - g.probeDown
+	if lo < 0 {
+		lo = 0
+	}
+	for p := est - 1; p >= lo; p-- {
+		if g.occupiedPhys(p) {
+			return p
+		}
+	}
+	hi := est + g.probeUp
+	if hi > nb-1 {
+		hi = nb - 1
+	}
+	for p := hi; p > est; p-- {
+		if g.occupiedPhys(p) {
+			return p
+		}
+	}
+	// Unreachable unless the coefficients are corrupted beyond the window
+	// pads; fall back to an exact scan so correctness never rests on
+	// floating point.
+	for p := nb - 1; p >= 0; p-- {
+		if g.occupiedPhys(p) {
+			return p
+		}
+	}
+	return -1
+}
+
+// minBucket returns the logical bucket the backend serves next. The queue
+// must be non-empty.
+//
+//eiffel:hotpath
+func (g *gradSched) minBucket() int {
+	if g.exact != nil {
+		return len(g.buckets) - 1 - g.exact.Max()
+	}
+	return len(g.buckets) - 1 - g.findMaxPhys()
+}
+
+// Min returns the quantized rank of the bucket the backend would serve
+// next — the same deterministic selection DequeueBatch uses, so a
+// DequeueBatch that returns 0 always leaves Min above its bound (the
+// mergeRuns progress rule).
+//
+//eiffel:hotpath
+func (g *gradSched) Min() (uint64, bool) {
+	if g.count == 0 {
+		return 0, false
+	}
+	return (g.base + uint64(g.minBucket())) * g.gran, true
+}
+
+// DequeueBatch pops up to len(out) elements whose bucket-quantized rank is
+// at most maxRank, FIFO within a bucket. In approximate mode successive
+// buckets may be served out of order within the GradSchedBound window.
+//
+//eiffel:hotpath
+func (g *gradSched) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	total := 0
+	for total < len(out) && g.count > 0 {
+		i := g.minBucket()
+		if (g.base+uint64(i))*g.gran > maxRank {
+			break
+		}
+		pend := g.buckets[i][g.heads[i]:]
+		k := copy(out[total:], pend)
+		clear(pend[:k]) // consumed slots must not pin released elements
+		total += k
+		g.count -= k
+		if k == len(pend) {
+			g.buckets[i] = g.buckets[i][:0]
+			g.heads[i] = 0
+			if g.exact != nil {
+				g.exact.Clear(len(g.buckets) - 1 - i)
+			} else {
+				g.grad.Unmark(len(g.buckets) - 1 - i)
+			}
+		} else if g.heads[i] += k; g.heads[i] > len(g.buckets[i])/2 {
+			// Compact once the consumed prefix dominates (see vecSched).
+			n := copy(g.buckets[i], g.buckets[i][g.heads[i]:])
+			clear(g.buckets[i][n:])
+			g.buckets[i] = g.buckets[i][:n]
+			g.heads[i] = 0
+		}
+	}
+	return total
+}

@@ -1,0 +1,173 @@
+package shardq
+
+import (
+	"math/bits"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/queue"
+)
+
+// rifoSched is the extreme-cheap point of the approximate backend family:
+// a RIFO-style fixed-rank-window scheduler. The configured rank span is
+// mapped onto a small fixed window of W slots (ranks outside the span
+// clamp into the edge slots, as in vecSched), so rank→slot is one shift,
+// occupancy is a handful of 64-bit words scanned with TZCNT, and the
+// whole structure — slot headers, occupancy bitmap, and the hot slices —
+// stays cache-resident no matter how wide the rank domain is. Elements
+// are FIFO within a slot; across slots order is exact at slot
+// granularity. The ordering fidelity trade is therefore pure
+// quantization: rank inversions are bounded by one slot's width
+// (RIFOSchedBound), with no estimate error term.
+type rifoSched struct {
+	slots [][]*bucket.Node
+	heads []int    // per-slot consumed prefix (partial batch pops)
+	words []uint64 // occupancy bitmap, one bit per slot
+
+	shift uint   // rank >> shift = global slot number
+	base  uint64 // global slot number of slots[0]
+	count int
+}
+
+// defaultRIFOSlots is the default window width: one cache line of
+// occupancy bitmap (64 slots in one word) and a slot set small enough to
+// keep every header in L1.
+const defaultRIFOSlots = 64
+
+// NewRIFOSched returns a fixed-window Scheduler covering cfg's rank span
+// (2*cfg.NumBuckets*cfg.Granularity from cfg.Start, the vecSched
+// convention) with the given number of window slots, rounded up to a
+// power of two (0 selects 64). The slot width is the span divided by the
+// window, rounded up to a power of two so rank→slot is a single shift.
+func NewRIFOSched(cfg queue.Config, slots int) Scheduler {
+	w, shift, base := rifoGeometry(cfg, slots)
+	return &rifoSched{
+		slots: make([][]*bucket.Node, w),
+		heads: make([]int, w),
+		words: make([]uint64, (w+63)/64),
+		shift: shift,
+		base:  base,
+	}
+}
+
+// RIFOSchedBound returns the analytic worst-case rank-inversion magnitude
+// of a NewRIFOSched backend over cfg, in rank units, for ranks within the
+// configured span (clamped edge slots excepted): one slot's width minus
+// one — slots are served in exact ascending order and elements are FIFO
+// within a slot, so only intra-slot quantization can invert.
+func RIFOSchedBound(cfg queue.Config, slots int) uint64 {
+	_, shift, _ := rifoGeometry(cfg, slots)
+	return (uint64(1) << shift) - 1
+}
+
+// rifoGeometry resolves the window width (power of two), the rank→slot
+// shift, and the base slot number for cfg's span.
+func rifoGeometry(cfg queue.Config, slots int) (w int, shift uint, base uint64) {
+	nb, gran, _, _ := vecGeometry(cfg)
+	if slots <= 0 {
+		slots = defaultRIFOSlots
+	}
+	w = 1
+	for w < slots {
+		w <<= 1
+	}
+	span := uint64(nb) * gran
+	slotGran := (span + uint64(w) - 1) / uint64(w)
+	if slotGran == 0 {
+		slotGran = 1
+	}
+	shift = uint(bits.Len64(slotGran - 1)) // round up to a power of two
+	return w, shift, cfg.Start >> shift
+}
+
+func (r *rifoSched) Len() int { return r.count }
+
+// slot clamps rank's slot into the fixed window.
+//
+//eiffel:hotpath
+func (r *rifoSched) slot(rank uint64) int {
+	b := rank >> r.shift
+	if b < r.base {
+		return 0
+	}
+	if off := b - r.base; off < uint64(len(r.slots)) {
+		return int(off)
+	}
+	return len(r.slots) - 1
+}
+
+//eiffel:hotpath
+func (r *rifoSched) Enqueue(n *bucket.Node, rank uint64) {
+	n.SetRank(rank)
+	i := r.slot(rank)
+	if len(r.slots[i]) == r.heads[i] {
+		r.words[i>>6] |= 1 << (uint(i) & 63)
+	}
+	//eiffel:allow(hotpath) amortized: slot backing arrays are retained across drains
+	r.slots[i] = append(r.slots[i], n)
+	r.count++
+}
+
+// EnqueueBatch inserts ns[i] with ranks[i] for every i, equivalent to that
+// sequence of Enqueue calls.
+//
+//eiffel:hotpath
+func (r *rifoSched) EnqueueBatch(ns []*bucket.Node, ranks []uint64) {
+	for i, n := range ns {
+		r.Enqueue(n, ranks[i])
+	}
+}
+
+// minSlot returns the lowest occupied slot, or -1: a sequential word scan
+// (at most len(words) iterations — the window is sized so this is one or
+// a few cache-resident words) and one TZCNT.
+//
+//eiffel:hotpath
+func (r *rifoSched) minSlot() int {
+	for w, word := range r.words {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// Min returns the slot-quantized minimum rank, or ok=false when empty.
+//
+//eiffel:hotpath
+func (r *rifoSched) Min() (uint64, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	return (r.base + uint64(r.minSlot())) << r.shift, true
+}
+
+// DequeueBatch pops up to len(out) elements whose slot-quantized rank is
+// at most maxRank, ascending by slot, FIFO within a slot.
+//
+//eiffel:hotpath
+func (r *rifoSched) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	total := 0
+	for total < len(out) && r.count > 0 {
+		i := r.minSlot()
+		if (r.base+uint64(i))<<r.shift > maxRank {
+			break
+		}
+		pend := r.slots[i][r.heads[i]:]
+		k := copy(out[total:], pend)
+		clear(pend[:k]) // consumed slots must not pin released elements
+		total += k
+		r.count -= k
+		if k == len(pend) {
+			r.slots[i] = r.slots[i][:0]
+			r.heads[i] = 0
+			r.words[i>>6] &^= 1 << (uint(i) & 63)
+		} else if r.heads[i] += k; r.heads[i] > len(r.slots[i])/2 {
+			// Compact once the consumed prefix dominates (see vecSched).
+			n := copy(r.slots[i], r.slots[i][r.heads[i]:])
+			clear(r.slots[i][n:])
+			r.slots[i] = r.slots[i][:n]
+			r.heads[i] = 0
+		}
+	}
+	return total
+}

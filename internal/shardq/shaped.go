@@ -51,6 +51,15 @@ type ShapedOptions struct {
 	// appends and sequential whole-bucket copies instead of intrusive
 	// list links and pointer chases.
 	SchedMoving bool
+	// SchedBackend overrides the scheduler-side backend, called once per
+	// shard — the shaped twin of Options.Backend. This is how the
+	// approximate family (NewGradSched, NewRIFOSched) drops in: the
+	// factory's Scheduler replaces the SchedMoving selection above, which
+	// applies when SchedBackend is nil. Approximate backends relax global
+	// priority order within their documented inversion bound; the merge
+	// machinery only needs the Scheduler progress rule, which every
+	// backend honors.
+	SchedBackend func(shard int) Scheduler
 	// Pair maps a shaper handle to its scheduler twin. Required.
 	Pair PairFunc
 }
@@ -325,7 +334,9 @@ func NewShaped(opt ShapedOptions) *Shaped {
 		s := &q.shards[i]
 		s.ring = newRing(opt.RingBits)
 		s.shaper = wrapPQ(queue.New(queue.KindCFFS, opt.Shaper))
-		if opt.SchedMoving {
+		if opt.SchedBackend != nil {
+			s.sched = opt.SchedBackend(i)
+		} else if opt.SchedMoving {
 			s.sched = wrapPQ(queue.New(queue.KindCFFS, opt.Sched))
 		} else {
 			s.sched = newVecSched(opt.Sched)

@@ -1,8 +1,6 @@
 package shardq
 
 import (
-	"math/bits"
-
 	"eiffel/internal/bucket"
 	"eiffel/internal/ffsq"
 	"eiffel/internal/queue"
@@ -41,30 +39,33 @@ func newVecSched(cfg queue.Config) *vecSched {
 	// queue.Config counts buckets per HALF (the cFFS convention: a config
 	// covers 2*NumBuckets*Granularity of rank space); allocate the same
 	// span so a Sched config means the same range under either store.
-	nb := 2 * cfg.NumBuckets
-	if nb <= 0 {
-		nb = 1 << 12
-	}
-	gran := cfg.Granularity
-	if gran == 0 {
-		gran = 1
-	}
 	// Rank→bucket is one 64-bit division per enqueue — a measurable slice
 	// of the migration hot path. Power-of-two granularities (the common
 	// configuration: rank spans and bucket counts are both powers of two)
-	// take a shift instead.
-	shift := int8(-1)
-	if gran&(gran-1) == 0 {
-		shift = int8(bits.TrailingZeros64(gran))
-	}
+	// take a shift instead (vecGeometry resolves both).
+	nb, gran, shift, base := vecGeometry(cfg)
 	return &vecSched{
 		buckets:   make([][]*bucket.Node, nb),
 		heads:     make([]int, nb),
 		idx:       ffsq.NewHier(nb),
 		gran:      gran,
 		granShift: shift,
-		base:      cfg.Start / gran,
+		base:      base,
 	}
+}
+
+// NewVecSched returns the exact FFS-indexed vector-bucket Scheduler over
+// cfg's rank range — the shaped runtime's default backend, exported so
+// backend factories (ShapedOptions.SchedBackend, the qdisc layer's
+// backend selection) can name the baseline explicitly.
+func NewVecSched(cfg queue.Config) Scheduler { return newVecSched(cfg) }
+
+// VecSchedBound returns vecSched's worst-case rank-inversion magnitude in
+// rank units for ranks within the configured span: bucket quantization
+// only (FIFO within a bucket of gran ranks).
+func VecSchedBound(cfg queue.Config) uint64 {
+	_, gran, _, _ := vecGeometry(cfg)
+	return gran - 1
 }
 
 func (v *vecSched) Len() int { return v.count }

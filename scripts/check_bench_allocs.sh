@@ -7,7 +7,9 @@
 # the parallel consumer-group drain (BenchmarkHotPathGroupDrain, four
 # persistent workers), so neither side of the egress split may regress,
 # plus the fault-free lap of the resilient egress wrapper
-# (BenchmarkHotPathEgressTx): retry machinery on the path, never firing.
+# (BenchmarkHotPathEgressTx): retry machinery on the path, never firing,
+# and the approximate scheduler backends behind the sharded runtime
+# (BenchmarkHotPathApproxGrad / BenchmarkHotPathApproxRIFO).
 #
 # On failure, the //eiffel:hotpath inventory (cmd/eiffel-vet -hotpaths)
 # is printed for the packages each failing lap drives. eiffel-vet's
@@ -16,6 +18,10 @@
 # regression to one of two places: an //eiffel:allow'd amortized site
 # that stopped amortizing (a scratch buffer re-growing every lap), or a
 # function on the lap that is missing its annotation entirely.
+# After the allocation gate, the bench-trajectory gate regenerates every
+# JSON-emitting experiment in quick mode and diffs the payloads against
+# the committed bench/baseline/ snapshots with cmd/bench-gate: a Mpps
+# collapse beyond tolerance or any whole-allocs/op increase fails the run.
 set -eu
 cd "$(dirname "$0")/.."
 out="$(go test -run '^$' -bench 'BenchmarkHotPath' -benchtime 100x -benchmem .)"
@@ -30,30 +36,54 @@ failed="$(printf '%s\n' "$out" | awk '
 		}
 	}
 ')"
-if [ -z "$failed" ]; then
-	exit 0
-fi
-echo "FAIL: nonzero allocs/op on a hot path:" >&2
-inventory="$(go run ./cmd/eiffel-vet -hotpaths ./...)"
-for bench in $failed; do
-	# Map each benchmark to the import paths its lap drives; the
-	# substrate packages (bucket, ffsq) sit under every lap.
-	case "$bench" in
-	BenchmarkHotPathShapedEnqueueBatched)
-		pkgs="internal/shardq internal/bucket internal/ffsq" ;;
-	BenchmarkHotPathEnqueue* | BenchmarkHotPathGroupDrain)
-		pkgs="internal/shardq internal/bucket internal/ffsq" ;;
-	BenchmarkHotPathPolicyBatched | BenchmarkHotPathChurnAdmit)
-		pkgs="internal/qdisc internal/pifo internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
-	BenchmarkHotPathEgressTx)
-		pkgs="internal/qdisc internal/stats internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
-	*)
-		pkgs="internal" ;;
-	esac
-	echo "" >&2
-	echo "$bench: //eiffel:hotpath functions on this lap:" >&2
-	for p in $pkgs; do
-		printf '%s\n' "$inventory" | grep "^eiffel/$p " >&2 || true
+if [ -n "$failed" ]; then
+	echo "FAIL: nonzero allocs/op on a hot path:" >&2
+	inventory="$(go run ./cmd/eiffel-vet -hotpaths ./...)"
+	for bench in $failed; do
+		# Map each benchmark to the import paths its lap drives; the
+		# substrate packages (bucket, ffsq) sit under every lap.
+		case "$bench" in
+		BenchmarkHotPathShapedEnqueueBatched)
+			pkgs="internal/shardq internal/bucket internal/ffsq" ;;
+		BenchmarkHotPathApproxGrad | BenchmarkHotPathApproxRIFO)
+			pkgs="internal/shardq internal/gradq internal/bucket internal/ffsq" ;;
+		BenchmarkHotPathEnqueue* | BenchmarkHotPathGroupDrain)
+			pkgs="internal/shardq internal/bucket internal/ffsq" ;;
+		BenchmarkHotPathPolicyBatched | BenchmarkHotPathChurnAdmit)
+			pkgs="internal/qdisc internal/pifo internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
+		BenchmarkHotPathEgressTx)
+			pkgs="internal/qdisc internal/stats internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
+		*)
+			pkgs="internal" ;;
+		esac
+		echo "" >&2
+		echo "$bench: //eiffel:hotpath functions on this lap:" >&2
+		for p in $pkgs; do
+			printf '%s\n' "$inventory" | grep "^eiffel/$p " >&2 || true
+		done
 	done
+	exit 1
+fi
+
+# --- bench-trajectory regression gate -----------------------------------
+# Regenerate quick-mode payloads for every experiment with a committed
+# baseline and diff them. Experiment ids are derived from the baseline
+# filenames so adding a BENCH_<id>.json under bench/baseline/ enrolls the
+# experiment automatically. The baseline is already conservative (per-row
+# worst of 5 runs; scripts/refresh_bench_baseline.sh), but one retry
+# absorbs the rare run where the whole sweep lands on a contended core:
+# a real collapse reproduces on both attempts.
+freshdir="$(mktemp -d)"
+trap 'rm -rf "$freshdir"' EXIT
+for attempt in 1 2; do
+	for f in bench/baseline/BENCH_*.json; do
+		id="$(basename "$f" .json | sed 's/^BENCH_//')"
+		echo "bench-gate: regenerating $id (quick mode, attempt $attempt)"
+		go run ./cmd/eiffel-bench -experiment "$id" -quick -json "$freshdir" >/dev/null
+	done
+	if go run ./cmd/bench-gate -baseline bench/baseline -fresh "$freshdir"; then
+		exit 0
+	fi
+	[ "$attempt" = 1 ] && echo "bench-gate: retrying once to rule out scheduler noise" >&2
 done
 exit 1

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Refreshes bench/baseline/ — the committed quick-mode payloads the
+# bench-trajectory gate (scripts/check_bench_allocs.sh, cmd/bench-gate)
+# diffs fresh runs against.
+#
+# Quick-mode throughput on a shared machine jitters by several x per row,
+# so a single lucky run makes a flappy baseline. This script runs every
+# JSON-emitting experiment RUNS times and merges the payloads
+# conservatively (per-row minimum mpps, maximum allocs/op) with
+# bench-gate -write-baseline: the committed floor is each row's slowest
+# observed run, so the gate stays quiet under scheduler noise and only a
+# genuine collapse trips it.
+#
+# Run this after a deliberate perf-affecting change, review the diff, and
+# commit the result together with the change that motivated it.
+set -eu
+cd "$(dirname "$0")/.."
+
+RUNS="${RUNS:-5}"
+experiments="approx chaos churn contention policysched shapedsched"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+dirs=""
+i=1
+while [ "$i" -le "$RUNS" ]; do
+	d="$workdir/run$i"
+	mkdir -p "$d"
+	for id in $experiments; do
+		echo "refresh: run $i/$RUNS: $id"
+		go run ./cmd/eiffel-bench -experiment "$id" -quick -json "$d" >/dev/null
+	done
+	dirs="$dirs,$d"
+	i=$((i + 1))
+done
+go run ./cmd/bench-gate -write-baseline "${dirs#,}" -out bench/baseline
