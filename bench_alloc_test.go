@@ -249,6 +249,57 @@ func BenchmarkHotPathPolicyBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathHierSched holds the sharded hierarchical-QoS path to
+// the zero-allocs/op bar: each lap admits a burst spanning a weighted
+// tenant, a reservation holder, and a ranked-policy tenant (so the lap
+// covers the three-tag charge cycle, the timed migrate/reservation
+// checks, the FIFO and rank-queue in-tenant paths, and the cross-shard
+// share-time merge) and drains it back out through DequeueBatch.
+func BenchmarkHotPathHierSched(b *testing.B) {
+	q, err := eiffel.NewHierSharded(eiffel.HierShardedOptions{
+		Spec: eiffel.HierSpec{
+			Tenants: []eiffel.HierTenant{
+				{Weight: 3},
+				{ResBps: 200e6, Weight: 1},
+				{Weight: 2, Policy: "rank", Buckets: 4096, RankGran: 64},
+			},
+		},
+		Shards: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := eiffel.NewPool(hotBurst)
+	ps := make([]*eiffel.Packet, hotBurst)
+	for i := range ps {
+		p := pool.Get()
+		p.Flow = uint64(i % 64)
+		p.Size = 1500
+		p.Class = int32(i % 3)
+		p.Rank = uint64((hotBurst - i) * 1500 % (1 << 18))
+		ps[i] = p
+	}
+	out := make([]*eiffel.Packet, 256)
+	lap := func() {
+		q.EnqueueBatch(ps, 0)
+		for q.Len() > 0 {
+			if q.DequeueBatch(0, out) == 0 {
+				b.Fatal("drain stalled with packets queued")
+			}
+		}
+	}
+	lap() // warm tenant FIFOs, rank queues, rings, and staging
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lap()
+	}
+	b.StopTimer()
+	if pool.Allocs() != hotBurst {
+		b.Fatalf("packet pool allocated beyond its pre-population: %d", pool.Allocs())
+	}
+}
+
 // tryCountSink is a FallibleSink that always accepts everything — the
 // fault-free path BenchmarkHotPathEgressTx measures.
 type tryCountSink struct{ n int }

@@ -217,6 +217,43 @@ func BenchmarkApprox(b *testing.B) {
 	b.ReportMetric(mag, "rifo-max-inversion")
 }
 
+// BenchmarkHierSched runs the hierarchical-QoS scaling experiment
+// (8 producers replaying a two-tenant 3:1 weighted tree through
+// shard-confined hClock engines vs the locked whole-tree baseline; see
+// internal/exp/hiersched.go). The reported metrics are the batched
+// hier-shards row's throughput vs the locked tree on the Eiffel backend,
+// its flow-order violations (must be zero: flow-hash sharding keeps each
+// flow's backlog on one engine), its reservation violations under paced
+// overload (must be zero: a due reservation pulls its shard's merge rank
+// to 0), and the cross-shard share error against the ideal 0.75 split.
+func BenchmarkHierSched(b *testing.B) {
+	res := runExp(b, "hiersched")
+	rows := res.Tables[0].Rows
+	// Row 2 is Eiffel / hier-shards (batched); see the entries order in
+	// internal/exp/hiersched.go.
+	last := rows[2]
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(last[4], "x"), 64)
+	if err != nil {
+		b.Fatalf("hiersched ratio column %q not numeric: %v", last[4], err)
+	}
+	b.ReportMetric(ratio, "hier-vs-locked-tree")
+	mis, err := strconv.ParseFloat(last[5], 64)
+	if err != nil {
+		b.Fatalf("hiersched misorders column %q not numeric: %v", last[5], err)
+	}
+	b.ReportMetric(mis, "flow-misorders")
+	viol, err := strconv.ParseFloat(last[6], 64)
+	if err != nil {
+		b.Fatalf("hiersched res-viol column %q not numeric: %v", last[6], err)
+	}
+	b.ReportMetric(viol, "reservation-violations")
+	shareErr, err := strconv.ParseFloat(last[7], 64)
+	if err != nil {
+		b.Fatalf("hiersched share-err column %q not numeric: %v", last[7], err)
+	}
+	b.ReportMetric(shareErr, "share-error")
+}
+
 // Ablation benches for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationHierVsFlat compares hierarchical vs flat FFS indexes.

@@ -39,6 +39,7 @@ package eiffel
 import (
 	"eiffel/internal/bucket"
 	"eiffel/internal/ffsq"
+	"eiffel/internal/hclock"
 	"eiffel/internal/pifo"
 	"eiffel/internal/pkt"
 	"eiffel/internal/policy"
@@ -306,6 +307,68 @@ func NewPolicySharded(opt PolicyShardedOptions) (*PolicySharded, error) {
 func NewPolicyTree(spec, leaf string) (*PolicyTree, error) {
 	return qdisc.NewPolicyTree(spec, leaf)
 }
+
+// Hierarchical QoS (hClock) on the sharded runtime: a HierSpec describes a
+// tenant tree — reservations (minimum rates), limits (rate caps), and
+// proportional-share weights, with a FIFO or ranked in-tenant order — and
+// NewHierSharded compiles it once per shard, renormalizing every tenant's
+// rates by the shard count so the tree still aggregates to its configured
+// rates. Flow-hash sharding keeps each tenant's per-flow backlog
+// shard-confined (per-flow order is exact), the cross-shard merge runs on
+// quantized share virtual time, and a shard holding a due reservation
+// preempts every share tag — hClock's two-phase preference lifted across
+// shards.
+type (
+	// HierSpec is the tenant table plus engine sizing for a hierarchical
+	// QoS qdisc.
+	HierSpec = shardq.HierSpec
+	// HierTenant is one traffic class of a HierSpec: reservation, limit,
+	// weight, and in-tenant policy.
+	HierTenant = shardq.HierTenant
+	// HierSharded runs one hClock engine per shard of the multi-producer
+	// runtime.
+	HierSharded = qdisc.HierSharded
+	// HierShardedOptions configures a HierSharded qdisc.
+	HierShardedOptions = qdisc.HierShardedOptions
+	// HierTree is the single-engine whole-tree baseline for the same
+	// spec; wrap it in NewLocked for the kernel-style deployment.
+	HierTree = qdisc.HierTree
+	// Locked serializes a Qdisc behind one mutex — the kernel's global
+	// qdisc lock, the baseline deployment sharded qdiscs are measured
+	// against.
+	Locked = qdisc.Locked
+	// HClockBackend selects the tag-index implementation of a HierSpec
+	// (Eiffel FFS queues, binary heaps, approximate gradient queues).
+	HClockBackend = hclock.Backend
+)
+
+// Tag-index backends for HierSpec.Backend.
+const (
+	// HClockEiffel indexes tags with circular hierarchical FFS queues —
+	// the paper's O(1) configuration.
+	HClockEiffel = hclock.BackendEiffel
+	// HClockHeap indexes tags with binary min-heaps — the original
+	// hClock baseline.
+	HClockHeap = hclock.BackendHeap
+	// HClockApprox indexes tags with approximate gradient queues.
+	HClockApprox = hclock.BackendApprox
+)
+
+// NewHierSharded compiles the spec once per shard (rates renormalized by
+// the shard count) onto the sharded multi-producer runtime.
+func NewHierSharded(opt HierShardedOptions) (*HierSharded, error) {
+	return qdisc.NewHierSharded(opt)
+}
+
+// NewHierTree compiles the spec into one whole-tree engine — the locked
+// baseline HierSharded is measured against (wrap in NewLocked).
+func NewHierTree(spec HierSpec) (*HierTree, error) {
+	return qdisc.NewHierTree(spec)
+}
+
+// NewLocked wraps any Qdisc behind one mutex (the kernel-style global
+// qdisc lock deployment).
+func NewLocked(q Qdisc) *Locked { return qdisc.NewLocked(q) }
 
 // NewShapedShardedQueue constructs a shaped+scheduled sharded runtime.
 func NewShapedShardedQueue(opt ShapedShardedQueueOptions) *ShapedShardedQueue {

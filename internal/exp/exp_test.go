@@ -244,8 +244,8 @@ func TestPolicySchedQuick(t *testing.T) {
 	}
 	res := runQuick(t, "policysched")
 	rows := res.Tables[0].Rows
-	if len(rows) != 9 {
-		t.Fatalf("want 9 rows (3 policies x locked/sharded/batched), got %d", len(rows))
+	if len(rows) != 10 {
+		t.Fatalf("want 10 rows (3 policies x locked/sharded/batched + the hwfq hier-shards re-expression), got %d", len(rows))
 	}
 	for _, row := range rows {
 		// Flow-local exactness is the hard half of the acceptance: zero
@@ -305,6 +305,39 @@ func TestPolicySchedQuick(t *testing.T) {
 		t.Logf("retrying after a suspect measurement: %s", msg)
 		if msg, ok := throughputOK(runQuick(t, "policysched")); !ok {
 			t.Fatal(msg)
+		}
+	}
+}
+
+func TestHierSchedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-heavy")
+	}
+	res := runQuick(t, "hiersched")
+	rows := res.Tables[0].Rows
+	if len(rows) != 8 {
+		t.Fatalf("want 8 rows (backend x deployment sweep), got %d", len(rows))
+	}
+	for _, row := range rows {
+		// The three correctness columns are the acceptance invariants of
+		// the sharded hierarchical path, on every backend and deployment:
+		// flow-local exactness (flow-hash sharding keeps a flow's backlog
+		// on one engine), bounded reservation starvation (a due
+		// reservation pulls its shard's merge rank to 0 and a
+		// reservation-due crossing forces a head re-peek), and the
+		// cross-shard share error bound.
+		if row[5] != "0" {
+			t.Fatalf("%s/%s: %s flow-order violations, want 0", row[0], row[1], row[5])
+		}
+		if row[6] != "0" {
+			t.Fatalf("%s/%s: %s reservation violations, want 0", row[0], row[1], row[6])
+		}
+		shareErr, err := strconv.ParseFloat(row[7], 64)
+		if err != nil {
+			t.Fatalf("share-err %q not numeric: %v", row[7], err)
+		}
+		if shareErr > 0.10 {
+			t.Fatalf("%s/%s: share error %.3f exceeds the 0.10 bound", row[0], row[1], shareErr)
 		}
 	}
 }

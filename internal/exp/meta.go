@@ -85,6 +85,7 @@ var Registry = map[string]Runner{
 	"egress":                Egress,
 	"shapedsched":           ShapedSched,
 	"policysched":           PolicySched,
+	"hiersched":             HierSched,
 }
 
 // Names returns registry keys in stable order.

@@ -6,6 +6,7 @@ import (
 
 	"eiffel/internal/pkt"
 	"eiffel/internal/qdisc"
+	"eiffel/internal/shardq"
 	"eiffel/internal/stats"
 )
 
@@ -39,14 +40,26 @@ func PolicySched(o Options) *Result {
 		{"lqf", qdisc.PolicySpecLQF},
 		{"hwfq", qdisc.PolicySpecHWFQ},
 	}
-	entries := []struct {
+	type entry struct {
 		name    string
 		sharded bool
+		hier    bool
 		opt     qdisc.ContentionOptions
-	}{
-		{"tree+lock", false, qdisc.ContentionOptions{}},
-		{"policy-shards", true, qdisc.ContentionOptions{}},
-		{"policy-shards (batched)", true, qdisc.ContentionOptions{ProducerBatch: producerBatch}},
+	}
+	entries := []entry{
+		{"tree+lock", false, false, qdisc.ContentionOptions{}},
+		{"policy-shards", true, false, qdisc.ContentionOptions{}},
+		{"policy-shards (batched)", true, false, qdisc.ContentionOptions{ProducerBatch: producerBatch}},
+	}
+	// The hwfq program is the one PolicySpec whose whole ordering decision
+	// lives in the shared tree (every dequeue re-ranks the wfq root), so
+	// its sharded rows historically trailed the locked tree. The same
+	// hierarchy expressed as an hClock tenant tree runs shard-confined on
+	// the hierarchical backend; the extra row is the after to the locked
+	// row's honest before.
+	hierEntry := entry{"hier-shards (batched)", true, true, qdisc.ContentionOptions{ProducerBatch: producerBatch}}
+	hwfqHierSpec := shardq.HierSpec{
+		Tenants: []shardq.HierTenant{{Weight: 3}, {Weight: 1}},
 	}
 
 	t := &stats.Table{
@@ -59,8 +72,17 @@ func PolicySched(o Options) *Result {
 		ProducerBatch: producerBatch,
 	}
 	for _, pol := range policies {
-		mk := func(sharded bool) qdisc.Qdisc {
-			if sharded {
+		mk := func(e entry) qdisc.Qdisc {
+			if e.hier {
+				q, err := qdisc.NewHierSharded(qdisc.HierShardedOptions{
+					Spec: hwfqHierSpec, Shards: 8, RingBits: 15,
+				})
+				if err != nil {
+					panic("exp: " + err.Error())
+				}
+				return q
+			}
+			if e.sharded {
 				q, err := qdisc.NewPolicySharded(qdisc.PolicyShardedOptions{
 					Policy: pol.spec, Shards: 8, RingBits: 15,
 				})
@@ -78,9 +100,13 @@ func PolicySched(o Options) *Result {
 		// One workload per policy, shared by every pass (packets come back
 		// detached) so allocation stays out of the timed regions.
 		packets := qdisc.PolicyPackets(producers, perProducer, flowsPer)
+		polEntries := entries
+		if pol.name == "hwfq" {
+			polEntries = append(polEntries[:len(polEntries):len(polEntries)], hierEntry)
+		}
 		var lockedMpps float64
-		for _, e := range entries {
-			q := mk(e.sharded)
+		for _, e := range polEntries {
+			q := mk(e)
 			mpps, allocs := measuredReplay(q, packets, 3, e.opt)
 			if lockedMpps == 0 {
 				lockedMpps = mpps
@@ -88,7 +114,7 @@ func PolicySched(o Options) *Result {
 
 			// Fidelity pass on a fresh instance, through the same admission
 			// path: per-flow order must survive concurrency and batching.
-			fq := mk(e.sharded)
+			fq := mk(e)
 			released, misorders := qdisc.ReplayFlowFidelity(fq, packets, e.opt)
 			if released != producers*perProducer {
 				res.Notes = append(res.Notes,
@@ -99,14 +125,19 @@ func PolicySched(o Options) *Result {
 			goldShare := "-"
 			goldShareVal := 0.0
 			if pol.name == "hwfq" {
-				goldShareVal = measureGoldShare(mk(e.sharded), packets)
+				goldShareVal = measureGoldShare(mk(e), packets)
 				goldShare = fmt.Sprintf("%.3f", goldShareVal)
 			}
 			// Counters come from the TIMED instance, so the amortization
 			// figures beside a Mpps value describe that same run.
 			counters := "-"
 			var amort float64
-			if s, ok := q.(*qdisc.PolicySharded); ok {
+			switch s := q.(type) {
+			case *qdisc.PolicySharded:
+				snap := s.Stats()
+				counters = snap.String()
+				amort = amortization(snap.BulkClaimed, snap.BulkClaims)
+			case *qdisc.HierSharded:
 				snap := s.Stats()
 				counters = snap.String()
 				amort = amortization(snap.BulkClaimed, snap.BulkClaims)

@@ -15,14 +15,17 @@
 // baseline uses binary min-heaps (O(log n) per tag update, the original
 // hClock design), the Eiffel version uses circular FFS queues (O(1)) —
 // which is the entire difference Figure 12 measures.
+//
+// The tag-arbitration core lives in the reusable Hier engine (hier.go);
+// Scheduler packages it with a per-flow packet FIFO and a flow registry —
+// the single-threaded deployment. The sharded deployment runs one engine
+// per shard instead (shardq.NewHierSched).
 package hclock
 
 import (
 	"fmt"
 
-	"eiffel/internal/bucket"
 	"eiffel/internal/pkt"
-	"eiffel/internal/queue"
 )
 
 // Backend selects the priority-queue implementation for the three indexes.
@@ -57,28 +60,22 @@ func (b Backend) String() string {
 // resolve weight ratios of 1:4096 at byte granularity.
 const sChargeScale = 1 << 16
 
-// Flow is one hClock traffic class.
+// ShareScale is sChargeScale for callers sizing share-tag indexes: a
+// tenant's share tag advances size*ShareScale/weight per service, so a
+// share-index granularity of ShareScale*k quantizes at k weighted bytes.
+const ShareScale uint64 = sChargeScale
+
+// Flow is one hClock traffic class: a Tenant (the three tags) plus the
+// packet FIFO the single-threaded scheduler owns.
 type Flow struct {
 	// ID is the flow identifier.
 	ID uint64
-	// ResBps is the reserved minimum rate (0 = no reservation).
-	ResBps uint64
-	// LimitBps is the rate cap (0 = unlimited).
-	LimitBps uint64
-	// Weight is the proportional share weight (>= 1).
-	Weight uint64
 
-	rTag, lTag, sTag uint64
-	rNode            bucket.Node
-	sNode            bucket.Node
-	lNode            bucket.Node
+	Tenant
 
 	ring []*pkt.Packet
 	head int
 	n    int
-
-	active  bool
-	limited bool
 }
 
 // Len returns the number of queued packets.
@@ -111,7 +108,7 @@ func (f *Flow) pop() *pkt.Packet {
 	return p
 }
 
-// Config sizes a scheduler.
+// Config sizes a scheduler (or a bare Hier engine).
 type Config struct {
 	// Backend picks the index implementation.
 	Backend Backend
@@ -121,65 +118,45 @@ type Config struct {
 	// TagGranularityNs is the bucket width of the time-tag queues
 	// (default 2048 ns).
 	TagGranularityNs uint64
+	// ShareGranularity is the bucket width of the share-tag index. Share
+	// tags live in a different domain than the time tags — they advance
+	// size*ShareScale/weight per service, ~100M units per full packet at
+	// weight 1 — so a bucketed backend wants a granularity proportional
+	// to ShareScale or every operation walks hundreds of buckets.
+	// 0 means TagGranularityNs*64, the historical flow-scheduler default.
+	ShareGranularity uint64
 	// Buckets is the bucket count per queue half (default 1<<14).
 	Buckets int
+	// RateDiv divides every tenant's reservation and limit rate at Init —
+	// the per-shard renormalization hook: a sharded deployment runs one
+	// engine per shard with RateDiv = shard count, so a tenant whose
+	// flows spread across every shard still aggregates to the configured
+	// rates. A nonzero configured rate never renormalizes to zero. 0 or 1
+	// means no renormalization (the single-engine deployment).
+	RateDiv uint64
 }
 
-// Scheduler is an hClock instance.
+// Scheduler is an hClock instance: a Hier engine plus per-flow FIFOs.
 type Scheduler struct {
-	cfg   Config
-	flows map[uint64]*Flow
-
-	readyR  queue.PQ // reservation tags of ready flows with reservations
-	readyS  queue.PQ // share tags of all ready flows
-	parked  queue.PQ // limit tags of flows over their cap
-	vnow    uint64   // share-tag virtual time
+	h       *Hier
+	flows   map[uint64]*Flow
 	backlog int
-
-	aggNextFree uint64
 }
 
 // New returns an empty scheduler.
 func New(cfg Config) *Scheduler {
-	if cfg.TagGranularityNs == 0 {
-		cfg.TagGranularityNs = 2048
-	}
-	if cfg.Buckets == 0 {
-		cfg.Buckets = 1 << 14
-	}
-	mk := func(gran uint64) queue.PQ {
-		qc := queue.Config{NumBuckets: cfg.Buckets, Granularity: gran}
-		switch cfg.Backend {
-		case BackendHeap:
-			return queue.New(queue.KindBinaryHeap, qc)
-		case BackendApprox:
-			return queue.New(queue.KindCApprox, qc)
-		default:
-			return queue.New(queue.KindCFFS, qc)
-		}
-	}
 	return &Scheduler{
-		cfg:    cfg,
-		flows:  make(map[uint64]*Flow),
-		readyR: mk(cfg.TagGranularityNs),
-		readyS: mk(cfg.TagGranularityNs * 64), // share tags grow faster
-		parked: mk(cfg.TagGranularityNs),
+		h:     NewHier(cfg),
+		flows: make(map[uint64]*Flow),
 	}
 }
 
 // AddFlow registers a traffic class. Reservation must not exceed limit
 // when both are set.
 func (s *Scheduler) AddFlow(id, resBps, limitBps, weight uint64) *Flow {
-	if weight == 0 {
-		weight = 1
-	}
-	if limitBps > 0 && resBps > limitBps {
-		panic("hclock: reservation exceeds limit")
-	}
-	f := &Flow{ID: id, ResBps: resBps, LimitBps: limitBps, Weight: weight}
-	f.rNode.Data = f
-	f.sNode.Data = f
-	f.lNode.Data = f
+	f := &Flow{ID: id}
+	s.h.Init(&f.Tenant, resBps, limitBps, weight)
+	f.Self = f
 	s.flows[id] = f
 	return f
 }
@@ -198,71 +175,8 @@ func (s *Scheduler) Enqueue(p *pkt.Packet, now int64) {
 	}
 	f.push(p)
 	s.backlog++
-	if !f.active {
-		s.activate(f, now)
-	}
-}
-
-func (s *Scheduler) activate(f *Flow, now int64) {
-	t := uint64(now)
-	// Idle flows join at the current clocks: no banked reservation or
-	// share credit across idle periods.
-	if f.rTag < t {
-		f.rTag = t
-	}
-	if f.lTag < t {
-		f.lTag = t
-	}
-	if f.sTag < s.vnow {
-		f.sTag = s.vnow
-	}
-	f.active = true
-	s.insert(f, now)
-}
-
-// insert places an active flow into the ready or parked indexes according
-// to its limit tag.
-func (s *Scheduler) insert(f *Flow, now int64) {
-	if f.LimitBps > 0 && f.lTag > uint64(now) {
-		f.limited = true
-		s.parked.Enqueue(&f.lNode, f.lTag)
-		return
-	}
-	f.limited = false
-	s.readyS.Enqueue(&f.sNode, f.sTag)
-	if f.ResBps > 0 {
-		s.readyR.Enqueue(&f.rNode, f.rTag)
-	}
-}
-
-// remove detaches an active flow from whichever indexes hold it.
-func (s *Scheduler) remove(f *Flow) {
-	if f.limited {
-		s.parked.Remove(&f.lNode)
-		return
-	}
-	if f.sNode.Queued() {
-		s.readyS.Remove(&f.sNode)
-	}
-	if f.rNode.Queued() {
-		s.readyR.Remove(&f.rNode)
-	}
-}
-
-// migrate moves flows whose limit clock has arrived from parked to ready.
-func (s *Scheduler) migrate(now int64) {
-	for {
-		r, ok := s.parked.PeekMin()
-		if !ok || r > uint64(now) {
-			return
-		}
-		n := s.parked.DequeueMin()
-		f := n.Data.(*Flow)
-		f.limited = false
-		s.readyS.Enqueue(&f.sNode, f.sTag)
-		if f.ResBps > 0 {
-			s.readyR.Enqueue(&f.rNode, f.rTag)
-		}
+	if !f.Active() {
+		s.h.Activate(&f.Tenant, now)
 	}
 }
 
@@ -272,60 +186,20 @@ func (s *Scheduler) Dequeue(now int64) *pkt.Packet {
 	if s.backlog == 0 {
 		return nil
 	}
-	if s.cfg.AggregateLimitBps > 0 && s.aggNextFree > uint64(now) {
+	t, ok := s.h.Pick(now)
+	if !ok {
 		return nil
 	}
-	s.migrate(now)
-
-	var f *Flow
-	if r, ok := s.readyR.PeekMin(); ok && r <= uint64(now) {
-		// Reservation phase: a reservation clock is due.
-		f = s.readyR.DequeueMin().Data.(*Flow)
-		s.readyS.Remove(&f.sNode)
-	} else if s.readyS.Len() > 0 {
-		// Share phase: proportional fairness among ready flows.
-		f = s.readyS.DequeueMin().Data.(*Flow)
-		if f.rNode.Queued() {
-			s.readyR.Remove(&f.rNode)
-		}
-	} else {
-		return nil // every backlogged flow is over its limit
-	}
-
+	f := t.Self.(*Flow)
 	p := f.pop()
 	s.backlog--
-	if f.sTag > s.vnow {
-		s.vnow = f.sTag
-	}
-	s.charge(f, p)
-	if f.Len() > 0 {
-		s.insert(f, now)
+	s.h.Charge(t, uint64(p.Size), now)
+	if f.n > 0 {
+		s.h.Requeue(t, now)
 	} else {
-		f.active = false
-	}
-	if s.cfg.AggregateLimitBps > 0 {
-		// Bounded catch-up (64 KiB) so busy-poll jitter does not erode
-		// the aggregate rate; the timestamp chain still caps the
-		// long-run rate at the limit.
-		start := s.aggNextFree
-		burst := uint64(64<<10) * 8 * 1e9 / s.cfg.AggregateLimitBps
-		if floor := uint64(now) - burst; uint64(now) > burst && start < floor {
-			start = floor
-		}
-		s.aggNextFree = start + uint64(p.Size)*8*1e9/s.cfg.AggregateLimitBps
+		s.h.Idle(t)
 	}
 	return p
-}
-
-func (s *Scheduler) charge(f *Flow, p *pkt.Packet) {
-	bits := uint64(p.Size) * 8
-	if f.ResBps > 0 {
-		f.rTag += bits * 1e9 / f.ResBps
-	}
-	if f.LimitBps > 0 {
-		f.lTag += bits * 1e9 / f.LimitBps
-	}
-	f.sTag += uint64(p.Size) * sChargeScale / f.Weight
 }
 
 // NextEvent returns the earliest time a currently ineligible flow becomes
@@ -335,14 +209,5 @@ func (s *Scheduler) NextEvent(now int64) (int64, bool) {
 	if s.backlog == 0 {
 		return 0, false
 	}
-	if s.readyS.Len() > 0 {
-		if s.cfg.AggregateLimitBps > 0 && s.aggNextFree > uint64(now) {
-			return int64(s.aggNextFree), true
-		}
-		return now, true
-	}
-	if r, ok := s.parked.PeekMin(); ok {
-		return int64(r), true
-	}
-	return 0, false
+	return s.h.NextEvent(now)
 }

@@ -1,0 +1,386 @@
+package qdisc
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"eiffel/internal/pkt"
+	"eiffel/internal/shardq"
+)
+
+// hierTestSpec is the 4-tenant spec the hiersharded tests share: two
+// plain weighted tenants, one reservation holder, one rank-policy tenant
+// — every engine feature on one table.
+func hierTestSpec() shardq.HierSpec {
+	return shardq.HierSpec{
+		Tenants: []shardq.HierTenant{
+			{Weight: 3},
+			{Weight: 1},
+			{ResBps: 200e6, Weight: 1},
+			{Weight: 2, Policy: "rank", Buckets: 4096, RankGran: 64},
+		},
+	}
+}
+
+// hierRandomSets builds a randomized workload: producers sets over
+// disjoint flow ranges (so concurrent enqueues keep each flow's arrival
+// order well defined), random sizes, random tenants, random in-tenant
+// ranks, sequential per-flow IDs.
+func hierRandomSets(rng *rand.Rand, producers, perProducer, flowsPer, tenants int) [][]*pkt.Packet {
+	sets := make([][]*pkt.Packet, producers)
+	for w := range sets {
+		pool := pkt.NewPool(perProducer)
+		set := make([]*pkt.Packet, perProducer)
+		seq := make(map[uint64]uint64)
+		for i := range set {
+			p := pool.Get()
+			f := uint64(w*flowsPer + rng.Intn(flowsPer))
+			p.Flow = f
+			p.Size = uint32(64 + rng.Intn(1437))
+			p.Class = int32(f % uint64(tenants)) // tenant is a flow property
+			p.Rank = uint64(rng.Intn(1 << 18))
+			p.ID = seq[f]
+			seq[f]++
+			set[i] = p
+		}
+		sets[w] = set
+	}
+	return sets
+}
+
+// drainOrders drains q at a steadily advancing clock and returns each
+// flow's release sequence as (ID, Rank) pairs.
+func drainOrders(t *testing.T, q Qdisc, total int) map[uint64][]uint64 {
+	t.Helper()
+	orders := make(map[uint64][]uint64)
+	now, got, stalls := int64(0), 0, 0
+	for got < total {
+		p := q.Dequeue(now)
+		if p == nil {
+			// Nothing eligible (a reservation-only phase boundary at tag
+			// granularity): advance the clock and retry.
+			now += 1 << 20
+			if stalls++; stalls > 1<<20 {
+				t.Fatalf("drain stalled at %d of %d", got, total)
+			}
+			continue
+		}
+		orders[p.Flow] = append(orders[p.Flow], p.ID)
+		got++
+		now += int64(p.Size) * 8 // ~1 Gbps pacing
+	}
+	return orders
+}
+
+// TestHierShardedPerFlowOrderMatchesLocked is the randomized equivalence
+// property: for every flow, the sharded hierarchical path releases the
+// flow's packets in EXACTLY the order the locked whole-tree hClock does —
+// across fifo and rank in-tenant policies, random sizes, and concurrent
+// producers.
+func TestHierShardedPerFlowOrderMatchesLocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const producers, perProducer, flowsPer = 4, 3000, 64
+	spec := hierTestSpec()
+	sets := hierRandomSets(rng, producers, perProducer, flowsPer, len(spec.Tenants))
+	total := producers * perProducer
+
+	tree, err := NewHierTree(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked := NewLocked(tree)
+	for _, set := range sets {
+		for _, p := range set {
+			locked.Enqueue(p, 0)
+		}
+	}
+	want := drainOrders(t, locked, total)
+
+	sharded, err := NewHierSharded(HierShardedOptions{Spec: spec, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := range sets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, p := range sets[w] {
+				sharded.Enqueue(p, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := drainOrders(t, sharded, total)
+
+	if len(got) != len(want) {
+		t.Fatalf("sharded released %d flows, locked %d", len(got), len(want))
+	}
+	for f, w := range want {
+		g := got[f]
+		if len(g) != len(w) {
+			t.Fatalf("flow %d: sharded released %d packets, locked %d", f, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("flow %d position %d: sharded ID %d, locked ID %d", f, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestHierShardedReservationConservation: under overload, every tenant
+// with a due reservation is served within a bounded window — the
+// reservation-first preference survives the cross-shard merge — and the
+// reservation holders' aggregate service meets their configured rates
+// within the shard-granularity error bound.
+func TestHierShardedReservationConservation(t *testing.T) {
+	// Two reservation holders against two heavyweight share tenants. At
+	// the 1 Gbps paced drain below, tenant 2 is owed 20% of service and
+	// tenant 3 is owed 10%; on weights alone they would split ~2/34 of it.
+	spec := shardq.HierSpec{
+		Tenants: []shardq.HierTenant{
+			{Weight: 16},
+			{Weight: 16},
+			{ResBps: 200e6, Weight: 1},
+			{ResBps: 100e6, Weight: 1},
+		},
+	}
+	q, err := NewHierSharded(HierShardedOptions{Spec: spec, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flows, per = 64, 500 // 32k packets, every tenant saturated
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := pkt.NewPool(flows * per / 4) // pools are single-producer
+			for i := 0; i < flows*per/4; i++ {
+				p := pool.Get()
+				f := uint64(w*(flows/4) + i%(flows/4))
+				p.Flow = f
+				p.Size = 1500
+				p.Class = int32(f % 4)
+				q.Enqueue(p, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const total = flows * per
+	// Measure shares over the first half of the schedule: every tenant is
+	// still backlogged there (each holds exactly 25% of the offered load,
+	// so nobody can drain before the halfway mark), which makes the window
+	// a genuine contention measurement rather than a tail artifact.
+	const window = total / 2
+	windowServed := [4]int{}
+	lastServed := [4]int{2: 0, 3: 0}
+	maxGap := [4]int{}
+	now := int64(0)
+	for i := 0; i < total; i++ {
+		p := q.Dequeue(now)
+		if p == nil {
+			t.Fatalf("work-conserving drain stalled at %d of %d", i, total)
+		}
+		tn := int(p.Class)
+		if i < window {
+			windowServed[tn]++
+		}
+		if tn >= 2 {
+			if gap := i - lastServed[tn]; gap > maxGap[tn] {
+				maxGap[tn] = gap
+			}
+			lastServed[tn] = i
+		}
+		now += 12_000 // 1500B at 1 Gbps
+	}
+	res2 := float64(windowServed[2]) / float64(window)
+	res3 := float64(windowServed[3]) / float64(window)
+	if res2 < 0.20*0.9 {
+		t.Fatalf("tenant 2 served %.3f of the link under contention, reservation needs >= 0.20 (-10%% bound)", res2)
+	}
+	if res3 < 0.10*0.9 {
+		t.Fatalf("tenant 3 served %.3f of the link under contention, reservation needs >= 0.10 (-10%% bound)", res3)
+	}
+	// Bounded window: a due reservation is never starved for more than a
+	// few merge batches (release buffer 64 + per-shard runs).
+	if maxGap[2] > 256 || maxGap[3] > 256 {
+		t.Fatalf("reservation service gaps %d/%d packets, want <= 256", maxGap[2], maxGap[3])
+	}
+}
+
+// TestHierShardedShareError: the weight-3 tenant's service share after
+// serving half a two-tenant backlog stays within ±0.10 of the ideal 0.75
+// — the cross-shard share-error bound the experiment reports.
+func TestHierShardedShareError(t *testing.T) {
+	spec := shardq.HierSpec{Tenants: []shardq.HierTenant{{Weight: 3}, {Weight: 1}}}
+	q, err := NewHierSharded(HierShardedOptions{Spec: spec, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := PolicyPackets(8, 5000, 64)
+	share := 0.0
+	{
+		total := 0
+		for _, set := range packets {
+			for _, p := range set {
+				q.Enqueue(p, 0)
+			}
+			total += len(set)
+		}
+		gold, servedN := 0, 0
+		for servedN < total/2 {
+			p := q.Dequeue(int64(2e9))
+			if p == nil {
+				t.Fatal("drain stalled with backlog")
+			}
+			if p.Class == 0 {
+				gold++
+			}
+			servedN++
+		}
+		for q.Dequeue(int64(2e9)) != nil {
+		}
+		share = float64(gold) / float64(total/2)
+	}
+	if share < 0.65 || share > 0.85 {
+		t.Fatalf("weight-3 share %.3f, want 0.75 +/- 0.10", share)
+	}
+}
+
+// TestHierShardedGroupDrain: parallel group workers release everything
+// with per-flow order intact.
+func TestHierShardedGroupDrain(t *testing.T) {
+	spec := hierTestSpec()
+	q, err := NewHierSharded(HierShardedOptions{Spec: spec, Shards: 8, Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sets := hierRandomSets(rng, 4, 2000, 32, len(spec.Tenants))
+	var wg sync.WaitGroup
+	for w := range sets {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, p := range sets[w] {
+				q.Enqueue(p, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var mu sync.Mutex
+	orders := make(map[uint64][]uint64)
+	var dw sync.WaitGroup
+	for g := 0; g < q.NumGroups(); g++ {
+		dw.Add(1)
+		go func(g int) {
+			defer dw.Done()
+			out := make([]*pkt.Packet, 128)
+			local := make(map[uint64][]uint64)
+			for q.GroupLen(g) > 0 {
+				k := q.GroupDequeueBatch(g, int64(2e9), out)
+				for _, p := range out[:k] {
+					local[p.Flow] = append(local[p.Flow], p.ID)
+				}
+			}
+			mu.Lock()
+			for f, ids := range local {
+				orders[f] = append(orders[f], ids...)
+			}
+			mu.Unlock()
+		}(g)
+	}
+	dw.Wait()
+
+	released := 0
+	for f, ids := range orders {
+		for i, id := range ids {
+			if id != uint64(i) && int(f%4) != 3 {
+				// fifo tenants: IDs must come out sequentially. (The rank
+				// tenant's order is rank-major, checked by the locked
+				// equivalence test above.)
+				t.Fatalf("flow %d: ID %d at position %d", f, id, i)
+			}
+		}
+		released += len(ids)
+	}
+	if released != 4*2000 {
+		t.Fatalf("group workers released %d of %d", released, 4*2000)
+	}
+}
+
+// TestHierShardedAdmitAndLifecycle: the bounded-admission path conserves
+// (admitted + rejected == offered), and Drain runs every admitted packet
+// to the sinks with exact conservation.
+func TestHierShardedAdmitAndLifecycle(t *testing.T) {
+	spec := hierTestSpec()
+	q, err := NewHierSharded(HierShardedOptions{
+		Spec: spec, Shards: 4, ShardBound: 64, Admit: AdmitDropTail,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const offered = 2048
+	pool := pkt.NewPool(offered)
+	ps := make([]*pkt.Packet, offered)
+	for i := range ps {
+		p := pool.Get()
+		p.Flow = uint64(i % 16)
+		p.Size = 1500
+		p.Class = int32(i % 4)
+		ps[i] = p
+	}
+	admitted, rej := q.EnqueueBatchAdmit(ps, 0, nil)
+	if admitted+len(rej) != offered {
+		t.Fatalf("admitted %d + rejected %d != offered %d", admitted, len(rej), offered)
+	}
+	if len(rej) == 0 {
+		t.Fatal("shard bound 64 never refused: the bounded path is untested")
+	}
+	sink := &CountingSink{}
+	rep := q.Drain([]EgressSink{sink}, ServeOptions{})
+	if !rep.Conserved() {
+		t.Fatalf("drain not conserved: %+v", rep)
+	}
+	if int(sink.Count()) != admitted {
+		t.Fatalf("sink saw %d packets, admitted %d", sink.Count(), admitted)
+	}
+}
+
+// TestHierShardedNextTimer: with every tenant parked over its limit, the
+// front reports the earliest release instead of claiming readiness, and
+// serving resumes at that time.
+func TestHierShardedNextTimer(t *testing.T) {
+	spec := shardq.HierSpec{Tenants: []shardq.HierTenant{
+		{LimitBps: 800e6, Weight: 1}, // 8 shards: 100 Mbps per shard slice
+	}}
+	q, err := NewHierSharded(HierShardedOptions{Spec: spec, Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := pkt.NewPool(8)
+	for i := 0; i < 4; i++ {
+		p := pool.Get()
+		p.Flow = 1 // one flow -> one shard -> one engine's limit clock
+		p.Size = 1500
+		q.Enqueue(p, 0)
+	}
+	if p := q.Dequeue(0); p == nil {
+		t.Fatal("first packet not served")
+	}
+	if p := q.Dequeue(1); p != nil {
+		t.Fatal("over-limit packet served")
+	}
+	ev, ok := q.NextTimer(1)
+	if !ok || ev <= 1 {
+		t.Fatalf("NextTimer = %d,%v, want a future release", ev, ok)
+	}
+	if p := q.Dequeue(ev + 2048); p == nil {
+		t.Fatal("parked tenant not served at its release time")
+	}
+}

@@ -1,0 +1,441 @@
+package shardq
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"eiffel/internal/bucket"
+	"eiffel/internal/hclock"
+	"eiffel/internal/pkt"
+	"eiffel/internal/queue"
+)
+
+// This file is the hierarchical QoS backend for the sharded runtime: one
+// hclock.Hier engine per shard, compiled from a HierSpec the way the
+// policy backend compiles its program per shard. Flow-hash sharding
+// confines a flow's whole backlog to one shard, so the engine's tag state
+// (reservation/limit/share clocks) is shard-private and lock-free behind
+// the shard's MPSC ring; per-tenant rates renormalize by the shard count
+// (hclock.Config.RateDiv) so a tenant whose flows spread across every
+// shard still aggregates to its configured reservation and limit.
+//
+// The ring payload is (rank, aux) = (in-tenant key, tenant id): the
+// producer resolves the tenant once, while the packet is cache-hot, and
+// the consumer routes by the aux word without loading packet memory on
+// the enqueue side. The cross-shard merge rank is the engine's share
+// virtual time — every shard's tenants advance their share tags at
+// size/weight, so comparing MinShare across shards approximates the
+// global weighted order at tag-bucket granularity (the same shard-local
+// approximation the policy backend's wfq root accepts) — except that a
+// shard holding a DUE RESERVATION reports rank 0, which makes the merge
+// serve reservations ahead of every share tag, exactly hClock's two-phase
+// preference lifted across shards.
+
+// HierTenant describes one tenant (traffic class) of a HierSpec.
+type HierTenant struct {
+	// ResBps is the reserved minimum rate in bits/s (0 = none). The
+	// constructor renormalizes per shard via the spec's RateDiv.
+	ResBps uint64
+	// LimitBps is the rate cap in bits/s (0 = unlimited), renormalized
+	// like ResBps.
+	LimitBps uint64
+	// Weight is the proportional share weight (>= 1; 0 means 1).
+	Weight uint64
+	// Policy selects the in-tenant order: "fifo" (or empty — the faithful
+	// hClock leaf, packets serve in arrival order) or "rank" (packets
+	// serve in ascending ring-rank order, FIFO within a rank bucket — the
+	// Eiffel-extended leaf).
+	Policy string
+	// Buckets sizes the rank-policy in-tenant queue (default 4096);
+	// ignored for fifo tenants.
+	Buckets int
+	// RankGran is the rank-policy bucket width (default 64); ignored for
+	// fifo tenants.
+	RankGran uint64
+}
+
+// HierSpec compiles into one hierarchical engine per shard.
+type HierSpec struct {
+	// Tenants is the tenant table; the enqueue aux word indexes it
+	// (modulo its length). Required.
+	Tenants []HierTenant
+	// Backend picks the tag-index implementation (Eiffel FFS queues,
+	// binary heaps, approximate gradient queues).
+	Backend hclock.Backend
+	// TagGranularityNs / Buckets size the tag queues; see hclock.Config.
+	TagGranularityNs uint64
+	Buckets          int
+	// ShareGranularity is the share-tag index bucket width; see
+	// hclock.Config. 0 here means ShareScale*512 (512 weighted bytes —
+	// sub-packet share precision with ~one bucket step per served
+	// packet), NOT the flow scheduler's time-domain default: the tenant
+	// trees this backend compiles have few, heavy tenants whose share
+	// tags stride ~100M units per packet, and a time-domain bucket width
+	// makes every bucketed-index operation walk hundreds of buckets.
+	ShareGranularity uint64
+	// RateDiv renormalizes every tenant's ResBps/LimitBps per engine —
+	// the sharded front sets it to the shard count. 0 or 1 = none.
+	RateDiv uint64
+	// MergeShift coarsens the cross-shard merge rank: Min reports the
+	// shard's minimum share tag right-shifted by this many bits, and
+	// DequeueBatch honors its rank bound in the same shifted domain.
+	// Share tags advance by size*2^16/weight per packet (~100M units per
+	// 1500B at weight 1), so an unshifted merge re-ranks the shard after
+	// EVERY pop and the cross-shard merge degenerates to runs of one
+	// packet per head refresh. The default (30) keeps a shard's merge
+	// rank stable for roughly 10-30 packets, trading a bounded per-shard
+	// service skew (2^MergeShift/2^16 weighted bytes, ~11 packets at
+	// weight 1) for long merge runs. 0 means the default; use
+	// MergeShiftNone for an exact (per-packet) merge.
+	MergeShift uint8
+}
+
+// MergeShiftNone disables merge-rank coarsening: the merge compares raw
+// quantized share tags (exact cross-shard weighted order, short runs).
+const MergeShiftNone uint8 = 0xff
+
+// defaultMergeShift is the MergeShift applied when the spec leaves it 0.
+const defaultMergeShift = 30
+
+// Validate reports why the spec cannot compile, or nil.
+func (sp HierSpec) Validate() error {
+	if len(sp.Tenants) == 0 {
+		return fmt.Errorf("shardq: hier spec needs at least one tenant")
+	}
+	for i, tn := range sp.Tenants {
+		switch tn.Policy {
+		case "", "fifo", "rank":
+		default:
+			return fmt.Errorf("shardq: tenant %d: unknown in-tenant policy %q", i, tn.Policy)
+		}
+		if tn.LimitBps > 0 && tn.ResBps > tn.LimitBps {
+			return fmt.Errorf("shardq: tenant %d: reservation %d exceeds limit %d", i, tn.ResBps, tn.LimitBps)
+		}
+	}
+	return nil
+}
+
+// hierTenant is one tenant's shard-local state: the engine tags plus the
+// in-tenant packet queue (a FIFO ring, or an FFS-indexed rank queue).
+type hierTenant struct {
+	t    hclock.Tenant
+	rank Scheduler // non-nil: "rank" policy in-tenant queue
+
+	fifo []*bucket.Node
+	head int
+	n    int // queued elements, both policies
+}
+
+//eiffel:hotpath
+func (ht *hierTenant) push(n *bucket.Node, rank uint64) {
+	ht.n++
+	if ht.rank != nil {
+		ht.rank.Enqueue(n, rank)
+		return
+	}
+	if ht.n > len(ht.fifo) {
+		size := len(ht.fifo) * 2
+		if size == 0 {
+			size = 8
+		}
+		//eiffel:allow(hotpath) amortized FIFO ring growth, doubling to the tenant's high-water backlog
+		ring := make([]*bucket.Node, size)
+		for i := 0; i < ht.n-1; i++ {
+			ring[i] = ht.fifo[(ht.head+i)%len(ht.fifo)]
+		}
+		ht.fifo, ht.head = ring, 0
+	}
+	ht.fifo[(ht.head+ht.n-1)%len(ht.fifo)] = n
+}
+
+//eiffel:hotpath
+func (ht *hierTenant) pop(one *[1]*bucket.Node) *bucket.Node {
+	ht.n--
+	if ht.rank != nil {
+		if ht.rank.DequeueBatch(^uint64(0), one[:]) == 0 {
+			return nil
+		}
+		return one[0]
+	}
+	n := ht.fifo[ht.head]
+	ht.fifo[ht.head] = nil
+	ht.head = (ht.head + 1) % len(ht.fifo)
+	return n
+}
+
+// HierSched is one shard's hierarchical QoS backend; see the file
+// comment. It implements Scheduler, AuxScheduler, and ClockedScheduler.
+// All methods run under the shard lock except SetNow (atomics only, per
+// the ClockedScheduler contract).
+type HierSched struct {
+	h       *hclock.Hier
+	tenants []hierTenant
+	backlog int
+
+	// now is the consumer-set clock for eligibility decisions. Atomic
+	// because the owner advances it (SetNow) while a producer whose ring
+	// filled may be enqueueing under the shard lock.
+	now atomic.Int64
+
+	// stalled marks a backend with backlog but nothing eligible at the
+	// current clock (every active tenant parked over its limit): Min then
+	// reports empty so the cross-shard merge's progress contract holds.
+	// Cleared by SetNow or any enqueue; atomic for the same
+	// consumer-vs-fallback concurrency as now.
+	stalled atomic.Bool
+
+	one [1]*bucket.Node // rank-policy single-pop scratch
+
+	mergeShift uint // share-tag >> mergeShift is the merge-rank domain
+
+	// timed is whether any tenant carries a reservation or limit; a pure
+	// weighted-share tree skips the per-pop migrate/reservation checks.
+	timed bool
+
+	// resDue publishes the earliest ready reservation clock (0 = none)
+	// for the owner's clock propagation: when the consumer clock crosses
+	// it, the owner must force a head re-peek (the shard's cached merge
+	// rank was computed before the reservation came due). Written under
+	// the shard lock, read lock-free by advanceGroupClock.
+	resDue atomic.Int64
+}
+
+// NewHierSched compiles spec into one shard engine.
+func NewHierSched(spec HierSpec) (*HierSched, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	shareGran := spec.ShareGranularity
+	if shareGran == 0 {
+		shareGran = hclock.ShareScale * 512
+	}
+	b := &HierSched{
+		h: hclock.NewHier(hclock.Config{
+			Backend:          spec.Backend,
+			TagGranularityNs: spec.TagGranularityNs,
+			Buckets:          spec.Buckets,
+			ShareGranularity: shareGran,
+			RateDiv:          spec.RateDiv,
+		}),
+		tenants: make([]hierTenant, len(spec.Tenants)),
+	}
+	switch spec.MergeShift {
+	case 0:
+		b.mergeShift = defaultMergeShift
+	case MergeShiftNone:
+		b.mergeShift = 0
+	default:
+		b.mergeShift = uint(spec.MergeShift)
+	}
+	for i := range spec.Tenants {
+		tn := &spec.Tenants[i]
+		ht := &b.tenants[i]
+		b.timed = b.timed || tn.ResBps > 0 || tn.LimitBps > 0
+		b.h.Init(&ht.t, tn.ResBps, tn.LimitBps, tn.Weight)
+		ht.t.Self = ht
+		if tn.Policy == "rank" {
+			buckets, gran := tn.Buckets, tn.RankGran
+			if buckets <= 0 {
+				buckets = 4096
+			}
+			if gran == 0 {
+				gran = 64
+			}
+			ht.rank = NewVecSched(queue.Config{NumBuckets: buckets, Granularity: gran})
+		}
+	}
+	return b, nil
+}
+
+// NumTenants returns the tenant-table size.
+func (b *HierSched) NumTenants() int { return len(b.tenants) }
+
+// TenantLen returns tenant i's queued-element count on this shard.
+// Callers hold the shard lock (WithShardLocked).
+//
+//eiffel:locked(shard)
+func (b *HierSched) TenantLen(i int) int { return b.tenants[i].n }
+
+//eiffel:hotpath
+func (b *HierSched) enq(n *bucket.Node, rank, tenant uint64) {
+	ht := &b.tenants[int(tenant)%len(b.tenants)]
+	ht.push(n, rank)
+	b.backlog++
+	if !ht.t.Active() {
+		b.h.Activate(&ht.t, b.now.Load())
+		if ht.t.ResBps > 0 {
+			b.noteResDue()
+		}
+	}
+	b.stalled.Store(false)
+}
+
+// noteResDue publishes the earliest ready reservation clock for the
+// owner's clock propagation. Runs under the shard lock like every other
+// mutating method.
+//
+//eiffel:hotpath
+func (b *HierSched) noteResDue() {
+	if r, ok := b.h.NextReservation(); ok {
+		b.resDue.Store(int64(r))
+	} else {
+		b.resDue.Store(0)
+	}
+}
+
+// ResDue returns the published earliest ready reservation clock (0 =
+// none): when the owner's consumer clock crosses it, the owner must
+// force a head re-peek (GroupFlush) — the shard's cached merge rank
+// predates the reservation coming due. Lock-free read.
+//
+//eiffel:hotpath
+func (b *HierSched) ResDue() int64 { return b.resDue.Load() }
+
+// Enqueue implements Scheduler: the keyless surface loads the packet to
+// resolve its tenant (Class annotation) — the slow-but-correct form of
+// the aux path, used by spill paths that lost the aux word.
+//
+//eiffel:hotpath
+func (b *HierSched) Enqueue(n *bucket.Node, rank uint64) {
+	b.enq(n, rank, uint64(uint32(pkt.FromSchedNode(n).Class)))
+}
+
+// EnqueueBatch implements Scheduler.
+//
+//eiffel:hotpath
+func (b *HierSched) EnqueueBatch(ns []*bucket.Node, ranks []uint64) {
+	for i, n := range ns {
+		b.Enqueue(n, ranks[i])
+	}
+}
+
+// EnqueueAux implements AuxScheduler: aux carries the producer-resolved
+// tenant id, rank the in-tenant key — the enqueue side never loads the
+// packet.
+//
+//eiffel:hotpath
+func (b *HierSched) EnqueueAux(n *bucket.Node, rank, aux uint64) {
+	b.enq(n, rank, aux)
+}
+
+// EnqueueBatchAux implements AuxScheduler.
+//
+//eiffel:hotpath
+func (b *HierSched) EnqueueBatchAux(ns []*bucket.Node, ranks, auxes []uint64) {
+	for i, n := range ns {
+		b.enq(n, ranks[i], auxes[i])
+	}
+}
+
+// DequeueBatch implements Scheduler: serve the engine's two-phase
+// preference while the merge rank stays within maxRank. A due reservation
+// serves regardless of the bound (its merge rank is 0 — see Min); the
+// share phase stops at the bound. Each pop charges the served tenant's
+// tags, so the head is re-read every iteration.
+//
+//eiffel:hotpath
+func (b *HierSched) DequeueBatch(maxRank uint64, out []*bucket.Node) int {
+	popped := 0
+	now := b.now.Load()
+	if b.timed {
+		// now is constant for the whole call, so one migration suffices:
+		// nothing parked can release mid-call, and a Requeue that parks a
+		// tenant parks it beyond now by construction.
+		b.h.Migrate(now)
+	}
+	for popped < len(out) && b.backlog > 0 {
+		if !b.timed || !b.h.DueReservation(now) {
+			r, ok := b.h.MinShare()
+			if !ok {
+				// Backlogged but every active tenant is parked over its
+				// limit: report empty from Min until the clock moves —
+				// mergeRuns' progress argument.
+				b.stalled.Store(true)
+				break
+			}
+			if r>>b.mergeShift > maxRank {
+				break
+			}
+		}
+		t, ok := b.h.Pick(now)
+		if !ok {
+			b.stalled.Store(true)
+			break
+		}
+		ht := t.Self.(*hierTenant)
+		n := ht.pop(&b.one)
+		b.backlog--
+		b.h.Charge(t, uint64(pkt.FromSchedNode(n).Size), now)
+		if ht.n > 0 {
+			b.h.Requeue(t, now)
+		} else {
+			b.h.Idle(t)
+		}
+		out[popped] = n
+		popped++
+	}
+	if b.timed {
+		b.noteResDue()
+	}
+	return popped
+}
+
+// Min implements Scheduler: 0 when a reservation clock is due (the merge
+// must serve this shard before any share tag), else the smallest ready
+// share tag, else empty — setting the stall flag when backlog exists but
+// nothing is eligible, so the owner knows to re-peek after SetNow.
+// Callers hold the shard lock (the runtime's head refresh), so migrating
+// parked tenants here is safe.
+//
+//eiffel:hotpath
+func (b *HierSched) Min() (uint64, bool) {
+	if b.stalled.Load() {
+		return 0, false
+	}
+	if b.timed {
+		now := b.now.Load()
+		b.h.Migrate(now)
+		b.noteResDue()
+		if b.h.DueReservation(now) {
+			return 0, true
+		}
+	}
+	if r, ok := b.h.MinShare(); ok {
+		return r >> b.mergeShift, true
+	}
+	if b.backlog > 0 {
+		b.stalled.Store(true)
+	}
+	return 0, false
+}
+
+// Len implements Scheduler.
+//
+//eiffel:hotpath
+func (b *HierSched) Len() int { return b.backlog }
+
+// SetNow implements ClockedScheduler: advance the eligibility clock,
+// waking a stalled engine. Safe without the shard lock (atomics).
+//
+//eiffel:hotpath
+func (b *HierSched) SetNow(now int64) {
+	if now != b.now.Load() {
+		b.now.Store(now)
+		b.stalled.Store(false)
+	}
+}
+
+// Stalled reports whether the backend declared itself unservable at the
+// current clock; the owner checks it before advancing the clock to know
+// whether a head re-peek (GroupFlush) is needed.
+//
+//eiffel:hotpath
+func (b *HierSched) Stalled() bool { return b.stalled.Load() }
+
+// NextEvent implements ClockedScheduler: the earliest limit-clock release
+// at the current clock. Callers hold the shard lock.
+//
+//eiffel:locked(shard)
+func (b *HierSched) NextEvent() (int64, bool) {
+	return b.h.NextEvent(b.now.Load())
+}

@@ -8,8 +8,10 @@
 # persistent workers), so neither side of the egress split may regress,
 # plus the fault-free lap of the resilient egress wrapper
 # (BenchmarkHotPathEgressTx): retry machinery on the path, never firing,
-# and the approximate scheduler backends behind the sharded runtime
-# (BenchmarkHotPathApproxGrad / BenchmarkHotPathApproxRIFO).
+# the approximate scheduler backends behind the sharded runtime
+# (BenchmarkHotPathApproxGrad / BenchmarkHotPathApproxRIFO), and the
+# sharded hierarchical-QoS backend's three-tag charge cycle
+# (BenchmarkHotPathHierSched).
 #
 # On failure, the //eiffel:hotpath inventory (cmd/eiffel-vet -hotpaths)
 # is printed for the packages each failing lap drives. eiffel-vet's
@@ -51,6 +53,8 @@ if [ -n "$failed" ]; then
 			pkgs="internal/shardq internal/bucket internal/ffsq" ;;
 		BenchmarkHotPathPolicyBatched | BenchmarkHotPathChurnAdmit)
 			pkgs="internal/qdisc internal/pifo internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
+		BenchmarkHotPathHierSched)
+			pkgs="internal/qdisc internal/hclock internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
 		BenchmarkHotPathEgressTx)
 			pkgs="internal/qdisc internal/stats internal/pkt internal/shardq internal/bucket internal/ffsq" ;;
 		*)

@@ -17,7 +17,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 RUNS="${RUNS:-5}"
-experiments="approx chaos churn contention policysched shapedsched"
+experiments="approx chaos churn contention hiersched policysched shapedsched"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
